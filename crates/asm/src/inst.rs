@@ -1,0 +1,626 @@
+//! The instruction set and its Def/Ref (data-flow) semantics.
+
+use crate::loc::Loc;
+use crate::operand::{Mem, Operand};
+use crate::reg::{Reg, Reg64, Width};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Condition codes for `jcc`, `setcc` and `cmovcc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Cond {
+    E,
+    Ne,
+    L,
+    Le,
+    G,
+    Ge,
+    B,
+    Be,
+    A,
+    Ae,
+    S,
+    Ns,
+}
+
+impl Cond {
+    /// The mnemonic suffix (`e`, `ne`, `l`, ...).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Cond::E => "e",
+            Cond::Ne => "ne",
+            Cond::L => "l",
+            Cond::Le => "le",
+            Cond::G => "g",
+            Cond::Ge => "ge",
+            Cond::B => "b",
+            Cond::Be => "be",
+            Cond::A => "a",
+            Cond::Ae => "ae",
+            Cond::S => "s",
+            Cond::Ns => "ns",
+        }
+    }
+
+    /// Parses a mnemonic suffix.
+    pub fn from_suffix(s: &str) -> Option<Cond> {
+        Some(match s {
+            "e" | "z" => Cond::E,
+            "ne" | "nz" => Cond::Ne,
+            "l" => Cond::L,
+            "le" => Cond::Le,
+            "g" => Cond::G,
+            "ge" => Cond::Ge,
+            "b" => Cond::B,
+            "be" => Cond::Be,
+            "a" => Cond::A,
+            "ae" => Cond::Ae,
+            "s" => Cond::S,
+            "ns" => Cond::Ns,
+            _ => return None,
+        })
+    }
+
+    /// The condition testing the opposite outcome.
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::E => Cond::Ne,
+            Cond::Ne => Cond::E,
+            Cond::L => Cond::Ge,
+            Cond::Le => Cond::G,
+            Cond::G => Cond::Le,
+            Cond::Ge => Cond::L,
+            Cond::B => Cond::Ae,
+            Cond::Be => Cond::A,
+            Cond::A => Cond::Be,
+            Cond::Ae => Cond::B,
+            Cond::S => Cond::Ns,
+            Cond::Ns => Cond::S,
+        }
+    }
+}
+
+/// A shift amount: an immediate or the `cl` register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShiftAmount {
+    /// Shift by a constant.
+    Imm(u8),
+    /// Shift by `cl`.
+    Cl,
+}
+
+impl fmt::Display for ShiftAmount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShiftAmount::Imm(i) => write!(f, "{i:#x}"),
+            ShiftAmount::Cl => write!(f, "cl"),
+        }
+    }
+}
+
+/// One x86-64 instruction of the modelled subset.
+///
+/// Each variant documents its Def/Ref behaviour through [`Inst::defs`] and
+/// [`Inst::refs`]; these sets drive strand extraction (paper Algorithm 1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // operand fields (`dst`, `src`, ...) are uniform
+pub enum Inst {
+    /// `mov dst, src`
+    Mov { dst: Operand, src: Operand },
+    /// `movzx dst, src` — zero-extending load of a narrower value.
+    MovZx { dst: Reg, src: Operand },
+    /// `movsx`/`movsxd dst, src` — sign-extending load.
+    MovSx { dst: Reg, src: Operand },
+    /// `lea dst, [addr]` — address arithmetic without memory access.
+    Lea { dst: Reg, addr: Mem },
+    /// `add dst, src`
+    Add { dst: Operand, src: Operand },
+    /// `sub dst, src`
+    Sub { dst: Operand, src: Operand },
+    /// `imul dst, src` — two-operand signed multiply.
+    Imul { dst: Reg, src: Operand },
+    /// `imul dst, src, imm` — three-operand form.
+    ImulImm { dst: Reg, src: Operand, imm: i64 },
+    /// `neg dst`
+    Neg { dst: Operand },
+    /// `not dst`
+    Not { dst: Operand },
+    /// `inc dst`
+    Inc { dst: Operand },
+    /// `dec dst`
+    Dec { dst: Operand },
+    /// `and dst, src`
+    And { dst: Operand, src: Operand },
+    /// `or dst, src`
+    Or { dst: Operand, src: Operand },
+    /// `xor dst, src`
+    Xor { dst: Operand, src: Operand },
+    /// `shl dst, amount`
+    Shl { dst: Operand, amount: ShiftAmount },
+    /// `shr dst, amount`
+    Shr { dst: Operand, amount: ShiftAmount },
+    /// `sar dst, amount`
+    Sar { dst: Operand, amount: ShiftAmount },
+    /// `cmp a, b` — sets flags only.
+    Cmp { a: Operand, b: Operand },
+    /// `test a, b` — sets flags only.
+    Test { a: Operand, b: Operand },
+    /// `setcc dst` — materializes a condition bit into a byte.
+    Set { cond: Cond, dst: Operand },
+    /// `cmovcc dst, src` — conditional move.
+    Cmov { cond: Cond, dst: Reg, src: Operand },
+    /// `push src`
+    Push { src: Operand },
+    /// `pop dst`
+    Pop { dst: Operand },
+    /// `call target` with `args` register arguments (System V order).
+    Call { target: String, args: u8 },
+    /// `ret`
+    Ret,
+    /// `jmp target`
+    Jmp { target: String },
+    /// `jcc target`
+    Jcc { cond: Cond, target: String },
+    /// `cdqe` — sign-extend `eax` into `rax`.
+    Cdqe,
+    /// `nop`
+    Nop,
+}
+
+/// System V AMD64 integer argument registers, in order.
+pub const ARG_REGS: [Reg64; 6] = [
+    Reg64::Rdi,
+    Reg64::Rsi,
+    Reg64::Rdx,
+    Reg64::Rcx,
+    Reg64::R8,
+    Reg64::R9,
+];
+
+/// Caller-saved (volatile) registers under the System V ABI.
+pub const CALLER_SAVED: [Reg64; 9] = [
+    Reg64::Rax,
+    Reg64::Rcx,
+    Reg64::Rdx,
+    Reg64::Rsi,
+    Reg64::Rdi,
+    Reg64::R8,
+    Reg64::R9,
+    Reg64::R10,
+    Reg64::R11,
+];
+
+/// Callee-saved (non-volatile) registers under the System V ABI.
+pub const CALLEE_SAVED: [Reg64; 6] = [
+    Reg64::Rbx,
+    Reg64::Rbp,
+    Reg64::R12,
+    Reg64::R13,
+    Reg64::R14,
+    Reg64::R15,
+];
+
+fn read_locs(op: &Operand, out: &mut Vec<Loc>) {
+    match op {
+        Operand::Reg(r) => out.push(Loc::Reg(r.base)),
+        Operand::Imm(_) => {}
+        Operand::Mem(m) => {
+            for r in m.addr_regs() {
+                out.push(Loc::Reg(r));
+            }
+            out.push(Loc::mem(m));
+        }
+    }
+}
+
+/// Adds the locations referenced when *writing* `op` (address registers for
+/// memory destinations; the base register itself for sub-32-bit register
+/// writes, which preserve the upper bits).
+fn write_refs(op: &Operand, out: &mut Vec<Loc>) {
+    match op {
+        Operand::Reg(r) => {
+            if matches!(r.width, Width::W8 | Width::W16) {
+                out.push(Loc::Reg(r.base));
+            }
+        }
+        Operand::Imm(_) => {}
+        Operand::Mem(m) => {
+            for r in m.addr_regs() {
+                out.push(Loc::Reg(r));
+            }
+        }
+    }
+}
+
+fn write_defs(op: &Operand, out: &mut Vec<Loc>) {
+    match op {
+        Operand::Reg(r) => out.push(Loc::Reg(r.base)),
+        Operand::Imm(_) => {}
+        Operand::Mem(m) => out.push(Loc::mem(m)),
+    }
+}
+
+fn dedup(mut v: Vec<Loc>) -> Vec<Loc> {
+    let mut out: Vec<Loc> = Vec::with_capacity(v.len());
+    for l in v.drain(..) {
+        if !out.contains(&l) {
+            out.push(l);
+        }
+    }
+    out
+}
+
+impl Inst {
+    /// The set of locations this instruction defines.
+    pub fn defs(&self) -> Vec<Loc> {
+        let mut out = Vec::new();
+        match self {
+            Inst::Mov { dst, .. } | Inst::Set { dst, .. } => write_defs(dst, &mut out),
+            Inst::MovZx { dst, .. } | Inst::MovSx { dst, .. } | Inst::Lea { dst, .. } => {
+                out.push(Loc::Reg(dst.base))
+            }
+            Inst::Add { dst, .. }
+            | Inst::Sub { dst, .. }
+            | Inst::And { dst, .. }
+            | Inst::Or { dst, .. }
+            | Inst::Xor { dst, .. }
+            | Inst::Neg { dst }
+            | Inst::Not { dst }
+            | Inst::Inc { dst }
+            | Inst::Dec { dst }
+            | Inst::Shl { dst, .. }
+            | Inst::Shr { dst, .. }
+            | Inst::Sar { dst, .. } => {
+                write_defs(dst, &mut out);
+                if !matches!(self, Inst::Not { .. }) {
+                    out.push(Loc::Flags);
+                }
+            }
+            Inst::Imul { dst, .. } | Inst::ImulImm { dst, .. } => {
+                out.push(Loc::Reg(dst.base));
+                out.push(Loc::Flags);
+            }
+            Inst::Cmp { .. } | Inst::Test { .. } => out.push(Loc::Flags),
+            Inst::Cmov { dst, .. } => out.push(Loc::Reg(dst.base)),
+            Inst::Push { .. } => {
+                out.push(Loc::Reg(Reg64::Rsp));
+                out.push(Loc::MemSlot {
+                    base: Some(Reg64::Rsp),
+                    index: None,
+                    disp: -8,
+                });
+            }
+            Inst::Pop { dst } => {
+                write_defs(dst, &mut out);
+                out.push(Loc::Reg(Reg64::Rsp));
+            }
+            Inst::Call { .. } => {
+                for r in CALLER_SAVED {
+                    out.push(Loc::Reg(r));
+                }
+                out.push(Loc::Flags);
+            }
+            Inst::Cdqe => out.push(Loc::Reg(Reg64::Rax)),
+            Inst::Ret | Inst::Jmp { .. } | Inst::Jcc { .. } | Inst::Nop => {}
+        }
+        dedup(out)
+    }
+
+    /// The set of locations this instruction references.
+    pub fn refs(&self) -> Vec<Loc> {
+        let mut out = Vec::new();
+        match self {
+            Inst::Mov { dst, src } => {
+                read_locs(src, &mut out);
+                write_refs(dst, &mut out);
+            }
+            Inst::MovZx { dst, src } | Inst::MovSx { dst, src } => {
+                read_locs(src, &mut out);
+                write_refs(&Operand::Reg(*dst), &mut out);
+            }
+            Inst::Lea { addr, .. } => {
+                for r in addr.addr_regs() {
+                    out.push(Loc::Reg(r));
+                }
+            }
+            Inst::Add { dst, src }
+            | Inst::Sub { dst, src }
+            | Inst::And { dst, src }
+            | Inst::Or { dst, src }
+            | Inst::Xor { dst, src } => {
+                read_locs(dst, &mut out);
+                read_locs(src, &mut out);
+            }
+            Inst::Imul { dst, src } => {
+                out.push(Loc::Reg(dst.base));
+                read_locs(src, &mut out);
+            }
+            Inst::ImulImm { src, .. } => read_locs(src, &mut out),
+            Inst::Neg { dst } | Inst::Not { dst } | Inst::Inc { dst } | Inst::Dec { dst } => {
+                read_locs(dst, &mut out)
+            }
+            Inst::Shl { dst, amount } | Inst::Shr { dst, amount } | Inst::Sar { dst, amount } => {
+                read_locs(dst, &mut out);
+                if matches!(amount, ShiftAmount::Cl) {
+                    out.push(Loc::Reg(Reg64::Rcx));
+                }
+            }
+            Inst::Cmp { a, b } | Inst::Test { a, b } => {
+                read_locs(a, &mut out);
+                read_locs(b, &mut out);
+            }
+            Inst::Set { dst, .. } => {
+                out.push(Loc::Flags);
+                write_refs(dst, &mut out);
+            }
+            Inst::Cmov { dst, src, .. } => {
+                out.push(Loc::Flags);
+                out.push(Loc::Reg(dst.base));
+                read_locs(src, &mut out);
+            }
+            Inst::Push { src } => {
+                read_locs(src, &mut out);
+                out.push(Loc::Reg(Reg64::Rsp));
+            }
+            Inst::Pop { dst } => {
+                out.push(Loc::Reg(Reg64::Rsp));
+                out.push(Loc::MemSlot {
+                    base: Some(Reg64::Rsp),
+                    index: None,
+                    disp: 0,
+                });
+                write_refs(dst, &mut out);
+            }
+            Inst::Call { args, .. } => {
+                for r in ARG_REGS.iter().take(usize::from(*args)) {
+                    out.push(Loc::Reg(*r));
+                }
+                out.push(Loc::Reg(Reg64::Rsp));
+            }
+            Inst::Ret => {
+                out.push(Loc::Reg(Reg64::Rax));
+                out.push(Loc::Reg(Reg64::Rsp));
+            }
+            Inst::Jcc { .. } => out.push(Loc::Flags),
+            Inst::Cdqe => out.push(Loc::Reg(Reg64::Rax)),
+            Inst::Jmp { .. } | Inst::Nop => {}
+        }
+        dedup(out)
+    }
+
+    /// True if this instruction ends a basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Inst::Ret | Inst::Jmp { .. } | Inst::Jcc { .. })
+    }
+
+    /// The branch target label, if any.
+    pub fn jump_target(&self) -> Option<&str> {
+        match self {
+            Inst::Jmp { target } | Inst::Jcc { target, .. } => Some(target),
+            _ => None,
+        }
+    }
+
+    /// The mnemonic string (used by the syntactic baselines).
+    pub fn mnemonic(&self) -> String {
+        match self {
+            Inst::Mov { .. } => "mov".into(),
+            Inst::MovZx { .. } => "movzx".into(),
+            Inst::MovSx { .. } => "movsx".into(),
+            Inst::Lea { .. } => "lea".into(),
+            Inst::Add { .. } => "add".into(),
+            Inst::Sub { .. } => "sub".into(),
+            Inst::Imul { .. } | Inst::ImulImm { .. } => "imul".into(),
+            Inst::Neg { .. } => "neg".into(),
+            Inst::Not { .. } => "not".into(),
+            Inst::Inc { .. } => "inc".into(),
+            Inst::Dec { .. } => "dec".into(),
+            Inst::And { .. } => "and".into(),
+            Inst::Or { .. } => "or".into(),
+            Inst::Xor { .. } => "xor".into(),
+            Inst::Shl { .. } => "shl".into(),
+            Inst::Shr { .. } => "shr".into(),
+            Inst::Sar { .. } => "sar".into(),
+            Inst::Cmp { .. } => "cmp".into(),
+            Inst::Test { .. } => "test".into(),
+            Inst::Set { cond, .. } => format!("set{}", cond.suffix()),
+            Inst::Cmov { cond, .. } => format!("cmov{}", cond.suffix()),
+            Inst::Push { .. } => "push".into(),
+            Inst::Pop { .. } => "pop".into(),
+            Inst::Call { .. } => "call".into(),
+            Inst::Ret => "ret".into(),
+            Inst::Jmp { .. } => "jmp".into(),
+            Inst::Jcc { cond, .. } => format!("j{}", cond.suffix()),
+            Inst::Cdqe => "cdqe".into(),
+            Inst::Nop => "nop".into(),
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Mov { dst, src } => write!(f, "mov {dst}, {src}"),
+            Inst::MovZx { dst, src } => write!(f, "movzx {dst}, {src}"),
+            Inst::MovSx { dst, src } => write!(f, "movsx {dst}, {src}"),
+            Inst::Lea { dst, addr } => {
+                // lea prints the bare address expression.
+                let body = addr.to_string();
+                let bracket = body.find('[').expect("mem display has bracket");
+                write!(f, "lea {dst}, {}", &body[bracket..])
+            }
+            Inst::Add { dst, src } => write!(f, "add {dst}, {src}"),
+            Inst::Sub { dst, src } => write!(f, "sub {dst}, {src}"),
+            Inst::Imul { dst, src } => write!(f, "imul {dst}, {src}"),
+            Inst::ImulImm { dst, src, imm } => write!(f, "imul {dst}, {src}, {imm:#x}"),
+            Inst::Neg { dst } => write!(f, "neg {dst}"),
+            Inst::Not { dst } => write!(f, "not {dst}"),
+            Inst::Inc { dst } => write!(f, "inc {dst}"),
+            Inst::Dec { dst } => write!(f, "dec {dst}"),
+            Inst::And { dst, src } => write!(f, "and {dst}, {src}"),
+            Inst::Or { dst, src } => write!(f, "or {dst}, {src}"),
+            Inst::Xor { dst, src } => write!(f, "xor {dst}, {src}"),
+            Inst::Shl { dst, amount } => write!(f, "shl {dst}, {amount}"),
+            Inst::Shr { dst, amount } => write!(f, "shr {dst}, {amount}"),
+            Inst::Sar { dst, amount } => write!(f, "sar {dst}, {amount}"),
+            Inst::Cmp { a, b } => write!(f, "cmp {a}, {b}"),
+            Inst::Test { a, b } => write!(f, "test {a}, {b}"),
+            Inst::Set { cond, dst } => write!(f, "set{} {dst}", cond.suffix()),
+            Inst::Cmov { cond, dst, src } => write!(f, "cmov{} {dst}, {src}", cond.suffix()),
+            Inst::Push { src } => write!(f, "push {src}"),
+            Inst::Pop { dst } => write!(f, "pop {dst}"),
+            Inst::Call { target, args } => {
+                if *args == 0 {
+                    write!(f, "call {target}")
+                } else {
+                    write!(f, "call {target}/{args}")
+                }
+            }
+            Inst::Ret => write!(f, "ret"),
+            Inst::Jmp { target } => write!(f, "jmp {target}"),
+            Inst::Jcc { cond, target } => write!(f, "j{} {target}", cond.suffix()),
+            Inst::Cdqe => write!(f, "cdqe"),
+            Inst::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Width;
+
+    fn r(reg: Reg64) -> Operand {
+        Operand::Reg(reg.full())
+    }
+
+    #[test]
+    fn mov_defs_refs() {
+        let i = Inst::Mov {
+            dst: r(Reg64::Rax),
+            src: r(Reg64::Rdi),
+        };
+        assert_eq!(i.defs(), vec![Loc::reg(Reg64::Rax)]);
+        assert_eq!(i.refs(), vec![Loc::reg(Reg64::Rdi)]);
+    }
+
+    #[test]
+    fn partial_width_write_is_read_modify_write() {
+        // mov al, 5 preserves rax's upper bits, so it references rax.
+        let i = Inst::Mov {
+            dst: Operand::Reg(Reg64::Rax.view(Width::W8)),
+            src: Operand::Imm(5),
+        };
+        assert!(i.refs().contains(&Loc::reg(Reg64::Rax)));
+        // mov eax, 5 zeroes the upper bits: pure def.
+        let i = Inst::Mov {
+            dst: Operand::Reg(Reg64::Rax.view(Width::W32)),
+            src: Operand::Imm(5),
+        };
+        assert!(i.refs().is_empty());
+    }
+
+    #[test]
+    fn mem_store_defs_slot_refs_addr() {
+        let m = Mem::base_disp(Width::W8, Reg64::R13, 1);
+        let i = Inst::Mov {
+            dst: Operand::Mem(m),
+            src: Operand::Reg(Reg64::Rax.view(Width::W8)),
+        };
+        assert!(i.defs().contains(&Loc::mem(&m)));
+        assert!(i.refs().contains(&Loc::reg(Reg64::R13)));
+        assert!(i.refs().contains(&Loc::reg(Reg64::Rax)));
+    }
+
+    #[test]
+    fn arithmetic_defines_flags() {
+        let i = Inst::Add {
+            dst: r(Reg64::Rbp),
+            src: Operand::Imm(3),
+        };
+        assert!(i.defs().contains(&Loc::Flags));
+        assert!(i.refs().contains(&Loc::reg(Reg64::Rbp)));
+    }
+
+    #[test]
+    fn lea_reads_only_address_registers() {
+        let m = Mem::base_index(Width::W64, Reg64::R12, Reg64::Rbx, crate::Scale::S1, 0x13);
+        let i = Inst::Lea {
+            dst: Reg64::R14.view(Width::W32),
+            addr: m,
+        };
+        assert_eq!(i.defs(), vec![Loc::reg(Reg64::R14)]);
+        let refs = i.refs();
+        assert!(refs.contains(&Loc::reg(Reg64::R12)));
+        assert!(refs.contains(&Loc::reg(Reg64::Rbx)));
+        assert!(!refs.iter().any(Loc::is_mem));
+    }
+
+    #[test]
+    fn jcc_refs_flags() {
+        let i = Inst::Jcc {
+            cond: Cond::L,
+            target: "loc_22F4".into(),
+        };
+        assert_eq!(i.refs(), vec![Loc::Flags]);
+        assert!(i.is_terminator());
+        assert_eq!(i.jump_target(), Some("loc_22F4"));
+    }
+
+    #[test]
+    fn call_clobbers_caller_saved_and_reads_args() {
+        let i = Inst::Call {
+            target: "memcpy".into(),
+            args: 3,
+        };
+        assert!(i.defs().contains(&Loc::reg(Reg64::Rax)));
+        assert!(i.defs().contains(&Loc::reg(Reg64::R11)));
+        assert!(!i.defs().contains(&Loc::reg(Reg64::Rbx)));
+        assert!(i.refs().contains(&Loc::reg(Reg64::Rdi)));
+        assert!(i.refs().contains(&Loc::reg(Reg64::Rdx)));
+        assert!(!i.refs().contains(&Loc::reg(Reg64::Rcx)));
+    }
+
+    #[test]
+    fn push_chains_through_rsp() {
+        let i = Inst::Push { src: r(Reg64::Rbx) };
+        assert!(i.defs().contains(&Loc::reg(Reg64::Rsp)));
+        assert!(i.refs().contains(&Loc::reg(Reg64::Rsp)));
+        assert!(i.refs().contains(&Loc::reg(Reg64::Rbx)));
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let i = Inst::Lea {
+            dst: Reg64::R14.view(Width::W32),
+            addr: Mem::base_disp(Width::W64, Reg64::R12, 0x13),
+        };
+        assert_eq!(i.to_string(), "lea r14d, [r12+0x13]");
+        let i = Inst::Shr {
+            dst: Operand::Reg(Reg64::Rax.view(Width::W32)),
+            amount: ShiftAmount::Imm(8),
+        };
+        assert_eq!(i.to_string(), "shr eax, 0x8");
+    }
+
+    #[test]
+    fn cond_negate_involution() {
+        for c in [
+            Cond::E,
+            Cond::Ne,
+            Cond::L,
+            Cond::Le,
+            Cond::G,
+            Cond::Ge,
+            Cond::B,
+            Cond::Be,
+            Cond::A,
+            Cond::Ae,
+            Cond::S,
+            Cond::Ns,
+        ] {
+            assert_eq!(c.negate().negate(), c);
+        }
+    }
+}

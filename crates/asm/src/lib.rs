@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! # esh-asm — x86-64 subset assembly model
+//!
+//! This crate models the fragment of x86-64 assembly that the Esh
+//! reproduction operates on: the instructions emitted by the synthetic
+//! compilers in `esh-cc` and consumed by the lifter in `esh-ivl` and the
+//! strand extractor in `esh-strands`.
+//!
+//! The model is *semantic-first*: every instruction knows the set of machine
+//! locations it defines ([`Inst::defs`]) and references ([`Inst::refs`]),
+//! which is exactly what the paper's Algorithm 1 (strand extraction by
+//! backward slicing inside a basic block) needs.
+//!
+//! ## Example
+//!
+//! ```
+//! use esh_asm::{parse_proc, Loc, Reg64};
+//!
+//! let p = parse_proc(
+//!     "proc f\n\
+//!      entry:\n\
+//!      mov rax, rdi\n\
+//!      add rax, 13\n\
+//!      ret\n",
+//! )?;
+//! assert_eq!(p.name, "f");
+//! let block = &p.blocks[0];
+//! assert!(block.insts[1].defs().contains(&Loc::reg(Reg64::Rax)));
+//! # Ok::<(), esh_asm::ParseError>(())
+//! ```
+
+mod inst;
+mod loc;
+mod operand;
+mod parse;
+mod proc;
+mod reg;
+
+pub use inst::{Cond, Inst, ShiftAmount, ARG_REGS, CALLEE_SAVED, CALLER_SAVED};
+pub use loc::Loc;
+pub use operand::{Mem, Operand, Scale};
+pub use parse::{parse_inst, parse_proc, parse_program, ParseError};
+pub use proc::{BasicBlock, Procedure, Program};
+pub use reg::{Reg, Reg64, Width};

@@ -1,0 +1,94 @@
+//! Abstract machine locations used for data-flow (Def/Ref) analysis.
+
+use crate::operand::{Mem, Scale};
+use crate::reg::Reg64;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A machine location, the "variable" of the paper's Algorithm 1.
+///
+/// Registers are tracked at base-register (64-bit) granularity; the
+/// arithmetic flags are a single location (every flag-producing instruction
+/// defines them as a unit, every conditional instruction references them);
+/// memory is tracked per syntactic address expression within a basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Loc {
+    /// A general-purpose register (full 64-bit base).
+    Reg(Reg64),
+    /// The RFLAGS condition bits, as one unit.
+    Flags,
+    /// An abstract memory slot identified by its address expression.
+    MemSlot {
+        /// Base register of the address, if any.
+        base: Option<Reg64>,
+        /// Index register and scale, if any.
+        index: Option<(Reg64, Scale)>,
+        /// Displacement.
+        disp: i64,
+    },
+}
+
+impl Loc {
+    /// The location for a register operand.
+    pub fn reg(r: Reg64) -> Loc {
+        Loc::Reg(r)
+    }
+
+    /// The abstract slot for a memory operand.
+    pub fn mem(m: &Mem) -> Loc {
+        let (base, index, disp) = m.addr_key();
+        Loc::MemSlot { base, index, disp }
+    }
+
+    /// True if this is a register location.
+    pub fn is_reg(&self) -> bool {
+        matches!(self, Loc::Reg(_))
+    }
+
+    /// True if this is a memory slot.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Loc::MemSlot { .. })
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Loc::Reg(r) => write!(f, "{r}"),
+            Loc::Flags => write!(f, "flags"),
+            Loc::MemSlot { base, index, disp } => {
+                write!(f, "mem[")?;
+                if let Some(b) = base {
+                    write!(f, "{b}")?;
+                }
+                if let Some((i, s)) = index {
+                    write!(f, "+{i}*{}", s.factor())?;
+                }
+                write!(f, "{disp:+}]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Width;
+
+    #[test]
+    fn mem_loc_identity_ignores_width() {
+        let a = Mem::base_disp(Width::W8, Reg64::R13, 1);
+        let b = Mem::base_disp(Width::W32, Reg64::R13, 1);
+        assert_eq!(Loc::mem(&a), Loc::mem(&b));
+        let c = Mem::base_disp(Width::W8, Reg64::R13, 2);
+        assert_ne!(Loc::mem(&a), Loc::mem(&c));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Loc::reg(Reg64::Rax).to_string(), "rax");
+        assert_eq!(Loc::Flags.to_string(), "flags");
+        let m = Mem::base_disp(Width::W8, Reg64::R13, 1);
+        assert_eq!(Loc::mem(&m).to_string(), "mem[r13+1]");
+    }
+}

@@ -1,0 +1,278 @@
+//! Instruction operands: registers, immediates and memory references.
+
+use crate::reg::{Reg, Reg64, Width};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An index-register scale factor in a memory operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Scale {
+    /// `*1`
+    S1,
+    /// `*2`
+    S2,
+    /// `*4`
+    S4,
+    /// `*8`
+    S8,
+}
+
+impl Scale {
+    /// The numeric multiplier.
+    pub fn factor(self) -> u64 {
+        match self {
+            Scale::S1 => 1,
+            Scale::S2 => 2,
+            Scale::S4 => 4,
+            Scale::S8 => 8,
+        }
+    }
+
+    /// Builds a scale from a multiplier, if it is one x86 supports.
+    pub fn from_factor(f: u64) -> Option<Scale> {
+        match f {
+            1 => Some(Scale::S1),
+            2 => Some(Scale::S2),
+            4 => Some(Scale::S4),
+            8 => Some(Scale::S8),
+            _ => None,
+        }
+    }
+}
+
+/// A memory operand `width ptr [base + index*scale + disp]`.
+///
+/// All address components are optional except that at least one of `base`,
+/// `index` or `disp` must be present for the operand to be meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Mem {
+    /// Access width.
+    pub width: Width,
+    /// Base register, if any.
+    pub base: Option<Reg64>,
+    /// Index register and scale, if any.
+    pub index: Option<(Reg64, Scale)>,
+    /// Signed displacement.
+    pub disp: i64,
+}
+
+impl Mem {
+    /// `width ptr [base]`
+    pub fn base(width: Width, base: Reg64) -> Mem {
+        Mem {
+            width,
+            base: Some(base),
+            index: None,
+            disp: 0,
+        }
+    }
+
+    /// `width ptr [base + disp]`
+    pub fn base_disp(width: Width, base: Reg64, disp: i64) -> Mem {
+        Mem {
+            width,
+            base: Some(base),
+            index: None,
+            disp,
+        }
+    }
+
+    /// `width ptr [base + index*scale + disp]`
+    pub fn base_index(width: Width, base: Reg64, index: Reg64, scale: Scale, disp: i64) -> Mem {
+        Mem {
+            width,
+            base: Some(base),
+            index: Some((index, scale)),
+            disp,
+        }
+    }
+
+    /// Registers referenced when computing the effective address.
+    pub fn addr_regs(&self) -> Vec<Reg64> {
+        let mut out = Vec::new();
+        if let Some(b) = self.base {
+            out.push(b);
+        }
+        if let Some((i, _)) = self.index {
+            out.push(i);
+        }
+        out
+    }
+
+    /// The same address expression viewed at a different access width.
+    pub fn with_width(self, width: Width) -> Mem {
+        Mem { width, ..self }
+    }
+
+    /// A key identifying the *address expression* (ignoring access width).
+    ///
+    /// Strand extraction treats two syntactically identical address
+    /// expressions in one basic block as the same abstract memory variable;
+    /// this key is that variable's identity.
+    pub fn addr_key(&self) -> (Option<Reg64>, Option<(Reg64, Scale)>, i64) {
+        (self.base, self.index, self.disp)
+    }
+}
+
+impl fmt::Display for Mem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ptr = match self.width {
+            Width::W8 => "byte",
+            Width::W16 => "word",
+            Width::W32 => "dword",
+            Width::W64 => "qword",
+        };
+        write!(f, "{ptr} ptr [")?;
+        let mut first = true;
+        if let Some(b) = self.base {
+            write!(f, "{b}")?;
+            first = false;
+        }
+        if let Some((i, s)) = self.index {
+            if !first {
+                write!(f, "+")?;
+            }
+            write!(f, "{i}")?;
+            if s != Scale::S1 {
+                write!(f, "*{}", s.factor())?;
+            }
+            first = false;
+        }
+        if self.disp != 0 || first {
+            if self.disp < 0 {
+                write!(f, "-{:#x}", -self.disp)?;
+            } else {
+                if !first {
+                    write!(f, "+")?;
+                }
+                write!(f, "{:#x}", self.disp)?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// A generic instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// A register view.
+    Reg(Reg),
+    /// A sign-extended immediate.
+    Imm(i64),
+    /// A memory reference.
+    Mem(Mem),
+}
+
+impl Operand {
+    /// The operand's value width, if it has an intrinsic one.
+    ///
+    /// Immediates are width-less (they adopt the width of their context).
+    pub fn width(&self) -> Option<Width> {
+        match self {
+            Operand::Reg(r) => Some(r.width),
+            Operand::Mem(m) => Some(m.width),
+            Operand::Imm(_) => None,
+        }
+    }
+
+    /// Returns the register if this is a register operand.
+    pub fn as_reg(&self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Returns the memory reference if this is a memory operand.
+    pub fn as_mem(&self) -> Option<Mem> {
+        match self {
+            Operand::Mem(m) => Some(*m),
+            _ => None,
+        }
+    }
+
+    /// Returns the immediate if this is an immediate operand.
+    pub fn as_imm(&self) -> Option<i64> {
+        match self {
+            Operand::Imm(i) => Some(*i),
+            _ => None,
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+impl From<Reg64> for Operand {
+    fn from(r: Reg64) -> Operand {
+        Operand::Reg(r.full())
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(i: i64) -> Operand {
+        Operand::Imm(i)
+    }
+}
+
+impl From<Mem> for Operand {
+    fn from(m: Mem) -> Operand {
+        Operand::Mem(m)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(i) => {
+                if *i < 0 {
+                    write!(f, "-{:#x}", -i)
+                } else {
+                    write!(f, "{:#x}", i)
+                }
+            }
+            Operand::Mem(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_display() {
+        let m = Mem::base_index(Width::W64, Reg64::R12, Reg64::Rbx, Scale::S4, 0x13);
+        assert_eq!(m.to_string(), "qword ptr [r12+rbx*4+0x13]");
+        let m2 = Mem::base_disp(Width::W8, Reg64::R13, 1);
+        assert_eq!(m2.to_string(), "byte ptr [r13+0x1]");
+        let m3 = Mem::base_disp(Width::W32, Reg64::Rbp, -8);
+        assert_eq!(m3.to_string(), "dword ptr [rbp-0x8]");
+    }
+
+    #[test]
+    fn addr_key_ignores_width() {
+        let a = Mem::base_disp(Width::W8, Reg64::Rax, 4);
+        let b = Mem::base_disp(Width::W64, Reg64::Rax, 4);
+        assert_eq!(a.addr_key(), b.addr_key());
+    }
+
+    #[test]
+    fn operand_conversions() {
+        let o: Operand = Reg64::Rcx.into();
+        assert_eq!(o.as_reg().unwrap().base, Reg64::Rcx);
+        let o: Operand = 42i64.into();
+        assert_eq!(o.as_imm(), Some(42));
+        assert!(o.width().is_none());
+    }
+
+    #[test]
+    fn negative_imm_display() {
+        assert_eq!(Operand::Imm(-16).to_string(), "-0x10");
+        assert_eq!(Operand::Imm(255).to_string(), "0xff");
+    }
+}

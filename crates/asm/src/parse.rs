@@ -1,0 +1,609 @@
+//! A small Intel-syntax parser for the modelled subset.
+//!
+//! The parser exists so tests, examples and documentation can write assembly
+//! as text (like the paper's figures) instead of constructing ASTs by hand.
+//! It accepts exactly the output of the crate's `Display` impls, making the
+//! printer/parser pair round-trip.
+
+use crate::inst::{Cond, Inst, ShiftAmount};
+use crate::operand::{Mem, Operand, Scale};
+use crate::proc::{BasicBlock, Procedure, Program};
+use crate::reg::{Reg, Reg64, Width};
+use std::fmt;
+
+/// An error produced while parsing assembly text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+fn parse_int(s: &str) -> Option<i64> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16).ok()?
+    } else if let Some(hex) = body.strip_suffix('h') {
+        // IDA-style `13h` immediates, as in the paper's figures.
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        body.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+fn parse_mem_body(body: &str, width: Width, line: usize) -> Result<Mem, ParseError> {
+    // body is the text inside [ ... ]
+    let mut mem = Mem {
+        width,
+        base: None,
+        index: None,
+        disp: 0,
+    };
+    // Split into signed terms.
+    let mut terms: Vec<(bool, String)> = Vec::new();
+    let mut cur = String::new();
+    let mut neg = false;
+    for c in body.chars() {
+        match c {
+            '+' | '-' => {
+                if !cur.trim().is_empty() {
+                    terms.push((neg, cur.trim().to_string()));
+                }
+                cur = String::new();
+                neg = c == '-';
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        terms.push((neg, cur.trim().to_string()));
+    }
+    for (neg, term) in terms {
+        if let Some(star) = term.find('*') {
+            let (r, f) = term.split_at(star);
+            let reg = Reg::from_name(r.trim()).ok_or_else(|| ParseError {
+                line,
+                message: format!("bad index register `{r}`"),
+            })?;
+            let factor = parse_int(&f[1..])
+                .and_then(|v| u64::try_from(v).ok())
+                .and_then(Scale::from_factor)
+                .ok_or_else(|| ParseError {
+                    line,
+                    message: format!("bad scale in `{term}`"),
+                })?;
+            if neg {
+                return err(line, "negative index term");
+            }
+            mem.index = Some((reg.base, factor));
+        } else if let Some(reg) = Reg::from_name(&term) {
+            if neg {
+                return err(line, "negative register term");
+            }
+            if mem.base.is_none() {
+                mem.base = Some(reg.base);
+            } else if mem.index.is_none() {
+                mem.index = Some((reg.base, Scale::S1));
+            } else {
+                return err(line, "too many registers in address");
+            }
+        } else if let Some(v) = parse_int(&term) {
+            mem.disp += if neg { -v } else { v };
+        } else {
+            return err(line, format!("unrecognized address term `{term}`"));
+        }
+    }
+    Ok(mem)
+}
+
+/// Parses one operand. `default_width` supplies the access width for memory
+/// operands written without a `ptr` prefix.
+fn parse_operand(s: &str, default_width: Width, line: usize) -> Result<Operand, ParseError> {
+    let s = s.trim();
+    let (width, rest) = if let Some(r) = s.strip_prefix("byte ptr") {
+        (Width::W8, r.trim())
+    } else if let Some(r) = s.strip_prefix("word ptr") {
+        (Width::W16, r.trim())
+    } else if let Some(r) = s.strip_prefix("dword ptr") {
+        (Width::W32, r.trim())
+    } else if let Some(r) = s.strip_prefix("qword ptr") {
+        (Width::W64, r.trim())
+    } else {
+        (default_width, s)
+    };
+    if let Some(body) = rest.strip_prefix('[') {
+        let body = body.strip_suffix(']').ok_or_else(|| ParseError {
+            line,
+            message: format!("unterminated `[` in `{s}`"),
+        })?;
+        return Ok(Operand::Mem(parse_mem_body(body, width, line)?));
+    }
+    if let Some(reg) = Reg::from_name(rest) {
+        return Ok(Operand::Reg(reg));
+    }
+    if let Some(v) = parse_int(rest) {
+        return Ok(Operand::Imm(v));
+    }
+    err(line, format!("unrecognized operand `{s}`"))
+}
+
+fn split_operands(s: &str) -> Vec<String> {
+    // Commas never occur inside the bracketed address syntax we accept.
+    s.split(',')
+        .map(|p| p.trim().to_string())
+        .filter(|p| !p.is_empty())
+        .collect()
+}
+
+/// Width context for memory operands: take the width of a *register*
+/// operand in the same instruction, defaulting to 64 bits.
+fn mem_width_from(ops: &[Operand]) -> Width {
+    ops.iter()
+        .filter_map(|o| o.as_reg().map(|r| r.width))
+        .next()
+        .unwrap_or(Width::W64)
+}
+
+/// Parses a single instruction line.
+pub fn parse_inst(text: &str) -> Result<Inst, ParseError> {
+    parse_inst_at(text, 1)
+}
+
+fn shift_amount(op: &Operand, line: usize) -> Result<ShiftAmount, ParseError> {
+    match op {
+        Operand::Imm(v) if (0..=63).contains(v) => Ok(ShiftAmount::Imm(*v as u8)),
+        Operand::Reg(r) if r.base == Reg64::Rcx && r.width == Width::W8 => Ok(ShiftAmount::Cl),
+        _ => err(line, "shift amount must be an immediate or cl"),
+    }
+}
+
+fn two(ops: Vec<Operand>, line: usize, mn: &str) -> Result<(Operand, Operand), ParseError> {
+    if ops.len() == 2 {
+        let mut it = ops.into_iter();
+        Ok((
+            it.next().expect("len checked"),
+            it.next().expect("len checked"),
+        ))
+    } else {
+        err(line, format!("`{mn}` expects 2 operands"))
+    }
+}
+
+fn one(ops: Vec<Operand>, line: usize, mn: &str) -> Result<Operand, ParseError> {
+    if ops.len() == 1 {
+        Ok(ops.into_iter().next().expect("len checked"))
+    } else {
+        err(line, format!("`{mn}` expects 1 operand"))
+    }
+}
+
+fn want_reg(op: Operand, line: usize, mn: &str) -> Result<Reg, ParseError> {
+    op.as_reg().ok_or_else(|| ParseError {
+        line,
+        message: format!("`{mn}` destination must be a register"),
+    })
+}
+
+fn parse_inst_at(text: &str, line: usize) -> Result<Inst, ParseError> {
+    let text = text.trim();
+    let (mn, rest) = match text.find(char::is_whitespace) {
+        Some(i) => (&text[..i], text[i..].trim()),
+        None => (text, ""),
+    };
+    // Zero-operand instructions first.
+    match mn {
+        "ret" | "retn" => return Ok(Inst::Ret),
+        "nop" => return Ok(Inst::Nop),
+        "cdqe" => return Ok(Inst::Cdqe),
+        _ => {}
+    }
+    // Control flow with a label operand.
+    if mn == "jmp" {
+        return Ok(Inst::Jmp {
+            target: rest.to_string(),
+        });
+    }
+    if let Some(suffix) = mn.strip_prefix('j') {
+        if let Some(cond) = Cond::from_suffix(suffix) {
+            // Allow IDA's `jl short loc_X` spelling.
+            let target = rest
+                .strip_prefix("short ")
+                .unwrap_or(rest)
+                .trim()
+                .to_string();
+            return Ok(Inst::Jcc { cond, target });
+        }
+    }
+    if mn == "call" {
+        let (target, args) = match rest.split_once('/') {
+            Some((t, n)) => (
+                t.trim().to_string(),
+                n.trim().parse::<u8>().map_err(|_| ParseError {
+                    line,
+                    message: format!("bad call arity `{n}`"),
+                })?,
+            ),
+            None => (rest.to_string(), 0),
+        };
+        return Ok(Inst::Call { target, args });
+    }
+
+    // Everything else takes a comma-separated operand list. Parse twice so
+    // `mov [rax], 1` can adopt a width from a register operand when present.
+    let raw = split_operands(rest);
+    let mut ops = Vec::new();
+    for r in &raw {
+        ops.push(parse_operand(r, Width::W64, line)?);
+    }
+    let w = mem_width_from(&ops);
+    let mut ops = Vec::new();
+    for r in &raw {
+        ops.push(parse_operand(r, w, line)?);
+    }
+
+    let inst = match mn {
+        "mov" => {
+            let (dst, src) = two(ops, line, mn)?;
+            Inst::Mov { dst, src }
+        }
+        "movzx" => {
+            let (dst, src) = two(ops, line, mn)?;
+            Inst::MovZx {
+                dst: want_reg(dst, line, mn)?,
+                src,
+            }
+        }
+        "movsx" | "movsxd" => {
+            let (dst, src) = two(ops, line, mn)?;
+            Inst::MovSx {
+                dst: want_reg(dst, line, mn)?,
+                src,
+            }
+        }
+        "lea" => {
+            let (dst, src) = two(ops, line, mn)?;
+            let addr = src.as_mem().ok_or_else(|| ParseError {
+                line,
+                message: "`lea` needs an address".into(),
+            })?;
+            Inst::Lea {
+                dst: want_reg(dst, line, mn)?,
+                addr,
+            }
+        }
+        "add" | "sub" | "and" | "or" | "xor" => {
+            let (dst, src) = two(ops, line, mn)?;
+            match mn {
+                "add" => Inst::Add { dst, src },
+                "sub" => Inst::Sub { dst, src },
+                "and" => Inst::And { dst, src },
+                "or" => Inst::Or { dst, src },
+                _ => Inst::Xor { dst, src },
+            }
+        }
+        "imul" => match ops.len() {
+            2 => {
+                let (dst, src) = two(ops, line, mn)?;
+                Inst::Imul {
+                    dst: want_reg(dst, line, mn)?,
+                    src,
+                }
+            }
+            3 => {
+                let imm = ops[2].as_imm().ok_or_else(|| ParseError {
+                    line,
+                    message: "imul imm form".into(),
+                })?;
+                Inst::ImulImm {
+                    dst: want_reg(ops[0], line, mn)?,
+                    src: ops[1],
+                    imm,
+                }
+            }
+            _ => return err(line, "`imul` expects 2 or 3 operands"),
+        },
+        "neg" => Inst::Neg {
+            dst: one(ops, line, mn)?,
+        },
+        "not" => Inst::Not {
+            dst: one(ops, line, mn)?,
+        },
+        "inc" => Inst::Inc {
+            dst: one(ops, line, mn)?,
+        },
+        "dec" => Inst::Dec {
+            dst: one(ops, line, mn)?,
+        },
+        "shl" | "sal" | "shr" | "sar" => {
+            let (dst, src) = two(ops, line, mn)?;
+            let amount = shift_amount(&src, line)?;
+            match mn {
+                "shl" | "sal" => Inst::Shl { dst, amount },
+                "shr" => Inst::Shr { dst, amount },
+                _ => Inst::Sar { dst, amount },
+            }
+        }
+        "cmp" => {
+            let (a, b) = two(ops, line, mn)?;
+            Inst::Cmp { a, b }
+        }
+        "test" => {
+            let (a, b) = two(ops, line, mn)?;
+            Inst::Test { a, b }
+        }
+        "push" => Inst::Push {
+            src: one(ops, line, mn)?,
+        },
+        "pop" => Inst::Pop {
+            dst: one(ops, line, mn)?,
+        },
+        _ => {
+            if let Some(suffix) = mn.strip_prefix("set") {
+                if let Some(cond) = Cond::from_suffix(suffix) {
+                    return Ok(Inst::Set {
+                        cond,
+                        dst: one(ops, line, mn)?,
+                    });
+                }
+            }
+            if let Some(suffix) = mn.strip_prefix("cmov") {
+                if let Some(cond) = Cond::from_suffix(suffix) {
+                    let (dst, src) = two(ops, line, mn)?;
+                    return Ok(Inst::Cmov {
+                        cond,
+                        dst: want_reg(dst, line, mn)?,
+                        src,
+                    });
+                }
+            }
+            return err(line, format!("unknown mnemonic `{mn}`"));
+        }
+    };
+    Ok(inst)
+}
+
+/// Parses one procedure.
+///
+/// Syntax: a `proc NAME` header, then labelled blocks of one instruction per
+/// line. Lines starting with `;` or `#` are comments. Instructions before
+/// the first label go in an implicit `entry` block.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] carrying the offending line on malformed input.
+pub fn parse_proc(text: &str) -> Result<Procedure, ParseError> {
+    let mut progs = parse_program(text)?;
+    if progs.procs.len() != 1 {
+        return err(
+            0,
+            format!(
+                "expected exactly one procedure, found {}",
+                progs.procs.len()
+            ),
+        );
+    }
+    Ok(progs.procs.remove(0))
+}
+
+/// Parses a whole program (any number of `proc` sections).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] carrying the offending line on malformed input.
+pub fn parse_program(text: &str) -> Result<Program, ParseError> {
+    let mut program = Program::new("text");
+    let mut cur_proc: Option<Procedure> = None;
+    let mut cur_block: Option<BasicBlock> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw.find(';').or_else(|| raw.find('#')) {
+            Some(i) => raw[..i].trim(),
+            None => raw.trim(),
+        };
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("proc ") {
+            if let Some(mut p) = cur_proc.take() {
+                if let Some(b) = cur_block.take() {
+                    p.blocks.push(b);
+                }
+                program.procs.push(p);
+            }
+            cur_proc = Some(Procedure::new(name.trim()));
+            continue;
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            let p = match cur_proc.as_mut() {
+                Some(p) => p,
+                None => return err(line_no, "label outside a procedure"),
+            };
+            if let Some(b) = cur_block.take() {
+                p.blocks.push(b);
+            }
+            cur_block = Some(BasicBlock::new(label.trim()));
+            continue;
+        }
+        if cur_proc.is_none() {
+            return err(line_no, "instruction outside a procedure");
+        }
+        let inst = parse_inst_at(line, line_no)?;
+        let block = cur_block.get_or_insert_with(|| BasicBlock::new("entry"));
+        block.push(inst);
+    }
+    if let Some(mut p) = cur_proc.take() {
+        if let Some(b) = cur_block.take() {
+            p.blocks.push(b);
+        }
+        program.procs.push(p);
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loc::Loc;
+
+    #[test]
+    fn parses_paper_figure_2a() {
+        // The gcc 4.9 -O3 Heartbleed snippet from Figure 2(a).
+        let text = "proc heartbleed_gcc\n\
+                    entry:\n\
+                    lea r14d, [r12+13h]\n\
+                    mov r13, rax\n\
+                    mov eax, r12d\n\
+                    lea rcx, [r13+3]\n\
+                    shr eax, 8\n\
+                    lea rsi, [rbx+3]\n\
+                    mov [r13+1], al\n\
+                    mov [r13+2], r12b\n\
+                    mov rdi, rcx\n\
+                    call memcpy/3\n\
+                    mov ecx, r14d\n\
+                    mov esi, 18h\n\
+                    mov eax, ecx\n\
+                    add eax, esi\n\
+                    call write_bytes/2\n\
+                    test eax, eax\n\
+                    js short loc_2A38\n";
+        let p = parse_proc(text).expect("parses");
+        assert_eq!(p.inst_count(), 17);
+        assert_eq!(p.blocks.len(), 1);
+        // `mov [r13+1], al` stores a byte (width from `al`).
+        let store = &p.blocks[0].insts[6];
+        let mem = match store {
+            Inst::Mov {
+                dst: Operand::Mem(m),
+                ..
+            } => *m,
+            other => panic!("expected store, got {other}"),
+        };
+        assert_eq!(mem.width, Width::W8);
+        assert!(store.refs().contains(&Loc::reg(Reg64::R13)));
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let lines = [
+            "mov rax, rdi",
+            "mov eax, 0x13",
+            "mov byte ptr [r13+0x1], al",
+            "lea r14d, [r12+0x13]",
+            "lea rdi, [r12+rbx*4+0x10]",
+            "add rbp, 0x3",
+            "sub rsp, 0x20",
+            "imul rax, rsi",
+            "imul rax, rsi, 0x18",
+            "xor ebx, ebx",
+            "shr eax, 0x8",
+            "sar rax, cl",
+            "cmp rax, rbx",
+            "test eax, eax",
+            "sete al",
+            "cmovl rax, rbx",
+            "push rbx",
+            "pop rbx",
+            "call memcpy/3",
+            "jmp loc_1",
+            "jl loc_2",
+            "cdqe",
+            "neg rax",
+            "not rax",
+            "inc rdx",
+            "dec rdx",
+            "movzx eax, byte ptr [rdi]",
+            "movsx rax, dword ptr [rsi+0x4]",
+            "ret",
+            "nop",
+        ];
+        for l in lines {
+            let i = parse_inst(l).unwrap_or_else(|e| panic!("parse `{l}`: {e}"));
+            let printed = i.to_string();
+            let again = parse_inst(&printed).unwrap_or_else(|e| panic!("reparse `{printed}`: {e}"));
+            assert_eq!(i, again, "roundtrip failed for `{l}` -> `{printed}`");
+        }
+    }
+
+    #[test]
+    fn ida_style_hex() {
+        let i = parse_inst("mov rsi, 14h").expect("parses");
+        assert_eq!(
+            i,
+            Inst::Mov {
+                dst: Reg64::Rsi.into(),
+                src: Operand::Imm(0x14)
+            }
+        );
+    }
+
+    #[test]
+    fn multi_block_procedure() {
+        let text = "proc f\n\
+                    entry:\n\
+                    test rdi, rdi\n\
+                    je done\n\
+                    body:\n\
+                    add rax, 1\n\
+                    jmp entry\n\
+                    done:\n\
+                    ret\n";
+        let p = parse_proc(text).expect("parses");
+        assert_eq!(p.blocks.len(), 3);
+        assert_eq!(
+            p.successors(0),
+            vec!["done".to_string(), "body".to_string()]
+        );
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "proc g\n; a comment\n\nmov rax, 1 ; trailing\n# another\nret\n";
+        let p = parse_proc(text).expect("parses");
+        assert_eq!(p.inst_count(), 2);
+        assert_eq!(p.blocks[0].label, "entry");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = "proc f\nmov rax, rdi\nbogus rax\n";
+        let e = parse_proc(text).expect_err("should fail");
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn negative_displacement() {
+        let i = parse_inst("mov rax, qword ptr [rbp-0x8]").expect("parses");
+        let m = match i {
+            Inst::Mov {
+                src: Operand::Mem(m),
+                ..
+            } => m,
+            _ => panic!(),
+        };
+        assert_eq!(m.disp, -8);
+    }
+}

@@ -1,0 +1,219 @@
+//! Procedures, basic blocks and whole programs ("binaries").
+
+use crate::inst::Inst;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A labelled basic block: straight-line instructions plus an optional
+/// terminator (the last instruction, when it is a branch or return).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    /// The block label.
+    pub label: String,
+    /// The instructions, in program order.
+    pub insts: Vec<Inst>,
+}
+
+impl BasicBlock {
+    /// Creates an empty block with the given label.
+    pub fn new(label: impl Into<String>) -> BasicBlock {
+        BasicBlock {
+            label: label.into(),
+            insts: Vec::new(),
+        }
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, inst: Inst) {
+        self.insts.push(inst);
+    }
+
+    /// The block's terminator, if its last instruction is one.
+    pub fn terminator(&self) -> Option<&Inst> {
+        self.insts.last().filter(|i| i.is_terminator())
+    }
+
+    /// Labels of blocks this one may branch to (not counting fallthrough).
+    pub fn branch_targets(&self) -> Vec<&str> {
+        self.insts
+            .last()
+            .and_then(Inst::jump_target)
+            .into_iter()
+            .collect()
+    }
+
+    /// Whether control can fall through to the next block in layout order.
+    pub fn falls_through(&self) -> bool {
+        !matches!(self.insts.last(), Some(Inst::Ret) | Some(Inst::Jmp { .. }))
+    }
+}
+
+impl fmt::Display for BasicBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:", self.label)?;
+        for i in &self.insts {
+            writeln!(f, "  {i}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A binary procedure: an ordered list of basic blocks, entry first.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Procedure {
+    /// The (possibly synthetic) symbol name. Stripped binaries have none,
+    /// so nothing in the analysis pipeline may depend on it; it exists for
+    /// ground-truth bookkeeping in the evaluation.
+    pub name: String,
+    /// Basic blocks in layout order; `blocks[0]` is the entry.
+    pub blocks: Vec<BasicBlock>,
+}
+
+impl Procedure {
+    /// Creates an empty procedure.
+    pub fn new(name: impl Into<String>) -> Procedure {
+        Procedure {
+            name: name.into(),
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Total instruction count across all blocks.
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Finds a block by label.
+    pub fn block(&self, label: &str) -> Option<&BasicBlock> {
+        self.blocks.iter().find(|b| b.label == label)
+    }
+
+    /// Successor labels of the block at `idx` (branch targets plus
+    /// fallthrough).
+    pub fn successors(&self, idx: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        let b = &self.blocks[idx];
+        for t in b.branch_targets() {
+            out.push(t.to_string());
+        }
+        if b.falls_through() {
+            if let Some(next) = self.blocks.get(idx + 1) {
+                if !out.contains(&next.label) {
+                    out.push(next.label.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// An iterator over all instructions in layout order.
+    pub fn insts(&self) -> impl Iterator<Item = &Inst> {
+        self.blocks.iter().flat_map(|b| b.insts.iter())
+    }
+}
+
+impl fmt::Display for Procedure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "proc {}", self.name)?;
+        for b in &self.blocks {
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A "binary": a named collection of procedures, as produced by one
+/// compilation of one package.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Program {
+    /// Package/binary name (e.g. `openssl-1.0.1f`).
+    pub name: String,
+    /// The procedures.
+    pub procs: Vec<Procedure>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new(name: impl Into<String>) -> Program {
+        Program {
+            name: name.into(),
+            procs: Vec::new(),
+        }
+    }
+
+    /// Finds a procedure by name.
+    pub fn proc(&self, name: &str) -> Option<&Procedure> {
+        self.procs.iter().find(|p| p.name == name)
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.procs {
+            writeln!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Cond;
+    use crate::operand::Operand;
+    use crate::reg::Reg64;
+
+    fn sample() -> Procedure {
+        let mut p = Procedure::new("f");
+        let mut b0 = BasicBlock::new("entry");
+        b0.push(Inst::Mov {
+            dst: Reg64::Rax.into(),
+            src: Reg64::Rdi.into(),
+        });
+        b0.push(Inst::Test {
+            a: Reg64::Rax.into(),
+            b: Reg64::Rax.into(),
+        });
+        b0.push(Inst::Jcc {
+            cond: Cond::E,
+            target: "done".into(),
+        });
+        let mut b1 = BasicBlock::new("body");
+        b1.push(Inst::Add {
+            dst: Reg64::Rax.into(),
+            src: Operand::Imm(1),
+        });
+        let mut b2 = BasicBlock::new("done");
+        b2.push(Inst::Ret);
+        p.blocks = vec![b0, b1, b2];
+        p
+    }
+
+    #[test]
+    fn successors_include_fallthrough_and_targets() {
+        let p = sample();
+        assert_eq!(
+            p.successors(0),
+            vec!["done".to_string(), "body".to_string()]
+        );
+        assert_eq!(p.successors(1), vec!["done".to_string()]);
+        assert!(p.successors(2).is_empty());
+    }
+
+    #[test]
+    fn counts_and_lookup() {
+        let p = sample();
+        assert_eq!(p.inst_count(), 5);
+        assert!(p.block("body").is_some());
+        assert!(p.block("nope").is_none());
+    }
+
+    #[test]
+    fn terminator_detection() {
+        let p = sample();
+        assert!(p.blocks[0].terminator().is_some());
+        assert!(p.blocks[1].terminator().is_none());
+        assert!(p.blocks[1].falls_through());
+        assert!(!p.blocks[2].falls_through());
+    }
+}

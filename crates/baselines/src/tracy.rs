@@ -1,0 +1,240 @@
+//! A TRACY-style tracelet matcher (David & Yahav, PLDI 2014) — the
+//! syntactic baseline of the paper's Table 2.
+//!
+//! Procedures decompose into *tracelets*: sequences of `k` consecutive
+//! basic blocks along CFG edges (k = 3, as in the original system).
+//! Instructions are canonicalized (registers abstracted, constants kept)
+//! and tracelets compared by normalized edit distance; a procedure matches
+//! at "Ratio-70" when a tracelet pair scores ≥ 0.70.
+
+use esh_asm::{Inst, Operand, Procedure};
+
+/// Tracelet length in basic blocks (TRACY's default).
+pub const TRACELET_BLOCKS: usize = 3;
+
+/// The match-acceptance ratio of the paper's "TRACY (Ratio-70)" column.
+pub const RATIO_70: f64 = 0.70;
+
+/// Renames registers by first appearance within one tracelet — TRACY's
+/// consistent register abstraction (a pure renaming is invisible, but a
+/// different data-flow shape is not).
+#[derive(Debug, Default)]
+struct Renamer {
+    seen: Vec<esh_asm::Reg64>,
+}
+
+impl Renamer {
+    fn name(&mut self, r: esh_asm::Reg64) -> String {
+        let idx = match self.seen.iter().position(|x| *x == r) {
+            Some(i) => i,
+            None => {
+                self.seen.push(r);
+                self.seen.len() - 1
+            }
+        };
+        format!("R{idx}")
+    }
+}
+
+/// A canonical instruction token: mnemonic plus consistently-renamed
+/// operand shape.
+fn token(inst: &Inst, ren: &mut Renamer) -> String {
+    fn op_tok(o: &Operand, ren: &mut Renamer) -> String {
+        match o {
+            Operand::Reg(r) => format!("{}:{}", ren.name(r.base), r.width.bits()),
+            Operand::Imm(i) => format!("#{i}"),
+            Operand::Mem(m) => {
+                let mut s = String::from("[");
+                if let Some(b) = m.base {
+                    s.push_str(&ren.name(b));
+                }
+                if let Some((i, sc)) = m.index {
+                    s.push_str(&format!("+{}*{}", ren.name(i), sc.factor()));
+                }
+                if m.disp != 0 {
+                    s.push_str(&format!("{:+}", m.disp));
+                }
+                s.push(']');
+                s
+            }
+        }
+    }
+    let op_tok = |o: &Operand, ren: &mut Renamer| op_tok(o, ren);
+    match inst {
+        Inst::Mov { dst, src } => format!("mov {} {}", op_tok(dst, ren), op_tok(src, ren)),
+        Inst::Add { dst, src } => format!("add {} {}", op_tok(dst, ren), op_tok(src, ren)),
+        Inst::Sub { dst, src } => format!("sub {} {}", op_tok(dst, ren), op_tok(src, ren)),
+        Inst::And { dst, src } => format!("and {} {}", op_tok(dst, ren), op_tok(src, ren)),
+        Inst::Or { dst, src } => format!("or {} {}", op_tok(dst, ren), op_tok(src, ren)),
+        Inst::Xor { dst, src } => format!("xor {} {}", op_tok(dst, ren), op_tok(src, ren)),
+        Inst::Cmp { a, b } => format!("cmp {} {}", op_tok(a, ren), op_tok(b, ren)),
+        Inst::Test { a, b } => format!("test {} {}", op_tok(a, ren), op_tok(b, ren)),
+        Inst::Lea { dst, addr } => format!(
+            "lea {} {}",
+            ren.name(dst.base),
+            op_tok(&Operand::Mem(*addr), ren)
+        ),
+        Inst::MovZx { dst, src } => {
+            format!("movzx {} {}", ren.name(dst.base), op_tok(src, ren))
+        }
+        Inst::MovSx { dst, src } => {
+            format!("movsx {} {}", ren.name(dst.base), op_tok(src, ren))
+        }
+        Inst::Shl { dst, amount } => format!("shl {} {amount}", op_tok(dst, ren)),
+        Inst::Shr { dst, amount } => format!("shr {} {amount}", op_tok(dst, ren)),
+        Inst::Sar { dst, amount } => format!("sar {} {amount}", op_tok(dst, ren)),
+        Inst::Imul { dst, src } => format!("imul {} {}", ren.name(dst.base), op_tok(src, ren)),
+        Inst::ImulImm { dst, src, imm } => {
+            format!("imul {} {} #{imm}", ren.name(dst.base), op_tok(src, ren))
+        }
+        Inst::Set { cond, dst } => format!("set{} {}", cond.suffix(), op_tok(dst, ren)),
+        Inst::Cmov { cond, dst, src } => {
+            format!(
+                "cmov{} {} {}",
+                cond.suffix(),
+                ren.name(dst.base),
+                op_tok(src, ren)
+            )
+        }
+        Inst::Push { src } => format!("push {}", op_tok(src, ren)),
+        Inst::Pop { dst } => format!("pop {}", op_tok(dst, ren)),
+        Inst::Inc { dst } => format!("inc {}", op_tok(dst, ren)),
+        Inst::Dec { dst } => format!("dec {}", op_tok(dst, ren)),
+        Inst::Call { args, .. } => format!("call/{args}"),
+        Inst::Jmp { .. } => "jmp".into(),
+        Inst::Jcc { cond, .. } => format!("j{}", cond.suffix()),
+        other => other.mnemonic(),
+    }
+}
+
+/// All tracelets (token sequences) of a procedure.
+pub fn tracelets(proc_: &Procedure) -> Vec<Vec<String>> {
+    let mut out = Vec::new();
+    let n = proc_.blocks.len();
+    for start in 0..n {
+        // Depth-first paths of up to TRACELET_BLOCKS blocks.
+        let mut stack: Vec<(usize, Vec<usize>)> = vec![(start, vec![start])];
+        while let Some((cur, path)) = stack.pop() {
+            if path.len() == TRACELET_BLOCKS || proc_.successors(cur).is_empty() {
+                let mut toks = Vec::new();
+                let mut ren = Renamer::default();
+                for b in &path {
+                    for i in &proc_.blocks[*b].insts {
+                        toks.push(token(i, &mut ren));
+                    }
+                }
+                if !toks.is_empty() {
+                    out.push(toks);
+                }
+                continue;
+            }
+            for succ in proc_.successors(cur) {
+                if let Some(idx) = proc_.blocks.iter().position(|b| b.label == succ) {
+                    if !path.contains(&idx) {
+                        let mut p = path.clone();
+                        p.push(idx);
+                        stack.push((idx, p));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn edit_distance(a: &[String], b: &[String]) -> usize {
+    let (n, m) = (a.len(), b.len());
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut cur = vec![0usize; m + 1];
+    for i in 1..=n {
+        cur[0] = i;
+        for j in 1..=m {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            cur[j] = (prev[j] + 1).min(cur[j - 1] + 1).min(prev[j - 1] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// Similarity of two tracelets in `[0, 1]`.
+pub fn tracelet_similarity(a: &[String], b: &[String]) -> f64 {
+    let max = a.len().max(b.len());
+    if max == 0 {
+        return 1.0;
+    }
+    1.0 - edit_distance(a, b) as f64 / max as f64
+}
+
+/// TRACY's procedure similarity: the fraction of query tracelets whose
+/// best target match reaches [`RATIO_70`].
+pub fn tracy_similarity(query: &Procedure, target: &Procedure) -> f64 {
+    let qt = tracelets(query);
+    let tt = tracelets(target);
+    if qt.is_empty() || tt.is_empty() {
+        return 0.0;
+    }
+    let mut matched = 0usize;
+    for q in &qt {
+        let best = tt
+            .iter()
+            .map(|t| tracelet_similarity(q, t))
+            .fold(0.0f64, f64::max);
+        if best >= RATIO_70 {
+            matched += 1;
+        }
+    }
+    matched as f64 / qt.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esh_asm::parse_proc;
+
+    fn p(text: &str) -> Procedure {
+        parse_proc(text).expect("parses")
+    }
+
+    #[test]
+    fn identical_procedures_score_one() {
+        let a = p("proc f\nentry:\nmov rax, rdi\nadd rax, 0x1\nret\n");
+        assert_eq!(tracy_similarity(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn register_renaming_is_invisible() {
+        // TRACY abstracts registers: pure renaming scores 1.0.
+        let a = p("proc f\nentry:\nmov rax, rdi\nadd rax, 0x5\nret\n");
+        let b = p("proc g\nentry:\nmov rbx, rsi\nadd rbx, 0x5\nret\n");
+        assert_eq!(tracy_similarity(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn different_instruction_selection_hurts_tracy() {
+        // The same computation through different idioms (lea vs add/imul)
+        // defeats a syntactic matcher — the motivation for Esh.
+        let a = p("proc f\nentry:\nlea rax, [rdi+rdi*4]\nlea rax, [rax+0x13]\nret\n");
+        let b = p("proc g\nentry:\nimul rax, rdi, 0x5\nadd rax, 0x13\nret\n");
+        assert!(tracy_similarity(&a, &b) < 0.7);
+    }
+
+    #[test]
+    fn small_patches_keep_high_similarity() {
+        // One changed constant out of five instructions: TRACY's strength.
+        let a = p("proc f\nentry:\nmov rax, rdi\nadd rax, 0x1\nxor rax, rsi\nshr rax, 0x2\nret\n");
+        let b = p("proc g\nentry:\nmov rax, rdi\nadd rax, 0x2\nxor rax, rsi\nshr rax, 0x2\nret\n");
+        assert!(tracy_similarity(&a, &b) >= 0.7);
+    }
+
+    #[test]
+    fn tracelets_follow_cfg_paths() {
+        let a = p("proc f\nentry:\ntest rdi, rdi\nje out\nbody:\nadd rax, 0x1\nout:\nret\n");
+        let ts = tracelets(&a);
+        assert!(
+            ts.len() >= 2,
+            "branching yields multiple tracelets: {}",
+            ts.len()
+        );
+    }
+}

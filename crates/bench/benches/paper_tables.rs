@@ -1,0 +1,88 @@
+//! Table/figure regeneration benches: each paper artifact is regenerated
+//! once (printed to the bench log) and its core unit of work — an engine
+//! query over the corpus — is timed. Full-scale regeneration lives in the
+//! `esh-eval` binaries (`table1`..`fig6`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esh_bench::smoke_setup;
+use esh_core::EngineConfig;
+use esh_corpus::Corpus;
+use esh_eval::experiments::{
+    fig6_indices, run_fig5, run_fig6, run_table1, run_table2, run_table3, Scale,
+};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let (corpus, engine) = smoke_setup();
+    let t1 = run_table1(&corpus, &engine);
+    println!("\n=== Table 1 (smoke scale) ===\n{}", t1.render());
+    let qi = corpus.query_for("CVE-2014-0160", "").expect("heartbleed");
+    let qp = corpus.procs[qi].proc_.clone();
+    c.bench_function("table1/heartbleed_query_smoke_corpus", |b| {
+        b.iter(|| black_box(engine.query(&qp)))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let corpus = Corpus::build(&Scale::Smoke.corpus_config());
+    let t2 = run_table2(&corpus, EngineConfig::default());
+    println!("\n=== Table 2 (smoke scale) ===\n{}", t2.render());
+    let qi = corpus.query_for("CVE-2014-0160", "").expect("heartbleed");
+    let q = corpus.procs[qi].proc_.clone();
+    let t = corpus.procs[(qi + 1) % corpus.procs.len()].proc_.clone();
+    c.bench_function("table2/tracy_pairwise", |b| {
+        b.iter(|| black_box(esh_baselines::tracy_similarity(&q, &t)))
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let t3 = run_table3(8);
+    println!("\n=== Table 3 (8 distractors) ===\n{}", t3.render());
+    c.bench_function("table3/bindiff_whole_library", |b| {
+        b.iter(|| black_box(run_table3(4)))
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let (corpus, engine) = smoke_setup();
+    let f5 = run_fig5(&corpus, &engine);
+    println!("\n=== Figure 5 (smoke scale) ===\n{}", f5.render());
+    let qi = corpus
+        .query_for("CVE-2014-0160", "clang 3.5")
+        .expect("heartbleed");
+    let qp = corpus.procs[qi].proc_.clone();
+    c.bench_function("fig5/normalized_ranking", |b| {
+        b.iter(|| {
+            let scores = engine.query(&qp);
+            black_box(scores.normalized())
+        })
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let corpus = Corpus::build(&Scale::Smoke.corpus_config());
+    let indices = fig6_indices(&corpus, 8);
+    let f6 = run_fig6(&corpus, &indices, EngineConfig::default());
+    println!(
+        "\n=== Figure 6 (smoke scale, {} queries) ===\n{}",
+        indices.len(),
+        f6.render()
+    );
+    println!("asymmetry: {:.4}", f6.asymmetry());
+    c.bench_function("fig6/roc_croc_metrics", |b| {
+        let items: Vec<(f64, bool)> = (0..200)
+            .map(|i| (f64::from(i % 97) / 97.0, i % 13 == 0))
+            .collect();
+        b.iter(|| {
+            black_box(esh_eval::roc_auc(&items));
+            black_box(esh_eval::croc_auc(&items))
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1, bench_table2, bench_table3, bench_fig5, bench_fig6
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Pipeline micro-benchmarks: compilation, strand extraction, lifting,
+//! signature hashing, pairwise VCP — the stages behind the ~3-minute
+//! per-procedure-pair figure the paper reports (§5.5), here measured on
+//! the reproduction's substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esh_cc::{Compiler, Vendor, VendorVersion};
+use esh_core::{vcp_pair, VcpConfig};
+use esh_minic::demo;
+use esh_strands::{extract_proc_strands, lift_strand, semantic_signature};
+use esh_verifier::VerifierSession;
+use std::hint::black_box;
+
+fn bench_compile(c: &mut Criterion) {
+    let f = demo::heartbleed_like();
+    let cc = Compiler::new(Vendor::Gcc, VendorVersion::new(4, 9));
+    c.bench_function("pipeline/compile_heartbleed", |b| {
+        b.iter(|| black_box(cc.compile_function(&f)))
+    });
+}
+
+fn bench_strand_extraction(c: &mut Criterion) {
+    let f = demo::heartbleed_like();
+    let p = Compiler::new(Vendor::Gcc, VendorVersion::new(4, 9)).compile_function(&f);
+    c.bench_function("pipeline/extract_strands_heartbleed", |b| {
+        b.iter(|| black_box(extract_proc_strands(&p)))
+    });
+}
+
+fn bench_lift(c: &mut Criterion) {
+    let f = demo::heartbleed_like();
+    let p = Compiler::new(Vendor::Gcc, VendorVersion::new(4, 9)).compile_function(&f);
+    let strands = extract_proc_strands(&p);
+    c.bench_function("pipeline/lift_all_strands_heartbleed", |b| {
+        b.iter(|| {
+            for s in &strands {
+                black_box(lift_strand(s));
+            }
+        })
+    });
+}
+
+fn bench_signature(c: &mut Criterion) {
+    let f = demo::heartbleed_like();
+    let p = Compiler::new(Vendor::Gcc, VendorVersion::new(4, 9)).compile_function(&f);
+    let lifted: Vec<_> = extract_proc_strands(&p).iter().map(lift_strand).collect();
+    c.bench_function("pipeline/semantic_signatures_heartbleed", |b| {
+        b.iter(|| {
+            for l in &lifted {
+                black_box(semantic_signature(l));
+            }
+        })
+    });
+}
+
+fn bench_vcp_pair(c: &mut Criterion) {
+    let f = demo::heartbleed_like();
+    let a = Compiler::new(Vendor::Gcc, VendorVersion::new(4, 9)).compile_function(&f);
+    let b_ = Compiler::new(Vendor::Clang, VendorVersion::new(3, 5)).compile_function(&f);
+    let sa: Vec<_> = extract_proc_strands(&a).iter().map(lift_strand).collect();
+    let sb: Vec<_> = extract_proc_strands(&b_).iter().map(lift_strand).collect();
+    let qa = sa.iter().max_by_key(|p| p.vars.len()).expect("strands");
+    let qb = sb.iter().max_by_key(|p| p.vars.len()).expect("strands");
+    let config = VcpConfig::default();
+    c.bench_function("pipeline/vcp_largest_strand_pair_cross_vendor", |b| {
+        let mut session = VerifierSession::new();
+        b.iter(|| black_box(vcp_pair(&mut session, qa, qb, &config)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_compile, bench_strand_extraction, bench_lift, bench_signature, bench_vcp_pair
+);
+criterion_main!(benches);

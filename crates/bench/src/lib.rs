@@ -1,0 +1,17 @@
+//! # esh-bench — the Criterion benchmark harness
+//!
+//! One bench target per paper table/figure plus micro-benchmarks and
+//! ablations. The heavy experiment benches print their regenerated
+//! table/figure once, then time the core unit of work (an engine query)
+//! at smoke scale so `cargo bench` stays tractable; run the `esh-eval`
+//! binaries for full-scale regeneration.
+
+/// Shared helper: a smoke-scale corpus and engine for benches.
+pub fn smoke_setup() -> (esh_corpus::Corpus, esh_core::SimilarityEngine) {
+    let corpus = esh_corpus::Corpus::build(&esh_corpus::CorpusConfig::small());
+    let mut engine = esh_core::SimilarityEngine::new(esh_core::EngineConfig::default());
+    for p in &corpus.procs {
+        engine.add_target(p.display(), &p.proc_);
+    }
+    (corpus, engine)
+}

@@ -1,0 +1,1000 @@
+//! MiniC → x86-64 code generation, parameterized by a [`Style`].
+//!
+//! The generator is deliberately simple (stack homes + register promotion +
+//! per-statement expression evaluation through a scratch pool) but every
+//! choice point is driven by the style, so two styles produce visibly
+//! different instruction streams for the same source — which is exactly the
+//! phenomenon the paper's search problem is about.
+
+use std::collections::HashMap;
+
+use esh_asm::{
+    BasicBlock, Cond, Inst, Mem, Operand, Procedure, Reg64, Scale, ShiftAmount, Width, ARG_REGS,
+};
+use esh_minic::{BinOp, Expr, Function, MemWidth, Stmt, UnOp};
+
+use crate::normalize::normalize;
+use crate::style::{MulIdiom, Style};
+
+fn asm_width(w: MemWidth) -> Width {
+    match w {
+        MemWidth::W8 => Width::W8,
+        MemWidth::W16 => Width::W16,
+        MemWidth::W32 => Width::W32,
+        MemWidth::W64 => Width::W64,
+    }
+}
+
+/// Where a MiniC variable lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Home {
+    /// Promoted to a callee-saved register.
+    Reg(Reg64),
+    /// Stack slot index (0-based).
+    Slot(usize),
+}
+
+struct Cg<'a> {
+    style: &'a Style,
+    blocks: Vec<BasicBlock>,
+    homes: HashMap<String, Home>,
+    saved: Vec<Reg64>,
+    slot_count: usize,
+    in_use: Vec<Reg64>,
+    label_count: usize,
+    epilogue_label: String,
+    staging_counter: usize,
+    /// `(continue target, break target)` per enclosing loop.
+    loop_labels: Vec<(String, String)>,
+}
+
+impl<'a> Cg<'a> {
+    fn cur(&mut self) -> &mut BasicBlock {
+        self.blocks.last_mut().expect("at least one block")
+    }
+
+    fn emit(&mut self, inst: Inst) {
+        self.cur().push(inst);
+    }
+
+    fn fresh_label(&mut self) -> String {
+        self.label_count += 1;
+        format!("{}{}", self.style.label_prefix, self.label_count)
+    }
+
+    fn start_block(&mut self, label: String) {
+        self.blocks.push(BasicBlock::new(label));
+    }
+
+    // ---- scratch pool -------------------------------------------------
+
+    fn acquire(&mut self) -> Reg64 {
+        let r = self
+            .style
+            .scratch_order
+            .iter()
+            .find(|r| !self.in_use.contains(r))
+            .copied()
+            .unwrap_or_else(|| panic!("scratch pool exhausted (normalize bug)"));
+        self.in_use.push(r);
+        r
+    }
+
+    fn release(&mut self, r: Reg64) {
+        if let Some(pos) = self.in_use.iter().position(|&x| x == r) {
+            self.in_use.remove(pos);
+        }
+    }
+
+    // ---- homes --------------------------------------------------------
+
+    fn slot_mem(&self, idx: usize) -> Mem {
+        if self.style.frame_pointer {
+            // Saved registers sit right below rbp; locals below them.
+            let off = -8 * (self.saved.len() as i64 + 1 + idx as i64);
+            Mem::base_disp(Width::W64, Reg64::Rbp, off)
+        } else {
+            Mem::base_disp(Width::W64, Reg64::Rsp, 8 * idx as i64)
+        }
+    }
+
+    fn home_operand(&self, name: &str) -> Operand {
+        match self.homes.get(name) {
+            Some(Home::Reg(r)) => Operand::Reg(r.full()),
+            Some(Home::Slot(i)) => Operand::Mem(self.slot_mem(*i)),
+            None => panic!("unhomed variable `{name}` (validator bug)"),
+        }
+    }
+
+    fn store_home(&mut self, name: &str, src: Reg64) {
+        match self.home_operand(name) {
+            Operand::Reg(r) if r.base == src => {}
+            dst => self.emit(Inst::Mov {
+                dst,
+                src: Operand::Reg(src.full()),
+            }),
+        }
+    }
+
+    // ---- expressions ----------------------------------------------------
+
+    /// Loads a constant into `r` using the style's idiom.
+    fn load_const(&mut self, r: Reg64, c: i64) {
+        if c == 0 && self.style.xor_zeroing {
+            self.emit(Inst::Xor {
+                dst: Operand::Reg(r.view(Width::W32)),
+                src: Operand::Reg(r.view(Width::W32)),
+            });
+        } else {
+            self.emit(Inst::Mov {
+                dst: Operand::Reg(r.full()),
+                src: Operand::Imm(c),
+            });
+        }
+    }
+
+    /// Evaluates a *leaf* into an operand usable as the source of most
+    /// instructions, acquiring no scratch. Panics on non-leaves.
+    fn leaf_operand(&self, e: &Expr) -> Operand {
+        match e {
+            Expr::Const(c) => Operand::Imm(*c),
+            Expr::Var(v) => self.home_operand(v),
+            _ => panic!("leaf_operand on non-leaf"),
+        }
+    }
+
+    /// Evaluates `e` into an operand; non-leaves go through a scratch
+    /// register which is returned for the caller to release.
+    fn operand_of(&mut self, e: &Expr) -> (Operand, Option<Reg64>) {
+        match e {
+            Expr::Const(_) | Expr::Var(_) => (self.leaf_operand(e), None),
+            _ => {
+                let r = self.eval(e);
+                (Operand::Reg(r.full()), Some(r))
+            }
+        }
+    }
+
+    /// Evaluates `e` into a register the caller must eventually release —
+    /// reusing an existing register home is not allowed because the caller
+    /// may mutate the result.
+    fn eval(&mut self, e: &Expr) -> Reg64 {
+        match e {
+            Expr::Const(c) => {
+                let r = self.acquire();
+                self.load_const(r, *c);
+                r
+            }
+            Expr::Var(v) => {
+                let r = self.acquire();
+                let src = self.home_operand(v);
+                self.emit(Inst::Mov {
+                    dst: Operand::Reg(r.full()),
+                    src,
+                });
+                r
+            }
+            Expr::Unary(op, a) => self.eval_unary(*op, a),
+            Expr::Binary(op, a, b) => self.eval_binary(*op, a, b),
+            Expr::Load { addr, width } => {
+                let (mem, release) = self.eval_addr(addr, asm_width(*width));
+                let r = self.acquire();
+                self.emit_load(r, mem);
+                for rr in release {
+                    self.release(rr);
+                }
+                r
+            }
+            Expr::Call { .. } => panic!("calls must be hoisted before codegen"),
+        }
+    }
+
+    fn emit_load(&mut self, r: Reg64, mem: Mem) {
+        match mem.width {
+            Width::W64 => self.emit(Inst::Mov {
+                dst: Operand::Reg(r.full()),
+                src: Operand::Mem(mem),
+            }),
+            Width::W32 => self.emit(Inst::Mov {
+                dst: Operand::Reg(r.view(Width::W32)),
+                src: Operand::Mem(mem),
+            }),
+            _ => self.emit(Inst::MovZx {
+                dst: r.full(),
+                src: Operand::Mem(mem),
+            }),
+        }
+    }
+
+    fn eval_unary(&mut self, op: UnOp, a: &Expr) -> Reg64 {
+        let r = self.eval(a);
+        match op {
+            UnOp::Neg => self.emit(Inst::Neg {
+                dst: Operand::Reg(r.full()),
+            }),
+            UnOp::Not => self.emit(Inst::Not {
+                dst: Operand::Reg(r.full()),
+            }),
+            UnOp::Trunc(MemWidth::W64) => {}
+            UnOp::Trunc(MemWidth::W32) => {
+                // A 32-bit self-move zero-extends.
+                self.emit(Inst::Mov {
+                    dst: Operand::Reg(r.view(Width::W32)),
+                    src: Operand::Reg(r.view(Width::W32)),
+                });
+            }
+            UnOp::Trunc(w) => {
+                self.emit(Inst::MovZx {
+                    dst: r.full(),
+                    src: Operand::Reg(r.view(asm_width(w))),
+                });
+            }
+            UnOp::Sext(MemWidth::W64) => {}
+            UnOp::Sext(w) => {
+                self.emit(Inst::MovSx {
+                    dst: r.full(),
+                    src: Operand::Reg(r.view(asm_width(w))),
+                });
+            }
+        }
+        r
+    }
+
+    fn eval_binary(&mut self, op: BinOp, a: &Expr, b: &Expr) -> Reg64 {
+        if op.is_cmp() {
+            return self.eval_comparison(op, a, b);
+        }
+        // lea fusion: reg + reg, or reg + small const.
+        if op == BinOp::Add && self.style.lea_arith {
+            if let Some(r) = self.try_lea_add(a, b) {
+                return self.maybe_stage(r);
+            }
+        }
+        if matches!(op, BinOp::Shl | BinOp::Shr | BinOp::Sar) {
+            return self.eval_shift(op, a, b);
+        }
+        if op == BinOp::Mul {
+            if let Expr::Const(c) = b {
+                let r = self.eval(a);
+                self.mul_by_const(r, *c);
+                return self.maybe_stage(r);
+            }
+            if let Expr::Const(c) = a {
+                let r = self.eval(b);
+                self.mul_by_const(r, *c);
+                return self.maybe_stage(r);
+            }
+        }
+        let r = self.eval(a);
+        let (src, release) = self.operand_of(b);
+        let dst = Operand::Reg(r.full());
+        match (op, &src) {
+            (BinOp::Add, Operand::Imm(1)) if self.style.inc_dec => self.emit(Inst::Inc { dst }),
+            (BinOp::Sub, Operand::Imm(1)) if self.style.inc_dec => self.emit(Inst::Dec { dst }),
+            (BinOp::Add, _) => self.emit(Inst::Add { dst, src }),
+            (BinOp::Sub, _) => self.emit(Inst::Sub { dst, src }),
+            (BinOp::And, _) => self.emit(Inst::And { dst, src }),
+            (BinOp::Or, _) => self.emit(Inst::Or { dst, src }),
+            (BinOp::Xor, _) => self.emit(Inst::Xor { dst, src }),
+            (BinOp::Mul, Operand::Imm(c)) => {
+                let c = *c;
+                self.mul_by_const(r, c);
+            }
+            (BinOp::Mul, _) => self.emit(Inst::Imul { dst: r.full(), src }),
+            _ => unreachable!("cmp and shifts handled above"),
+        }
+        if let Some(rr) = release {
+            self.release(rr);
+        }
+        self.maybe_stage(r)
+    }
+
+    /// icc-style staging: occasionally forward the result through another
+    /// register (`mov rX, rY`), a deterministic source of move noise.
+    fn maybe_stage(&mut self, r: Reg64) -> Reg64 {
+        if !self.style.redundant_moves {
+            return r;
+        }
+        self.staging_counter += 1;
+        if !self.staging_counter.is_multiple_of(3) {
+            return r;
+        }
+        let r2 = self.acquire();
+        self.emit(Inst::Mov {
+            dst: Operand::Reg(r2.full()),
+            src: Operand::Reg(r.full()),
+        });
+        self.release(r);
+        r2
+    }
+
+    fn try_lea_add(&mut self, a: &Expr, b: &Expr) -> Option<Reg64> {
+        // Only fires when both sides are leaves that are (or can become)
+        // registers; the common `p + i` / `x + 13` patterns.
+        let a_leaf = matches!(a, Expr::Const(_) | Expr::Var(_));
+        let b_leaf = matches!(b, Expr::Const(_) | Expr::Var(_));
+        if !a_leaf || !b_leaf {
+            return None;
+        }
+        match (a, b) {
+            (Expr::Var(_), Expr::Const(c)) => {
+                let ra = self.eval(a);
+                let dst = self.acquire();
+                self.emit(Inst::Lea {
+                    dst: dst.full(),
+                    addr: Mem::base_disp(Width::W64, ra, *c),
+                });
+                self.release(ra);
+                Some(dst)
+            }
+            (Expr::Var(_), Expr::Var(_)) => {
+                let ra = self.eval(a);
+                let rb = self.eval(b);
+                let dst = self.acquire();
+                self.emit(Inst::Lea {
+                    dst: dst.full(),
+                    addr: Mem::base_index(Width::W64, ra, rb, Scale::S1, 0),
+                });
+                self.release(ra);
+                self.release(rb);
+                Some(dst)
+            }
+            _ => None,
+        }
+    }
+
+    fn eval_shift(&mut self, op: BinOp, a: &Expr, b: &Expr) -> Reg64 {
+        let r = self.eval(a);
+        let dst = Operand::Reg(r.full());
+        let amount = match b {
+            Expr::Const(c) => ShiftAmount::Imm((*c & 63) as u8),
+            _ => {
+                // Dynamic shift: the count goes through rcx, which is kept
+                // out of every scratch pool for exactly this purpose.
+                let (src, release) = self.operand_of(b);
+                self.emit(Inst::Mov {
+                    dst: Operand::Reg(Reg64::Rcx.full()),
+                    src,
+                });
+                if let Some(rr) = release {
+                    self.release(rr);
+                }
+                ShiftAmount::Cl
+            }
+        };
+        match op {
+            BinOp::Shl => self.emit(Inst::Shl { dst, amount }),
+            BinOp::Shr => self.emit(Inst::Shr { dst, amount }),
+            BinOp::Sar => self.emit(Inst::Sar { dst, amount }),
+            _ => unreachable!(),
+        }
+        self.maybe_stage(r)
+    }
+
+    fn mul_by_const(&mut self, r: Reg64, c: i64) {
+        let dst = Operand::Reg(r.full());
+        if self.style.mul_idiom == MulIdiom::Imul {
+            self.emit(Inst::ImulImm {
+                dst: r.full(),
+                src: Operand::Reg(r.full()),
+                imm: c,
+            });
+            return;
+        }
+        match c {
+            0 => self.load_const(r, 0),
+            1 => {}
+            2 => self.emit(Inst::Add { dst, src: dst }),
+            c if c > 0 && (c as u64).is_power_of_two() => {
+                self.emit(Inst::Shl {
+                    dst,
+                    amount: ShiftAmount::Imm((c as u64).trailing_zeros() as u8),
+                });
+            }
+            3 | 5 | 9 => {
+                let scale = Scale::from_factor((c - 1) as u64).expect("2/4/8");
+                self.emit(Inst::Lea {
+                    dst: r.full(),
+                    addr: Mem::base_index(Width::W64, r, r, scale, 0),
+                });
+            }
+            6 | 10 | 18 => {
+                let scale = Scale::from_factor((c / 2 - 1) as u64).expect("2/4/8");
+                self.emit(Inst::Lea {
+                    dst: r.full(),
+                    addr: Mem::base_index(Width::W64, r, r, scale, 0),
+                });
+                self.emit(Inst::Add { dst, src: dst });
+            }
+            _ => self.emit(Inst::ImulImm {
+                dst: r.full(),
+                src: Operand::Reg(r.full()),
+                imm: c,
+            }),
+        }
+    }
+
+    fn eval_comparison(&mut self, op: BinOp, a: &Expr, b: &Expr) -> Reg64 {
+        let r = self.eval(a);
+        let (src, release) = self.operand_of(b);
+        self.emit_compare(r, src);
+        if let Some(rr) = release {
+            self.release(rr);
+        }
+        let cond = cond_of(op);
+        // Materialize: setcc low byte, then zero-extend.
+        self.emit(Inst::Set {
+            cond,
+            dst: Operand::Reg(r.view(Width::W8)),
+        });
+        self.emit(Inst::MovZx {
+            dst: r.full(),
+            src: Operand::Reg(r.view(Width::W8)),
+        });
+        r
+    }
+
+    fn emit_compare(&mut self, a: Reg64, b: Operand) {
+        if matches!(b, Operand::Imm(0)) && self.style.test_for_zero {
+            self.emit(Inst::Test {
+                a: Operand::Reg(a.full()),
+                b: Operand::Reg(a.full()),
+            });
+        } else {
+            self.emit(Inst::Cmp {
+                a: Operand::Reg(a.full()),
+                b,
+            });
+        }
+    }
+
+    /// Computes a memory operand for an address expression, folding
+    /// `base + const` and `base + index` shapes.
+    fn eval_addr(&mut self, e: &Expr, width: Width) -> (Mem, Vec<Reg64>) {
+        match e {
+            Expr::Binary(BinOp::Add, a, b) => match (&**a, &**b) {
+                (inner, Expr::Const(c)) => {
+                    let (mut mem, rel) = self.eval_addr(inner, width);
+                    mem.disp += c;
+                    (mem, rel)
+                }
+                (Expr::Const(c), inner) => {
+                    let (mut mem, rel) = self.eval_addr(inner, width);
+                    mem.disp += c;
+                    (mem, rel)
+                }
+                (_, _) => {
+                    let ra = self.eval(a);
+                    let rb = self.eval(b);
+                    (Mem::base_index(width, ra, rb, Scale::S1, 0), vec![ra, rb])
+                }
+            },
+            _ => {
+                let r = self.eval(e);
+                (Mem::base(width, r), vec![r])
+            }
+        }
+    }
+
+    // ---- statements ---------------------------------------------------
+
+    fn gen_call(&mut self, name: &str, args: &[Expr]) {
+        let order: Vec<usize> = if self.style.args_left_to_right {
+            (0..args.len()).collect()
+        } else {
+            (0..args.len()).rev().collect()
+        };
+        for i in order {
+            let src = self.leaf_operand(&args[i]);
+            let dst = Operand::Reg(ARG_REGS[i].full());
+            match (&dst, &src) {
+                (Operand::Reg(d), Operand::Reg(s)) if d == s => {}
+                _ => {
+                    if matches!(src, Operand::Imm(0)) && self.style.xor_zeroing {
+                        self.load_const(ARG_REGS[i], 0);
+                    } else {
+                        self.emit(Inst::Mov { dst, src });
+                    }
+                }
+            }
+        }
+        self.emit(Inst::Call {
+            target: name.to_string(),
+            args: args.len() as u8,
+        });
+    }
+
+    fn assign_var(&mut self, name: &str, value: &Expr) {
+        if let Expr::Call { name: callee, args } = value {
+            self.gen_call(callee, args);
+            self.store_home(name, Reg64::Rax);
+            return;
+        }
+        // Direct constant to memory/reg home without a scratch when leaf.
+        match value {
+            Expr::Const(c) => {
+                let dst = self.home_operand(name);
+                if *c == 0 && self.style.xor_zeroing {
+                    if let Operand::Reg(r) = dst {
+                        self.load_const(r.base, 0);
+                        return;
+                    }
+                }
+                self.emit(Inst::Mov {
+                    dst,
+                    src: Operand::Imm(*c),
+                });
+            }
+            _ => {
+                let r = self.eval(value);
+                self.store_home(name, r);
+                self.release(r);
+            }
+        }
+    }
+
+    /// Emits a conditional branch to `target` taken when `cond` is false
+    /// (`negate = true`) or true (`negate = false`).
+    fn branch_on(&mut self, cond: &Expr, target: &str, negate: bool) {
+        if let Expr::Binary(op, a, b) = cond {
+            if op.is_cmp() {
+                let r = self.eval(a);
+                let (src, release) = self.operand_of(b);
+                self.emit_compare(r, src);
+                self.release(r);
+                if let Some(rr) = release {
+                    self.release(rr);
+                }
+                let mut c = cond_of(*op);
+                if negate {
+                    c = c.negate();
+                }
+                self.emit(Inst::Jcc {
+                    cond: c,
+                    target: target.to_string(),
+                });
+                return;
+            }
+        }
+        let r = self.eval(cond);
+        self.emit_compare(r, Operand::Imm(0));
+        self.release(r);
+        let c = if negate { Cond::E } else { Cond::Ne };
+        self.emit(Inst::Jcc {
+            cond: c,
+            target: target.to_string(),
+        });
+    }
+
+    /// Attempts the cmov pattern: `if (c) x = leaf;` with empty else.
+    fn try_cmov(&mut self, cond: &Expr, then_body: &[Stmt], else_body: &[Stmt]) -> bool {
+        if !self.style.use_cmov || !else_body.is_empty() || then_body.len() != 1 {
+            return false;
+        }
+        let (name, value) = match &then_body[0] {
+            Stmt::Assign { name, value } if matches!(value, Expr::Const(_) | Expr::Var(_)) => {
+                (name, value)
+            }
+            _ => return false,
+        };
+        let (op, a, b) = match cond {
+            Expr::Binary(op, a, b) if op.is_cmp() => (*op, &**a, &**b),
+            _ => return false,
+        };
+        // current value and new value first (flag-neutral movs)...
+        let rcur = self.eval(&Expr::Var(name.clone()));
+        let rnew = self.eval(value);
+        // ...then the comparison and the conditional move.
+        let ra = self.eval(a);
+        let (src, release) = self.operand_of(b);
+        self.emit_compare(ra, src);
+        self.release(ra);
+        if let Some(rr) = release {
+            self.release(rr);
+        }
+        self.emit(Inst::Cmov {
+            cond: cond_of(op),
+            dst: rcur.full(),
+            src: Operand::Reg(rnew.full()),
+        });
+        self.store_home(name, rcur);
+        self.release(rcur);
+        self.release(rnew);
+        true
+    }
+
+    fn gen_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Let { name, init } | Stmt::Assign { name, value: init } => {
+                self.assign_var(name, init);
+            }
+            Stmt::Store { addr, width, value } => {
+                let w = asm_width(*width);
+                // The value must end up in a register or immediate: x86 has
+                // no memory-to-memory moves.
+                let (src, src_rel) = match self.operand_of(value) {
+                    (Operand::Mem(m), rel) => {
+                        debug_assert!(rel.is_none(), "slot operands acquire no scratch");
+                        let r = self.acquire();
+                        self.emit(Inst::Mov {
+                            dst: Operand::Reg(r.full()),
+                            src: Operand::Mem(m),
+                        });
+                        (Operand::Reg(r.full()), Some(r))
+                    }
+                    other => other,
+                };
+                let (mem, addr_rel) = self.eval_addr(addr, w);
+                let src = match src {
+                    Operand::Reg(r) => Operand::Reg(r.base.view(w)),
+                    other => other,
+                };
+                self.emit(Inst::Mov {
+                    dst: Operand::Mem(mem),
+                    src,
+                });
+                if let Some(r) = src_rel {
+                    self.release(r);
+                }
+                for r in addr_rel {
+                    self.release(r);
+                }
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                if self.try_cmov(cond, then_body, else_body) {
+                    return;
+                }
+                if else_body.is_empty() {
+                    let end = self.fresh_label();
+                    self.branch_on(cond, &end, true);
+                    let body_label = self.fresh_label();
+                    self.start_block(body_label);
+                    self.gen_block(then_body);
+                    self.start_block(end);
+                } else {
+                    let els = self.fresh_label();
+                    let end = self.fresh_label();
+                    self.branch_on(cond, &els, true);
+                    let body_label = self.fresh_label();
+                    self.start_block(body_label);
+                    self.gen_block(then_body);
+                    self.emit(Inst::Jmp {
+                        target: end.clone(),
+                    });
+                    self.start_block(els);
+                    self.gen_block(else_body);
+                    self.start_block(end);
+                }
+            }
+            Stmt::While { cond, body } => {
+                if self.style.rotate_loops {
+                    let test = self.fresh_label();
+                    let body_label = self.fresh_label();
+                    let after = self.fresh_label();
+                    self.emit(Inst::Jmp {
+                        target: test.clone(),
+                    });
+                    self.start_block(body_label.clone());
+                    self.loop_labels.push((test.clone(), after.clone()));
+                    self.gen_block(body);
+                    self.loop_labels.pop();
+                    self.start_block(test);
+                    self.branch_on(cond, &body_label, false);
+                    self.start_block(after);
+                } else {
+                    let head = self.fresh_label();
+                    let end = self.fresh_label();
+                    self.start_block(head.clone());
+                    self.branch_on(cond, &end, true);
+                    let body_label = self.fresh_label();
+                    self.start_block(body_label);
+                    self.loop_labels.push((head.clone(), end.clone()));
+                    self.gen_block(body);
+                    self.loop_labels.pop();
+                    self.emit(Inst::Jmp { target: head });
+                    self.start_block(end);
+                }
+            }
+            Stmt::Return(e) => {
+                match e {
+                    Some(Expr::Call { name, args }) => {
+                        // Tail value: result is already in rax after the call.
+                        self.gen_call(name, args);
+                    }
+                    Some(e) => {
+                        let r = self.eval(e);
+                        if r != Reg64::Rax {
+                            self.emit(Inst::Mov {
+                                dst: Operand::Reg(Reg64::Rax.full()),
+                                src: Operand::Reg(r.full()),
+                            });
+                        }
+                        self.release(r);
+                    }
+                    None => self.load_const(Reg64::Rax, 0),
+                }
+                if self.style.shared_epilogue {
+                    let target = self.epilogue_label.clone();
+                    self.emit(Inst::Jmp { target });
+                } else {
+                    self.emit_epilogue_insts();
+                    self.emit(Inst::Ret);
+                }
+            }
+            Stmt::ExprStmt(e) => {
+                if let Expr::Call { name, args } = e {
+                    self.gen_call(name, args);
+                }
+            }
+            Stmt::Break => {
+                let (_, brk) = self
+                    .loop_labels
+                    .last()
+                    .cloned()
+                    .expect("validator rejects break outside loops");
+                self.emit(Inst::Jmp { target: brk });
+                // Unreachable continuation block keeps layout well-formed.
+                let cont = self.fresh_label();
+                self.start_block(cont);
+            }
+            Stmt::Continue => {
+                let (cont_target, _) = self
+                    .loop_labels
+                    .last()
+                    .cloned()
+                    .expect("validator rejects continue outside loops");
+                self.emit(Inst::Jmp {
+                    target: cont_target,
+                });
+                let cont = self.fresh_label();
+                self.start_block(cont);
+            }
+        }
+    }
+
+    fn gen_block(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            self.gen_stmt(s);
+        }
+    }
+
+    // ---- prologue / epilogue -------------------------------------------
+
+    fn frame_bytes(&self) -> i64 {
+        // Keep 16-byte alignment for realism.
+        let n = 8 * self.slot_count as i64;
+        (n + 15) & !15
+    }
+
+    fn emit_prologue(&mut self, params: &[String]) {
+        if self.style.frame_pointer {
+            self.emit(Inst::Push {
+                src: Operand::Reg(Reg64::Rbp.full()),
+            });
+            self.emit(Inst::Mov {
+                dst: Operand::Reg(Reg64::Rbp.full()),
+                src: Operand::Reg(Reg64::Rsp.full()),
+            });
+            let saved: Vec<Reg64> = self.saved.clone();
+            for r in saved {
+                self.emit(Inst::Push {
+                    src: Operand::Reg(r.full()),
+                });
+            }
+            let bytes = self.frame_bytes();
+            if bytes > 0 {
+                self.emit(Inst::Sub {
+                    dst: Operand::Reg(Reg64::Rsp.full()),
+                    src: Operand::Imm(bytes),
+                });
+            }
+        } else {
+            let saved: Vec<Reg64> = self.saved.clone();
+            for r in saved {
+                self.emit(Inst::Push {
+                    src: Operand::Reg(r.full()),
+                });
+            }
+            let bytes = self.frame_bytes();
+            if bytes > 0 {
+                self.emit(Inst::Sub {
+                    dst: Operand::Reg(Reg64::Rsp.full()),
+                    src: Operand::Imm(bytes),
+                });
+            }
+        }
+        // Move parameters to their homes.
+        for (i, p) in params.iter().enumerate().take(ARG_REGS.len()) {
+            let src = Operand::Reg(ARG_REGS[i].full());
+            match self.home_operand(p) {
+                Operand::Reg(r) if r.base == ARG_REGS[i] => {}
+                dst => self.emit(Inst::Mov { dst, src }),
+            }
+        }
+    }
+
+    fn emit_epilogue_insts(&mut self) {
+        if self.style.frame_pointer {
+            let saved: Vec<Reg64> = self.saved.clone();
+            // Unwind to the saved-register area, restore, then the frame.
+            let bytes = self.frame_bytes();
+            if bytes > 0 {
+                self.emit(Inst::Add {
+                    dst: Operand::Reg(Reg64::Rsp.full()),
+                    src: Operand::Imm(bytes),
+                });
+            }
+            for r in saved.into_iter().rev() {
+                self.emit(Inst::Pop {
+                    dst: Operand::Reg(r.full()),
+                });
+            }
+            self.emit(Inst::Pop {
+                dst: Operand::Reg(Reg64::Rbp.full()),
+            });
+        } else {
+            let bytes = self.frame_bytes();
+            if bytes > 0 {
+                self.emit(Inst::Add {
+                    dst: Operand::Reg(Reg64::Rsp.full()),
+                    src: Operand::Imm(bytes),
+                });
+            }
+            let saved: Vec<Reg64> = self.saved.clone();
+            for r in saved.into_iter().rev() {
+                self.emit(Inst::Pop {
+                    dst: Operand::Reg(r.full()),
+                });
+            }
+        }
+    }
+}
+
+fn cond_of(op: BinOp) -> Cond {
+    match op {
+        BinOp::Eq => Cond::E,
+        BinOp::Ne => Cond::Ne,
+        BinOp::Slt => Cond::L,
+        BinOp::Sle => Cond::Le,
+        BinOp::Ult => Cond::B,
+        BinOp::Ule => Cond::Be,
+        _ => panic!("not a comparison"),
+    }
+}
+
+/// Collects every variable (params first, then `let`s in pre-order) with
+/// its reference count.
+fn collect_vars(f: &Function) -> Vec<(String, usize)> {
+    fn count_expr(e: &Expr, counts: &mut HashMap<String, usize>) {
+        match e {
+            Expr::Var(v) => *counts.entry(v.clone()).or_default() += 1,
+            Expr::Const(_) => {}
+            Expr::Unary(_, a) | Expr::Load { addr: a, .. } => count_expr(a, counts),
+            Expr::Binary(_, a, b) => {
+                count_expr(a, counts);
+                count_expr(b, counts);
+            }
+            Expr::Call { args, .. } => args.iter().for_each(|a| count_expr(a, counts)),
+        }
+    }
+    fn walk(stmts: &[Stmt], order: &mut Vec<String>, counts: &mut HashMap<String, usize>) {
+        for s in stmts {
+            match s {
+                Stmt::Let { name, init } => {
+                    count_expr(init, counts);
+                    if !order.contains(name) {
+                        order.push(name.clone());
+                    }
+                }
+                Stmt::Assign { name, value } => {
+                    count_expr(value, counts);
+                    *counts.entry(name.clone()).or_default() += 1;
+                }
+                Stmt::Store { addr, value, .. } => {
+                    count_expr(addr, counts);
+                    count_expr(value, counts);
+                }
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    count_expr(cond, counts);
+                    walk(then_body, order, counts);
+                    walk(else_body, order, counts);
+                }
+                Stmt::While { cond, body } => {
+                    count_expr(cond, counts);
+                    walk(body, order, counts);
+                }
+                Stmt::Return(Some(e)) | Stmt::ExprStmt(e) => count_expr(e, counts),
+                Stmt::Return(None) | Stmt::Break | Stmt::Continue => {}
+            }
+        }
+    }
+    let mut order: Vec<String> = f.params.clone();
+    let mut counts = HashMap::new();
+    walk(&f.body, &mut order, &mut counts);
+    order
+        .into_iter()
+        .map(|n| {
+            let c = counts.get(&n).copied().unwrap_or(0);
+            (n, c)
+        })
+        .collect()
+}
+
+/// Compiles one (already validated) MiniC function under `style`.
+pub fn compile_function_with_style(style: &Style, f: &Function) -> Procedure {
+    let f = normalize(f);
+    let vars = collect_vars(&f);
+
+    // Promotion: the most referenced variables get callee-saved registers.
+    let mut by_use: Vec<&(String, usize)> = vars.iter().collect();
+    by_use.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let mut homes = HashMap::new();
+    let mut saved = Vec::new();
+    for (i, (name, _)) in by_use.iter().take(style.promote_limit).enumerate() {
+        if let Some(&reg) = style.promote_order.get(i) {
+            homes.insert(name.clone(), Home::Reg(reg));
+            saved.push(reg);
+        }
+    }
+    // Stack slots for the rest.
+    let mut slot_names: Vec<&String> = vars
+        .iter()
+        .map(|(n, _)| n)
+        .filter(|n| !homes.contains_key(*n))
+        .collect();
+    if !style.slots_in_decl_order {
+        slot_names.reverse();
+    }
+    let slot_count = slot_names.len();
+    for (i, name) in slot_names.into_iter().enumerate() {
+        homes.insert(name.clone(), Home::Slot(i));
+    }
+
+    let mut cg = Cg {
+        style,
+        blocks: vec![BasicBlock::new("entry")],
+        homes,
+        saved,
+        slot_count,
+        in_use: Vec::new(),
+        label_count: 0,
+        epilogue_label: format!("{}ret", style.label_prefix),
+        staging_counter: 0,
+        loop_labels: Vec::new(),
+    };
+    cg.emit_prologue(&f.params);
+    cg.gen_block(&f.body);
+
+    // Fall-off-the-end: synthesize `return 0`.
+    let needs_tail = match cg.blocks.last() {
+        Some(b) => b.terminator().is_none(),
+        None => true,
+    };
+    if needs_tail {
+        cg.gen_stmt(&Stmt::Return(None));
+    }
+    if cg.style.shared_epilogue {
+        let label = cg.epilogue_label.clone();
+        cg.start_block(label);
+        cg.emit_epilogue_insts();
+        cg.emit(Inst::Ret);
+    }
+    debug_assert!(cg.in_use.is_empty(), "scratch leak: {:?}", cg.in_use);
+
+    let mut proc_ = Procedure::new(f.name.clone());
+    proc_.blocks = cg
+        .blocks
+        .into_iter()
+        .filter(|b| !b.insts.is_empty() || b.label != "entry")
+        .collect();
+    crate::peephole::run(style, &mut proc_);
+    proc_
+}

@@ -1,0 +1,130 @@
+//! The public compiler front-end.
+
+use esh_asm::{Procedure, Program};
+use esh_minic::{Function, Module};
+
+use crate::codegen::compile_function_with_style;
+use crate::style::{OptLevel, Style, Toolchain, Vendor, VendorVersion};
+
+/// A configured synthetic compiler: one vendor, version and `-O` level.
+///
+/// ```
+/// use esh_cc::{Compiler, Vendor, VendorVersion};
+/// use esh_minic::demo;
+///
+/// let gcc = Compiler::new(Vendor::Gcc, VendorVersion::new(4, 9));
+/// let proc_ = gcc.compile_function(&demo::saturating_sum());
+/// assert!(proc_.inst_count() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Compiler {
+    toolchain: Toolchain,
+    style: Style,
+}
+
+impl Compiler {
+    /// Creates a compiler at `-O2` (the paper corpus default).
+    pub fn new(vendor: Vendor, version: VendorVersion) -> Compiler {
+        Compiler::from_toolchain(Toolchain::new(vendor, version))
+    }
+
+    /// Creates a compiler with an explicit optimization level.
+    pub fn with_opt(vendor: Vendor, version: VendorVersion, opt: OptLevel) -> Compiler {
+        Compiler::from_toolchain(Toolchain {
+            vendor,
+            version,
+            opt,
+        })
+    }
+
+    /// Creates a compiler from a [`Toolchain`] triple.
+    pub fn from_toolchain(toolchain: Toolchain) -> Compiler {
+        let style = Style::resolve(toolchain.vendor, toolchain.version, toolchain.opt);
+        Compiler { toolchain, style }
+    }
+
+    /// The toolchain triple this compiler models.
+    pub fn toolchain(&self) -> Toolchain {
+        self.toolchain
+    }
+
+    /// The resolved code-generation style.
+    pub fn style(&self) -> &Style {
+        &self.style
+    }
+
+    /// Compiles one function to a binary procedure.
+    pub fn compile_function(&self, f: &Function) -> Procedure {
+        compile_function_with_style(&self.style, f)
+    }
+
+    /// Compiles a whole module into a "binary".
+    pub fn compile_module(&self, m: &Module) -> Program {
+        let mut prog = Program::new(format!("{}-{}", m.name, self.toolchain));
+        for f in &m.functions {
+            prog.procs.push(self.compile_function(f));
+        }
+        prog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esh_minic::demo;
+
+    #[test]
+    fn compilation_is_deterministic() {
+        let cc = Compiler::new(Vendor::Clang, VendorVersion::new(3, 5));
+        let f = demo::heartbleed_like();
+        assert_eq!(cc.compile_function(&f), cc.compile_function(&f));
+    }
+
+    #[test]
+    fn vendors_emit_different_code_for_same_source() {
+        let f = demo::heartbleed_like();
+        let gcc = Compiler::new(Vendor::Gcc, VendorVersion::new(4, 9)).compile_function(&f);
+        let clang = Compiler::new(Vendor::Clang, VendorVersion::new(3, 5)).compile_function(&f);
+        let icc = Compiler::new(Vendor::Icc, VendorVersion::new(15, 0)).compile_function(&f);
+        assert_ne!(gcc, clang);
+        assert_ne!(clang, icc);
+        assert_ne!(gcc, icc);
+    }
+
+    #[test]
+    fn versions_emit_different_code() {
+        let f = demo::wget_like();
+        let a = Compiler::new(Vendor::Gcc, VendorVersion::new(4, 6)).compile_function(&f);
+        let b = Compiler::new(Vendor::Gcc, VendorVersion::new(4, 9)).compile_function(&f);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn opt_levels_differ() {
+        let f = demo::wget_like();
+        let o0 = Compiler::with_opt(Vendor::Gcc, VendorVersion::new(4, 9), OptLevel::O0)
+            .compile_function(&f);
+        let o2 = Compiler::new(Vendor::Gcc, VendorVersion::new(4, 9)).compile_function(&f);
+        assert_ne!(o0, o2);
+        // -O0 promotes nothing: no callee-saved register is ever saved
+        // beyond the frame pointer.
+        use esh_asm::{Inst, Operand, Reg64};
+        let saves_callee = |p: &esh_asm::Procedure| {
+            p.insts()
+                .any(|i| matches!(i, Inst::Push { src: Operand::Reg(r) } if r.base != Reg64::Rbp))
+        };
+        assert!(!saves_callee(&o0));
+        assert!(saves_callee(&o2));
+    }
+
+    #[test]
+    fn module_compilation_names_binary_after_toolchain() {
+        let mut m = esh_minic::Module::new("openssl-1.0.1f");
+        m.functions.push(demo::saturating_sum());
+        let cc = Compiler::new(Vendor::Icc, VendorVersion::new(15, 0));
+        let prog = cc.compile_module(&m);
+        assert!(prog.name.contains("openssl-1.0.1f"));
+        assert!(prog.name.contains("icc"));
+        assert_eq!(prog.procs.len(), 1);
+    }
+}

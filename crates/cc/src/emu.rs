@@ -1,0 +1,628 @@
+//! An x86-64 emulator for the modelled instruction subset.
+//!
+//! This is the second half of the differential-testing oracle: a compiled
+//! [`Procedure`] is executed here against the same [`Memory`] and [`Host`]
+//! the MiniC interpreter uses, and the results must agree.
+//!
+//! Faithfulness notes: sub-register writes follow x86 rules (32-bit writes
+//! zero the upper half, 8/16-bit writes merge); CF/ZF/SF/OF are modelled
+//! precisely for arithmetic and logic; external calls clobber all
+//! caller-saved registers (except the return value) with deterministic junk
+//! so that compiler bugs holding values in the wrong register class surface
+//! as test failures rather than silent luck.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use esh_asm::{
+    Cond, Inst, Mem, Operand, Procedure, Reg, Reg64, ShiftAmount, Width, ARG_REGS, CALLER_SAVED,
+};
+use esh_minic::{Host, MemWidth, Memory};
+
+/// Initial stack pointer (below the heap base, 16-aligned).
+pub const STACK_TOP: u64 = 0x0000_6fff_ffff_f000;
+
+/// Default instruction fuel.
+pub const DEFAULT_FUEL: u64 = 1 << 22;
+
+/// An emulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmuError {
+    /// A jump targeted a label that does not exist.
+    UnknownLabel(String),
+    /// The instruction budget was exhausted.
+    OutOfFuel,
+    /// Control fell off the end of the procedure without `ret`.
+    FellOffEnd,
+}
+
+impl fmt::Display for EmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmuError::UnknownLabel(l) => write!(f, "jump to unknown label `{l}`"),
+            EmuError::OutOfFuel => write!(f, "emulation fuel exhausted"),
+            EmuError::FellOffEnd => write!(f, "control fell off the end of the procedure"),
+        }
+    }
+}
+
+impl std::error::Error for EmuError {}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Flags {
+    cf: bool,
+    zf: bool,
+    sf: bool,
+    of: bool,
+}
+
+fn mem_width(w: Width) -> MemWidth {
+    match w {
+        Width::W8 => MemWidth::W8,
+        Width::W16 => MemWidth::W16,
+        Width::W32 => MemWidth::W32,
+        Width::W64 => MemWidth::W64,
+    }
+}
+
+/// The machine state during emulation.
+struct Machine<'a, H: Host> {
+    regs: [u64; 16],
+    flags: Flags,
+    mem: &'a mut Memory,
+    host: &'a mut H,
+    clobber_counter: u64,
+}
+
+impl<H: Host> Machine<'_, H> {
+    fn reg(&self, r: Reg64) -> u64 {
+        self.regs[r.index()]
+    }
+
+    fn set_reg64(&mut self, r: Reg64, v: u64) {
+        self.regs[r.index()] = v;
+    }
+
+    fn read_reg(&self, r: Reg) -> u64 {
+        self.reg(r.base) & r.width.mask()
+    }
+
+    fn write_reg(&mut self, r: Reg, v: u64) {
+        let v = v & r.width.mask();
+        match r.width {
+            Width::W64 => self.set_reg64(r.base, v),
+            // 32-bit writes zero-extend.
+            Width::W32 => self.set_reg64(r.base, v),
+            Width::W16 => {
+                let old = self.reg(r.base);
+                self.set_reg64(r.base, (old & !0xffff) | v);
+            }
+            Width::W8 => {
+                let old = self.reg(r.base);
+                self.set_reg64(r.base, (old & !0xff) | v);
+            }
+        }
+    }
+
+    fn effective_addr(&self, m: &Mem) -> u64 {
+        let mut a = m.disp as u64;
+        if let Some(b) = m.base {
+            a = a.wrapping_add(self.reg(b));
+        }
+        if let Some((i, s)) = m.index {
+            a = a.wrapping_add(self.reg(i).wrapping_mul(s.factor()));
+        }
+        a
+    }
+
+    /// Reads an operand at context width `w`.
+    fn read(&self, op: &Operand, w: Width) -> u64 {
+        match op {
+            Operand::Reg(r) => self.read_reg(Reg::new(r.base, w.min(r.width))) & w.mask(),
+            Operand::Imm(i) => (*i as u64) & w.mask(),
+            Operand::Mem(m) => self.mem.read(self.effective_addr(m), mem_width(m.width)) & w.mask(),
+        }
+    }
+
+    fn write(&mut self, op: &Operand, w: Width, v: u64) {
+        match op {
+            Operand::Reg(r) => self.write_reg(Reg::new(r.base, w), v),
+            Operand::Mem(m) => {
+                let a = self.effective_addr(m);
+                self.mem.write(a, mem_width(m.width), v);
+            }
+            Operand::Imm(_) => panic!("write to immediate"),
+        }
+    }
+
+    fn op_width(op: &Operand, other: Option<&Operand>) -> Width {
+        op.width()
+            .or_else(|| other.and_then(Operand::width))
+            .unwrap_or(Width::W64)
+    }
+
+    fn msb(v: u64, w: Width) -> bool {
+        v >> (w.bits() - 1) & 1 == 1
+    }
+
+    fn set_zf_sf(&mut self, res: u64, w: Width) {
+        self.flags.zf = res & w.mask() == 0;
+        self.flags.sf = Self::msb(res & w.mask(), w);
+    }
+
+    fn flags_add(&mut self, a: u64, b: u64, res: u64, w: Width) {
+        let (a, b, res) = (a & w.mask(), b & w.mask(), res & w.mask());
+        self.flags.cf = res < a;
+        self.flags.of = Self::msb(!(a ^ b) & (a ^ res), w);
+        self.set_zf_sf(res, w);
+    }
+
+    fn flags_sub(&mut self, a: u64, b: u64, res: u64, w: Width) {
+        let (a, b, res) = (a & w.mask(), b & w.mask(), res & w.mask());
+        self.flags.cf = a < b;
+        self.flags.of = Self::msb((a ^ b) & (a ^ res), w);
+        self.set_zf_sf(res, w);
+    }
+
+    fn flags_logic(&mut self, res: u64, w: Width) {
+        self.flags.cf = false;
+        self.flags.of = false;
+        self.set_zf_sf(res, w);
+    }
+
+    fn cond(&self, c: Cond) -> bool {
+        let f = self.flags;
+        match c {
+            Cond::E => f.zf,
+            Cond::Ne => !f.zf,
+            Cond::L => f.sf != f.of,
+            Cond::Le => f.zf || f.sf != f.of,
+            Cond::G => !f.zf && f.sf == f.of,
+            Cond::Ge => f.sf == f.of,
+            Cond::B => f.cf,
+            Cond::Be => f.cf || f.zf,
+            Cond::A => !f.cf && !f.zf,
+            Cond::Ae => !f.cf,
+            Cond::S => f.sf,
+            Cond::Ns => !f.sf,
+        }
+    }
+
+    fn shift_amount(&self, a: &ShiftAmount, w: Width) -> u32 {
+        let raw = match a {
+            ShiftAmount::Imm(i) => u64::from(*i),
+            ShiftAmount::Cl => self.reg(Reg64::Rcx) & 0xff,
+        };
+        let mask = if w == Width::W64 { 63 } else { 31 };
+        (raw as u32) & mask
+    }
+
+    fn do_call(&mut self, target: &str, args: u8) {
+        let mut vals = Vec::with_capacity(usize::from(args));
+        for r in ARG_REGS.iter().take(usize::from(args)) {
+            vals.push(self.reg(*r));
+        }
+        let ret = self.host.call(target, &vals, self.mem);
+        // Clobber the volatile state like a real callee would.
+        self.clobber_counter = self.clobber_counter.wrapping_add(1);
+        for (k, r) in CALLER_SAVED.iter().enumerate() {
+            if *r != Reg64::Rax {
+                let junk = 0xdead_0000_0000_0000u64
+                    ^ self.clobber_counter.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    ^ (k as u64) << 32;
+                self.set_reg64(*r, junk);
+            }
+        }
+        self.flags = Flags {
+            cf: self.clobber_counter & 1 == 1,
+            zf: self.clobber_counter & 2 == 2,
+            sf: self.clobber_counter & 4 == 4,
+            of: self.clobber_counter & 8 == 8,
+        };
+        self.set_reg64(Reg64::Rax, ret);
+    }
+
+    /// Executes one instruction. Returns a control-flow action.
+    fn step(&mut self, inst: &Inst) -> Step {
+        match inst {
+            Inst::Mov { dst, src } => {
+                let w = Self::op_width(dst, Some(src));
+                let v = self.read(src, w);
+                self.write(dst, w, v);
+            }
+            Inst::MovZx { dst, src } => {
+                let sw = src.width().unwrap_or(Width::W8);
+                let v = self.read(src, sw);
+                self.write(&Operand::Reg(*dst), dst.width, v);
+            }
+            Inst::MovSx { dst, src } => {
+                let sw = src.width().unwrap_or(Width::W8);
+                let v = self.read(src, sw);
+                let bits = sw.bits();
+                let sext = if bits == 64 {
+                    v
+                } else {
+                    (((v << (64 - bits)) as i64) >> (64 - bits)) as u64
+                };
+                self.write(&Operand::Reg(*dst), dst.width, sext);
+            }
+            Inst::Lea { dst, addr } => {
+                let a = self.effective_addr(addr);
+                self.write_reg(*dst, a);
+            }
+            Inst::Add { dst, src } => {
+                let w = Self::op_width(dst, Some(src));
+                let (a, b) = (self.read(dst, w), self.read(src, w));
+                let res = a.wrapping_add(b);
+                self.flags_add(a, b, res, w);
+                self.write(dst, w, res);
+            }
+            Inst::Sub { dst, src } => {
+                let w = Self::op_width(dst, Some(src));
+                let (a, b) = (self.read(dst, w), self.read(src, w));
+                let res = a.wrapping_sub(b);
+                self.flags_sub(a, b, res, w);
+                self.write(dst, w, res);
+            }
+            Inst::Imul { dst, src } => {
+                let w = dst.width;
+                let (a, b) = (self.read_reg(*dst), self.read(src, w));
+                let res = a.wrapping_mul(b);
+                self.flags_logic(res, w); // CF/OF approximated; never branched on.
+                self.write_reg(*dst, res);
+            }
+            Inst::ImulImm { dst, src, imm } => {
+                let w = dst.width;
+                let (a, b) = (self.read(src, w), (*imm as u64) & w.mask());
+                let res = a.wrapping_mul(b);
+                self.flags_logic(res, w);
+                self.write_reg(*dst, res);
+            }
+            Inst::Neg { dst } => {
+                let w = Self::op_width(dst, None);
+                let a = self.read(dst, w);
+                let res = a.wrapping_neg();
+                self.flags.cf = a != 0;
+                self.flags.of = a == 1 << (w.bits() - 1);
+                self.set_zf_sf(res, w);
+                self.write(dst, w, res);
+            }
+            Inst::Not { dst } => {
+                let w = Self::op_width(dst, None);
+                let a = self.read(dst, w);
+                self.write(dst, w, !a);
+            }
+            Inst::Inc { dst } => {
+                let w = Self::op_width(dst, None);
+                let a = self.read(dst, w);
+                let res = a.wrapping_add(1);
+                let cf = self.flags.cf;
+                self.flags_add(a, 1, res, w);
+                self.flags.cf = cf; // inc preserves CF
+                self.write(dst, w, res);
+            }
+            Inst::Dec { dst } => {
+                let w = Self::op_width(dst, None);
+                let a = self.read(dst, w);
+                let res = a.wrapping_sub(1);
+                let cf = self.flags.cf;
+                self.flags_sub(a, 1, res, w);
+                self.flags.cf = cf;
+                self.write(dst, w, res);
+            }
+            Inst::And { dst, src } | Inst::Or { dst, src } | Inst::Xor { dst, src } => {
+                let w = Self::op_width(dst, Some(src));
+                let (a, b) = (self.read(dst, w), self.read(src, w));
+                let res = match inst {
+                    Inst::And { .. } => a & b,
+                    Inst::Or { .. } => a | b,
+                    _ => a ^ b,
+                };
+                self.flags_logic(res, w);
+                self.write(dst, w, res);
+            }
+            Inst::Shl { dst, amount } | Inst::Shr { dst, amount } | Inst::Sar { dst, amount } => {
+                let w = Self::op_width(dst, None);
+                let n = self.shift_amount(amount, w);
+                if n != 0 {
+                    let a = self.read(dst, w);
+                    let res = match inst {
+                        Inst::Shl { .. } => a.wrapping_shl(n),
+                        Inst::Shr { .. } => a.wrapping_shr(n),
+                        _ => {
+                            let bits = w.bits();
+                            let sext = ((a << (64 - bits)) as i64) >> (64 - bits);
+                            (sext >> n.min(63)) as u64
+                        }
+                    } & w.mask();
+                    self.flags.cf = if n > w.bits() {
+                        false // count exceeds the operand: nothing shifted out
+                    } else {
+                        match inst {
+                            Inst::Shl { .. } => a >> (w.bits() - n) & 1 == 1,
+                            _ => a >> (n - 1) & 1 == 1,
+                        }
+                    };
+                    self.flags.of = false;
+                    self.set_zf_sf(res, w);
+                    self.write(dst, w, res);
+                }
+            }
+            Inst::Cmp { a, b } => {
+                let w = Self::op_width(a, Some(b));
+                let (x, y) = (self.read(a, w), self.read(b, w));
+                let res = x.wrapping_sub(y);
+                self.flags_sub(x, y, res, w);
+            }
+            Inst::Test { a, b } => {
+                let w = Self::op_width(a, Some(b));
+                let res = self.read(a, w) & self.read(b, w);
+                self.flags_logic(res, w);
+            }
+            Inst::Set { cond, dst } => {
+                let v = u64::from(self.cond(*cond));
+                self.write(dst, Width::W8, v);
+            }
+            Inst::Cmov { cond, dst, src } => {
+                if self.cond(*cond) {
+                    let v = self.read(src, dst.width);
+                    self.write_reg(*dst, v);
+                } else if dst.width == Width::W32 {
+                    // cmov with a 32-bit destination zero-extends even when
+                    // the move is not taken.
+                    let v = self.read_reg(*dst);
+                    self.write_reg(*dst, v);
+                }
+            }
+            Inst::Push { src } => {
+                let v = self.read(src, Width::W64);
+                let sp = self.reg(Reg64::Rsp).wrapping_sub(8);
+                self.set_reg64(Reg64::Rsp, sp);
+                self.mem.write(sp, MemWidth::W64, v);
+            }
+            Inst::Pop { dst } => {
+                let sp = self.reg(Reg64::Rsp);
+                let v = self.mem.read(sp, MemWidth::W64);
+                self.set_reg64(Reg64::Rsp, sp.wrapping_add(8));
+                self.write(dst, Width::W64, v);
+            }
+            Inst::Call { target, args } => self.do_call(target, *args),
+            Inst::Cdqe => {
+                let v = self.reg(Reg64::Rax) as u32;
+                self.set_reg64(Reg64::Rax, v as i32 as i64 as u64);
+            }
+            Inst::Nop => {}
+            Inst::Ret => return Step::Ret,
+            Inst::Jmp { target } => return Step::Jump(target.clone()),
+            Inst::Jcc { cond, target } => {
+                if self.cond(*cond) {
+                    return Step::Jump(target.clone());
+                }
+            }
+        }
+        Step::Next
+    }
+}
+
+enum Step {
+    Next,
+    Jump(String),
+    Ret,
+}
+
+/// Runs `proc_` with `args` in the System V argument registers.
+///
+/// Returns the value left in `rax` by `ret`.
+///
+/// # Errors
+///
+/// Returns [`EmuError`] on unknown jump targets, fuel exhaustion, or if
+/// control falls off the final block.
+pub fn run_procedure<H: Host>(
+    proc_: &Procedure,
+    args: &[u64],
+    mem: &mut Memory,
+    host: &mut H,
+) -> Result<u64, EmuError> {
+    run_procedure_fuel(proc_, args, mem, host, DEFAULT_FUEL)
+}
+
+/// Like [`run_procedure`] with an explicit fuel budget.
+///
+/// # Errors
+///
+/// Returns [`EmuError`] on unknown jump targets, fuel exhaustion, or if
+/// control falls off the final block.
+pub fn run_procedure_fuel<H: Host>(
+    proc_: &Procedure,
+    args: &[u64],
+    mem: &mut Memory,
+    host: &mut H,
+    mut fuel: u64,
+) -> Result<u64, EmuError> {
+    let labels: HashMap<&str, usize> = proc_
+        .blocks
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (b.label.as_str(), i))
+        .collect();
+    let mut m = Machine {
+        regs: [0; 16],
+        flags: Flags::default(),
+        mem,
+        host,
+        clobber_counter: 0,
+    };
+    m.set_reg64(Reg64::Rsp, STACK_TOP);
+    for (i, v) in args.iter().enumerate().take(ARG_REGS.len()) {
+        m.set_reg64(ARG_REGS[i], *v);
+    }
+    let mut block = 0usize;
+    'outer: loop {
+        let Some(b) = proc_.blocks.get(block) else {
+            return Err(EmuError::FellOffEnd);
+        };
+        for inst in &b.insts {
+            if fuel == 0 {
+                return Err(EmuError::OutOfFuel);
+            }
+            fuel -= 1;
+            match m.step(inst) {
+                Step::Next => {}
+                Step::Ret => return Ok(m.reg(Reg64::Rax)),
+                Step::Jump(label) => {
+                    block = *labels
+                        .get(label.as_str())
+                        .ok_or(EmuError::UnknownLabel(label.clone()))?;
+                    continue 'outer;
+                }
+            }
+        }
+        block += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esh_asm::parse_proc;
+    use esh_minic::StdHost;
+
+    fn run(text: &str, args: &[u64]) -> u64 {
+        let p = parse_proc(text).expect("parses");
+        let mut mem = Memory::new();
+        let mut host = StdHost::default();
+        run_procedure(&p, args, &mut mem, &mut host).expect("runs")
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        let r = run(
+            "proc f\nentry:\nmov rax, rdi\nadd rax, rsi\nret\n",
+            &[40, 2],
+        );
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn partial_width_merge() {
+        // Writing al preserves upper rax bits; writing eax zeroes them.
+        let r = run(
+            "proc f\nentry:\nmov rax, rdi\nmov al, 0x7\nret\n",
+            &[0xaabb_ccdd_eeff_1122],
+        );
+        assert_eq!(r, 0xaabb_ccdd_eeff_1107);
+        let r = run(
+            "proc f\nentry:\nmov rax, rdi\nmov eax, 0x7\nret\n",
+            &[u64::MAX],
+        );
+        assert_eq!(r, 7);
+    }
+
+    #[test]
+    fn conditional_branches() {
+        let text =
+            "proc f\nentry:\ncmp rdi, rsi\njl less\nmov rax, 0x1\nret\nless:\nxor eax, eax\nret\n";
+        assert_eq!(run(text, &[5, 9]), 0);
+        assert_eq!(run(text, &[9, 5]), 1);
+        // Signed comparison: -1 < 0.
+        assert_eq!(run(text, &[u64::MAX, 0]), 0);
+    }
+
+    #[test]
+    fn unsigned_comparison() {
+        let text = "proc f\nentry:\ncmp rdi, rsi\njb below\nmov rax, 0x1\nret\nbelow:\nxor eax, eax\nret\n";
+        // Unsigned: u64::MAX is huge.
+        assert_eq!(run(text, &[u64::MAX, 0]), 1);
+        assert_eq!(run(text, &[0, 1]), 0);
+    }
+
+    #[test]
+    fn setcc_and_movzx() {
+        let text = "proc f\nentry:\ncmp rdi, rsi\nsete al\nmovzx rax, al\nret\n";
+        assert_eq!(run(text, &[3, 3]), 1);
+        assert_eq!(run(text, &[3, 4]), 0);
+    }
+
+    #[test]
+    fn cmov_semantics() {
+        let text =
+            "proc f\nentry:\nmov rax, rdi\nmov rdx, 0x63\ncmp rsi, 0x0\ncmove rax, rdx\nret\n";
+        assert_eq!(run(text, &[7, 0]), 0x63);
+        assert_eq!(run(text, &[7, 1]), 7);
+    }
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let text = "proc f\nentry:\npush rdi\npush rsi\npop rax\npop rdx\nadd rax, rdx\nret\n";
+        assert_eq!(run(text, &[30, 12]), 42);
+    }
+
+    #[test]
+    fn loads_and_stores_le() {
+        let p = parse_proc(
+            "proc f\nentry:\nmov dword ptr [rdi], esi\nmovzx rax, byte ptr [rdi+0x1]\nret\n",
+        )
+        .expect("parses");
+        let mut mem = Memory::new();
+        let mut host = StdHost::default();
+        let r = run_procedure(&p, &[0x1000, 0xa1b2c3d4], &mut mem, &mut host).expect("runs");
+        assert_eq!(r, 0xc3);
+    }
+
+    #[test]
+    fn lea_computes_address_arithmetic() {
+        let r = run(
+            "proc f\nentry:\nlea rax, [rdi+rsi*4+0x13]\nret\n",
+            &[100, 3],
+        );
+        assert_eq!(r, 100 + 12 + 0x13);
+    }
+
+    #[test]
+    fn calls_clobber_caller_saved() {
+        // r10 is caller-saved: holding a value across a call must break.
+        let text = "proc f\nentry:\nmov r10, rdi\nmov rdi, 0x0\ncall cleanup\nmov rax, r10\nret\n";
+        let r = run(text, &[42]);
+        assert_ne!(r, 42, "r10 must be clobbered by the call");
+        // rbx is callee-saved in our host model: survives.
+        let text2 = "proc f\nentry:\nmov rbx, rdi\ncall cleanup\nmov rax, rbx\nret\n";
+        assert_eq!(run(text2, &[42]), 42);
+    }
+
+    #[test]
+    fn call_passes_args_and_returns() {
+        let p = parse_proc("proc f\nentry:\nmov rdi, 0x40\ncall strlen/1\nret\n").expect("ok");
+        let mut mem = Memory::new();
+        mem.write_u8(0x40, b'h');
+        mem.write_u8(0x41, b'i');
+        let mut host = StdHost::default();
+        let r = run_procedure(&p, &[], &mut mem, &mut host).expect("runs");
+        assert_eq!(r, 2);
+    }
+
+    #[test]
+    fn infinite_loop_exhausts_fuel() {
+        let p = parse_proc("proc f\nentry:\nspin:\njmp spin\n").expect("ok");
+        let mut mem = Memory::new();
+        let mut host = StdHost::default();
+        let e = run_procedure_fuel(&p, &[], &mut mem, &mut host, 100);
+        assert_eq!(e, Err(EmuError::OutOfFuel));
+    }
+
+    #[test]
+    fn shift_by_zero_preserves_flags() {
+        // cmp sets ZF; shl by 0 must not disturb it.
+        let text = "proc f\nentry:\ncmp rdi, rdi\nshl rsi, 0x0\nsete al\nmovzx rax, al\nret\n";
+        assert_eq!(run(text, &[5, 1]), 1);
+    }
+
+    #[test]
+    fn sar_is_arithmetic() {
+        let r = run(
+            "proc f\nentry:\nmov rax, rdi\nsar rax, 0x4\nret\n",
+            &[(-256i64) as u64],
+        );
+        assert_eq!(r as i64, -16);
+    }
+}

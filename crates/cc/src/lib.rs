@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # esh-cc — a synthetic multi-vendor compiler
+//!
+//! The paper's experiments hinge on the same source code being compiled by
+//! gcc 4.{6,8,9}, CLang 3.{4,5} and icc {14,15} into syntactically very
+//! different — but semantically equal — binaries (§5.3). This crate is the
+//! substitute toolchain: a MiniC → x86-64 compiler whose code generation is
+//! parameterized by a vendor/version/optimization [`Style`], plus the
+//! [`emu`] x86-64 emulator used to differentially test every backend
+//! against the MiniC reference interpreter.
+//!
+//! ## Example
+//!
+//! ```
+//! use esh_cc::{emu, Compiler, Vendor, VendorVersion};
+//! use esh_minic::{demo, Memory, StdHost};
+//!
+//! let f = demo::saturating_sum();
+//! let icc = Compiler::new(Vendor::Icc, VendorVersion::new(15, 0));
+//! let proc_ = icc.compile_function(&f);
+//!
+//! let mut mem = Memory::new();
+//! let mut host = StdHost::default();
+//! let r = emu::run_procedure(&proc_, &[7, 3], &mut mem, &mut host)?;
+//! assert_eq!(r, 10);
+//! # Ok::<(), esh_cc::emu::EmuError>(())
+//! ```
+
+mod codegen;
+mod compiler;
+pub mod emu;
+pub mod normalize;
+mod peephole;
+mod style;
+
+pub use compiler::Compiler;
+pub use style::{MulIdiom, OptLevel, Style, Toolchain, Vendor, VendorVersion};

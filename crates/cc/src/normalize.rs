@@ -1,0 +1,396 @@
+//! AST legalization ahead of code generation.
+//!
+//! Two rewrites, both semantics-preserving:
+//!
+//! 1. **Call hoisting** — every call becomes the whole right-hand side of
+//!    its own `let`. Calls clobber all caller-saved registers, so the code
+//!    generator requires that no scratch values are live across them.
+//! 2. **Depth bounding** — expressions deeper than the budget are split
+//!    through temporaries, so expression evaluation never needs more
+//!    scratch registers than the style provides.
+//!
+//! Loop conditions are handled by evaluating the hoisted prefix once before
+//! the loop and re-evaluating it at the end of each iteration, preserving
+//! the re-evaluation semantics of `while`.
+
+use esh_minic::{Expr, Function, Stmt};
+
+/// Default maximum expression depth after normalization.
+pub const DEFAULT_MAX_DEPTH: usize = 3;
+
+struct Normalizer {
+    max_depth: usize,
+    fresh: usize,
+}
+
+impl Normalizer {
+    fn fresh_name(&mut self) -> String {
+        self.fresh += 1;
+        format!("__n{}", self.fresh)
+    }
+
+    /// Rebuilds `e` with every child flattened to `budget - 1`.
+    fn flat_node(&mut self, e: &Expr, budget: usize, out: &mut Vec<Stmt>) -> Expr {
+        let child = budget.saturating_sub(1);
+        match e {
+            Expr::Unary(op, a) => Expr::Unary(*op, Box::new(self.flat(a, child, out))),
+            Expr::Binary(op, a, b) => Expr::Binary(
+                *op,
+                Box::new(self.flat(a, child, out)),
+                Box::new(self.flat(b, child, out)),
+            ),
+            Expr::Load { addr, width } => Expr::Load {
+                addr: Box::new(self.flat(addr, child, out)),
+                width: *width,
+            },
+            _ => unreachable!("flat_node only called on compound expressions"),
+        }
+    }
+
+    /// Returns an expression of depth ≤ `budget` equivalent to `e`,
+    /// appending hoisted prefix statements to `out`.
+    fn flat(&mut self, e: &Expr, budget: usize, out: &mut Vec<Stmt>) -> Expr {
+        match e {
+            Expr::Const(_) | Expr::Var(_) => e.clone(),
+            Expr::Call { name, args } => {
+                // Arguments must be leaves: they are staged through
+                // scratch registers all at once.
+                let new_args: Vec<Expr> = args.iter().map(|a| self.flat(a, 0, out)).collect();
+                let t = self.fresh_name();
+                out.push(Stmt::Let {
+                    name: t.clone(),
+                    init: Expr::Call {
+                        name: name.clone(),
+                        args: new_args,
+                    },
+                });
+                Expr::Var(t)
+            }
+            _ if budget == 0 => {
+                let rebuilt = self.flat_node(e, self.max_depth, out);
+                let t = self.fresh_name();
+                out.push(Stmt::Let {
+                    name: t.clone(),
+                    init: rebuilt,
+                });
+                Expr::Var(t)
+            }
+            _ => self.flat_node(e, budget, out),
+        }
+    }
+
+    /// Flattens a statement-level expression. A call in tail position stays
+    /// a call (it already is a whole RHS).
+    fn flat_rhs(&mut self, e: &Expr, out: &mut Vec<Stmt>) -> Expr {
+        if let Expr::Call { name, args } = e {
+            let new_args: Vec<Expr> = args.iter().map(|a| self.flat(a, 0, out)).collect();
+            return Expr::Call {
+                name: name.clone(),
+                args: new_args,
+            };
+        }
+        self.flat(e, self.max_depth, out)
+    }
+
+    fn stmt(&mut self, s: &Stmt, out: &mut Vec<Stmt>) {
+        match s {
+            Stmt::Let { name, init } => {
+                let init = self.flat_rhs(init, out);
+                out.push(Stmt::Let {
+                    name: name.clone(),
+                    init,
+                });
+            }
+            Stmt::Assign { name, value } => {
+                let value = self.flat_rhs(value, out);
+                out.push(Stmt::Assign {
+                    name: name.clone(),
+                    value,
+                });
+            }
+            Stmt::Store { addr, width, value } => {
+                let addr = self.flat(addr, self.max_depth, out);
+                let value = self.flat(value, self.max_depth, out);
+                out.push(Stmt::Store {
+                    addr,
+                    width: *width,
+                    value,
+                });
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let cond = self.flat(cond, self.max_depth, out);
+                let then_body = self.block(then_body);
+                let else_body = self.block(else_body);
+                out.push(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                });
+            }
+            Stmt::While { cond, body } => {
+                // Hoisted prefix before the loop (as `let`s)...
+                let mut pre = Vec::new();
+                let cond = self.flat(cond, self.max_depth, &mut pre);
+                out.extend(pre.iter().cloned());
+                // ...and re-evaluated at the end of each iteration (as
+                // assignments to the same temporaries).
+                let tail: Vec<Stmt> = pre
+                    .into_iter()
+                    .map(|s| match s {
+                        Stmt::Let { name, init } => Stmt::Assign { name, value: init },
+                        other => other,
+                    })
+                    .collect();
+                let mut body = self.block(body);
+                // Every `continue` at this loop's level jumps back to the
+                // condition, so the temporaries must be recomputed first.
+                insert_before_continues(&mut body, &tail);
+                body.extend(tail);
+                out.push(Stmt::While { cond, body });
+            }
+            Stmt::Return(Some(e)) => {
+                let e = self.flat(e, self.max_depth, out);
+                out.push(Stmt::Return(Some(e)));
+            }
+            Stmt::Return(None) => out.push(Stmt::Return(None)),
+            Stmt::Break => out.push(Stmt::Break),
+            Stmt::Continue => out.push(Stmt::Continue),
+            Stmt::ExprStmt(e) => {
+                if let Expr::Call { name, args } = e {
+                    let new_args: Vec<Expr> = args.iter().map(|a| self.flat(a, 0, out)).collect();
+                    out.push(Stmt::ExprStmt(Expr::Call {
+                        name: name.clone(),
+                        args: new_args,
+                    }));
+                } else {
+                    // A pure expression statement has no effect; drop it
+                    // after flattening possible embedded calls.
+                    let _ = self.flat(e, self.max_depth, out);
+                }
+            }
+        }
+    }
+
+    fn block(&mut self, stmts: &[Stmt]) -> Vec<Stmt> {
+        let mut out = Vec::new();
+        for s in stmts {
+            self.stmt(s, &mut out);
+        }
+        out
+    }
+}
+
+/// Prepends `tail` to every `continue` belonging to the current loop
+/// (recursing into `if` arms but not into nested loops, whose `continue`s
+/// target the inner loop).
+fn insert_before_continues(stmts: &mut Vec<Stmt>, tail: &[Stmt]) {
+    let mut i = 0;
+    while i < stmts.len() {
+        match &mut stmts[i] {
+            Stmt::Continue => {
+                for (k, s) in tail.iter().enumerate() {
+                    stmts.insert(i + k, s.clone());
+                }
+                i += tail.len() + 1;
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                insert_before_continues(then_body, tail);
+                insert_before_continues(else_body, tail);
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Normalizes a function for code generation.
+pub fn normalize(f: &Function) -> Function {
+    normalize_with_depth(f, DEFAULT_MAX_DEPTH)
+}
+
+/// Normalizes with an explicit depth budget (≥ 1).
+pub fn normalize_with_depth(f: &Function, max_depth: usize) -> Function {
+    let mut n = Normalizer {
+        max_depth: max_depth.max(1),
+        fresh: 0,
+    };
+    Function::new(f.name.clone(), f.params.clone(), n.block(&f.body))
+}
+
+/// The depth of an expression tree (leaves are depth 0).
+pub fn expr_depth(e: &Expr) -> usize {
+    match e {
+        Expr::Const(_) | Expr::Var(_) => 0,
+        Expr::Unary(_, a) | Expr::Load { addr: a, .. } => 1 + expr_depth(a),
+        Expr::Binary(_, a, b) => 1 + expr_depth(a).max(expr_depth(b)),
+        Expr::Call { args, .. } => 1 + args.iter().map(expr_depth).max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esh_minic::{demo, interp, validate_function, Memory, StdHost};
+
+    fn max_stmt_depth(stmts: &[Stmt]) -> usize {
+        let mut d = 0;
+        for s in stmts {
+            d = d.max(match s {
+                Stmt::Let { init, .. } | Stmt::Assign { value: init, .. } => match init {
+                    Expr::Call { args, .. } => args.iter().map(expr_depth).max().unwrap_or(0),
+                    e => expr_depth(e),
+                },
+                Stmt::Store { addr, value, .. } => expr_depth(addr).max(expr_depth(value)),
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => expr_depth(cond)
+                    .max(max_stmt_depth(then_body))
+                    .max(max_stmt_depth(else_body)),
+                Stmt::While { cond, body } => expr_depth(cond).max(max_stmt_depth(body)),
+                Stmt::Return(Some(e)) => expr_depth(e),
+                Stmt::Return(None) | Stmt::Break | Stmt::Continue => 0,
+                Stmt::ExprStmt(e) => expr_depth(e),
+            });
+        }
+        d
+    }
+
+    fn has_nested_call(stmts: &[Stmt]) -> bool {
+        fn expr_has_nested(e: &Expr, top: bool) -> bool {
+            match e {
+                Expr::Call { args, .. } => !top || args.iter().any(|a| expr_has_nested(a, false)),
+                Expr::Unary(_, a) | Expr::Load { addr: a, .. } => expr_has_nested(a, false),
+                Expr::Binary(_, a, b) => expr_has_nested(a, false) || expr_has_nested(b, false),
+                _ => false,
+            }
+        }
+        stmts.iter().any(|s| match s {
+            Stmt::Let { init, .. } | Stmt::Assign { value: init, .. } => {
+                expr_has_nested(init, true)
+            }
+            Stmt::Store { addr, value, .. } => {
+                expr_has_nested(addr, false) || expr_has_nested(value, false)
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                expr_has_nested(cond, false)
+                    || has_nested_call(then_body)
+                    || has_nested_call(else_body)
+            }
+            Stmt::While { cond, body } => expr_has_nested(cond, false) || has_nested_call(body),
+            Stmt::Return(Some(e)) => expr_has_nested(e, false),
+            Stmt::Return(None) | Stmt::Break | Stmt::Continue => false,
+            Stmt::ExprStmt(e) => expr_has_nested(e, true),
+        })
+    }
+
+    #[test]
+    fn normalized_demos_validate_and_are_shallow() {
+        for (_, f) in demo::cve_functions() {
+            let n = normalize(&f);
+            let errs = validate_function(&n);
+            assert!(errs.is_empty(), "{}: {errs:?}\n{n}", f.name);
+            assert!(
+                max_stmt_depth(&n.body) <= DEFAULT_MAX_DEPTH,
+                "{}\n{n}",
+                f.name
+            );
+            assert!(!has_nested_call(&n.body), "{}\n{n}", f.name);
+        }
+    }
+
+    #[test]
+    fn normalization_preserves_behaviour() {
+        for (_, f) in demo::cve_functions() {
+            let n = normalize(&f);
+            for seed in 0..8u64 {
+                let mut m1 = Memory::new();
+                let a1 = m1.alloc(4096);
+                let b1 = m1.alloc(4096);
+                for i in 0..64 {
+                    m1.write_u8(b1 + i, (seed as u8).wrapping_mul(31).wrapping_add(i as u8));
+                }
+                let mut m2 = m1.clone();
+                let mut h1 = StdHost::default();
+                let mut h2 = StdHost::default();
+                let args = [a1, b1, 16 + seed];
+                let r1 = interp::run_function(&f, &args, &mut m1, &mut h1).expect("orig");
+                let r2 = interp::run_function(&n, &args, &mut m2, &mut h2).expect("norm");
+                assert_eq!(r1, r2, "{} diverged on seed {seed}", f.name);
+                assert_eq!(h1.trace, h2.trace, "{} call trace diverged", f.name);
+            }
+        }
+    }
+
+    #[test]
+    fn while_condition_reevaluated() {
+        use esh_minic::{BinOp, MemWidth};
+        // while (load(p) != 0) { store(p, load(p) - 1); } — the condition
+        // depends on memory mutated by the body.
+        let f = Function::new(
+            "countdown",
+            vec!["p".into()],
+            vec![
+                Stmt::While {
+                    cond: Expr::bin(
+                        BinOp::Ne,
+                        // Make it deep enough to force hoisting.
+                        Expr::bin(
+                            BinOp::Add,
+                            Expr::bin(
+                                BinOp::Mul,
+                                Expr::load(Expr::var("p"), MemWidth::W8),
+                                Expr::Const(2),
+                            ),
+                            Expr::Const(0),
+                        ),
+                        Expr::Const(0),
+                    ),
+                    body: vec![Stmt::Store {
+                        addr: Expr::var("p"),
+                        width: MemWidth::W8,
+                        value: Expr::bin(
+                            BinOp::Sub,
+                            Expr::load(Expr::var("p"), MemWidth::W8),
+                            Expr::Const(1),
+                        ),
+                    }],
+                },
+                Stmt::Return(Some(Expr::load(Expr::var("p"), MemWidth::W8))),
+            ],
+        );
+        let n = normalize_with_depth(&f, 1);
+        let mut mem = Memory::new();
+        mem.write_u8(0x100, 5);
+        let mut host = StdHost::default();
+        let r = interp::run_function(&n, &[0x100], &mut mem, &mut host).expect("runs");
+        assert_eq!(r, 0, "loop must terminate by re-evaluating the condition");
+    }
+
+    #[test]
+    fn depth_is_bounded_for_pathological_input() {
+        use esh_minic::BinOp;
+        // A deeply nested expression.
+        let mut e = Expr::var("a");
+        for k in 0..20 {
+            e = Expr::bin(BinOp::Add, e, Expr::Const(k));
+        }
+        let f = Function::new("deep", vec!["a".into()], vec![Stmt::Return(Some(e))]);
+        let n = normalize_with_depth(&f, 2);
+        assert!(validate_function(&n).is_empty());
+        assert!(max_stmt_depth(&n.body) <= 2, "{n}");
+    }
+}

@@ -1,0 +1,54 @@
+//! Post-codegen peephole cleanup, style-aware.
+
+use esh_asm::{Inst, Operand, Procedure, Width};
+
+use crate::style::Style;
+
+fn is_noop(inst: &Inst) -> bool {
+    match inst {
+        // A full-width self-move does nothing. (A 32-bit self-move is NOT a
+        // no-op: it zero-extends into the upper half.)
+        Inst::Mov {
+            dst: Operand::Reg(d),
+            src: Operand::Reg(s),
+        } => d == s && d.width == Width::W64,
+        Inst::Add {
+            dst: _,
+            src: Operand::Imm(0),
+        }
+        | Inst::Sub {
+            dst: _,
+            src: Operand::Imm(0),
+        } => true,
+        Inst::Nop => true,
+        _ => false,
+    }
+}
+
+/// Runs the peephole passes over every block of `proc_` in place.
+pub fn run(_style: &Style, proc_: &mut Procedure) {
+    for block in &mut proc_.blocks {
+        block.insts.retain(|i| !is_noop(i));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::style::{OptLevel, Style, Vendor, VendorVersion};
+    use esh_asm::{parse_proc, Reg64};
+
+    #[test]
+    fn removes_full_width_self_moves_only() {
+        let mut p = parse_proc("proc f\nentry:\nmov rax, rax\nmov eax, eax\nadd rbx, 0x0\nret\n")
+            .expect("parses");
+        let style = Style::resolve(Vendor::Gcc, VendorVersion::new(4, 9), OptLevel::O2);
+        run(&style, &mut p);
+        assert_eq!(p.inst_count(), 2, "{p}");
+        // The 32-bit self-move (zero-extension) survives.
+        assert!(p.blocks[0].insts.iter().any(|i| matches!(
+            i,
+            Inst::Mov { dst: Operand::Reg(r), .. } if r.base == Reg64::Rax && r.width == Width::W32
+        )));
+    }
+}

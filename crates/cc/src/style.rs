@@ -1,0 +1,341 @@
+//! Vendor/version/optimization "styles": the knobs that make two
+//! compilations of the same source differ syntactically.
+//!
+//! The paper's premise is that gcc, CLang and icc produce binaries that
+//! "differ vastly in syntax" for the same source (§1), and that even
+//! versions of one compiler differ. Each [`Style`] field captures one
+//! concrete axis of that divergence, grounded in real compiler behaviour:
+//! frame-pointer omission, register-allocation preference order,
+//! instruction-selection idioms (lea-arithmetic, xor-zeroing, inc/dec,
+//! test-vs-cmp), loop rotation, and scheduling noise.
+
+use esh_asm::Reg64;
+use std::fmt;
+
+/// Compiler vendor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Vendor {
+    /// GNU gcc analogue.
+    Gcc,
+    /// LLVM CLang analogue.
+    Clang,
+    /// Intel icc analogue.
+    Icc,
+}
+
+impl Vendor {
+    /// All vendors.
+    pub const ALL: [Vendor; 3] = [Vendor::Gcc, Vendor::Clang, Vendor::Icc];
+
+    /// Lowercase name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Vendor::Gcc => "gcc",
+            Vendor::Clang => "clang",
+            Vendor::Icc => "icc",
+        }
+    }
+}
+
+impl fmt::Display for Vendor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A compiler version (major.minor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VendorVersion {
+    /// Major component.
+    pub major: u8,
+    /// Minor component.
+    pub minor: u8,
+}
+
+impl VendorVersion {
+    /// Creates a version.
+    pub fn new(major: u8, minor: u8) -> VendorVersion {
+        VendorVersion { major, minor }
+    }
+
+    /// A single ordering key.
+    fn key(self) -> u16 {
+        u16::from(self.major) << 8 | u16::from(self.minor)
+    }
+}
+
+impl fmt::Display for VendorVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.major, self.minor)
+    }
+}
+
+/// Optimization level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OptLevel {
+    /// No optimization: everything lives on the stack.
+    O0,
+    /// The default for most packages in the paper's corpus (§5.2).
+    O2,
+    /// OpenSSL's default (§5.2): more promotion, more idioms.
+    O3,
+}
+
+impl fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptLevel::O0 => write!(f, "-O0"),
+            OptLevel::O2 => write!(f, "-O2"),
+            OptLevel::O3 => write!(f, "-O3"),
+        }
+    }
+}
+
+/// How `x * constant` is selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MulIdiom {
+    /// Always `imul dst, src, imm`.
+    Imul,
+    /// Prefer `lea`/`shl`/`add` strength reduction where possible.
+    LeaShift,
+}
+
+/// The resolved set of code-generation choices.
+#[derive(Debug, Clone)]
+pub struct Style {
+    /// Keep a frame pointer (`rbp`) and address locals off it.
+    pub frame_pointer: bool,
+    /// Callee-saved registers in promotion-preference order.
+    pub promote_order: Vec<Reg64>,
+    /// How many locals may be promoted to registers.
+    pub promote_limit: usize,
+    /// Caller-saved scratch registers in acquisition order (never `rcx`,
+    /// which is reserved for dynamic shift counts).
+    pub scratch_order: Vec<Reg64>,
+    /// Zero a register with `xor r, r` instead of `mov r, 0`.
+    pub xor_zeroing: bool,
+    /// Use `inc`/`dec` for ±1.
+    pub inc_dec: bool,
+    /// Use `test r, r` instead of `cmp r, 0`.
+    pub test_for_zero: bool,
+    /// Fuse `a + b` / `a + c` into `lea` when both sides are registers.
+    pub lea_arith: bool,
+    /// Strength-reduce multiplications.
+    pub mul_idiom: MulIdiom,
+    /// Convert two-armed value-only `if`s into `cmov`.
+    pub use_cmov: bool,
+    /// Rotate loops (condition test at the bottom, guarded entry jump).
+    pub rotate_loops: bool,
+    /// Evaluate call arguments left-to-right (`false` = right-to-left).
+    pub args_left_to_right: bool,
+    /// Allocate stack slots in declaration order (`false` = reversed).
+    pub slots_in_decl_order: bool,
+    /// Emit a shared epilogue block (`false` = inline `ret` per return).
+    pub shared_epilogue: bool,
+    /// Insert icc-style staging moves through an extra register.
+    pub redundant_moves: bool,
+    /// Label prefix, cosmetic vendor fingerprint.
+    pub label_prefix: &'static str,
+}
+
+impl Style {
+    /// Resolves the style for a vendor/version/optimization triple.
+    ///
+    /// Version thresholds are modelled after the real toolchains the paper
+    /// uses: gcc 4.6 → 4.9 gains lea-arithmetic, loop rotation and cmov;
+    /// CLang 3.4 → 3.5 changes scratch ordering and gains cmov at `-O2`;
+    /// icc 14 → 15 drops some staging moves and changes multiply selection.
+    pub fn resolve(vendor: Vendor, version: VendorVersion, opt: OptLevel) -> Style {
+        use Reg64::*;
+        let v = version.key();
+        let optimized = opt != OptLevel::O0;
+        match vendor {
+            Vendor::Gcc => Style {
+                frame_pointer: !optimized || v < VendorVersion::new(4, 8).key(),
+                promote_order: vec![Rbx, R12, R13, R14, R15],
+                promote_limit: match opt {
+                    OptLevel::O0 => 0,
+                    OptLevel::O2 => 3,
+                    OptLevel::O3 => 5,
+                },
+                scratch_order: vec![Rax, Rdx, Rsi, Rdi, R8, R9, R10, R11],
+                xor_zeroing: optimized,
+                inc_dec: v < VendorVersion::new(4, 9).key(),
+                test_for_zero: optimized,
+                lea_arith: optimized && v >= VendorVersion::new(4, 8).key(),
+                mul_idiom: if optimized {
+                    MulIdiom::LeaShift
+                } else {
+                    MulIdiom::Imul
+                },
+                use_cmov: match opt {
+                    OptLevel::O0 => false,
+                    OptLevel::O2 => v >= VendorVersion::new(4, 9).key(),
+                    OptLevel::O3 => true,
+                },
+                rotate_loops: optimized && v >= VendorVersion::new(4, 8).key(),
+                args_left_to_right: false,
+                slots_in_decl_order: true,
+                shared_epilogue: true,
+                redundant_moves: false,
+                label_prefix: ".L",
+            },
+            Vendor::Clang => Style {
+                frame_pointer: !optimized,
+                promote_order: vec![R14, R15, Rbx, R12, R13],
+                promote_limit: match opt {
+                    OptLevel::O0 => 0,
+                    OptLevel::O2 => 4,
+                    OptLevel::O3 => 5,
+                },
+                scratch_order: if v >= VendorVersion::new(3, 5).key() {
+                    vec![Rax, Rsi, Rdx, Rdi, R8, R9, R11, R10]
+                } else {
+                    vec![Rax, Rdi, Rsi, Rdx, R8, R10, R11, R9]
+                },
+                xor_zeroing: optimized,
+                inc_dec: false,
+                test_for_zero: optimized,
+                lea_arith: optimized,
+                mul_idiom: if optimized {
+                    MulIdiom::LeaShift
+                } else {
+                    MulIdiom::Imul
+                },
+                use_cmov: optimized && v >= VendorVersion::new(3, 5).key(),
+                rotate_loops: false,
+                args_left_to_right: true,
+                slots_in_decl_order: false,
+                shared_epilogue: false,
+                redundant_moves: false,
+                label_prefix: ".LBB",
+            },
+            Vendor::Icc => Style {
+                frame_pointer: !optimized,
+                promote_order: vec![R12, R13, R14, Rbx, R15],
+                promote_limit: match opt {
+                    OptLevel::O0 => 0,
+                    OptLevel::O2 => 3,
+                    OptLevel::O3 => 4,
+                },
+                scratch_order: vec![Rdx, Rax, R9, R10, Rsi, Rdi, R8, R11],
+                xor_zeroing: optimized,
+                inc_dec: true,
+                test_for_zero: false,
+                lea_arith: optimized,
+                mul_idiom: if v >= VendorVersion::new(15, 0).key() {
+                    MulIdiom::LeaShift
+                } else {
+                    MulIdiom::Imul
+                },
+                use_cmov: opt == OptLevel::O3,
+                rotate_loops: optimized,
+                args_left_to_right: true,
+                slots_in_decl_order: true,
+                shared_epilogue: true,
+                redundant_moves: v < VendorVersion::new(15, 0).key(),
+                label_prefix: "..B",
+            },
+        }
+    }
+}
+
+/// A `(vendor, version, opt)` triple identifying one toolchain
+/// configuration; the unit of the paper's compiler matrix (§5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Toolchain {
+    /// Vendor.
+    pub vendor: Vendor,
+    /// Version.
+    pub version: VendorVersion,
+    /// Optimization level.
+    pub opt: OptLevel,
+}
+
+impl Toolchain {
+    /// Creates a toolchain at `-O2` (the corpus default).
+    pub fn new(vendor: Vendor, version: VendorVersion) -> Toolchain {
+        Toolchain {
+            vendor,
+            version,
+            opt: OptLevel::O2,
+        }
+    }
+
+    /// The paper's full compiler matrix: gcc 4.{6,8,9}, CLang 3.{4,5},
+    /// icc {14.0, 15.0} (§5.3), at `-O2`.
+    pub fn paper_matrix() -> Vec<Toolchain> {
+        vec![
+            Toolchain::new(Vendor::Gcc, VendorVersion::new(4, 6)),
+            Toolchain::new(Vendor::Gcc, VendorVersion::new(4, 8)),
+            Toolchain::new(Vendor::Gcc, VendorVersion::new(4, 9)),
+            Toolchain::new(Vendor::Clang, VendorVersion::new(3, 4)),
+            Toolchain::new(Vendor::Clang, VendorVersion::new(3, 5)),
+            Toolchain::new(Vendor::Icc, VendorVersion::new(14, 0)),
+            Toolchain::new(Vendor::Icc, VendorVersion::new(15, 0)),
+        ]
+    }
+}
+
+impl fmt::Display for Toolchain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.vendor, self.version, self.opt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn styles_differ_across_vendors() {
+        let o2 = OptLevel::O2;
+        let gcc = Style::resolve(Vendor::Gcc, VendorVersion::new(4, 9), o2);
+        let clang = Style::resolve(Vendor::Clang, VendorVersion::new(3, 5), o2);
+        let icc = Style::resolve(Vendor::Icc, VendorVersion::new(15, 0), o2);
+        assert_ne!(gcc.promote_order, clang.promote_order);
+        assert_ne!(clang.promote_order, icc.promote_order);
+        assert_ne!(gcc.scratch_order, icc.scratch_order);
+        assert_ne!(gcc.label_prefix, clang.label_prefix);
+    }
+
+    #[test]
+    fn versions_change_idioms() {
+        let o2 = OptLevel::O2;
+        let g46 = Style::resolve(Vendor::Gcc, VendorVersion::new(4, 6), o2);
+        let g49 = Style::resolve(Vendor::Gcc, VendorVersion::new(4, 9), o2);
+        assert!(!g46.lea_arith && g49.lea_arith);
+        assert!(g46.inc_dec && !g49.inc_dec);
+        assert!(!g46.use_cmov && g49.use_cmov);
+    }
+
+    #[test]
+    fn o0_pins_everything_to_the_stack() {
+        for vendor in Vendor::ALL {
+            let s = Style::resolve(vendor, VendorVersion::new(9, 9), OptLevel::O0);
+            assert_eq!(s.promote_limit, 0);
+            assert!(s.frame_pointer);
+            assert!(!s.use_cmov);
+        }
+    }
+
+    #[test]
+    fn scratch_never_contains_rcx_or_callee_saved() {
+        for vendor in Vendor::ALL {
+            for opt in [OptLevel::O0, OptLevel::O2, OptLevel::O3] {
+                let s = Style::resolve(vendor, VendorVersion::new(4, 9), opt);
+                assert!(!s.scratch_order.contains(&Reg64::Rcx));
+                for r in &s.promote_order {
+                    assert!(!s.scratch_order.contains(r), "{vendor}: {r} in both");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_matrix_has_seven_toolchains() {
+        let m = Toolchain::paper_matrix();
+        assert_eq!(m.len(), 7);
+        assert_eq!(m.iter().filter(|t| t.vendor == Vendor::Gcc).count(), 3);
+    }
+}

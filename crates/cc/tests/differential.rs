@@ -1,0 +1,153 @@
+//! Differential testing: for every toolchain in the paper's matrix, the
+//! compiled procedure must behave exactly like the MiniC reference
+//! interpreter — same return value, same external-call trace, same final
+//! memory (outside the emulator's own stack).
+
+use esh_cc::{emu, Compiler, OptLevel, Toolchain};
+use esh_minic::{demo, gen, interp, Function, Memory, StdHost};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Runs `f` both ways on one input vector and asserts agreement.
+fn check_one(f: &Function, cc: &Compiler, seed: u64) {
+    let proc_ = cc.compile_function(f);
+
+    // Identical initial memories: two buffers with patterned contents.
+    let mut base = Memory::new();
+    let buf_a = base.alloc(4096);
+    let buf_b = base.alloc(4096);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..512 {
+        base.write_u8(buf_a + i, rng.gen());
+        base.write_u8(buf_b + i, rng.gen());
+    }
+    let args: Vec<u64> = vec![
+        if seed.is_multiple_of(3) { buf_a } else { buf_b },
+        if seed.is_multiple_of(2) {
+            buf_b
+        } else {
+            rng.gen_range(0..512)
+        },
+        rng.gen_range(0..1024),
+        rng.gen(),
+    ];
+
+    let mut mem_i = base.clone();
+    let mut host_i = StdHost::default();
+    let r_interp = interp::run_function(f, &args, &mut mem_i, &mut host_i)
+        .unwrap_or_else(|e| panic!("{} interp failed: {e}", f.name));
+
+    let mut mem_e = base.clone();
+    let mut host_e = StdHost::default();
+    let r_emu = emu::run_procedure(&proc_, &args, &mut mem_e, &mut host_e).unwrap_or_else(|e| {
+        panic!(
+            "{} [{}] emulation failed: {e}\n{proc_}",
+            f.name,
+            cc.toolchain()
+        )
+    });
+
+    assert_eq!(
+        r_interp,
+        r_emu,
+        "{} [{}] returned {r_emu:#x}, interpreter said {r_interp:#x} (seed {seed})\n{proc_}",
+        f.name,
+        cc.toolchain()
+    );
+    assert_eq!(
+        host_i.trace,
+        host_e.trace,
+        "{} [{}] external-call traces diverged (seed {seed})\n{proc_}",
+        f.name,
+        cc.toolchain()
+    );
+    // Final heap state must agree on both buffers (the compiled code also
+    // writes to its stack, which the interpreter has no analogue of).
+    for i in 0..4096 {
+        assert_eq!(
+            mem_i.read_u8(buf_a + i),
+            mem_e.read_u8(buf_a + i),
+            "{} [{}] heap diverged at buf_a+{i:#x} (seed {seed})",
+            f.name,
+            cc.toolchain()
+        );
+        assert_eq!(
+            mem_i.read_u8(buf_b + i),
+            mem_e.read_u8(buf_b + i),
+            "{} [{}] heap diverged at buf_b+{i:#x} (seed {seed})",
+            f.name,
+            cc.toolchain()
+        );
+    }
+}
+
+fn all_compilers() -> Vec<Compiler> {
+    let mut out: Vec<Compiler> = Toolchain::paper_matrix()
+        .into_iter()
+        .map(Compiler::from_toolchain)
+        .collect();
+    // Also exercise -O0 and -O3 for one vendor each.
+    let mut o0 = Toolchain::paper_matrix()[0];
+    o0.opt = OptLevel::O0;
+    out.push(Compiler::from_toolchain(o0));
+    let mut o3 = Toolchain::paper_matrix()[3];
+    o3.opt = OptLevel::O3;
+    out.push(Compiler::from_toolchain(o3));
+    out
+}
+
+#[test]
+fn demos_agree_across_all_toolchains() {
+    let mut functions: Vec<Function> = demo::cve_functions().into_iter().map(|(_, f)| f).collect();
+    functions.push(demo::saturating_sum());
+    functions.push(demo::exit_cleanup_wrapper());
+    for cc in all_compilers() {
+        for f in &functions {
+            for seed in 0..4 {
+                check_one(f, &cc, seed);
+            }
+        }
+    }
+}
+
+#[test]
+fn generated_programs_agree_across_all_toolchains() {
+    let mut rng = StdRng::seed_from_u64(0xc0ffee);
+    let config = gen::GenConfig::default();
+    let compilers = all_compilers();
+    for shape in gen::Shape::ALL {
+        for k in 0..6 {
+            let f = gen::generate_function(&mut rng, format!("df_{shape:?}_{k}"), shape, &config);
+            for cc in &compilers {
+                for seed in 0..2 {
+                    check_one(&f, cc, seed);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn patched_programs_agree() {
+    use esh_minic::patch::{apply_patch, PatchLevel};
+    let compilers = all_compilers();
+    for (_, f) in demo::cve_functions() {
+        for level in [PatchLevel::Minor, PatchLevel::Moderate, PatchLevel::Major] {
+            let p = apply_patch(&f, level, 1);
+            for cc in &compilers {
+                check_one(&p, cc, 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn template_families_agree() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let fam = gen::generate_template_family(&mut rng, "strcmp_key", 5);
+    for cc in all_compilers() {
+        for f in &fam {
+            check_one(f, &cc, 3);
+        }
+    }
+}

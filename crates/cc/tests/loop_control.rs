@@ -1,0 +1,227 @@
+//! Differential tests for `break`/`continue` across every toolchain, plus
+//! normalization interaction (a `continue` must re-evaluate hoisted loop
+//! condition temporaries).
+
+use esh_cc::{emu, Compiler, Toolchain};
+use esh_minic::{
+    interp, validate_function, BinOp, Expr, Function, MemWidth, Memory, StdHost, Stmt,
+};
+
+fn v(n: &str) -> Expr {
+    Expr::var(n)
+}
+
+fn c(x: i64) -> Expr {
+    Expr::Const(x)
+}
+
+/// Scans bytes, skipping zero bytes (continue) and stopping at 0xff
+/// (break); returns the sum of accepted bytes.
+fn scan_function() -> Function {
+    Function::new(
+        "scan",
+        vec!["p".into(), "n".into()],
+        vec![
+            Stmt::Let {
+                name: "acc".into(),
+                init: c(0),
+            },
+            Stmt::Let {
+                name: "i".into(),
+                init: c(0),
+            },
+            Stmt::Let {
+                name: "cap".into(),
+                init: Expr::bin(BinOp::And, v("n"), c(63)),
+            },
+            Stmt::While {
+                cond: Expr::bin(BinOp::Ult, v("i"), v("cap")),
+                body: vec![
+                    Stmt::Let {
+                        name: "ch".into(),
+                        init: Expr::load(Expr::add(v("p"), v("i")), MemWidth::W8),
+                    },
+                    Stmt::Assign {
+                        name: "i".into(),
+                        value: Expr::add(v("i"), c(1)),
+                    },
+                    Stmt::If {
+                        cond: Expr::bin(BinOp::Eq, v("ch"), c(0)),
+                        then_body: vec![Stmt::Continue],
+                        else_body: vec![],
+                    },
+                    Stmt::If {
+                        cond: Expr::bin(BinOp::Eq, v("ch"), c(0xff)),
+                        then_body: vec![Stmt::Break],
+                        else_body: vec![],
+                    },
+                    Stmt::Assign {
+                        name: "acc".into(),
+                        value: Expr::add(v("acc"), v("ch")),
+                    },
+                ],
+            },
+            Stmt::Return(Some(v("acc"))),
+        ],
+    )
+}
+
+/// A loop whose condition depends on memory the body mutates, with a
+/// `continue` path — exercising the normalize-tail re-evaluation.
+fn countdown_with_continue() -> Function {
+    Function::new(
+        "countdown",
+        vec!["p".into()],
+        vec![
+            Stmt::Let {
+                name: "steps".into(),
+                init: c(0),
+            },
+            Stmt::While {
+                // Deep condition to force hoisting.
+                cond: Expr::bin(
+                    BinOp::Ne,
+                    Expr::bin(
+                        BinOp::Add,
+                        Expr::bin(BinOp::Mul, Expr::load(v("p"), MemWidth::W8), c(2)),
+                        c(0),
+                    ),
+                    c(0),
+                ),
+                body: vec![
+                    Stmt::Store {
+                        addr: v("p"),
+                        width: MemWidth::W8,
+                        value: Expr::bin(BinOp::Sub, Expr::load(v("p"), MemWidth::W8), c(1)),
+                    },
+                    Stmt::Assign {
+                        name: "steps".into(),
+                        value: Expr::add(v("steps"), c(1)),
+                    },
+                    Stmt::If {
+                        cond: Expr::bin(BinOp::Eq, Expr::bin(BinOp::And, v("steps"), c(1)), c(1)),
+                        then_body: vec![Stmt::Continue],
+                        else_body: vec![],
+                    },
+                    Stmt::Assign {
+                        name: "steps".into(),
+                        value: Expr::add(v("steps"), c(0)),
+                    },
+                ],
+            },
+            Stmt::Return(Some(v("steps"))),
+        ],
+    )
+}
+
+fn check_differential(f: &Function, setup: impl Fn(&mut Memory) -> Vec<u64>) {
+    assert!(validate_function(f).is_empty());
+    for tc in Toolchain::paper_matrix() {
+        let cc = Compiler::from_toolchain(tc);
+        let proc_ = cc.compile_function(f);
+        let mut mem_i = Memory::new();
+        let args = setup(&mut mem_i);
+        let mut mem_e = mem_i.clone();
+        let mut host_i = StdHost::default();
+        let mut host_e = StdHost::default();
+        let ri = interp::run_function(f, &args, &mut mem_i, &mut host_i)
+            .unwrap_or_else(|e| panic!("{tc}: interp failed: {e}"));
+        let re = emu::run_procedure(&proc_, &args, &mut mem_e, &mut host_e)
+            .unwrap_or_else(|e| panic!("{tc}: emu failed: {e}\n{proc_}"));
+        assert_eq!(ri, re, "{tc}: loop-control semantics diverged\n{proc_}");
+    }
+}
+
+#[test]
+fn break_and_continue_differential() {
+    check_differential(&scan_function(), |mem| {
+        let p = mem.alloc(64);
+        for (i, b) in [5u8, 0, 7, 0, 9, 0xff, 11, 13].iter().enumerate() {
+            mem.write_u8(p + i as u64, *b);
+        }
+        vec![p, 40]
+    });
+    // interp sanity: 5 + 7 + 9 = 21 (0s skipped, 0xff breaks).
+    let mut mem = Memory::new();
+    let p = mem.alloc(64);
+    for (i, b) in [5u8, 0, 7, 0, 9, 0xff, 11, 13].iter().enumerate() {
+        mem.write_u8(p + i as u64, *b);
+    }
+    let mut host = StdHost::default();
+    let r = interp::run_function(&scan_function(), &[p, 40], &mut mem, &mut host).unwrap();
+    assert_eq!(r, 21);
+}
+
+#[test]
+fn continue_reevaluates_hoisted_condition() {
+    check_differential(&countdown_with_continue(), |mem| {
+        let p = mem.alloc(16);
+        mem.write_u8(p, 6);
+        vec![p]
+    });
+}
+
+#[test]
+fn validator_rejects_loop_control_outside_loops() {
+    let f = Function::new("bad", vec![], vec![Stmt::Break]);
+    let errs = validate_function(&f);
+    assert!(
+        errs.iter()
+            .any(|e| matches!(e, esh_minic::ValidateError::LoopControlOutsideLoop { .. })),
+        "{errs:?}"
+    );
+}
+
+#[test]
+fn nested_loop_break_targets_inner_loop() {
+    // outer counts to 3; inner breaks immediately — outer must still run.
+    let f = Function::new(
+        "nested",
+        vec![],
+        vec![
+            Stmt::Let {
+                name: "i".into(),
+                init: c(0),
+            },
+            Stmt::Let {
+                name: "total".into(),
+                init: c(0),
+            },
+            Stmt::While {
+                cond: Expr::bin(BinOp::Ult, v("i"), c(3)),
+                body: vec![
+                    Stmt::Assign {
+                        name: "i".into(),
+                        value: Expr::add(v("i"), c(1)),
+                    },
+                    Stmt::Let {
+                        name: "j".into(),
+                        init: c(0),
+                    },
+                    Stmt::While {
+                        cond: Expr::bin(BinOp::Ult, v("j"), c(100)),
+                        body: vec![
+                            Stmt::Assign {
+                                name: "j".into(),
+                                value: Expr::add(v("j"), c(1)),
+                            },
+                            Stmt::Break,
+                        ],
+                    },
+                    Stmt::Assign {
+                        name: "total".into(),
+                        value: Expr::add(v("total"), v("j")),
+                    },
+                ],
+            },
+            Stmt::Return(Some(v("total"))),
+        ],
+    );
+    check_differential(&f, |_| vec![]);
+    let mut mem = Memory::new();
+    let mut host = StdHost::default();
+    assert_eq!(
+        interp::run_function(&f, &[], &mut mem, &mut host).unwrap(),
+        3
+    );
+}

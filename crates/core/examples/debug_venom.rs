@@ -1,0 +1,27 @@
+//! Debug: why does venom gcc4.9 not rank its clang sibling second?
+use esh_cc::{Compiler, Vendor, VendorVersion};
+use esh_core::{EngineConfig, SimilarityEngine};
+use esh_minic::demo;
+
+fn main() {
+    let gcc = Compiler::new(Vendor::Gcc, VendorVersion::new(4, 9));
+    let clang = Compiler::new(Vendor::Clang, VendorVersion::new(3, 5));
+    let mut engine = SimilarityEngine::new(EngineConfig::default());
+    for (name, f) in demo::cve_functions() {
+        engine.add_target(format!("{name} [clang]"), &clang.compile_function(&f));
+    }
+    let q = gcc.compile_function(&demo::venom_like());
+    println!(
+        "query venom gcc4.9: {} insts, {} blocks",
+        q.inst_count(),
+        q.blocks.len()
+    );
+    let scores = engine.query(&q);
+    for s in scores.ranked() {
+        println!(
+            "{:>9.3} {:>9.3} {:>7.2} {}",
+            s.ges, s.s_log, s.s_vcp, s.name
+        );
+    }
+    println!("query strands: {}", scores.query_strands);
+}

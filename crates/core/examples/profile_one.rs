@@ -1,0 +1,37 @@
+//! Profiles a single known-slow strand pair.
+use esh_cc::{Compiler, Vendor, VendorVersion};
+use esh_core::{vcp_pair, VcpConfig};
+use esh_minic::demo;
+use esh_strands::{extract_proc_strands, lift_strand};
+use esh_verifier::VerifierSession;
+use std::time::Instant;
+
+fn main() {
+    let gcc = Compiler::new(Vendor::Gcc, VendorVersion::new(4, 9));
+    let clang = Compiler::new(Vendor::Clang, VendorVersion::new(3, 5));
+    let config = VcpConfig::default();
+    let q = gcc.compile_function(&demo::heartbleed_like());
+    let q_strands: Vec<_> = extract_proc_strands(&q)
+        .iter()
+        .map(lift_strand)
+        .filter(|p| p.vars.len() >= config.min_strand_vars)
+        .collect();
+    let mut t_strands = Vec::new();
+    for (_, f) in demo::cve_functions() {
+        let p = clang.compile_function(&f);
+        for s in extract_proc_strands(&p) {
+            let l = lift_strand(&s);
+            if l.vars.len() >= config.min_strand_vars {
+                t_strands.push(l);
+            }
+        }
+    }
+    let ql = &q_strands[8];
+    let tl = &t_strands[66];
+    println!("q8:\n{ql}\nt66:\n{tl}");
+    let mut session = VerifierSession::new();
+    let t0 = Instant::now();
+    let v = vcp_pair(&mut session, ql, tl, &config);
+    println!("vcp {v:?} in {:?}", t0.elapsed());
+    println!("stats {:?}", session.stats());
+}

@@ -1,0 +1,77 @@
+//! Internal profiling harness: times the VCP layer on the cross-compiler
+//! scenario and prints verifier statistics.
+
+use esh_cc::{Compiler, Vendor, VendorVersion};
+use esh_core::{vcp_pair, VcpConfig};
+use esh_minic::demo;
+use esh_strands::{extract_proc_strands, lift_strand, semantic_signature};
+use esh_verifier::VerifierSession;
+use std::time::Instant;
+
+fn main() {
+    let gcc = Compiler::new(Vendor::Gcc, VendorVersion::new(4, 9));
+    let clang = Compiler::new(Vendor::Clang, VendorVersion::new(3, 5));
+    let config = VcpConfig::default();
+
+    // Query strands: heartbleed gcc.
+    let q = gcc.compile_function(&demo::heartbleed_like());
+    let q_strands: Vec<_> = extract_proc_strands(&q)
+        .iter()
+        .map(lift_strand)
+        .filter(|p| p.vars.len() >= config.min_strand_vars)
+        .collect();
+    // Target strands: all CVE functions, clang.
+    let mut t_strands = Vec::new();
+    for (_, f) in demo::cve_functions() {
+        let p = clang.compile_function(&f);
+        for s in extract_proc_strands(&p) {
+            let l = lift_strand(&s);
+            if l.vars.len() >= config.min_strand_vars {
+                t_strands.push(l);
+            }
+        }
+    }
+    println!(
+        "query strands: {}, target strands: {}",
+        q_strands.len(),
+        t_strands.len()
+    );
+
+    let q_sigs: Vec<_> = q_strands.iter().map(semantic_signature).collect();
+    let t_sigs: Vec<_> = t_strands.iter().map(semantic_signature).collect();
+
+    let mut session = VerifierSession::new();
+    let start = Instant::now();
+    let mut pairs = 0;
+    let mut slow = Vec::new();
+    for (qi, ql) in q_strands.iter().enumerate() {
+        for (ti, tl) in t_strands.iter().enumerate() {
+            if !esh_core::size_ratio_ok(&config, ql.vars.len(), tl.vars.len()) {
+                continue;
+            }
+            let fwd = q_sigs[qi].overlap_bound(&t_sigs[ti]);
+            let bwd = t_sigs[ti].overlap_bound(&q_sigs[qi]);
+            if fwd < 0.5 && bwd < 0.5 {
+                continue;
+            }
+            eprintln!(
+                "pair q{qi} x t{ti} (qv={}, tv={})",
+                ql.vars.len(),
+                tl.vars.len()
+            );
+            let t0 = Instant::now();
+            let v = vcp_pair(&mut session, ql, tl, &config);
+            let dt = t0.elapsed();
+            pairs += 1;
+            if dt.as_millis() > 200 {
+                slow.push((qi, ti, dt, v, ql.vars.len(), tl.vars.len()));
+            }
+        }
+    }
+    println!("verified {pairs} pairs in {:?}", start.elapsed());
+    println!("stats: {:?}", session.stats());
+    slow.sort_by_key(|s| std::cmp::Reverse(s.2));
+    for (qi, ti, dt, v, qv, tv) in slow.iter().take(10) {
+        println!("  slow pair q{qi}({qv} vars) x t{ti}({tv} vars): {dt:?} -> {v:?}");
+    }
+}

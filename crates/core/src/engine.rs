@@ -1,0 +1,576 @@
+//! The similarity engine: query a procedure against a target corpus.
+//!
+//! Pipeline per §3.1: decompose into strands → lift to IVL → (dedup by
+//! structural hash, prefilter by semantic signature) → VCP via the
+//! verifier → sigmoid likelihood → LES against the corpus-wide H0 →
+//! GES per target. Pairwise comparison is embarrassingly parallel (§5.5);
+//! the engine shards corpus strand classes across threads.
+
+use std::collections::HashMap;
+
+use esh_asm::Procedure;
+use esh_ivl::Proc;
+use esh_solver::EquivConfig;
+use esh_strands::{
+    extract_proc_strands, lift_strand, semantic_signature, structural_hash, Signature,
+};
+use esh_verifier::VerifierSession;
+use serde::{Deserialize, Serialize};
+
+use crate::stats::{ges, les, likelihood, H0Accumulator, ScoringMode};
+use crate::vcp::{size_ratio_ok, vcp_pair, VcpConfig, VcpPair};
+
+/// Decomposition granularity — the §3.2 design axis. Strands (block-level
+/// backward slices) are the paper's choice; whole basic blocks are the
+/// coarser alternative its "extended graphlets" discussion contrasts with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Granularity {
+    /// Algorithm 1 strands (the paper's unit).
+    Strands,
+    /// One unit per basic block.
+    WholeBlocks,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Decomposition granularity (§3.2).
+    pub granularity: Granularity,
+    /// VCP search tuning (§5.5 thresholds).
+    pub vcp: VcpConfig,
+    /// Verifier budgets.
+    pub equiv: EquivConfig,
+    /// Enable the semantic-signature prefilter (exactness-preserving upper
+    /// bound; see `esh-strands`).
+    pub prefilter: bool,
+    /// Pairs whose signature overlap bound is below this skip verification
+    /// (0.5 matches the paper's minimum-VCP filter).
+    pub prefilter_threshold: f64,
+    /// Worker threads (0 = use available parallelism).
+    pub threads: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            granularity: Granularity::Strands,
+            vcp: VcpConfig::default(),
+            equiv: EquivConfig::default(),
+            prefilter: true,
+            prefilter_threshold: 0.5,
+            threads: 0,
+        }
+    }
+}
+
+/// Identifies a target in the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TargetId(pub usize);
+
+/// One deduplicated strand shape.
+#[derive(Debug)]
+struct StrandClass {
+    proc_: Proc,
+    signature: Signature,
+    vars: usize,
+    /// Total occurrences across the whole corpus (drives H0).
+    corpus_count: u64,
+}
+
+#[derive(Debug)]
+struct TargetRecord {
+    name: String,
+    /// `(class index, occurrences in this target)`.
+    strands: Vec<(usize, u64)>,
+    basic_blocks: usize,
+}
+
+/// A prepared query strand.
+#[derive(Debug)]
+struct QueryStrand {
+    proc_: Proc,
+    signature: Signature,
+    vars: usize,
+    count: u64,
+}
+
+/// The score of one target for one query.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TargetScore {
+    /// Target identity.
+    pub target: TargetId,
+    /// Target name (ground-truth bookkeeping only).
+    pub name: String,
+    /// Full-method GES (Equation 1).
+    pub ges: f64,
+    /// S-LOG ablation score (statistics without the sigmoid).
+    pub s_log: f64,
+    /// S-VCP ablation score (no statistics).
+    pub s_vcp: f64,
+}
+
+impl TargetScore {
+    /// The score under `mode`.
+    pub fn score(&self, mode: ScoringMode) -> f64 {
+        match mode {
+            ScoringMode::Esh => self.ges,
+            ScoringMode::SLog => self.s_log,
+            ScoringMode::SVcp => self.s_vcp,
+        }
+    }
+}
+
+/// All per-target scores for one query.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryScores {
+    /// One entry per target, in insertion order.
+    pub scores: Vec<TargetScore>,
+    /// Number of query strands that participated (after §5.5 filtering).
+    pub query_strands: usize,
+}
+
+impl QueryScores {
+    /// Targets sorted by descending GES.
+    pub fn ranked(&self) -> Vec<&TargetScore> {
+        self.ranked_by(ScoringMode::Esh)
+    }
+
+    /// Targets sorted by descending score under `mode`.
+    pub fn ranked_by(&self, mode: ScoringMode) -> Vec<&TargetScore> {
+        let mut v: Vec<&TargetScore> = self.scores.iter().collect();
+        v.sort_by(|a, b| {
+            b.score(mode)
+                .partial_cmp(&a.score(mode))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        v
+    }
+
+    /// Min-max normalized GES per target (the scale of Figure 5).
+    pub fn normalized(&self) -> Vec<(TargetId, f64)> {
+        let min = self
+            .scores
+            .iter()
+            .map(|s| s.ges)
+            .fold(f64::INFINITY, f64::min);
+        let max = self
+            .scores
+            .iter()
+            .map(|s| s.ges)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let span = (max - min).max(1e-12);
+        self.scores
+            .iter()
+            .map(|s| (s.target, (s.ges - min) / span))
+            .collect()
+    }
+}
+
+/// The similarity engine. Add targets once, query many times.
+///
+/// ```
+/// use esh_cc::{Compiler, Vendor, VendorVersion};
+/// use esh_core::{EngineConfig, SimilarityEngine};
+/// use esh_minic::demo;
+///
+/// let f = demo::saturating_sum();
+/// let gcc = Compiler::new(Vendor::Gcc, VendorVersion::new(4, 9)).compile_function(&f);
+/// let clang = Compiler::new(Vendor::Clang, VendorVersion::new(3, 5)).compile_function(&f);
+/// let mut engine = SimilarityEngine::new(EngineConfig::default());
+/// let t = engine.add_target("clang-build", &clang);
+/// let scores = engine.query(&gcc);
+/// assert_eq!(scores.ranked()[0].target, t);
+/// ```
+#[derive(Debug)]
+pub struct SimilarityEngine {
+    config: EngineConfig,
+    classes: Vec<StrandClass>,
+    class_by_hash: HashMap<u64, usize>,
+    targets: Vec<TargetRecord>,
+}
+
+impl SimilarityEngine {
+    /// Creates an engine.
+    pub fn new(config: EngineConfig) -> SimilarityEngine {
+        SimilarityEngine {
+            config,
+            classes: Vec::new(),
+            class_by_hash: HashMap::new(),
+            targets: Vec::new(),
+        }
+    }
+
+    /// The configured thresholds.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Number of targets.
+    pub fn target_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Number of deduplicated strand classes across the corpus.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Name of a target.
+    pub fn target_name(&self, id: TargetId) -> &str {
+        &self.targets[id.0].name
+    }
+
+    /// Decomposes a procedure according to the configured granularity.
+    fn decompose(&self, proc_: &Procedure) -> Vec<esh_strands::Strand> {
+        match self.config.granularity {
+            Granularity::Strands => extract_proc_strands(proc_),
+            Granularity::WholeBlocks => proc_
+                .blocks
+                .iter()
+                .map(|b| esh_strands::Strand {
+                    block: b.label.clone(),
+                    indices: (0..b.insts.len()).collect(),
+                    insts: b.insts.clone(),
+                    inputs: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Adds a target procedure, returning its id.
+    pub fn add_target(&mut self, name: impl Into<String>, proc_: &Procedure) -> TargetId {
+        let mut per_class: HashMap<usize, u64> = HashMap::new();
+        for strand in self.decompose(proc_) {
+            let lifted = lift_strand(&strand);
+            let vars = lifted.vars.len();
+            if vars < self.config.vcp.min_strand_vars {
+                continue;
+            }
+            let h = structural_hash(&lifted);
+            let idx = match self.class_by_hash.get(&h) {
+                Some(&i) => i,
+                None => {
+                    let signature = semantic_signature(&lifted);
+                    let i = self.classes.len();
+                    self.classes.push(StrandClass {
+                        proc_: lifted,
+                        signature,
+                        vars,
+                        corpus_count: 0,
+                    });
+                    self.class_by_hash.insert(h, i);
+                    i
+                }
+            };
+            self.classes[idx].corpus_count += 1;
+            *per_class.entry(idx).or_default() += 1;
+        }
+        let id = TargetId(self.targets.len());
+        self.targets.push(TargetRecord {
+            name: name.into(),
+            strands: per_class.into_iter().collect(),
+            basic_blocks: proc_.blocks.len(),
+        });
+        id
+    }
+
+    /// Basic-block count recorded for a target.
+    pub fn target_basic_blocks(&self, id: TargetId) -> usize {
+        self.targets[id.0].basic_blocks
+    }
+
+    /// The most common strand classes in the corpus — the H0 mass the
+    /// statistical layer discounts (§6.2: compiler-generated strands such
+    /// as `push REG` prologues appear "unusually frequently" and carry no
+    /// evidence). Returns `(corpus_count, variable_count, display)` for
+    /// the `top` most frequent classes.
+    pub fn common_classes(&self, top: usize) -> Vec<(u64, usize, String)> {
+        let mut out: Vec<(u64, usize, String)> = self
+            .classes
+            .iter()
+            .map(|c| (c.corpus_count, c.vars, c.proc_.name.clone()))
+            .collect();
+        out.sort_by_key(|e| std::cmp::Reverse(e.0));
+        out.truncate(top);
+        out
+    }
+
+    fn prepare_query(&self, proc_: &Procedure) -> Vec<QueryStrand> {
+        let mut by_hash: HashMap<u64, QueryStrand> = HashMap::new();
+        for strand in self.decompose(proc_) {
+            let lifted = lift_strand(&strand);
+            let vars = lifted.vars.len();
+            if vars < self.config.vcp.min_strand_vars {
+                continue;
+            }
+            let h = structural_hash(&lifted);
+            by_hash
+                .entry(h)
+                .or_insert_with(|| QueryStrand {
+                    signature: semantic_signature(&lifted),
+                    proc_: lifted,
+                    vars,
+                    count: 0,
+                })
+                .count += 1;
+        }
+        by_hash.into_values().collect()
+    }
+
+    /// Computes the VCP matrix `query strand × corpus class` in parallel.
+    fn vcp_matrix(&self, query: &[QueryStrand]) -> Vec<Vec<VcpPair>> {
+        let threads = if self.config.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        } else {
+            self.config.threads
+        };
+        let nq = query.len();
+        let nc = self.classes.len();
+        let mut matrix = vec![vec![VcpPair::default(); nc]; nq];
+        if nq == 0 || nc == 0 {
+            return matrix;
+        }
+        let chunk = nc.div_ceil(threads.max(1));
+        let results: Vec<(usize, Vec<Vec<VcpPair>>)> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (ti, class_chunk) in self.classes.chunks(chunk).enumerate() {
+                let config = &self.config;
+                handles.push(scope.spawn(move |_| {
+                    let mut session = VerifierSession::with_config(config.equiv);
+                    let mut out = vec![vec![VcpPair::default(); class_chunk.len()]; nq];
+                    for (qi, q) in query.iter().enumerate() {
+                        for (ci, class) in class_chunk.iter().enumerate() {
+                            if !size_ratio_ok(&config.vcp, q.vars, class.vars) {
+                                continue;
+                            }
+                            if config.prefilter {
+                                let fwd = q.signature.overlap_bound(&class.signature);
+                                let bwd = class.signature.overlap_bound(&q.signature);
+                                if fwd < config.prefilter_threshold
+                                    && bwd < config.prefilter_threshold
+                                {
+                                    continue;
+                                }
+                            }
+                            out[qi][ci] =
+                                vcp_pair(&mut session, &q.proc_, &class.proc_, &config.vcp);
+                        }
+                    }
+                    (ti, out)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+        .expect("scope");
+        for (ti, chunk_rows) in results {
+            let base = ti * chunk;
+            for (qi, row) in chunk_rows.into_iter().enumerate() {
+                for (ci, v) in row.into_iter().enumerate() {
+                    matrix[qi][base + ci] = v;
+                }
+            }
+        }
+        matrix
+    }
+
+    /// Scores every target against `proc_`.
+    pub fn query(&self, proc_: &Procedure) -> QueryScores {
+        let query = self.prepare_query(proc_);
+        let matrix = self.vcp_matrix(&query);
+
+        // H0 per query strand: corpus-wide mean over every strand
+        // occurrence (weighted by class multiplicity).
+        let mut h0: Vec<H0Accumulator> = vec![H0Accumulator::default(); query.len()];
+        for (qi, row) in matrix.iter().enumerate() {
+            for (ci, v) in row.iter().enumerate() {
+                h0[qi].add(v.q_in_t, self.classes[ci].corpus_count);
+            }
+        }
+
+        let mut scores = Vec::with_capacity(self.targets.len());
+        for (ti, target) in self.targets.iter().enumerate() {
+            let mut ges_terms = Vec::with_capacity(query.len());
+            let mut slog_terms = Vec::with_capacity(query.len());
+            for (qi, q) in query.iter().enumerate() {
+                let mut max_vcp = 0.0f64;
+                for (ci, _) in &target.strands {
+                    let v = matrix[qi][*ci].q_in_t;
+                    if v > max_vcp {
+                        max_vcp = v;
+                    }
+                }
+                let l_esh = les(likelihood(max_vcp), h0[qi].mean_pr());
+                let l_slog = les(max_vcp.max(1e-12), h0[qi].mean_vcp());
+                ges_terms.push(l_esh * q.count as f64);
+                slog_terms.push(l_slog * q.count as f64);
+            }
+            // S-VCP: Σ over target strand occurrences of the best VCP of
+            // that strand against any query strand (no statistics).
+            let mut s_vcp = 0.0;
+            for (ci, n) in &target.strands {
+                let best = matrix
+                    .iter()
+                    .map(|row| row[*ci].t_in_q)
+                    .fold(0.0f64, f64::max);
+                s_vcp += best * *n as f64;
+            }
+            scores.push(TargetScore {
+                target: TargetId(ti),
+                name: target.name.clone(),
+                ges: ges(ges_terms),
+                s_log: ges(slog_terms),
+                s_vcp,
+            });
+        }
+        QueryScores {
+            scores,
+            query_strands: query.iter().map(|q| q.count as usize).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esh_cc::{Compiler, Vendor, VendorVersion};
+    use esh_minic::demo;
+
+    fn quick_config() -> EngineConfig {
+        EngineConfig {
+            threads: 2,
+            ..EngineConfig::default()
+        }
+    }
+
+    fn gcc() -> Compiler {
+        Compiler::new(Vendor::Gcc, VendorVersion::new(4, 9))
+    }
+
+    fn clang() -> Compiler {
+        Compiler::new(Vendor::Clang, VendorVersion::new(3, 5))
+    }
+
+    fn icc() -> Compiler {
+        Compiler::new(Vendor::Icc, VendorVersion::new(15, 0))
+    }
+
+    #[test]
+    fn cross_compiler_query_ranks_true_positive_first() {
+        let q_src = demo::heartbleed_like();
+        let query = gcc().compile_function(&q_src);
+        let mut engine = SimilarityEngine::new(quick_config());
+        let tp = engine.add_target("heartbleed-clang", &clang().compile_function(&q_src));
+        for (i, (_, f)) in demo::cve_functions().into_iter().enumerate().skip(1) {
+            engine.add_target(format!("distractor-{i}"), &clang().compile_function(&f));
+        }
+        let scores = engine.query(&query);
+        let ranked = scores.ranked();
+        assert_eq!(
+            ranked[0].target, tp,
+            "true positive must rank first: {ranked:#?}"
+        );
+        assert!(ranked[0].ges > ranked[1].ges);
+    }
+
+    #[test]
+    fn self_query_dominates() {
+        let f = demo::wget_like();
+        let p = icc().compile_function(&f);
+        let mut engine = SimilarityEngine::new(quick_config());
+        let me = engine.add_target("self", &p);
+        engine.add_target("other", &icc().compile_function(&demo::venom_like()));
+        let scores = engine.query(&p);
+        assert_eq!(scores.ranked()[0].target, me);
+    }
+
+    #[test]
+    fn scores_are_asymmetric() {
+        // GES(q|t) need not equal GES(t|q) (Figure 6, observation 2):
+        // querying a small procedure against a large one is not the same
+        // as the reverse, because the sum runs over the query's strands.
+        let a = gcc().compile_function(&demo::ws_snmp_like());
+        let b = icc().compile_function(&demo::wget_like());
+        let mut e1 = SimilarityEngine::new(quick_config());
+        e1.add_target("b", &b);
+        let ab = e1.query(&a).scores[0].ges;
+        let mut e2 = SimilarityEngine::new(quick_config());
+        e2.add_target("a", &a);
+        let ba = e2.query(&b).scores[0].ges;
+        assert!(
+            (ab - ba).abs() > 1e-9,
+            "expected asymmetry, got {ab} vs {ba}"
+        );
+    }
+
+    #[test]
+    fn normalized_scores_are_in_unit_range() {
+        let f = demo::venom_like();
+        let mut engine = SimilarityEngine::new(quick_config());
+        engine.add_target("a", &gcc().compile_function(&f));
+        engine.add_target("b", &clang().compile_function(&demo::wget_like()));
+        engine.add_target("c", &icc().compile_function(&demo::ffmpeg_like()));
+        let scores = engine.query(&clang().compile_function(&f));
+        for (_, v) in scores.normalized() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn whole_block_granularity_still_retrieves_but_differs() {
+        // The §3.2 ablation: whole-block units also work on clean pairs,
+        // but produce a different decomposition.
+        let f = demo::heartbleed_like();
+        let config = EngineConfig {
+            granularity: Granularity::WholeBlocks,
+            threads: 2,
+            ..EngineConfig::default()
+        };
+        let mut engine = SimilarityEngine::new(config);
+        let tp = engine.add_target("tp", &clang().compile_function(&f));
+        engine.add_target("fp", &clang().compile_function(&demo::venom_like()));
+        let scores = engine.query(&gcc().compile_function(&f));
+        assert_eq!(scores.ranked()[0].target, tp);
+
+        let mut strands_engine = SimilarityEngine::new(quick_config());
+        strands_engine.add_target("tp", &clang().compile_function(&f));
+        assert_ne!(
+            strands_engine.class_count(),
+            engine.class_count() - 1, // minus the venom target's classes... counts differ anyway
+            "granularities should decompose differently"
+        );
+    }
+
+    #[test]
+    fn common_classes_report_is_sorted() {
+        let f = demo::saturating_sum();
+        let mut engine = SimilarityEngine::new(quick_config());
+        for k in 0..3 {
+            engine.add_target(format!("t{k}"), &gcc().compile_function(&f));
+        }
+        let report = engine.common_classes(5);
+        assert!(!report.is_empty());
+        assert!(
+            report.windows(2).all(|w| w[0].0 >= w[1].0),
+            "sorted by count"
+        );
+        // Identical targets stack counts on the same classes.
+        assert!(report[0].0 >= 3);
+    }
+
+    #[test]
+    fn strand_classes_deduplicate_across_targets() {
+        let f = demo::saturating_sum();
+        let p = gcc().compile_function(&f);
+        let mut engine = SimilarityEngine::new(quick_config());
+        engine.add_target("a", &p);
+        let n1 = engine.class_count();
+        engine.add_target("b", &p);
+        assert_eq!(engine.class_count(), n1, "identical target adds no classes");
+        assert_eq!(engine.target_count(), 2);
+    }
+}

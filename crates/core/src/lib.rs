@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! # esh-core — statistical similarity of binary procedures
+//!
+//! The paper's primary contribution: strand-level semantic comparison
+//! (VCP, Definition 3 / Algorithm 2) lifted into whole-procedure
+//! similarity through a statistical model (sigmoid likelihood, local and
+//! global evidence scores — Equations 1–5), with the §5.5 engineering that
+//! makes verifier-based comparison tractable (input-only correspondence
+//! enumeration, single-query resolution of non-input matches, strand
+//! deduplication, size filters, parallelism).
+//!
+//! The three scoring modes mirror the paper's ablation (§6.2):
+//! [`ScoringMode::SVcp`] (no statistics), [`ScoringMode::SLog`]
+//! (statistics, no sigmoid) and [`ScoringMode::Esh`] (the full method).
+
+mod engine;
+mod stats;
+mod vcp;
+
+pub use engine::{EngineConfig, Granularity, QueryScores, SimilarityEngine, TargetId, TargetScore};
+pub use stats::{ges, les, likelihood, H0Accumulator, ScoringMode, SIGMOID_K, SIGMOID_MIDPOINT};
+pub use vcp::{size_ratio_ok, vcp_pair, VcpConfig, VcpPair};

@@ -1,0 +1,31 @@
+//! Debug: ffmpeg query ranking at smoke scale.
+use esh_core::{EngineConfig, SimilarityEngine};
+use esh_corpus::{Corpus, CorpusConfig};
+
+fn main() {
+    let corpus = Corpus::build(&CorpusConfig::small());
+    let mut engine = SimilarityEngine::new(EngineConfig::default());
+    for p in &corpus.procs {
+        engine.add_target(p.display(), &p.proc_);
+    }
+    let qi = corpus
+        .query_for("CVE-2015-6826", "clang 3.5")
+        .expect("ffmpeg");
+    let scores = engine.query(&corpus.procs[qi].proc_);
+    println!(
+        "query: {} ({} strands)",
+        corpus.procs[qi].display(),
+        scores.query_strands
+    );
+    for s in scores.ranked().iter().take(12) {
+        let tp = corpus.procs[s.target.0].func == corpus.procs[qi].func;
+        println!(
+            "{:>9.3} {:>9.3} {:>7.2} {} {}",
+            s.ges,
+            s.s_log,
+            s.s_vcp,
+            if tp { "TP" } else { "  " },
+            s.name
+        );
+    }
+}

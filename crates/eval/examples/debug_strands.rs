@@ -1,0 +1,50 @@
+//! Per-strand VCP diagnosis between two compilations of one function.
+use esh_cc::{Compiler, Vendor, VendorVersion};
+use esh_core::{size_ratio_ok, vcp_pair, VcpConfig};
+use esh_minic::demo;
+use esh_strands::{extract_proc_strands, lift_strand};
+use esh_verifier::VerifierSession;
+
+fn main() {
+    let q = Compiler::new(Vendor::Clang, VendorVersion::new(3, 5))
+        .compile_function(&demo::ffmpeg_like());
+    let t =
+        Compiler::new(Vendor::Gcc, VendorVersion::new(4, 9)).compile_function(&demo::ffmpeg_like());
+    println!("=== query (clang) ===\n{q}\n=== target (gcc) ===\n{t}");
+    let config = VcpConfig::default();
+    let qs: Vec<_> = extract_proc_strands(&q)
+        .iter()
+        .map(lift_strand)
+        .filter(|p| p.vars.len() >= config.min_strand_vars)
+        .collect();
+    let ts: Vec<_> = extract_proc_strands(&t)
+        .iter()
+        .map(lift_strand)
+        .filter(|p| p.vars.len() >= config.min_strand_vars)
+        .collect();
+    let mut session = VerifierSession::new();
+    for (qi, ql) in qs.iter().enumerate() {
+        let mut best = 0.0f64;
+        let mut best_ti = usize::MAX;
+        for (ti, tl) in ts.iter().enumerate() {
+            if !size_ratio_ok(&config, ql.vars.len(), tl.vars.len()) {
+                continue;
+            }
+            let v = vcp_pair(&mut session, ql, tl, &config);
+            if v.q_in_t > best {
+                best = v.q_in_t;
+                best_ti = ti;
+            }
+        }
+        println!(
+            "q{qi} ({} vars, {}): best VCP {:.3} vs t{best_ti}",
+            ql.vars.len(),
+            ql.name,
+            best
+        );
+        if best < 0.5 {
+            println!("--- unmatched strand:\n{ql}");
+        }
+    }
+    println!("stats {:?}", session.stats());
+}

@@ -1,0 +1,46 @@
+//! Clustering study — the paper's §8 future work: cluster the Figure 6
+//! all-vs-all GES matrix and score it against ground truth.
+//! Usage: `clustering [scale] [query_count]`.
+
+use esh_core::EngineConfig;
+use esh_corpus::Corpus;
+use esh_eval::cluster::{cluster_matrix, pairwise_f1};
+use esh_eval::experiments::{fig6_indices, run_fig6, Scale};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Default);
+    let count = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
+    eprintln!("building corpus ({scale:?})...");
+    let corpus = Corpus::build(&scale.corpus_config());
+    let indices = fig6_indices(&corpus, count);
+    let f6 = run_fig6(&corpus, &indices, EngineConfig::default());
+    // Ground truth: same source function.
+    let mut ids = std::collections::HashMap::new();
+    let truth: Vec<usize> = f6
+        .funcs
+        .iter()
+        .map(|f| {
+            let next = ids.len();
+            *ids.entry(f.clone()).or_insert(next)
+        })
+        .collect();
+    println!(
+        "clustering {} procedures ({} true groups):",
+        indices.len(),
+        ids.len()
+    );
+    for q in [0.5, 0.7, 0.8, 0.9, 0.95] {
+        let c = cluster_matrix(&f6.matrix, q);
+        let (p, r, f1) = pairwise_f1(&c, &truth);
+        println!(
+            "  quantile {q:.2}: {} clusters, precision {p:.3}, recall {r:.3}, F1 {f1:.3}",
+            c.clusters
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Regenerates Figure 5: the Heartbleed search bar chart. Usage:
+//! `fig5 [scale]`.
+
+use esh_core::EngineConfig;
+use esh_corpus::Corpus;
+use esh_eval::experiments::{build_engine, run_fig5, Scale};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Default);
+    eprintln!("building corpus ({scale:?})...");
+    let corpus = Corpus::build(&scale.corpus_config());
+    let engine = build_engine(&corpus, EngineConfig::default());
+    let f5 = run_fig5(&corpus, &engine);
+    println!("{}", f5.render());
+    if let Ok(json) = serde_json::to_string_pretty(&f5) {
+        let _ = std::fs::create_dir_all("target/experiments");
+        let _ = std::fs::write("target/experiments/fig5.json", json);
+    }
+}

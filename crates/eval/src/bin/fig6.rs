@@ -1,0 +1,31 @@
+//! Regenerates Figure 6: the all-vs-all heat map. Usage:
+//! `fig6 [scale] [query_count]`.
+
+use esh_core::EngineConfig;
+use esh_corpus::Corpus;
+use esh_eval::experiments::{fig6_indices, run_fig6, Scale};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Default);
+    let count = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+    eprintln!("building corpus ({scale:?})...");
+    let corpus = Corpus::build(&scale.corpus_config());
+    let indices = fig6_indices(&corpus, count);
+    eprintln!("{} queries selected; running all-vs-all...", indices.len());
+    let f6 = run_fig6(&corpus, &indices, EngineConfig::default());
+    println!("{}", f6.render());
+    println!(
+        "asymmetry (mean |GES(i,j)-GES(j,i)|): {:.4}",
+        f6.asymmetry()
+    );
+    if let Ok(json) = serde_json::to_string_pretty(&f6) {
+        let _ = std::fs::create_dir_all("target/experiments");
+        let _ = std::fs::write("target/experiments/fig6.json", json);
+    }
+}

@@ -1,0 +1,22 @@
+//! Regenerates the §6.6 limitation study (wrappers and template
+//! procedures as queries). Usage: `limitations [scale]`.
+
+use esh_core::EngineConfig;
+use esh_corpus::Corpus;
+use esh_eval::experiments::{build_engine, run_limitations, Scale};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Default);
+    eprintln!("building corpus ({scale:?})...");
+    let corpus = Corpus::build(&scale.corpus_config());
+    let engine = build_engine(&corpus, EngineConfig::default());
+    let lim = run_limitations(&corpus, &engine);
+    println!("{}", lim.render());
+    if let Ok(json) = serde_json::to_string_pretty(&lim) {
+        let _ = std::fs::create_dir_all("target/experiments");
+        let _ = std::fs::write("target/experiments/limitations.json", json);
+    }
+}

@@ -1,0 +1,36 @@
+//! Regenerates Table 1: FP / ROC / CROC for S-VCP, S-LOG and Esh on the
+//! eight CVE searches. Usage: `table1 [smoke|default|paper]`.
+
+use esh_core::EngineConfig;
+use esh_corpus::Corpus;
+use esh_eval::experiments::{build_engine, run_table1, Scale};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Default);
+    eprintln!("building corpus ({scale:?})...");
+    let corpus = Corpus::build(&scale.corpus_config());
+    eprintln!(
+        "corpus: {} procedures; building engine...",
+        corpus.procs.len()
+    );
+    let engine = build_engine(&corpus, EngineConfig::default());
+    eprintln!(
+        "engine: {} strand classes; running 8 queries...",
+        engine.class_count()
+    );
+    let t1 = run_table1(&corpus, &engine);
+    println!("{}", t1.render());
+    if std::env::args().any(|a| a == "--h0-report") {
+        println!("most common strand classes (H0 mass, cf. §6.2):");
+        for (count, vars, name) in engine.common_classes(10) {
+            println!("  {count:>6}x  {vars:>3} vars  {name}");
+        }
+    }
+    if let Ok(json) = serde_json::to_string_pretty(&t1) {
+        let _ = std::fs::create_dir_all("target/experiments");
+        let _ = std::fs::write("target/experiments/table1.json", json);
+    }
+}

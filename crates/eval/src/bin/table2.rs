@@ -1,0 +1,25 @@
+//! Regenerates Table 2: TRACY (Ratio-70) vs Esh across the problem
+//! aspects {versions, cross-vendor, patches}. Usage: `table2 [scale]`.
+
+use esh_core::EngineConfig;
+use esh_corpus::Corpus;
+use esh_eval::experiments::{run_table2, Scale};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Default);
+    eprintln!("building corpus ({scale:?})...");
+    let corpus = Corpus::build(&scale.corpus_config());
+    eprintln!(
+        "corpus: {} procedures; running 7 aspect rows...",
+        corpus.procs.len()
+    );
+    let t2 = run_table2(&corpus, EngineConfig::default());
+    println!("{}", t2.render());
+    if let Ok(json) = serde_json::to_string_pretty(&t2) {
+        let _ = std::fs::create_dir_all("target/experiments");
+        let _ = std::fs::write("target/experiments/table2.json", json);
+    }
+}

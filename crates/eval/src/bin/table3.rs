@@ -1,0 +1,17 @@
+//! Regenerates Table 3: BinDiff-style whole-library matching per CVE.
+//! Usage: `table3 [distractor_count]`.
+
+use esh_eval::experiments::run_table3;
+
+fn main() {
+    let n = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
+    let t3 = run_table3(n);
+    println!("{}", t3.render());
+    if let Ok(json) = serde_json::to_string_pretty(&t3) {
+        let _ = std::fs::create_dir_all("target/experiments");
+        let _ = std::fs::write("target/experiments/table3.json", json);
+    }
+}

@@ -1,0 +1,179 @@
+//! Similarity-based clustering — the paper's stated future work (§8: "we
+//! plan to investigate the use of our technique for clustering and
+//! classification").
+//!
+//! Greedy agglomerative clustering over the pairwise GES matrix: each
+//! procedure joins the cluster of its strongest link above a threshold
+//! derived from the score distribution. Evaluated against ground truth
+//! with pairwise precision/recall.
+
+use serde::{Deserialize, Serialize};
+
+/// A clustering of `n` items: `assignment[i]` is the cluster id of item `i`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Clustering {
+    /// Cluster id per item.
+    pub assignment: Vec<usize>,
+    /// Number of clusters.
+    pub clusters: usize,
+}
+
+/// Clusters items from a (possibly asymmetric) similarity matrix.
+///
+/// The link strength between `i` and `j` is `max(m[i][j], m[j][i])`
+/// (GES is asymmetric; either direction of strong evidence counts).
+/// `threshold_quantile` picks the link cutoff from the off-diagonal score
+/// distribution (e.g. `0.9` = only the top decile of links merge).
+pub fn cluster_matrix(matrix: &[Vec<f64>], threshold_quantile: f64) -> Clustering {
+    let n = matrix.len();
+    if n == 0 {
+        return Clustering {
+            assignment: Vec::new(),
+            clusters: 0,
+        };
+    }
+    // Collect off-diagonal link strengths.
+    let mut links: Vec<(f64, usize, usize)> = Vec::new();
+    for (i, row) in matrix.iter().enumerate() {
+        for (j, up) in row.iter().enumerate().skip(i + 1) {
+            let s = up.max(matrix[j][i]);
+            links.push((s, i, j));
+        }
+    }
+    links.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let cutoff = if links.is_empty() {
+        f64::INFINITY
+    } else {
+        let idx = ((links.len() - 1) as f64 * threshold_quantile.clamp(0.0, 1.0)) as usize;
+        links[idx].0
+    };
+    // Union-find over strong links.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let r = find(parent, parent[x]);
+            parent[x] = r;
+        }
+        parent[x]
+    }
+    for (s, i, j) in links.iter().rev() {
+        if *s < cutoff {
+            break;
+        }
+        let (ri, rj) = (find(&mut parent, *i), find(&mut parent, *j));
+        if ri != rj {
+            parent[ri] = rj;
+        }
+    }
+    // Compact cluster ids.
+    let mut ids = std::collections::HashMap::new();
+    let mut assignment = Vec::with_capacity(n);
+    for i in 0..n {
+        let r = find(&mut parent, i);
+        let next = ids.len();
+        assignment.push(*ids.entry(r).or_insert(next));
+    }
+    Clustering {
+        clusters: ids.len(),
+        assignment,
+    }
+}
+
+/// Pairwise precision/recall/F1 of a clustering against ground-truth
+/// labels.
+pub fn pairwise_f1(clustering: &Clustering, truth: &[usize]) -> (f64, f64, f64) {
+    let n = truth.len();
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fn_ = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let same_pred = clustering.assignment[i] == clustering.assignment[j];
+            let same_true = truth[i] == truth[j];
+            match (same_pred, same_true) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, true) => fn_ += 1,
+                (false, false) => {}
+            }
+        }
+    }
+    let precision = if tp + fp == 0 {
+        1.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fn_ == 0 {
+        1.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    (precision, recall, f1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_diagonal_matrix_clusters_perfectly() {
+        // Two groups of 3 with strong in-group links.
+        let mut m = vec![vec![0.05; 6]; 6];
+        for g in [&[0usize, 1, 2][..], &[3, 4, 5][..]] {
+            for &i in g {
+                for &j in g {
+                    m[i][j] = if i == j { 1.0 } else { 0.9 };
+                }
+            }
+        }
+        let c = cluster_matrix(&m, 0.7);
+        assert_eq!(c.clusters, 2);
+        let truth = vec![0, 0, 0, 1, 1, 1];
+        let (p, r, f1) = pairwise_f1(&c, &truth);
+        assert_eq!((p, r, f1), (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn asymmetric_links_count_either_direction() {
+        let m = vec![vec![1.0, 0.9], vec![0.0, 1.0]];
+        let c = cluster_matrix(&m, 0.5);
+        assert_eq!(c.clusters, 1, "the strong i→j link should merge");
+    }
+
+    #[test]
+    fn low_quantile_merges_everything_high_splits() {
+        let m = vec![
+            vec![1.0, 0.5, 0.2],
+            vec![0.5, 1.0, 0.3],
+            vec![0.2, 0.3, 1.0],
+        ];
+        let all = cluster_matrix(&m, 0.0);
+        assert_eq!(all.clusters, 1);
+        let none = cluster_matrix(&m, 1.0);
+        assert!(none.clusters >= 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = cluster_matrix(&[], 0.5);
+        assert_eq!(c.clusters, 0);
+        assert_eq!(pairwise_f1(&c, &[]), (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn f1_penalizes_overmerging() {
+        let c = Clustering {
+            assignment: vec![0, 0, 0, 0],
+            clusters: 1,
+        };
+        let truth = vec![0, 0, 1, 1];
+        let (p, r, _) = pairwise_f1(&c, &truth);
+        assert!(p < 1.0);
+        assert_eq!(r, 1.0);
+    }
+}

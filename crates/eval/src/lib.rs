@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+
+//! # esh-eval — evaluation harness
+//!
+//! ROC / CROC / false-positive metrics (§5.4), plain-text rendering, and
+//! the experiment drivers that regenerate every table and figure of the
+//! paper's evaluation (Tables 1–3, Figures 5–6). See `DESIGN.md` for the
+//! experiment index and `EXPERIMENTS.md` for recorded paper-vs-measured
+//! results.
+
+pub mod cluster;
+pub mod experiments;
+pub mod render;
+mod roc;
+
+pub use roc::{croc_auc, false_positives, roc_auc, CROC_ALPHA};

@@ -1,0 +1,123 @@
+//! Plain-text rendering for tables and heat maps.
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given header.
+    pub fn new(header: &[&str]) -> TextTable {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (missing cells render empty).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        let all = std::iter::once(&self.header).chain(self.rows.iter());
+        for row in all {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |row: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (i, w) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!(" {cell:<w$} |"));
+            }
+            line
+        };
+        let sep = {
+            let mut s = String::from("+");
+            for w in &widths {
+                s.push_str(&"-".repeat(w + 2));
+                s.push('+');
+            }
+            s
+        };
+        out.push_str(&sep);
+        out.push('\n');
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &widths));
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        out
+    }
+}
+
+/// Renders a matrix of values in `[0, 1]` as an ASCII heat map
+/// (Figure 6's presentation).
+pub fn heatmap(values: &[Vec<f64>], labels: &[String]) -> String {
+    const SHADES: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let mut out = String::new();
+    for (i, row) in values.iter().enumerate() {
+        for v in row {
+            let idx = ((v.clamp(0.0, 1.0)) * (SHADES.len() - 1) as f64).round() as usize;
+            out.push(SHADES[idx]);
+            out.push(SHADES[idx]); // double width for aspect ratio
+        }
+        let label = labels.get(i).map(String::as_str).unwrap_or("");
+        out.push_str(&format!("  {label}\n"));
+    }
+    out
+}
+
+/// Formats a float with three decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["name", "score"]);
+        t.row(vec!["heartbleed".into(), "1.000".into()]);
+        t.row(vec!["x".into(), "0.5".into()]);
+        let s = t.render();
+        assert!(s.contains("| name       | score |"));
+        assert!(s.lines().count() >= 6);
+        // All lines share the same width.
+        let widths: Vec<usize> = s.lines().map(str::len).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn heatmap_shades_by_value() {
+        let m = vec![vec![0.0, 1.0], vec![0.5, 0.25]];
+        let s = heatmap(&m, &["a".into(), "b".into()]);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("  @@"));
+    }
+
+    #[test]
+    fn f3_formats() {
+        assert_eq!(f3(0.41911), "0.419");
+    }
+}

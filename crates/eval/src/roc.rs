@@ -1,0 +1,178 @@
+//! Ranked-retrieval metrics: ROC, CROC and the paper's false-positive
+//! count (§5.4).
+
+/// Area under the ROC curve for `(score, is_positive)` observations.
+///
+/// Computed as the Mann–Whitney U statistic (ties get half credit), which
+/// equals the area under the stepwise ROC curve.
+pub fn roc_auc(items: &[(f64, bool)]) -> f64 {
+    let pos = items.iter().filter(|(_, p)| *p).count();
+    let neg = items.len() - pos;
+    if pos == 0 || neg == 0 {
+        return 1.0;
+    }
+    let mut sorted: Vec<&(f64, bool)> = items.iter().collect();
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    // Average ranks over tied scores.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        while j < sorted.len() && sorted[j].0 == sorted[i].0 {
+            j += 1;
+        }
+        // Ranks are 1-based; ties share the average rank.
+        let avg_rank = (i + 1 + j) as f64 / 2.0;
+        for item in &sorted[i..j] {
+            if item.1 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j;
+    }
+    let u = rank_sum_pos - (pos * (pos + 1)) as f64 / 2.0;
+    u / (pos as f64 * neg as f64)
+}
+
+/// The exponential-transform parameter recommended by Swamidass et al.
+/// (paper ref \[34\]) for early-retrieval evaluation.
+pub const CROC_ALPHA: f64 = 7.0;
+
+fn croc_x(x: f64) -> f64 {
+    (1.0 - (-CROC_ALPHA * x).exp()) / (1.0 - (-CROC_ALPHA).exp())
+}
+
+/// Area under the Concentrated ROC curve (exponential magnification of the
+/// early part of the ranking; penalizes false positives aggressively).
+pub fn croc_auc(items: &[(f64, bool)]) -> f64 {
+    let pos = items.iter().filter(|(_, p)| *p).count();
+    let neg = items.len() - pos;
+    if pos == 0 || neg == 0 {
+        return 1.0;
+    }
+    // Build the stepwise ROC curve from the best score down, breaking ties
+    // by processing tied groups together (diagonal segment).
+    let mut sorted: Vec<&(f64, bool)> = items.iter().collect();
+    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut auc = 0.0f64;
+    let mut prev_fpr = 0.0f64;
+    let mut prev_tpr = 0.0f64;
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        let mut dtp = 0;
+        let mut dfp = 0;
+        while j < sorted.len() && sorted[j].0 == sorted[i].0 {
+            if sorted[j].1 {
+                dtp += 1;
+            } else {
+                dfp += 1;
+            }
+            j += 1;
+        }
+        tp += dtp;
+        fp += dfp;
+        let tpr = tp as f64 / pos as f64;
+        let fpr = fp as f64 / neg as f64;
+        // Trapezoid on the transformed x-axis.
+        auc += (croc_x(fpr) - croc_x(prev_fpr)) * (tpr + prev_tpr) / 2.0;
+        prev_fpr = fpr;
+        prev_tpr = tpr;
+        i = j;
+    }
+    auc
+}
+
+/// The paper's false-positive count: how many negatives a human examiner
+/// working down the ranked list inspects before finding every positive.
+pub fn false_positives(items: &[(f64, bool)]) -> usize {
+    let mut sorted: Vec<&(f64, bool)> = items.iter().collect();
+    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let last_pos = match sorted.iter().rposition(|(_, p)| *p) {
+        Some(i) => i,
+        None => return 0,
+    };
+    sorted[..=last_pos].iter().filter(|(_, p)| !*p).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let items = vec![(0.9, true), (0.8, true), (0.3, false), (0.1, false)];
+        assert_eq!(roc_auc(&items), 1.0);
+        assert!((croc_auc(&items) - 1.0).abs() < 1e-9);
+        assert_eq!(false_positives(&items), 0);
+    }
+
+    #[test]
+    fn inverted_ranking_scores_zero() {
+        let items = vec![(0.9, false), (0.8, false), (0.3, true), (0.1, true)];
+        assert_eq!(roc_auc(&items), 0.0);
+        assert!(croc_auc(&items) < 0.2);
+        assert_eq!(false_positives(&items), 2);
+    }
+
+    #[test]
+    fn random_ties_score_half() {
+        let items = vec![(0.5, true), (0.5, false), (0.5, true), (0.5, false)];
+        assert!((roc_auc(&items) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn croc_penalizes_early_false_positives_more_than_roc() {
+        // One FP at the very top vs one FP at the very bottom.
+        let early = vec![
+            (0.99, false),
+            (0.9, true),
+            (0.8, true),
+            (0.1, false),
+            (0.05, false),
+        ];
+        let late = vec![
+            (0.9, true),
+            (0.8, true),
+            (0.5, false),
+            (0.2, false),
+            (0.1, false),
+        ];
+        let roc_gap = roc_auc(&late) - roc_auc(&early);
+        let croc_gap = croc_auc(&late) - croc_auc(&early);
+        assert!(
+            croc_gap > roc_gap,
+            "CROC gap {croc_gap} vs ROC gap {roc_gap}"
+        );
+    }
+
+    #[test]
+    fn fp_counts_until_last_positive() {
+        let items = vec![
+            (0.9, true),
+            (0.7, false),
+            (0.6, true),
+            (0.5, false),
+            (0.4, true),
+            (0.1, false),
+        ];
+        assert_eq!(false_positives(&items), 2);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(roc_auc(&[]), 1.0);
+        assert_eq!(roc_auc(&[(1.0, true)]), 1.0);
+        assert_eq!(false_positives(&[(1.0, false)]), 0);
+    }
+
+    #[test]
+    fn croc_matches_roc_on_perfect_and_worst() {
+        let perfect = vec![(1.0, true), (0.0, false)];
+        assert!((croc_auc(&perfect) - 1.0).abs() < 1e-9);
+        let worst = vec![(1.0, false), (0.0, true)];
+        assert!(croc_auc(&worst) < 1e-9);
+    }
+}

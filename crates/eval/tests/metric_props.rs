@@ -1,0 +1,73 @@
+//! Property tests for the ranked-retrieval metrics.
+
+use esh_eval::{croc_auc, false_positives, roc_auc};
+use proptest::prelude::*;
+
+fn arb_items() -> impl Strategy<Value = Vec<(f64, bool)>> {
+    prop::collection::vec((0.0f64..1.0, any::<bool>()), 2..60)
+}
+
+proptest! {
+    #[test]
+    fn aucs_are_in_unit_interval(items in arb_items()) {
+        let roc = roc_auc(&items);
+        let croc = croc_auc(&items);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&roc));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&croc));
+    }
+
+    #[test]
+    fn perfect_separation_scores_one(
+        pos in prop::collection::vec(0.6f64..1.0, 1..20),
+        neg in prop::collection::vec(0.0f64..0.4, 1..20),
+    ) {
+        let mut items: Vec<(f64, bool)> = Vec::new();
+        items.extend(pos.iter().map(|s| (*s, true)));
+        items.extend(neg.iter().map(|s| (*s, false)));
+        prop_assert!((roc_auc(&items) - 1.0).abs() < 1e-9);
+        prop_assert!((croc_auc(&items) - 1.0).abs() < 1e-9);
+        prop_assert_eq!(false_positives(&items), 0);
+    }
+
+    #[test]
+    fn roc_is_label_flip_complementary(items in arb_items()) {
+        // Flipping every label maps AUC to 1 - AUC (when both classes are
+        // non-empty and there are no ties between them the relation is
+        // exact; ties keep it exact too because both get half credit).
+        let pos = items.iter().filter(|(_, p)| *p).count();
+        prop_assume!(pos > 0 && pos < items.len());
+        let flipped: Vec<(f64, bool)> = items.iter().map(|(s, p)| (*s, !*p)).collect();
+        prop_assert!((roc_auc(&items) + roc_auc(&flipped) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_score_transform_preserves_metrics(items in arb_items()) {
+        // AUC depends only on the ranking, not the score values.
+        let transformed: Vec<(f64, bool)> =
+            items.iter().map(|(s, p)| (s * 100.0 + 7.0, *p)).collect();
+        prop_assert!((roc_auc(&items) - roc_auc(&transformed)).abs() < 1e-9);
+        prop_assert!((croc_auc(&items) - croc_auc(&transformed)).abs() < 1e-9);
+        prop_assert_eq!(false_positives(&items), false_positives(&transformed));
+    }
+
+    #[test]
+    fn croc_never_exceeds_what_perfect_would_give(items in arb_items()) {
+        let pos = items.iter().filter(|(_, p)| *p).count();
+        prop_assume!(pos > 0 && pos < items.len());
+        // CROC of the actual ranking ≤ CROC of the perfectly sorted one.
+        let mut perfect = items.clone();
+        perfect.sort_by_key(|e| std::cmp::Reverse(e.1));
+        let perfect: Vec<(f64, bool)> = perfect
+            .into_iter()
+            .enumerate()
+            .map(|(i, (_, p))| (1.0 - i as f64 * 1e-3, p))
+            .collect();
+        prop_assert!(croc_auc(&items) <= croc_auc(&perfect) + 1e-9);
+    }
+
+    #[test]
+    fn fp_count_bounded_by_negatives(items in arb_items()) {
+        let neg = items.iter().filter(|(_, p)| !*p).count();
+        prop_assert!(false_positives(&items) <= neg);
+    }
+}

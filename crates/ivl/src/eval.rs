@@ -1,0 +1,351 @@
+//! Concrete evaluation of IVL procedures.
+//!
+//! Used for two things: semantic strand *hashing* (bucket strands whose
+//! outputs agree on shared pseudo-random inputs, an exactness-preserving
+//! prefilter for the verifier) and fast refutation inside the verifier
+//! (a differing concrete run is a sound proof of inequivalence).
+
+use std::rc::Rc;
+
+use crate::ast::{Op, Operand, Proc, Sort, VarId};
+
+/// A concrete memory value: a pseudo-random base image (identified by
+/// `seed`) plus an overlay of stores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemImage {
+    /// Identifies the unconstrained base content.
+    pub seed: u64,
+    /// Store overlay, oldest first: `(addr, width_bits, value)`.
+    pub stores: Rc<Vec<(u64, u32, u64)>>,
+}
+
+impl MemImage {
+    /// A fresh image with no stores.
+    pub fn new(seed: u64) -> MemImage {
+        MemImage {
+            seed,
+            stores: Rc::new(Vec::new()),
+        }
+    }
+
+    fn base_byte(&self, addr: u64) -> u8 {
+        // splitmix-style hash of (seed, addr).
+        let mut z = self.seed ^ addr.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z ^ (z >> 31)) as u8
+    }
+
+    /// Reads one byte, honouring the store overlay (newest wins).
+    pub fn read_byte(&self, addr: u64) -> u8 {
+        for (a, w, v) in self.stores.iter().rev() {
+            let bytes = u64::from(w / 8);
+            if addr.wrapping_sub(*a) < bytes {
+                let k = addr.wrapping_sub(*a);
+                return (v >> (8 * k)) as u8;
+            }
+        }
+        self.base_byte(addr)
+    }
+
+    /// Reads `width` bits little-endian.
+    pub fn read(&self, addr: u64, width: u32) -> u64 {
+        let mut v = 0u64;
+        for i in 0..u64::from(width / 8) {
+            v |= u64::from(self.read_byte(addr.wrapping_add(i))) << (8 * i);
+        }
+        v
+    }
+
+    /// Returns a new image with one more store.
+    pub fn store(&self, addr: u64, width: u32, value: u64) -> MemImage {
+        let mut stores = (*self.stores).clone();
+        stores.push((addr, width, value & width_mask(width)));
+        MemImage {
+            seed: self.seed,
+            stores: Rc::new(stores),
+        }
+    }
+}
+
+/// A concrete value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Val {
+    /// A bitvector (masked to its width by construction).
+    Bv(u64),
+    /// A memory image.
+    Mem(MemImage),
+}
+
+impl Val {
+    /// The bitvector payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is a memory image.
+    pub fn bv(&self) -> u64 {
+        match self {
+            Val::Bv(v) => *v,
+            Val::Mem(_) => panic!("expected bitvector value"),
+        }
+    }
+}
+
+fn width_mask(w: u32) -> u64 {
+    if w >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << w) - 1
+    }
+}
+
+fn sext(v: u64, w: u32) -> i64 {
+    if w >= 64 {
+        v as i64
+    } else {
+        ((v << (64 - w)) as i64) >> (64 - w)
+    }
+}
+
+/// Generates the deterministic default input assignment for `p` from a
+/// sample seed. Inputs with the same position get the same value across
+/// procedures, which is what makes cross-procedure signature hashing
+/// meaningful.
+pub fn default_inputs(p: &Proc, seed: u64) -> Vec<(VarId, Val)> {
+    p.inputs()
+        .iter()
+        .enumerate()
+        .map(|(i, id)| {
+            let mut z = seed
+                .wrapping_mul(0x2545_f491_4f6c_dd1d)
+                .wrapping_add(i as u64 + 1)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            z ^= z >> 29;
+            let v = match p.var(*id).sort {
+                Sort::Bv(w) => Val::Bv(z & width_mask(w)),
+                Sort::Mem => Val::Mem(MemImage::new(z)),
+            };
+            (*id, v)
+        })
+        .collect()
+}
+
+/// Evaluates every variable of `p` under the given input assignment.
+///
+/// Returns one value per variable id. Unassigned inputs default to zero /
+/// empty memory.
+///
+/// # Panics
+///
+/// Panics if `p` is ill-formed (use [`Proc::validate`] first).
+pub fn eval_proc(p: &Proc, inputs: &[(VarId, Val)]) -> Vec<Val> {
+    let mut vals: Vec<Option<Val>> = vec![None; p.vars.len()];
+    for (id, v) in inputs {
+        vals[id.index()] = Some(v.clone());
+    }
+    for id in p.inputs() {
+        if vals[id.index()].is_none() {
+            vals[id.index()] = Some(match p.var(id).sort {
+                Sort::Bv(_) => Val::Bv(0),
+                Sort::Mem => Val::Mem(MemImage::new(0)),
+            });
+        }
+    }
+    let get = |vals: &Vec<Option<Val>>, o: &Operand| -> Val {
+        match o {
+            Operand::Var(v) => vals[v.index()].clone().expect("SSA order"),
+            Operand::Const { value, width } => Val::Bv(value & width_mask(*width)),
+        }
+    };
+    for s in &p.stmts {
+        let args: Vec<Val> = s.args.iter().map(|a| get(&vals, a)).collect();
+        let width = match p.var(s.dst).sort {
+            Sort::Bv(w) => w,
+            Sort::Mem => 0,
+        };
+        let m = width_mask(width);
+        let out = match s.op {
+            Op::Copy => args[0].clone(),
+            Op::Add => Val::Bv(args[0].bv().wrapping_add(args[1].bv()) & m),
+            Op::Sub => Val::Bv(args[0].bv().wrapping_sub(args[1].bv()) & m),
+            Op::Mul => Val::Bv(args[0].bv().wrapping_mul(args[1].bv()) & m),
+            Op::And => Val::Bv(args[0].bv() & args[1].bv()),
+            Op::Or => Val::Bv(args[0].bv() | args[1].bv()),
+            Op::Xor => Val::Bv(args[0].bv() ^ args[1].bv()),
+            Op::Shl => {
+                let sh = args[1].bv() % u64::from(width);
+                Val::Bv(args[0].bv().wrapping_shl(sh as u32) & m)
+            }
+            Op::LShr => {
+                let sh = args[1].bv() % u64::from(width);
+                Val::Bv(args[0].bv().wrapping_shr(sh as u32) & m)
+            }
+            Op::AShr => {
+                let sh = (args[1].bv() % u64::from(width)) as u32;
+                let w = width;
+                Val::Bv(((sext(args[0].bv(), w) >> sh) as u64) & m)
+            }
+            Op::Not => Val::Bv(!args[0].bv() & m),
+            Op::Neg => Val::Bv(args[0].bv().wrapping_neg() & m),
+            Op::Eq => Val::Bv(u64::from(args[0] == args[1])),
+            Op::Ne => Val::Bv(u64::from(args[0] != args[1])),
+            Op::Ult => Val::Bv(u64::from(args[0].bv() < args[1].bv())),
+            Op::Ule => Val::Bv(u64::from(args[0].bv() <= args[1].bv())),
+            Op::Slt => {
+                let w = arg_width(p, s, 0);
+                Val::Bv(u64::from(sext(args[0].bv(), w) < sext(args[1].bv(), w)))
+            }
+            Op::Sle => {
+                let w = arg_width(p, s, 0);
+                Val::Bv(u64::from(sext(args[0].bv(), w) <= sext(args[1].bv(), w)))
+            }
+            Op::Ite => {
+                if args[0].bv() != 0 {
+                    args[1].clone()
+                } else {
+                    args[2].clone()
+                }
+            }
+            Op::Zext(_) => Val::Bv(args[0].bv() & m),
+            Op::Sext(to) => {
+                let from = arg_width(p, s, 0);
+                Val::Bv((sext(args[0].bv(), from) as u64) & width_mask(to))
+            }
+            Op::Extract(hi, lo) => Val::Bv((args[0].bv() >> lo) & width_mask(hi - lo + 1)),
+            Op::Concat => {
+                let lo_w = arg_width(p, s, 1);
+                Val::Bv(((args[0].bv() << lo_w) | args[1].bv()) & m)
+            }
+            Op::Load(w) => match &args[0] {
+                Val::Mem(img) => Val::Bv(img.read(args[1].bv(), w)),
+                Val::Bv(_) => panic!("load from non-memory"),
+            },
+            Op::Store(w) => match &args[0] {
+                Val::Mem(img) => Val::Mem(img.store(args[1].bv(), w, args[2].bv())),
+                Val::Bv(_) => panic!("store to non-memory"),
+            },
+        };
+        vals[s.dst.index()] = Some(out);
+    }
+    vals.into_iter()
+        .map(|v| v.expect("all vars assigned"))
+        .collect()
+}
+
+fn arg_width(p: &Proc, s: &crate::ast::Stmt, i: usize) -> u32 {
+    match p.operand_sort(&s.args[i]) {
+        Sort::Bv(w) => w,
+        Sort::Mem => panic!("expected bitvector argument"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::InputKind;
+    use crate::lift::lift;
+    use esh_asm::parse_proc;
+
+    fn lift_text(text: &str) -> Proc {
+        let p = parse_proc(&format!("proc t\nentry:\n{text}")).expect("parses");
+        lift("t", &p.blocks[0].insts)
+    }
+
+    #[test]
+    fn memory_overlay_semantics() {
+        let img = MemImage::new(7);
+        let base = img.read(0x100, 32);
+        let img2 = img.store(0x100, 16, 0xbeef);
+        assert_eq!(img2.read(0x100, 16), 0xbeef);
+        // The upper two bytes still come from the base image.
+        assert_eq!(img2.read(0x100, 32) & 0xffff, 0xbeef);
+        assert_eq!(img2.read(0x100, 32) >> 16, base >> 16);
+        // Newest store wins.
+        let img3 = img2.store(0x101, 8, 0x11);
+        assert_eq!(img3.read(0x100, 16), 0x11ef);
+    }
+
+    #[test]
+    fn eval_matches_x86_semantics() {
+        // lea r14d, [r12+0x13]: r14 = zext32(r12[31:0]... actually
+        // (r12 + 0x13)[31:0] zero-extended.
+        let p = lift_text("lea r14d, [r12+0x13]");
+        let inputs: Vec<(VarId, Val)> = p
+            .inputs()
+            .iter()
+            .map(|i| (*i, Val::Bv(0xffff_ffff_ffff_fff0)))
+            .collect();
+        let vals = eval_proc(&p, &inputs);
+        // Find the final zext64 temp (the new r14 value).
+        let last = p.temps().last().copied().expect("temps");
+        assert_eq!(vals[last.index()].bv(), 0x0000_0000_0000_0003);
+    }
+
+    #[test]
+    fn eval_cmp_thunk() {
+        let p = lift_text("cmp rdi, rsi\njl out");
+        let ins = p.inputs();
+        let mk = |a: u64, b: u64| vec![(ins[0], Val::Bv(a)), (ins[1], Val::Bv(b))];
+        let taken = |a: u64, b: u64| {
+            let vals = eval_proc(&p, &mk(a, b));
+            let last = p.temps().last().copied().expect("temps");
+            vals[last.index()].bv()
+        };
+        assert_eq!(taken(1, 2), 1);
+        assert_eq!(taken(2, 1), 0);
+        assert_eq!(taken(u64::MAX, 0), 1); // signed
+    }
+
+    #[test]
+    fn default_inputs_are_deterministic_and_seed_sensitive() {
+        let p = lift_text("mov rax, rdi\nadd rax, rsi");
+        let a = default_inputs(&p, 1);
+        let b = default_inputs(&p, 1);
+        let c = default_inputs(&p, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn call_result_is_input_driven() {
+        let p = lift_text("call strlen/1\nadd rax, 0x1");
+        let call_in = p
+            .inputs()
+            .into_iter()
+            .find(|i| p.var(*i).input == Some(InputKind::CallResult))
+            .expect("call result input");
+        let vals = eval_proc(&p, &[(call_in, Val::Bv(41))]);
+        // The add result is the last 64-bit temp (materialized flag bits
+        // follow it).
+        let last = p
+            .temps()
+            .into_iter()
+            .rfind(|t| p.var(*t).sort == Sort::Bv(64))
+            .expect("temps");
+        assert_eq!(vals[last.index()].bv(), 42);
+    }
+
+    #[test]
+    fn store_then_load_roundtrips() {
+        let p = lift_text("mov qword ptr [rdi], rsi\nmov rax, qword ptr [rdi]");
+        let ins = p.inputs();
+        // inputs: rdi, mem, rsi (order of first use).
+        let mut assign = Vec::new();
+        for i in &ins {
+            match p.var(*i).sort {
+                Sort::Bv(_) => assign.push((
+                    *i,
+                    Val::Bv(if p.var(*i).name.starts_with("rsi") {
+                        0xabcd
+                    } else {
+                        0x1000
+                    }),
+                )),
+                Sort::Mem => assign.push((*i, Val::Mem(MemImage::new(3)))),
+            }
+        }
+        let vals = eval_proc(&p, &assign);
+        let last = p.temps().last().copied().expect("temps");
+        assert_eq!(vals[last.index()].bv(), 0xabcd);
+    }
+}

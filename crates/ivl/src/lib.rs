@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # esh-ivl — the intermediate verification language and lifter
+//!
+//! The paper lifts binary procedures through BAP → LLVM IR → SMACK →
+//! BoogieIVL (§5.1.1). This crate replaces that stack with a direct lifter
+//! from the `esh-asm` instruction model into a flat, non-branching SSA IVL
+//! with the same invariants the paper relies on:
+//!
+//! * a fresh temporary for every intermediate value,
+//! * full 64-bit register representation (sub-register access is explicit
+//!   extract/concat),
+//! * SSA memory threaded through `store` operations, and
+//! * uninterpreted (havoced) procedure calls.
+//!
+//! [`eval`] provides concrete evaluation for semantic hashing and fast
+//! refutation.
+//!
+//! ```
+//! use esh_asm::parse_inst;
+//! use esh_ivl::{eval, lift};
+//!
+//! let insts = vec![parse_inst("lea r14d, [r12+0x13]").unwrap()];
+//! let p = lift("s", &insts);
+//! assert!(p.validate().is_empty());
+//! let vals = eval::eval_proc(&p, &eval::default_inputs(&p, 1));
+//! assert_eq!(vals.len(), p.vars.len());
+//! ```
+
+mod ast;
+pub mod eval;
+mod lift;
+pub mod text;
+
+pub use ast::{InputKind, Op, Operand, Proc, Sort, Stmt, Var, VarId};
+pub use lift::lift;
+pub use text::{parse_proc_text, proc_to_text, TextError};

@@ -1,0 +1,794 @@
+//! Lifting x86-64 instruction sequences (strands) into IVL.
+//!
+//! Follows the paper's lifting conventions (§2, Figure 3): a fresh
+//! temporary for every intermediate value, full 64-bit register
+//! representation with sub-register access via extract/concat, SSA memory,
+//! and calls treated as uninterpreted (result and memory havoced, §4.2
+//! "Procedure calls"). Flag-consuming instructions are lifted through flag
+//! *thunks*: the condition is re-expressed as a direct comparison of the
+//! flag-producing operands, exactly what a human verifier would write.
+
+use esh_asm::{Cond, Inst, Mem, Reg64, ShiftAmount, Width};
+
+use crate::ast::{InputKind, Op, Operand, Proc, Sort, VarId};
+
+#[derive(Debug, Clone, Copy)]
+enum FlagKind {
+    /// Flags from `cmp a, b` or `sub`.
+    Sub,
+    /// Flags from `test`/`and`/`or`/`xor` — CF = OF = 0.
+    Logic,
+    /// Flags from `add`/`inc` (CF = carry out).
+    Add,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FlagDef {
+    kind: FlagKind,
+    a: Operand,
+    b: Operand,
+    result: Operand,
+    width: u32,
+}
+
+struct Lifter {
+    proc_: Proc,
+    regs: [Option<VarId>; 16],
+    mem: Option<VarId>,
+    flags: Option<FlagDef>,
+    flags_consumed: bool,
+    temp_count: usize,
+    input_count: usize,
+    /// Stack-slot abstraction: 64-bit accesses through a frame register
+    /// (`rsp`/`rbp`) at a constant displacement are modelled as scalar
+    /// variables keyed by `(base value, displacement)` — the same stack
+    /// recovery real binary-analysis front-ends (IDA, BAP) perform.
+    /// Without it, spill/reload traffic at vendor-specific frame offsets
+    /// would be semantically unmatchable across compilers.
+    stack_slots: std::collections::HashMap<(VarId, i64), VarId>,
+}
+
+fn bits(w: Width) -> u32 {
+    w.bits()
+}
+
+impl Lifter {
+    fn new(name: &str) -> Lifter {
+        Lifter {
+            proc_: Proc::new(name),
+            regs: [None; 16],
+            mem: None,
+            flags: None,
+            flags_consumed: false,
+            temp_count: 0,
+            input_count: 0,
+            stack_slots: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Returns the slot key when `m` is a frame-slot access: a 64-bit,
+    /// index-free reference off `rsp`/`rbp`.
+    fn stack_slot_key(&mut self, m: &Mem) -> Option<(VarId, i64)> {
+        if m.width != Width::W64 || m.index.is_some() {
+            return None;
+        }
+        let base = m.base?;
+        if base != Reg64::Rsp && base != Reg64::Rbp {
+            return None;
+        }
+        let Operand::Var(base_var) = self.reg64(base) else {
+            return None;
+        };
+        Some((base_var, m.disp))
+    }
+
+    fn read_stack_slot(&mut self, key: (VarId, i64)) -> Operand {
+        match self.stack_slots.get(&key) {
+            Some(v) => Operand::Var(*v),
+            None => {
+                self.input_count += 1;
+                let id = self.proc_.declare(
+                    format!("slot{}_in{}", key.1, self.input_count),
+                    Sort::Bv(64),
+                    Some(InputKind::Register),
+                );
+                self.stack_slots.insert(key, id);
+                Operand::Var(id)
+            }
+        }
+    }
+
+    fn write_stack_slot(&mut self, key: (VarId, i64), value: Operand) {
+        let id = match value {
+            Operand::Var(v) => v,
+            c @ Operand::Const { .. } => {
+                let Operand::Var(v) = self.emit(Op::Copy, vec![c], 64) else {
+                    unreachable!()
+                };
+                v
+            }
+        };
+        self.stack_slots.insert(key, id);
+    }
+
+    fn fresh_temp(&mut self, width: u32) -> VarId {
+        self.temp_count += 1;
+        self.proc_
+            .declare(format!("v{}", self.temp_count), Sort::Bv(width), None)
+    }
+
+    fn emit(&mut self, op: Op, args: Vec<Operand>, width: u32) -> Operand {
+        let dst = self.fresh_temp(width);
+        self.proc_.assign(dst, op, args);
+        Operand::Var(dst)
+    }
+
+    fn reg_input(&mut self, r: Reg64) -> VarId {
+        self.input_count += 1;
+        let id = self.proc_.declare(
+            format!("{}_in{}", r.name(), self.input_count),
+            Sort::Bv(64),
+            Some(InputKind::Register),
+        );
+        id
+    }
+
+    /// The current 64-bit value of `r`, creating an input on first read.
+    fn reg64(&mut self, r: Reg64) -> Operand {
+        match self.regs[r.index()] {
+            Some(v) => Operand::Var(v),
+            None => {
+                let id = self.reg_input(r);
+                self.regs[r.index()] = Some(id);
+                Operand::Var(id)
+            }
+        }
+    }
+
+    /// Reads `r` at `width` bits (emits an extract for sub-registers).
+    fn read_reg(&mut self, r: Reg64, width: Width) -> Operand {
+        let full = self.reg64(r);
+        match width {
+            Width::W64 => full,
+            w => self.emit(Op::Extract(bits(w) - 1, 0), vec![full], bits(w)),
+        }
+    }
+
+    /// Writes `value` (of `width` bits) into `r`, with x86 merge semantics.
+    fn write_reg(&mut self, r: Reg64, width: Width, value: Operand) {
+        let new64 = match width {
+            Width::W64 => value,
+            Width::W32 => self.emit(Op::Zext(64), vec![value], 64),
+            w => {
+                let old = self.reg64(r);
+                let hi = self.emit(Op::Extract(63, bits(w)), vec![old], 64 - bits(w));
+                self.emit(Op::Concat, vec![hi, value], 64)
+            }
+        };
+        let id = match new64 {
+            Operand::Var(v) => v,
+            c @ Operand::Const { .. } => {
+                // Keep the register map var-backed.
+                let Operand::Var(v) = self.emit(Op::Copy, vec![c], 64) else {
+                    unreachable!()
+                };
+                v
+            }
+        };
+        self.regs[r.index()] = Some(id);
+    }
+
+    fn mem_var(&mut self) -> Operand {
+        match self.mem {
+            Some(v) => Operand::Var(v),
+            None => {
+                self.input_count += 1;
+                let id = self.proc_.declare(
+                    format!("mem_in{}", self.input_count),
+                    Sort::Mem,
+                    Some(InputKind::Memory),
+                );
+                self.mem = Some(id);
+                Operand::Var(id)
+            }
+        }
+    }
+
+    /// Computes the effective address of `m` as a 64-bit temp chain.
+    fn effective_addr(&mut self, m: &Mem) -> Operand {
+        let mut acc: Option<Operand> = m.base.map(|b| self.reg64(b));
+        if let Some((idx, scale)) = m.index {
+            let mut iv = self.reg64(idx);
+            if scale.factor() > 1 {
+                iv = self.emit(Op::Mul, vec![iv, Operand::c64(scale.factor())], 64);
+            }
+            acc = Some(match acc {
+                Some(a) => self.emit(Op::Add, vec![a, iv], 64),
+                None => iv,
+            });
+        }
+        let disp = m.disp as u64;
+        match (acc, disp) {
+            (Some(a), 0) => a,
+            (Some(a), d) => self.emit(Op::Add, vec![a, Operand::c64(d)], 64),
+            (None, d) => self.emit(Op::Copy, vec![Operand::c64(d)], 64),
+        }
+    }
+
+    /// Reads an operand at the width implied by the instruction context.
+    fn read_operand(&mut self, op: &esh_asm::Operand, ctx: Width) -> Operand {
+        match op {
+            esh_asm::Operand::Reg(r) => self.read_reg(r.base, r.width),
+            esh_asm::Operand::Imm(i) => Operand::Const {
+                value: (*i as u64) & ctx.mask(),
+                width: bits(ctx),
+            },
+            esh_asm::Operand::Mem(m) => {
+                if let Some(key) = self.stack_slot_key(m) {
+                    return self.read_stack_slot(key);
+                }
+                let addr = self.effective_addr(m);
+                let mem = self.mem_var();
+                self.emit(Op::Load(bits(m.width)), vec![mem, addr], bits(m.width))
+            }
+        }
+    }
+
+    fn write_operand(&mut self, op: &esh_asm::Operand, width: Width, value: Operand) {
+        match op {
+            esh_asm::Operand::Reg(r) => self.write_reg(r.base, width, value),
+            esh_asm::Operand::Mem(m) => {
+                if let Some(key) = self.stack_slot_key(m) {
+                    self.write_stack_slot(key, value);
+                    return;
+                }
+                let addr = self.effective_addr(m);
+                let mem = self.mem_var();
+                let new_mem = self.emit(Op::Store(bits(m.width)), vec![mem, addr, value], 0);
+                // Store's result is Mem-sorted; patch the declared sort.
+                if let Operand::Var(v) = new_mem {
+                    self.proc_.vars[v.index()].sort = Sort::Mem;
+                    self.mem = Some(v);
+                }
+            }
+            esh_asm::Operand::Imm(_) => panic!("write to immediate"),
+        }
+    }
+
+    fn op_width(a: &esh_asm::Operand, b: Option<&esh_asm::Operand>) -> Width {
+        a.width()
+            .or_else(|| b.and_then(|o| o.width()))
+            .unwrap_or(Width::W64)
+    }
+
+    fn set_flags(&mut self, kind: FlagKind, a: Operand, b: Operand, result: Operand, width: u32) {
+        self.flags = Some(FlagDef {
+            kind,
+            a,
+            b,
+            result,
+            width,
+        });
+        self.flags_consumed = false;
+    }
+
+    /// Lifts the truth value of condition `c` from the current flag thunk.
+    fn cond_value(&mut self, c: Cond) -> Operand {
+        self.flags_consumed = true;
+        let Some(fd) = self.flags else {
+            // No flag definition in the strand: the condition depends on
+            // severed state, so it becomes an unconstrained input bit.
+            self.input_count += 1;
+            let id = self.proc_.declare(
+                format!("flags_in{}", self.input_count),
+                Sort::Bv(1),
+                Some(InputKind::Register),
+            );
+            return Operand::Var(id);
+        };
+        let w = fd.width;
+        let zero = Operand::Const { value: 0, width: w };
+        let (a, b, r) = (fd.a, fd.b, fd.result);
+        let bool1 = |me: &mut Self, op: Op, x: Operand, y: Operand| me.emit(op, vec![x, y], 1);
+        match fd.kind {
+            FlagKind::Sub => match c {
+                Cond::E => bool1(self, Op::Eq, a, b),
+                Cond::Ne => bool1(self, Op::Ne, a, b),
+                Cond::L => bool1(self, Op::Slt, a, b),
+                Cond::Le => bool1(self, Op::Sle, a, b),
+                Cond::G => bool1(self, Op::Slt, b, a),
+                Cond::Ge => bool1(self, Op::Sle, b, a),
+                Cond::B => bool1(self, Op::Ult, a, b),
+                Cond::Be => bool1(self, Op::Ule, a, b),
+                Cond::A => bool1(self, Op::Ult, b, a),
+                Cond::Ae => bool1(self, Op::Ule, b, a),
+                Cond::S => bool1(self, Op::Slt, r, zero),
+                Cond::Ns => bool1(self, Op::Sle, zero, r),
+            },
+            FlagKind::Logic => match c {
+                Cond::E | Cond::Be => bool1(self, Op::Eq, r, zero),
+                Cond::Ne | Cond::A => bool1(self, Op::Ne, r, zero),
+                Cond::S | Cond::L => bool1(self, Op::Slt, r, zero),
+                Cond::Ns | Cond::Ge => bool1(self, Op::Sle, zero, r),
+                Cond::Le => bool1(self, Op::Sle, r, zero),
+                Cond::G => bool1(self, Op::Slt, zero, r),
+                Cond::B => Operand::Const { value: 0, width: 1 },
+                Cond::Ae => Operand::Const { value: 1, width: 1 },
+            },
+            FlagKind::Add => match c {
+                Cond::E => bool1(self, Op::Eq, r, zero),
+                Cond::Ne => bool1(self, Op::Ne, r, zero),
+                Cond::S => bool1(self, Op::Slt, r, zero),
+                Cond::Ns => bool1(self, Op::Sle, zero, r),
+                // CF after add: result wrapped below the first addend.
+                Cond::B => bool1(self, Op::Ult, r, a),
+                Cond::Ae => bool1(self, Op::Ule, a, r),
+                // Remaining combinations (overflow-involved after add) are
+                // not emitted by the synthetic compilers; lift them as an
+                // unconstrained bit rather than failing.
+                _ => {
+                    self.input_count += 1;
+                    let id = self.proc_.declare(
+                        format!("flags_in{}", self.input_count),
+                        Sort::Bv(1),
+                        Some(InputKind::Register),
+                    );
+                    Operand::Var(id)
+                }
+            },
+        }
+    }
+
+    /// Materializes unconsumed flags as output temporaries (cf. the
+    /// paper's Figure 4, where `FLAGS[OF]` is an explicit variable).
+    fn materialize_flags(&mut self) {
+        let Some(fd) = self.flags else { return };
+        if self.flags_consumed {
+            return;
+        }
+        let w = fd.width;
+        let zero = Operand::Const { value: 0, width: w };
+        // ZF and SF exist for every flag kind.
+        self.emit(Op::Eq, vec![fd.result, zero], 1);
+        self.emit(Op::Slt, vec![fd.result, zero], 1);
+        match fd.kind {
+            FlagKind::Sub => {
+                self.emit(Op::Ult, vec![fd.a, fd.b], 1); // CF
+            }
+            FlagKind::Add => {
+                self.emit(Op::Ult, vec![fd.result, fd.a], 1); // CF
+            }
+            FlagKind::Logic => {}
+        }
+    }
+
+    fn binary(&mut self, op: Op, dst: &esh_asm::Operand, src: &esh_asm::Operand, flag: FlagKind) {
+        let w = Self::op_width(dst, Some(src));
+        let a = self.read_operand(dst, w);
+        let b = self.read_operand(src, w);
+        let r = self.emit(op, vec![a, b], bits(w));
+        self.set_flags(flag, a, b, r, bits(w));
+        self.write_operand(dst, w, r);
+    }
+
+    fn shift(&mut self, op: Op, dst: &esh_asm::Operand, amount: &ShiftAmount) {
+        let w = Self::op_width(dst, None);
+        let a = self.read_operand(dst, w);
+        let b = match amount {
+            ShiftAmount::Imm(i) => Operand::Const {
+                value: u64::from(*i),
+                width: bits(w),
+            },
+            ShiftAmount::Cl => {
+                let cl = self.read_reg(Reg64::Rcx, Width::W8);
+                self.emit(Op::Zext(bits(w)), vec![cl], bits(w))
+            }
+        };
+        let masked = self.emit(
+            Op::And,
+            vec![
+                b,
+                Operand::Const {
+                    value: if w == Width::W64 { 63 } else { 31 },
+                    width: bits(w),
+                },
+            ],
+            bits(w),
+        );
+        let r = self.emit(op, vec![a, masked], bits(w));
+        self.set_flags(FlagKind::Logic, a, b, r, bits(w));
+        self.write_operand(dst, w, r);
+    }
+
+    fn step(&mut self, inst: &Inst) {
+        match inst {
+            Inst::Mov { dst, src } => {
+                let w = Self::op_width(dst, Some(src));
+                let v = self.read_operand(src, w);
+                // Materialize a temp for the moved value (paper Figure 3:
+                // `v1 = r12`), then store it.
+                let t = self.emit(Op::Copy, vec![v], bits(w));
+                self.write_operand(dst, w, t);
+            }
+            Inst::MovZx { dst, src } => {
+                let sw = src.width().unwrap_or(Width::W8);
+                let v = self.read_operand(src, sw);
+                let t = self.emit(Op::Zext(bits(dst.width)), vec![v], bits(dst.width));
+                self.write_reg(dst.base, dst.width, t);
+            }
+            Inst::MovSx { dst, src } => {
+                let sw = src.width().unwrap_or(Width::W8);
+                let v = self.read_operand(src, sw);
+                let t = self.emit(Op::Sext(bits(dst.width)), vec![v], bits(dst.width));
+                self.write_reg(dst.base, dst.width, t);
+            }
+            Inst::Lea { dst, addr } => {
+                let a = self.effective_addr(addr);
+                // Ensure a fresh temp represents the lea result.
+                let t = self.emit(Op::Copy, vec![a], 64);
+                let t = match dst.width {
+                    Width::W64 => t,
+                    w => self.emit(Op::Extract(bits(w) - 1, 0), vec![t], bits(w)),
+                };
+                self.write_reg(dst.base, dst.width, t);
+            }
+            Inst::Add { dst, src } => self.binary(Op::Add, dst, src, FlagKind::Add),
+            Inst::Sub { dst, src } => self.binary(Op::Sub, dst, src, FlagKind::Sub),
+            Inst::And { dst, src } => self.binary(Op::And, dst, src, FlagKind::Logic),
+            Inst::Or { dst, src } => self.binary(Op::Or, dst, src, FlagKind::Logic),
+            Inst::Xor { dst, src } => {
+                // xor r, r is the zero idiom: lift as a constant.
+                if let (esh_asm::Operand::Reg(a), esh_asm::Operand::Reg(b)) = (dst, src) {
+                    if a == b {
+                        let w = a.width;
+                        let z = Operand::Const {
+                            value: 0,
+                            width: bits(w),
+                        };
+                        let t = self.emit(Op::Copy, vec![z], bits(w));
+                        self.set_flags(FlagKind::Logic, z, z, t, bits(w));
+                        self.write_reg(a.base, w, t);
+                        return;
+                    }
+                }
+                self.binary(Op::Xor, dst, src, FlagKind::Logic)
+            }
+            Inst::Imul { dst, src } => {
+                let w = dst.width;
+                let a = self.read_reg(dst.base, w);
+                let b = self.read_operand(src, w);
+                let r = self.emit(Op::Mul, vec![a, b], bits(w));
+                self.set_flags(FlagKind::Logic, a, b, r, bits(w));
+                self.write_reg(dst.base, w, r);
+            }
+            Inst::ImulImm { dst, src, imm } => {
+                let w = dst.width;
+                let a = self.read_operand(src, w);
+                let b = Operand::Const {
+                    value: (*imm as u64) & w.mask(),
+                    width: bits(w),
+                };
+                let r = self.emit(Op::Mul, vec![a, b], bits(w));
+                self.set_flags(FlagKind::Logic, a, b, r, bits(w));
+                self.write_reg(dst.base, w, r);
+            }
+            Inst::Neg { dst } => {
+                let w = Self::op_width(dst, None);
+                let a = self.read_operand(dst, w);
+                let r = self.emit(Op::Neg, vec![a], bits(w));
+                let zero = Operand::Const {
+                    value: 0,
+                    width: bits(w),
+                };
+                self.set_flags(FlagKind::Sub, zero, a, r, bits(w));
+                self.write_operand(dst, w, r);
+            }
+            Inst::Not { dst } => {
+                let w = Self::op_width(dst, None);
+                let a = self.read_operand(dst, w);
+                let r = self.emit(Op::Not, vec![a], bits(w));
+                self.write_operand(dst, w, r);
+            }
+            Inst::Inc { dst } => {
+                let w = Self::op_width(dst, None);
+                let a = self.read_operand(dst, w);
+                let one = Operand::Const {
+                    value: 1,
+                    width: bits(w),
+                };
+                let r = self.emit(Op::Add, vec![a, one], bits(w));
+                self.set_flags(FlagKind::Add, a, one, r, bits(w));
+                self.write_operand(dst, w, r);
+            }
+            Inst::Dec { dst } => {
+                let w = Self::op_width(dst, None);
+                let a = self.read_operand(dst, w);
+                let one = Operand::Const {
+                    value: 1,
+                    width: bits(w),
+                };
+                let r = self.emit(Op::Sub, vec![a, one], bits(w));
+                self.set_flags(FlagKind::Sub, a, one, r, bits(w));
+                self.write_operand(dst, w, r);
+            }
+            Inst::Shl { dst, amount } => self.shift(Op::Shl, dst, amount),
+            Inst::Shr { dst, amount } => self.shift(Op::LShr, dst, amount),
+            Inst::Sar { dst, amount } => self.shift(Op::AShr, dst, amount),
+            Inst::Cmp { a, b } => {
+                let w = Self::op_width(a, Some(b));
+                let x = self.read_operand(a, w);
+                let y = self.read_operand(b, w);
+                let r = self.emit(Op::Sub, vec![x, y], bits(w));
+                self.set_flags(FlagKind::Sub, x, y, r, bits(w));
+            }
+            Inst::Test { a, b } => {
+                let w = Self::op_width(a, Some(b));
+                let x = self.read_operand(a, w);
+                let y = self.read_operand(b, w);
+                let r = self.emit(Op::And, vec![x, y], bits(w));
+                self.set_flags(FlagKind::Logic, x, y, r, bits(w));
+            }
+            Inst::Set { cond, dst } => {
+                let c = self.cond_value(*cond);
+                let byte = self.emit(Op::Zext(8), vec![c], 8);
+                self.write_operand(dst, Width::W8, byte);
+            }
+            Inst::Cmov { cond, dst, src } => {
+                let c = self.cond_value(*cond);
+                let old = self.read_reg(dst.base, dst.width);
+                let new = self.read_operand(src, dst.width);
+                let r = self.emit(Op::Ite, vec![c, new, old], bits(dst.width));
+                self.write_reg(dst.base, dst.width, r);
+            }
+            Inst::Jcc { cond, .. } => {
+                // The would-branch bit becomes an explicit output value
+                // (materialized even when the condition is an
+                // unconstrained input, so it survives input pruning).
+                let c = self.cond_value(*cond);
+                if matches!(c, Operand::Var(v) if self.proc_.var(v).input.is_some()) {
+                    self.emit(Op::Copy, vec![c], 1);
+                }
+            }
+            Inst::Jmp { .. } | Inst::Nop => {}
+            Inst::Push { src } => {
+                // Stack traffic goes through the slot abstraction (keyed
+                // by the post-decrement rsp value), keeping program memory
+                // unpolluted by prologue spills — matching the stack
+                // recovery of real binary front-ends.
+                let v = self.read_operand(src, Width::W64);
+                let sp = self.reg64(Reg64::Rsp);
+                let nsp = self.emit(Op::Sub, vec![sp, Operand::c64(8)], 64);
+                self.write_reg(Reg64::Rsp, Width::W64, nsp);
+                if let Operand::Var(spv) = nsp {
+                    self.write_stack_slot((spv, 0), v);
+                }
+            }
+            Inst::Pop { dst } => {
+                let sp = self.reg64(Reg64::Rsp);
+                let v = match sp {
+                    Operand::Var(spv) => self.read_stack_slot((spv, 0)),
+                    c @ Operand::Const { .. } => c,
+                };
+                let nsp = self.emit(Op::Add, vec![sp, Operand::c64(8)], 64);
+                self.write_reg(Reg64::Rsp, Width::W64, nsp);
+                self.write_operand(dst, Width::W64, v);
+            }
+            Inst::Call { .. } => {
+                // Uninterpreted call (§4.2): the return register and the
+                // memory become fresh inputs; caller-saved registers are
+                // forgotten (reads after the call see fresh inputs).
+                self.input_count += 1;
+                let ret = self.proc_.declare(
+                    format!("call_ret{}", self.input_count),
+                    Sort::Bv(64),
+                    Some(InputKind::CallResult),
+                );
+                for r in esh_asm::CALLER_SAVED {
+                    self.regs[r.index()] = None;
+                }
+                self.regs[Reg64::Rax.index()] = Some(ret);
+                self.input_count += 1;
+                let hm = self.proc_.declare(
+                    format!("mem_in{}", self.input_count),
+                    Sort::Mem,
+                    Some(InputKind::Memory),
+                );
+                self.mem = Some(hm);
+                self.flags = None;
+            }
+            Inst::Ret => {
+                // Capture the returned value as an output temp.
+                let rax = self.reg64(Reg64::Rax);
+                let _ = self.emit(Op::Copy, vec![rax], 64);
+            }
+            Inst::Cdqe => {
+                let lo = self.read_reg(Reg64::Rax, Width::W32);
+                let t = self.emit(Op::Sext(64), vec![lo], 64);
+                self.write_reg(Reg64::Rax, Width::W64, t);
+            }
+        }
+    }
+}
+
+/// Lifts an instruction sequence (a strand or a whole basic block) into a
+/// non-branching IVL procedure.
+///
+/// ```
+/// use esh_asm::parse_inst;
+/// use esh_ivl::lift;
+///
+/// let insts = vec![
+///     parse_inst("mov r13, rax").unwrap(),
+///     parse_inst("lea rcx, [r13+0x3]").unwrap(),
+/// ];
+/// let p = lift("strand", &insts);
+/// assert!(p.validate().is_empty());
+/// assert!(!p.inputs().is_empty());
+/// ```
+pub fn lift(name: &str, insts: &[Inst]) -> Proc {
+    let mut l = Lifter::new(name);
+    for i in insts {
+        l.step(i);
+    }
+    l.materialize_flags();
+    prune_dead_inputs(l.proc_)
+}
+
+/// Removes input variables no statement references. Saved callee-saved
+/// registers (prologue pushes) whose values are never reloaded within the
+/// strand would otherwise inflate the input set and make total input
+/// correspondences (paper Definition 1) infeasible against strands that
+/// save fewer registers.
+fn prune_dead_inputs(p: Proc) -> Proc {
+    let mut used = vec![false; p.vars.len()];
+    for s in &p.stmts {
+        used[s.dst.index()] = true;
+        for a in &s.args {
+            if let crate::ast::Operand::Var(v) = a {
+                used[v.index()] = true;
+            }
+        }
+    }
+    if used.iter().all(|u| *u) {
+        return p;
+    }
+    let mut remap: Vec<Option<VarId>> = vec![None; p.vars.len()];
+    let mut out = Proc::new(p.name.clone());
+    for (i, v) in p.vars.iter().enumerate() {
+        if used[i] {
+            let id = out.declare(v.name.clone(), v.sort, v.input);
+            remap[i] = Some(id);
+        }
+    }
+    for s in &p.stmts {
+        let dst = remap[s.dst.index()].expect("dst is used");
+        let args = s
+            .args
+            .iter()
+            .map(|a| match a {
+                crate::ast::Operand::Var(v) => {
+                    crate::ast::Operand::Var(remap[v.index()].expect("arg is used"))
+                }
+                c => *c,
+            })
+            .collect();
+        out.assign(dst, s.op, args);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esh_asm::parse_proc;
+
+    fn lift_text(text: &str) -> Proc {
+        let p = parse_proc(&format!("proc t\nentry:\n{text}")).expect("parses");
+        let insts: Vec<Inst> = p.blocks[0].insts.clone();
+        lift("t", &insts)
+    }
+
+    #[test]
+    fn lifting_is_ssa_and_well_sorted() {
+        let cases = [
+            "mov r13, rax\nlea rcx, [r13+0x3]",
+            "mov eax, r12d\nshr eax, 0x8",
+            "mov byte ptr [r13+0x1], al\nmov byte ptr [r13+0x2], r12b",
+            "xor ebx, ebx\ntest eax, eax\njl out",
+            "push rbx\npush r12\npop r12\npop rbx",
+            "call memcpy/3\nmov rcx, rax",
+            "cmp rdi, rsi\nsetle al\nmovzx rax, al",
+            "movsx rax, dword ptr [rdi]\ncdqe",
+            "mov rax, rdi\nimul rax, rsi\nneg rax\nnot rax",
+            "mov rax, rdi\nsar rax, cl",
+            "inc rdi\ndec rsi\ncmovne rax, rdi",
+        ];
+        for c in cases {
+            let p = lift_text(c);
+            let errs = p.validate();
+            assert!(errs.is_empty(), "`{c}`: {errs:?}\n{p}");
+        }
+    }
+
+    #[test]
+    fn paper_figure3_shape() {
+        // lea r14d, [r12+13h] from Figure 3: v1 = r12; v2 = 13h + v1;
+        // v3 = trunc/zext dance; r14 = v3.
+        let p = lift_text("lea r14d, [r12+0x13]");
+        assert!(p.validate().is_empty());
+        // One register input (r12).
+        let inputs = p.inputs();
+        assert_eq!(inputs.len(), 1);
+        assert!(p.var(inputs[0]).name.starts_with("r12"));
+        // At least: add, copy, extract, zext temps.
+        assert!(p.temps().len() >= 3, "{p}");
+    }
+
+    #[test]
+    fn subregister_write_concats() {
+        let p = lift_text("mov byte ptr [r13+0x1], al");
+        assert!(p.validate().is_empty());
+        // Uses a load-free store: inputs are r13, rax (for al), and memory.
+        let kinds: Vec<Sort> = p.inputs().iter().map(|i| p.var(*i).sort).collect();
+        assert!(kinds.contains(&Sort::Mem));
+        assert_eq!(kinds.iter().filter(|s| **s == Sort::Bv(64)).count(), 2);
+    }
+
+    #[test]
+    fn flag_thunk_lifts_branch_condition() {
+        let p = lift_text("cmp rdi, rsi\njl somewhere");
+        assert!(p.validate().is_empty());
+        // The branch becomes a bv1 temp computed by Slt.
+        assert!(
+            p.stmts.iter().any(|s| s.op == Op::Slt),
+            "expected an Slt for jl: {p}"
+        );
+    }
+
+    #[test]
+    fn unconsumed_flags_materialize() {
+        let p = lift_text("cmp rdi, rsi");
+        assert!(p.validate().is_empty());
+        // zf, sf, cf appear as bv1 temps.
+        let bools = p
+            .temps()
+            .iter()
+            .filter(|t| p.var(**t).sort == Sort::Bv(1))
+            .count();
+        assert_eq!(bools, 3, "{p}");
+    }
+
+    #[test]
+    fn call_havocs_memory_and_result() {
+        let p = lift_text("mov rdi, rbx\ncall memcpy/3\nmov rcx, rax\nmov rdx, r10");
+        assert!(p.validate().is_empty());
+        let has_callret = p
+            .inputs()
+            .iter()
+            .any(|i| p.var(*i).input == Some(InputKind::CallResult));
+        assert!(has_callret, "{p}");
+        // r10 read after the call is a fresh input, not the pre-call value.
+        let r10_inputs = p
+            .inputs()
+            .iter()
+            .filter(|i| p.var(**i).name.starts_with("r10"))
+            .count();
+        assert_eq!(r10_inputs, 1);
+    }
+
+    #[test]
+    fn xor_zero_idiom_is_constant() {
+        let p = lift_text("xor ebx, ebx");
+        assert!(p.validate().is_empty());
+        // No input needed: the value is the constant 0.
+        assert!(p.inputs().is_empty(), "{p}");
+    }
+
+    #[test]
+    fn branch_without_flag_def_becomes_input() {
+        let p = lift_text("jl somewhere");
+        assert!(p.validate().is_empty());
+        assert_eq!(p.inputs().len(), 1);
+        assert_eq!(p.var(p.inputs()[0]).sort, Sort::Bv(1));
+    }
+}

@@ -1,0 +1,353 @@
+//! A textual format for IVL procedures, with a parser that round-trips
+//! the printer — the analogue of the `.bpl` files the paper's pipeline
+//! materializes between SMACK and Boogie (§5.1.1). Useful for golden
+//! tests, debugging dumps and exchanging strands between tools.
+//!
+//! ```text
+//! proc heartbleed#3(r12_in1: bv64, mem_in2: mem)
+//!   v1 = Add(r12_in1, 0x13:bv64)
+//!   v2 = Load(8)(mem_in2, v1)
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ast::{InputKind, Op, Operand, Proc, Sort, VarId};
+
+/// An error from [`parse_proc_text`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for TextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IVL text error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TextError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, TextError> {
+    Err(TextError {
+        line,
+        message: message.into(),
+    })
+}
+
+fn parse_sort(s: &str, line: usize) -> Result<Sort, TextError> {
+    if s == "mem" {
+        return Ok(Sort::Mem);
+    }
+    if let Some(w) = s.strip_prefix("bv") {
+        if let Ok(w) = w.parse::<u32>() {
+            if (1..=64).contains(&w) {
+                return Ok(Sort::Bv(w));
+            }
+        }
+    }
+    err(line, format!("unknown sort `{s}`"))
+}
+
+fn parse_op(name: &str, line: usize) -> Result<Op, TextError> {
+    // Parenthesized parameters, e.g. Zext(64), Extract(31, 0), Load(8).
+    let (head, params) = match name.find('(') {
+        Some(i) => {
+            let inner = name[i + 1..].strip_suffix(')').ok_or_else(|| TextError {
+                line,
+                message: format!("bad op `{name}`"),
+            })?;
+            let params: Result<Vec<u32>, _> =
+                inner.split(',').map(|p| p.trim().parse::<u32>()).collect();
+            (
+                &name[..i],
+                params.map_err(|_| TextError {
+                    line,
+                    message: format!("bad op parameters in `{name}`"),
+                })?,
+            )
+        }
+        None => (name, Vec::new()),
+    };
+    let p = |k: usize| -> Result<u32, TextError> {
+        params.get(k).copied().ok_or_else(|| TextError {
+            line,
+            message: format!("op `{head}` missing parameter {k}"),
+        })
+    };
+    Ok(match head {
+        "Copy" => Op::Copy,
+        "Add" => Op::Add,
+        "Sub" => Op::Sub,
+        "Mul" => Op::Mul,
+        "And" => Op::And,
+        "Or" => Op::Or,
+        "Xor" => Op::Xor,
+        "Shl" => Op::Shl,
+        "LShr" => Op::LShr,
+        "AShr" => Op::AShr,
+        "Not" => Op::Not,
+        "Neg" => Op::Neg,
+        "Eq" => Op::Eq,
+        "Ne" => Op::Ne,
+        "Ult" => Op::Ult,
+        "Ule" => Op::Ule,
+        "Slt" => Op::Slt,
+        "Sle" => Op::Sle,
+        "Ite" => Op::Ite,
+        "Zext" => Op::Zext(p(0)?),
+        "Sext" => Op::Sext(p(0)?),
+        "Extract" => Op::Extract(p(0)?, p(1)?),
+        "Concat" => Op::Concat,
+        "Load" => Op::Load(p(0)?),
+        "Store" => Op::Store(p(0)?),
+        _ => return err(line, format!("unknown op `{head}`")),
+    })
+}
+
+/// The result sort of `op` applied to operands of the given sorts.
+fn result_sort(op: Op, args: &[Sort], line: usize) -> Result<Sort, TextError> {
+    let bv0 = |line| match args.first() {
+        Some(Sort::Bv(w)) => Ok(Sort::Bv(*w)),
+        _ => err(line, "expected bitvector first operand"),
+    };
+    Ok(match op {
+        Op::Copy => *args.first().ok_or(TextError {
+            line,
+            message: "copy needs an operand".into(),
+        })?,
+        Op::Add
+        | Op::Sub
+        | Op::Mul
+        | Op::And
+        | Op::Or
+        | Op::Xor
+        | Op::Shl
+        | Op::LShr
+        | Op::AShr
+        | Op::Not
+        | Op::Neg => bv0(line)?,
+        Op::Eq | Op::Ne | Op::Ult | Op::Ule | Op::Slt | Op::Sle => Sort::Bv(1),
+        Op::Ite => *args.get(1).ok_or(TextError {
+            line,
+            message: "ite needs three operands".into(),
+        })?,
+        Op::Zext(w) | Op::Sext(w) | Op::Load(w) => Sort::Bv(w),
+        Op::Extract(hi, lo) => Sort::Bv(hi - lo + 1),
+        Op::Concat => match (args.first(), args.get(1)) {
+            (Some(Sort::Bv(a)), Some(Sort::Bv(b))) => Sort::Bv(a + b),
+            _ => return err(line, "concat needs two bitvectors"),
+        },
+        Op::Store(_) => Sort::Mem,
+    })
+}
+
+/// Serializes `p` to its textual form (this is exactly what the `Display`
+/// impl prints).
+pub fn proc_to_text(p: &Proc) -> String {
+    p.to_string()
+}
+
+/// Parses the textual form produced by [`proc_to_text`].
+///
+/// Input kinds are recovered from the variable-name conventions the lifter
+/// uses (`*_in` → register/memory/call-result inputs).
+///
+/// # Errors
+///
+/// Returns a [`TextError`] on malformed input.
+pub fn parse_proc_text(text: &str) -> Result<Proc, TextError> {
+    let mut lines = text.lines().enumerate();
+    let (hline, header) = loop {
+        match lines.next() {
+            Some((i, l)) if l.trim().is_empty() => {
+                let _ = i;
+                continue;
+            }
+            Some((i, l)) => break (i + 1, l.trim()),
+            None => return err(0, "empty input"),
+        }
+    };
+    let rest = header.strip_prefix("proc ").ok_or_else(|| TextError {
+        line: hline,
+        message: "expected `proc`".into(),
+    })?;
+    let open = rest.find('(').ok_or_else(|| TextError {
+        line: hline,
+        message: "expected `(`".into(),
+    })?;
+    let name = rest[..open].trim().to_string();
+    let params = rest[open + 1..]
+        .strip_suffix(')')
+        .ok_or_else(|| TextError {
+            line: hline,
+            message: "expected `)`".into(),
+        })?;
+
+    let mut proc_ = Proc::new(name);
+    let mut by_name: HashMap<String, VarId> = HashMap::new();
+    for part in params.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let (pname, sort) = part.split_once(':').ok_or_else(|| TextError {
+            line: hline,
+            message: format!("bad input `{part}`"),
+        })?;
+        let pname = pname.trim();
+        let sort = parse_sort(sort.trim(), hline)?;
+        let kind = if sort == Sort::Mem {
+            InputKind::Memory
+        } else if pname.starts_with("call_ret") {
+            InputKind::CallResult
+        } else {
+            InputKind::Register
+        };
+        let id = proc_.declare(pname, sort, Some(kind));
+        by_name.insert(pname.to_string(), id);
+    }
+
+    for (i, raw) in lines {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (dst, rhs) = line.split_once('=').ok_or_else(|| TextError {
+            line: line_no,
+            message: "expected `=`".into(),
+        })?;
+        let dst = dst.trim().to_string();
+        let rhs = rhs.trim();
+        // Split `OpName(params)(arg, arg)` — the argument list is the last
+        // parenthesized group.
+        let args_open = rhs.rfind('(').ok_or_else(|| TextError {
+            line: line_no,
+            message: "expected `(`".into(),
+        })?;
+        let op_text = rhs[..args_open].trim();
+        let args_text = rhs[args_open + 1..]
+            .strip_suffix(')')
+            .ok_or_else(|| TextError {
+                line: line_no,
+                message: "expected `)`".into(),
+            })?;
+        let op = parse_op(op_text, line_no)?;
+        let mut args = Vec::new();
+        for a in args_text
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+        {
+            if let Some(id) = by_name.get(a) {
+                args.push(Operand::Var(*id));
+            } else if let Some((value, sort)) = a.split_once(':') {
+                let value = value.trim();
+                let value = value
+                    .strip_prefix("0x")
+                    .and_then(|h| u64::from_str_radix(h, 16).ok())
+                    .or_else(|| value.parse::<u64>().ok())
+                    .ok_or_else(|| TextError {
+                        line: line_no,
+                        message: format!("bad constant `{a}`"),
+                    })?;
+                match parse_sort(sort.trim(), line_no)? {
+                    Sort::Bv(width) => args.push(Operand::Const { value, width }),
+                    Sort::Mem => return err(line_no, "memory constants do not exist"),
+                }
+            } else {
+                return err(line_no, format!("unknown operand `{a}`"));
+            }
+        }
+        let sorts: Vec<Sort> = args.iter().map(|a| proc_.operand_sort(a)).collect();
+        let sort = result_sort(op, &sorts, line_no)?;
+        let id = proc_.declare(dst.clone(), sort, None);
+        by_name.insert(dst, id);
+        proc_.assign(id, op, args);
+    }
+    Ok(proc_)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lift;
+    use esh_asm::parse_proc;
+
+    fn lift_text(text: &str) -> Proc {
+        let p = parse_proc(&format!("proc t\nentry:\n{text}")).expect("parses");
+        lift("t", &p.blocks[0].insts)
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        let p = lift_text("lea r14d, [r12+0x13]\nshr r14, 0x2");
+        let text = proc_to_text(&p);
+        let back = parse_proc_text(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert!(back.validate().is_empty(), "{:?}", back.validate());
+        assert_eq!(proc_to_text(&back), text, "round-trip must be stable");
+    }
+
+    #[test]
+    fn roundtrip_memory_and_flags() {
+        let p = lift_text(
+            "mov qword ptr [rdi+0x8], rsi\nmov rax, qword ptr [rdi+0x8]\ncmp rax, rsi\n\
+             jle done",
+        );
+        let text = proc_to_text(&p);
+        let back = parse_proc_text(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(proc_to_text(&back), text);
+        // Behaviour matches too (compared by variable name: the parsed
+        // form declares all inputs first, so raw indices differ).
+        use crate::eval::{default_inputs, eval_proc};
+        let v1 = eval_proc(&p, &default_inputs(&p, 5));
+        let v2 = eval_proc(&back, &default_inputs(&back, 5));
+        for (i, var) in p.vars.iter().enumerate() {
+            let j = back
+                .vars
+                .iter()
+                .position(|v| v.name == var.name)
+                .expect("same variable names");
+            assert_eq!(v1[i], v2[j], "value of `{}` diverged", var.name);
+        }
+    }
+
+    #[test]
+    fn roundtrip_every_demo_strand() {
+        use esh_cc::{Compiler, Vendor, VendorVersion};
+        use esh_minic::demo;
+        use esh_strands::extract_proc_strands;
+        let cc = Compiler::new(Vendor::Icc, VendorVersion::new(14, 0));
+        for (_, f) in demo::cve_functions() {
+            let proc_ = cc.compile_function(&f);
+            for s in extract_proc_strands(&proc_) {
+                let lifted = crate::lift("s", &s.insts);
+                let text = proc_to_text(&lifted);
+                let back = parse_proc_text(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+                assert_eq!(proc_to_text(&back), text);
+                assert!(back.validate().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_proc_text("").is_err());
+        assert!(parse_proc_text("nope").is_err());
+        assert!(parse_proc_text("proc x(a: bv64)\n  v1 = Frob(a)").is_err());
+        assert!(parse_proc_text("proc x(a: bv64)\n  v1 = Add(a, ghost)").is_err());
+        assert!(parse_proc_text("proc x(a: bv99)").is_err());
+    }
+
+    #[test]
+    fn parses_handwritten_figure3_style() {
+        let text = "proc fig3(r12_in1: bv64)\n  \
+                    v1 = Add(r12_in1, 0x13:bv64)\n  \
+                    v2 = Extract(31, 0)(v1)\n  \
+                    v3 = Zext(64)(v2)\n";
+        let p = parse_proc_text(text).expect("parses");
+        assert!(p.validate().is_empty());
+        assert_eq!(p.inputs().len(), 1);
+        assert_eq!(p.temps().len(), 3);
+    }
+}

@@ -1,0 +1,391 @@
+//! The MiniC abstract syntax tree.
+//!
+//! All values are 64-bit machine words; widths only matter at memory
+//! accesses and explicit truncation/extension, mirroring how the paper's IVL
+//! "always uses the full 64-bit representation of registers".
+
+use serde::{Deserialize, Serialize};
+
+/// A memory-access width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemWidth {
+    /// One byte.
+    W8,
+    /// Two bytes.
+    W16,
+    /// Four bytes.
+    W32,
+    /// Eight bytes.
+    W64,
+}
+
+impl MemWidth {
+    /// Width in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemWidth::W8 => 1,
+            MemWidth::W16 => 2,
+            MemWidth::W32 => 4,
+            MemWidth::W64 => 8,
+        }
+    }
+
+    /// Mask covering the low bits of this width.
+    pub fn mask(self) -> u64 {
+        match self {
+            MemWidth::W8 => 0xff,
+            MemWidth::W16 => 0xffff,
+            MemWidth::W32 => 0xffff_ffff,
+            MemWidth::W64 => u64::MAX,
+        }
+    }
+}
+
+/// Binary operators. Comparisons produce `0` or `1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    /// Left shift (amount masked to 6 bits, like x86-64).
+    Shl,
+    /// Logical right shift.
+    Shr,
+    /// Arithmetic right shift.
+    Sar,
+    Eq,
+    Ne,
+    /// Signed less-than.
+    Slt,
+    /// Signed less-or-equal.
+    Sle,
+    /// Unsigned less-than.
+    Ult,
+    /// Unsigned less-or-equal.
+    Ule,
+}
+
+impl BinOp {
+    /// True for comparison operators (result is 0/1).
+    pub fn is_cmp(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Slt | BinOp::Sle | BinOp::Ult | BinOp::Ule
+        )
+    }
+
+    /// Evaluates the operator on two 64-bit words.
+    pub fn eval(self, a: u64, b: u64) -> u64 {
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+            BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+            BinOp::Sar => ((a as i64).wrapping_shr((b & 63) as u32)) as u64,
+            BinOp::Eq => u64::from(a == b),
+            BinOp::Ne => u64::from(a != b),
+            BinOp::Slt => u64::from((a as i64) < (b as i64)),
+            BinOp::Sle => u64::from((a as i64) <= (b as i64)),
+            BinOp::Ult => u64::from(a < b),
+            BinOp::Ule => u64::from(a <= b),
+        }
+    }
+
+    /// The C spelling used by the pretty-printer.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::And => "&",
+            BinOp::Or => "|",
+            BinOp::Xor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::Sar => ">>s",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Slt => "<",
+            BinOp::Sle => "<=",
+            BinOp::Ult => "<u",
+            BinOp::Ule => "<=u",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Two's-complement negation.
+    Neg,
+    /// Bitwise complement.
+    Not,
+    /// Truncate to a width (zeroing upper bits).
+    Trunc(MemWidth),
+    /// Sign-extend the low `width` bits to 64.
+    Sext(MemWidth),
+}
+
+impl UnOp {
+    /// Evaluates the operator on a 64-bit word.
+    pub fn eval(self, a: u64) -> u64 {
+        match self {
+            UnOp::Neg => a.wrapping_neg(),
+            UnOp::Not => !a,
+            UnOp::Trunc(w) => a & w.mask(),
+            UnOp::Sext(w) => {
+                let bits = (w.bytes() * 8) as u32;
+                if bits == 64 {
+                    a
+                } else {
+                    let shifted = (a & w.mask()) << (64 - bits);
+                    ((shifted as i64) >> (64 - bits)) as u64
+                }
+            }
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Expr {
+    /// A 64-bit constant.
+    Const(i64),
+    /// A variable or parameter reference.
+    Var(String),
+    /// A unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// A binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// A memory load of `width` bytes at `addr` (zero-extended).
+    Load {
+        /// Address expression.
+        addr: Box<Expr>,
+        /// Access width.
+        width: MemWidth,
+    },
+    /// A call to an external procedure (see [`crate::stdlib`]).
+    Call {
+        /// Callee name.
+        name: String,
+        /// Argument expressions (at most 6: register arguments only).
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience: a variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Convenience: a binary operation.
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Binary(op, Box::new(a), Box::new(b))
+    }
+
+    /// Convenience: `a + b` (a static builder, not `std::ops::Add`).
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Add, a, b)
+    }
+
+    /// Convenience: a load.
+    pub fn load(addr: Expr, width: MemWidth) -> Expr {
+        Expr::Load {
+            addr: Box::new(addr),
+            width,
+        }
+    }
+
+    /// Number of AST nodes (used by the generator to bound sizes).
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => 1,
+            Expr::Unary(_, a) => 1 + a.size(),
+            Expr::Binary(_, a, b) => 1 + a.size() + b.size(),
+            Expr::Load { addr, .. } => 1 + addr.size(),
+            Expr::Call { args, .. } => 1 + args.iter().map(Expr::size).sum::<usize>(),
+        }
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// Declare a new local and initialize it.
+    Let {
+        /// Local name (unique within the function).
+        name: String,
+        /// Initializer.
+        init: Expr,
+    },
+    /// Assign to an existing local or parameter.
+    Assign {
+        /// Target name.
+        name: String,
+        /// New value.
+        value: Expr,
+    },
+    /// Store `value` (low `width` bytes) at `addr`.
+    Store {
+        /// Address expression.
+        addr: Expr,
+        /// Access width.
+        width: MemWidth,
+        /// Value to store.
+        value: Expr,
+    },
+    /// Two-armed conditional.
+    If {
+        /// Condition (non-zero means true).
+        cond: Expr,
+        /// Then-branch.
+        then_body: Vec<Stmt>,
+        /// Else-branch (may be empty).
+        else_body: Vec<Stmt>,
+    },
+    /// While loop.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// Return, optionally with a value.
+    Return(Option<Expr>),
+    /// Evaluate an expression for its side effects (calls).
+    ExprStmt(Expr),
+    /// Exit the innermost enclosing loop.
+    Break,
+    /// Jump to the next iteration of the innermost enclosing loop.
+    Continue,
+}
+
+impl Stmt {
+    /// Number of AST nodes, including nested statements.
+    pub fn size(&self) -> usize {
+        match self {
+            Stmt::Let { init, .. } | Stmt::Assign { value: init, .. } => 1 + init.size(),
+            Stmt::Store { addr, value, .. } => 1 + addr.size() + value.size(),
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                1 + cond.size()
+                    + then_body.iter().map(Stmt::size).sum::<usize>()
+                    + else_body.iter().map(Stmt::size).sum::<usize>()
+            }
+            Stmt::While { cond, body } => {
+                1 + cond.size() + body.iter().map(Stmt::size).sum::<usize>()
+            }
+            Stmt::Return(e) => 1 + e.as_ref().map_or(0, Expr::size),
+            Stmt::ExprStmt(e) => 1 + e.size(),
+            Stmt::Break | Stmt::Continue => 1,
+        }
+    }
+}
+
+/// A MiniC function.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Parameter names (all 64-bit words; pointers are just words).
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+impl Function {
+    /// Creates a function.
+    pub fn new(name: impl Into<String>, params: Vec<String>, body: Vec<Stmt>) -> Function {
+        Function {
+            name: name.into(),
+            params,
+            body,
+        }
+    }
+
+    /// Total AST node count.
+    pub fn size(&self) -> usize {
+        self.body.iter().map(Stmt::size).sum()
+    }
+}
+
+/// A collection of functions (one source package).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Module {
+    /// Package name (e.g. `openssl-1.0.1f`).
+    pub name: String,
+    /// The functions.
+    pub functions: Vec<Function>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Module {
+        Module {
+            name: name.into(),
+            functions: Vec::new(),
+        }
+    }
+
+    /// Finds a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_eval_basics() {
+        assert_eq!(BinOp::Add.eval(u64::MAX, 1), 0);
+        assert_eq!(BinOp::Sub.eval(0, 1), u64::MAX);
+        assert_eq!(BinOp::Slt.eval(u64::MAX, 0), 1); // -1 < 0 signed
+        assert_eq!(BinOp::Ult.eval(u64::MAX, 0), 0);
+        assert_eq!(BinOp::Sar.eval(0x8000_0000_0000_0000, 63), u64::MAX);
+        assert_eq!(BinOp::Shr.eval(0x8000_0000_0000_0000, 63), 1);
+        assert_eq!(BinOp::Shl.eval(1, 64), 1); // masked shift amount
+    }
+
+    #[test]
+    fn unop_eval_extensions() {
+        assert_eq!(UnOp::Trunc(MemWidth::W8).eval(0x1ff), 0xff);
+        assert_eq!(UnOp::Sext(MemWidth::W8).eval(0x80), 0xffff_ffff_ffff_ff80);
+        assert_eq!(UnOp::Sext(MemWidth::W8).eval(0x7f), 0x7f);
+        assert_eq!(UnOp::Sext(MemWidth::W64).eval(5), 5);
+        assert_eq!(UnOp::Neg.eval(1), u64::MAX);
+        assert_eq!(UnOp::Not.eval(0), u64::MAX);
+    }
+
+    #[test]
+    fn sizes_count_nodes() {
+        let e = Expr::add(Expr::var("x"), Expr::Const(1));
+        assert_eq!(e.size(), 3);
+        let s = Stmt::Let {
+            name: "y".into(),
+            init: e,
+        };
+        assert_eq!(s.size(), 4);
+    }
+
+    #[test]
+    fn cmp_classification() {
+        assert!(BinOp::Eq.is_cmp());
+        assert!(BinOp::Ule.is_cmp());
+        assert!(!BinOp::Add.is_cmp());
+    }
+}

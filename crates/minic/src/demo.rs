@@ -1,0 +1,605 @@
+//! Hand-written MiniC sources shaped after the paper's corpus.
+//!
+//! Each `cve_*` function mirrors the control/data-flow *shape* of the
+//! vulnerable procedure used in the corresponding Table 1 experiment —
+//! buffer copies with attacker-controlled lengths, environment parsers,
+//! device state machines — not the original source text. The substitution
+//! rationale is documented in `DESIGN.md` §2.
+
+use crate::ast::{BinOp, Expr, Function, MemWidth, Stmt, UnOp};
+
+fn v(n: &str) -> Expr {
+    Expr::var(n)
+}
+
+fn c(x: i64) -> Expr {
+    Expr::Const(x)
+}
+
+fn lt(name: &str, init: Expr) -> Stmt {
+    Stmt::Let {
+        name: name.into(),
+        init,
+    }
+}
+
+fn call(name: &str, args: Vec<Expr>) -> Expr {
+    Expr::Call {
+        name: name.into(),
+        args,
+    }
+}
+
+/// A tiny two-parameter demo used by doctests: `min(a + b, 0xffff)`.
+pub fn saturating_sum() -> Function {
+    Function::new(
+        "saturating_sum",
+        vec!["a".into(), "b".into()],
+        vec![
+            lt("s", Expr::add(v("a"), v("b"))),
+            Stmt::If {
+                cond: Expr::bin(BinOp::Ult, c(0xffff), v("s")),
+                then_body: vec![Stmt::Return(Some(c(0xffff)))],
+                else_body: vec![],
+            },
+            Stmt::Return(Some(v("s"))),
+        ],
+    )
+}
+
+/// Heartbleed-shaped (CVE-2014-0160): a heartbeat responder that reads a
+/// type byte and 16-bit length from an attacker-controlled record and
+/// copies `payload` bytes without checking them against the record length.
+pub fn heartbleed_like() -> Function {
+    Function::new(
+        "tls1_process_heartbeat",
+        vec!["dst".into(), "src".into(), "reclen".into()],
+        vec![
+            // hbtype = *src; payload = (src[1] << 8) | src[2];
+            lt("hbtype", Expr::load(v("src"), MemWidth::W8)),
+            lt("hi", Expr::load(Expr::add(v("src"), c(1)), MemWidth::W8)),
+            lt("lo", Expr::load(Expr::add(v("src"), c(2)), MemWidth::W8)),
+            lt(
+                "payload",
+                Expr::bin(BinOp::Or, Expr::bin(BinOp::Shl, v("hi"), c(8)), v("lo")),
+            ),
+            // Build the response header: type, then the 2-byte length.
+            Stmt::Store {
+                addr: v("dst"),
+                width: MemWidth::W8,
+                value: c(2),
+            },
+            Stmt::Store {
+                addr: Expr::add(v("dst"), c(1)),
+                width: MemWidth::W8,
+                value: Expr::bin(BinOp::Shr, v("payload"), c(8)),
+            },
+            Stmt::Store {
+                addr: Expr::add(v("dst"), c(2)),
+                width: MemWidth::W8,
+                value: Expr::Unary(UnOp::Trunc(MemWidth::W8), Box::new(v("payload"))),
+            },
+            // The bug: copies `payload` bytes regardless of `reclen`.
+            lt("bp", Expr::add(v("dst"), c(3))),
+            lt("pl", Expr::add(v("src"), c(3))),
+            lt("_cp", call("memcpy", vec![v("bp"), v("pl"), v("payload")])),
+            // Send 3 + payload + 16 bytes of response.
+            lt("n", Expr::add(Expr::add(v("payload"), c(3)), c(0x10))),
+            lt("r", call("write_bytes", vec![v("dst"), v("n")])),
+            Stmt::If {
+                cond: Expr::bin(BinOp::Slt, v("r"), c(0)),
+                then_body: vec![Stmt::Return(Some(c(-1)))],
+                else_body: vec![],
+            },
+            Stmt::Return(Some(Expr::add(v("r"), v("hbtype")))),
+        ],
+    )
+}
+
+/// Shellshock-shaped (CVE-2014-6271): an environment-string importer that
+/// scans for the `() {` function-definition prefix and keeps parsing past
+/// the closing brace (the bug).
+pub fn shellshock_like() -> Function {
+    Function::new(
+        "initialize_shell_variable",
+        vec!["env".into(), "flags".into()],
+        vec![
+            lt("len", call("strlen", vec![v("env")])),
+            lt("isfunc", c(0)),
+            // Prefix check: '(' ')' ' ' '{'.
+            lt("c0", Expr::load(v("env"), MemWidth::W8)),
+            lt("c1", Expr::load(Expr::add(v("env"), c(1)), MemWidth::W8)),
+            lt("c2", Expr::load(Expr::add(v("env"), c(2)), MemWidth::W8)),
+            lt("c3", Expr::load(Expr::add(v("env"), c(3)), MemWidth::W8)),
+            Stmt::If {
+                cond: Expr::bin(
+                    BinOp::And,
+                    Expr::bin(
+                        BinOp::And,
+                        Expr::bin(BinOp::Eq, v("c0"), c(0x28)),
+                        Expr::bin(BinOp::Eq, v("c1"), c(0x29)),
+                    ),
+                    Expr::bin(
+                        BinOp::And,
+                        Expr::bin(BinOp::Eq, v("c2"), c(0x20)),
+                        Expr::bin(BinOp::Eq, v("c3"), c(0x7b)),
+                    ),
+                ),
+                then_body: vec![Stmt::Assign {
+                    name: "isfunc".into(),
+                    value: c(1),
+                }],
+                else_body: vec![],
+            },
+            // Scan for the closing brace depth; the vulnerable version does
+            // not stop at the end of the function body.
+            lt("depth", c(0)),
+            lt("i", c(0)),
+            lt("cap", Expr::bin(BinOp::And, v("len"), c(0xff))),
+            Stmt::While {
+                cond: Expr::bin(BinOp::Ult, v("i"), v("cap")),
+                body: vec![
+                    lt("ch", Expr::load(Expr::add(v("env"), v("i")), MemWidth::W8)),
+                    Stmt::If {
+                        cond: Expr::bin(BinOp::Eq, v("ch"), c(0x7b)),
+                        then_body: vec![Stmt::Assign {
+                            name: "depth".into(),
+                            value: Expr::add(v("depth"), c(1)),
+                        }],
+                        else_body: vec![Stmt::If {
+                            cond: Expr::bin(BinOp::Eq, v("ch"), c(0x7d)),
+                            then_body: vec![Stmt::Assign {
+                                name: "depth".into(),
+                                value: Expr::bin(BinOp::Sub, v("depth"), c(1)),
+                            }],
+                            else_body: vec![],
+                        }],
+                    },
+                    Stmt::Assign {
+                        name: "i".into(),
+                        value: Expr::add(v("i"), c(1)),
+                    },
+                ],
+            },
+            // The bug shape: evaluate the remainder unconditionally.
+            lt("rest", Expr::add(v("env"), v("i"))),
+            lt(
+                "ev",
+                call(
+                    "checksum",
+                    vec![v("rest"), Expr::bin(BinOp::Sub, v("len"), v("i"))],
+                ),
+            ),
+            Stmt::If {
+                cond: v("isfunc"),
+                then_body: vec![Stmt::Return(Some(Expr::bin(
+                    BinOp::Xor,
+                    v("ev"),
+                    v("flags"),
+                )))],
+                else_body: vec![],
+            },
+            Stmt::Return(Some(v("depth"))),
+        ],
+    )
+}
+
+/// Venom-shaped (CVE-2015-3456): a floppy-controller FIFO handler whose
+/// index wraps through a set of distinctive magic constants (§6.2 notes the
+/// distinct numerics make even S-VCP score perfectly here).
+pub fn venom_like() -> Function {
+    Function::new(
+        "fdctrl_handle_drive_specification",
+        vec!["fdctrl".into(), "value".into()],
+        vec![
+            // Load the FIFO cursor and the configured FIFO size.
+            lt(
+                "pos",
+                Expr::load(Expr::add(v("fdctrl"), c(0x30)), MemWidth::W32),
+            ),
+            lt("fifo", Expr::add(v("fdctrl"), c(0x4a0))),
+            // Magic bounds from the device model.
+            lt("maxpos", c(0x200)),
+            Stmt::If {
+                cond: Expr::bin(BinOp::Ule, v("maxpos"), v("pos")),
+                // Vulnerable reset omitted: cursor keeps increasing.
+                then_body: vec![lt("_d", call("log_msg", vec![c(0x56454e4d)]))],
+                else_body: vec![],
+            },
+            Stmt::Store {
+                addr: Expr::add(v("fifo"), v("pos")),
+                width: MemWidth::W8,
+                value: v("value"),
+            },
+            lt("newpos", Expr::add(v("pos"), c(1))),
+            Stmt::Store {
+                addr: Expr::add(v("fdctrl"), c(0x30)),
+                width: MemWidth::W32,
+                value: v("newpos"),
+            },
+            // Device status word with distinctive constants.
+            lt(
+                "msr",
+                Expr::bin(
+                    BinOp::Or,
+                    c(0x80),
+                    Expr::bin(BinOp::And, v("value"), c(0x10)),
+                ),
+            ),
+            Stmt::Store {
+                addr: Expr::add(v("fdctrl"), c(0x34)),
+                width: MemWidth::W8,
+                value: v("msr"),
+            },
+            Stmt::Return(Some(v("newpos"))),
+        ],
+    )
+}
+
+/// "Clobberin' Time"-shaped (CVE-2014-9295, ntpd): computes a receive
+/// timestamp delta and copies an unvalidated extension field.
+pub fn clobberin_time_like() -> Function {
+    Function::new(
+        "ctl_putdata",
+        vec!["pkt".into(), "datap".into(), "dlen".into()],
+        vec![
+            lt("now", call("get_tick", vec![])),
+            lt(
+                "org",
+                Expr::load(Expr::add(v("pkt"), c(0x18)), MemWidth::W64),
+            ),
+            lt("delta", Expr::bin(BinOp::Sub, v("now"), v("org"))),
+            lt(
+                "scaled",
+                Expr::bin(
+                    BinOp::Shr,
+                    Expr::bin(BinOp::Mul, v("delta"), c(1000)),
+                    c(16),
+                ),
+            ),
+            Stmt::Store {
+                addr: Expr::add(v("pkt"), c(0x20)),
+                width: MemWidth::W64,
+                value: v("scaled"),
+            },
+            // Vulnerable copy: no check of dlen against the packet buffer.
+            lt("dst", Expr::add(v("pkt"), c(0x30))),
+            lt("_cp", call("memcpy", vec![v("dst"), v("datap"), v("dlen")])),
+            lt(
+                "sum",
+                call("checksum", vec![v("pkt"), Expr::add(v("dlen"), c(0x30))]),
+            ),
+            Stmt::Store {
+                addr: Expr::add(v("pkt"), c(0x28)),
+                width: MemWidth::W32,
+                value: v("sum"),
+            },
+            Stmt::Return(Some(Expr::bin(BinOp::And, v("sum"), c(0x7fff_ffff)))),
+        ],
+    )
+}
+
+/// Shellshock #2-shaped (CVE-2014-7169): the follow-up parser bug — a
+/// token scanner that mishandles redirection prefixes.
+pub fn shellshock2_like() -> Function {
+    Function::new(
+        "parse_and_execute_token",
+        vec!["buf".into(), "n".into()],
+        vec![
+            lt("i", c(0)),
+            lt("state", c(0)),
+            lt("cap", Expr::bin(BinOp::And, v("n"), c(0x7f))),
+            Stmt::While {
+                cond: Expr::bin(BinOp::Ult, v("i"), v("cap")),
+                body: vec![
+                    lt("ch", Expr::load(Expr::add(v("buf"), v("i")), MemWidth::W8)),
+                    // '>' (0x3e) flips redirect state; '<' (0x3c) too.
+                    Stmt::If {
+                        cond: Expr::bin(
+                            BinOp::Or,
+                            Expr::bin(BinOp::Eq, v("ch"), c(0x3e)),
+                            Expr::bin(BinOp::Eq, v("ch"), c(0x3c)),
+                        ),
+                        then_body: vec![Stmt::Assign {
+                            name: "state".into(),
+                            value: Expr::bin(BinOp::Xor, v("state"), c(1)),
+                        }],
+                        else_body: vec![Stmt::If {
+                            // The bug shape: stray word chars while in
+                            // redirect state still accumulate.
+                            cond: v("state"),
+                            then_body: vec![Stmt::Assign {
+                                name: "state".into(),
+                                value: Expr::add(v("state"), Expr::bin(BinOp::Shl, v("ch"), c(1))),
+                            }],
+                            else_body: vec![],
+                        }],
+                    },
+                    Stmt::Assign {
+                        name: "i".into(),
+                        value: Expr::add(v("i"), c(1)),
+                    },
+                ],
+            },
+            Stmt::If {
+                cond: Expr::bin(BinOp::Ne, v("state"), c(0)),
+                then_body: vec![
+                    lt("_lg", call("log_msg", vec![v("state")])),
+                    Stmt::Return(Some(v("state"))),
+                ],
+                else_body: vec![],
+            },
+            Stmt::Return(Some(c(0))),
+        ],
+    )
+}
+
+/// ws-snmp-shaped (CVE-2011-0444): a small length-decoder (the paper's
+/// smallest query: 6 basic blocks).
+pub fn ws_snmp_like() -> Function {
+    Function::new(
+        "snmp_variable_decode",
+        vec!["asn".into(), "len".into()],
+        vec![
+            lt("tag", Expr::load(v("asn"), MemWidth::W8)),
+            lt("l0", Expr::load(Expr::add(v("asn"), c(1)), MemWidth::W8)),
+            // Long-form length: the bug multiplies without bounding.
+            Stmt::If {
+                cond: Expr::bin(BinOp::Ult, c(0x80), v("l0")),
+                then_body: vec![
+                    lt("ext", Expr::load(Expr::add(v("asn"), c(2)), MemWidth::W8)),
+                    Stmt::Return(Some(Expr::add(
+                        Expr::bin(BinOp::Shl, v("ext"), c(8)),
+                        Expr::bin(BinOp::And, v("l0"), c(0x7f)),
+                    ))),
+                ],
+                else_body: vec![],
+            },
+            lt(
+                "total",
+                Expr::add(Expr::bin(BinOp::Mul, v("l0"), c(4)), v("tag")),
+            ),
+            Stmt::If {
+                cond: Expr::bin(BinOp::Ult, v("len"), v("total")),
+                then_body: vec![Stmt::Return(Some(c(-1)))],
+                else_body: vec![],
+            },
+            Stmt::Return(Some(v("total"))),
+        ],
+    )
+}
+
+/// wget-shaped (CVE-2014-4877, and the `ftp_syst()` query of Figure 6): an
+/// FTP reply scanner that uppercases and tokenizes the response line.
+pub fn wget_like() -> Function {
+    Function::new(
+        "ftp_syst",
+        vec!["line".into(), "out".into()],
+        vec![
+            lt("len", call("strlen", vec![v("line")])),
+            lt("i", c(0)),
+            lt("cap", Expr::bin(BinOp::And, v("len"), c(0x3f))),
+            lt("acc", c(0)),
+            Stmt::While {
+                cond: Expr::bin(BinOp::Ult, v("i"), v("cap")),
+                body: vec![
+                    lt("ch", Expr::load(Expr::add(v("line"), v("i")), MemWidth::W8)),
+                    // Uppercase ASCII letters: ch >= 'a' && ch <= 'z'.
+                    Stmt::If {
+                        cond: Expr::bin(
+                            BinOp::And,
+                            Expr::bin(BinOp::Ule, c(0x61), v("ch")),
+                            Expr::bin(BinOp::Ule, v("ch"), c(0x7a)),
+                        ),
+                        then_body: vec![Stmt::Assign {
+                            name: "ch".into(),
+                            value: Expr::bin(BinOp::Sub, v("ch"), c(0x20)),
+                        }],
+                        else_body: vec![],
+                    },
+                    Stmt::Store {
+                        addr: Expr::add(v("out"), v("i")),
+                        width: MemWidth::W8,
+                        value: v("ch"),
+                    },
+                    Stmt::Assign {
+                        name: "acc".into(),
+                        value: Expr::add(Expr::bin(BinOp::Mul, v("acc"), c(31)), v("ch")),
+                    },
+                    Stmt::Assign {
+                        name: "i".into(),
+                        value: Expr::add(v("i"), c(1)),
+                    },
+                ],
+            },
+            Stmt::Store {
+                addr: Expr::add(v("out"), v("cap")),
+                width: MemWidth::W8,
+                value: c(0),
+            },
+            Stmt::Return(Some(v("acc"))),
+        ],
+    )
+}
+
+/// ffmpeg-shaped (CVE-2015-6826 / `ff_rv34_decode_init_thread_copy()` of
+/// Figure 6): copies codec state between two contexts field by field.
+pub fn ffmpeg_like() -> Function {
+    Function::new(
+        "ff_rv34_decode_init_thread_copy",
+        vec!["dst_ctx".into(), "src_ctx".into()],
+        vec![
+            lt(
+                "w",
+                Expr::load(Expr::add(v("src_ctx"), c(0x10)), MemWidth::W32),
+            ),
+            lt(
+                "h",
+                Expr::load(Expr::add(v("src_ctx"), c(0x14)), MemWidth::W32),
+            ),
+            Stmt::Store {
+                addr: Expr::add(v("dst_ctx"), c(0x10)),
+                width: MemWidth::W32,
+                value: v("w"),
+            },
+            Stmt::Store {
+                addr: Expr::add(v("dst_ctx"), c(0x14)),
+                width: MemWidth::W32,
+                value: v("h"),
+            },
+            lt(
+                "mb",
+                Expr::bin(
+                    BinOp::Mul,
+                    Expr::bin(BinOp::Shr, v("w"), c(4)),
+                    Expr::bin(BinOp::Shr, v("h"), c(4)),
+                ),
+            ),
+            lt("tabsz", Expr::bin(BinOp::Mul, v("mb"), c(8))),
+            lt(
+                "srctab",
+                Expr::load(Expr::add(v("src_ctx"), c(0x20)), MemWidth::W64),
+            ),
+            lt(
+                "dsttab",
+                Expr::load(Expr::add(v("dst_ctx"), c(0x20)), MemWidth::W64),
+            ),
+            Stmt::If {
+                cond: Expr::bin(BinOp::Ne, v("srctab"), c(0)),
+                then_body: vec![lt(
+                    "_c1",
+                    call(
+                        "memcpy",
+                        vec![
+                            v("dsttab"),
+                            v("srctab"),
+                            Expr::bin(BinOp::And, v("tabsz"), c(0xfff)),
+                        ],
+                    ),
+                )],
+                else_body: vec![Stmt::Return(Some(c(-12)))],
+            },
+            lt(
+                "flags",
+                Expr::load(Expr::add(v("src_ctx"), c(0x40)), MemWidth::W64),
+            ),
+            Stmt::Store {
+                addr: Expr::add(v("dst_ctx"), c(0x40)),
+                width: MemWidth::W64,
+                value: Expr::bin(BinOp::Or, v("flags"), c(0x2)),
+            },
+            Stmt::Return(Some(c(0))),
+        ],
+    )
+}
+
+/// The wrapper from the paper's Figure 7 (`exit_cleanup` in Coreutils'
+/// sort.c): almost no logic of its own, a known hard case (§6.6).
+pub fn exit_cleanup_wrapper() -> Function {
+    Function::new(
+        "exit_cleanup",
+        vec!["temphead".into()],
+        vec![
+            Stmt::If {
+                cond: Expr::bin(BinOp::Ne, v("temphead"), c(0)),
+                then_body: vec![
+                    lt("cs", call("cs_enter", vec![])),
+                    Stmt::ExprStmt(call("cleanup", vec![])),
+                    Stmt::ExprStmt(call("cs_leave", vec![v("cs")])),
+                ],
+                else_body: vec![],
+            },
+            Stmt::ExprStmt(call("close_stdout", vec![])),
+            Stmt::Return(None),
+        ],
+    )
+}
+
+/// All eight CVE-shaped functions, in Table 1 order, with their CVE ids.
+pub fn cve_functions() -> Vec<(&'static str, Function)> {
+    vec![
+        ("CVE-2014-0160", heartbleed_like()),
+        ("CVE-2014-6271", shellshock_like()),
+        ("CVE-2015-3456", venom_like()),
+        ("CVE-2014-9295", clobberin_time_like()),
+        ("CVE-2014-7169", shellshock2_like()),
+        ("CVE-2011-0444", ws_snmp_like()),
+        ("CVE-2014-4877", wget_like()),
+        ("CVE-2015-6826", ffmpeg_like()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::run_function;
+    use crate::memory::{Memory, StdHost};
+    use crate::validate::validate_function;
+
+    #[test]
+    fn all_demos_validate() {
+        let mut all = cve_functions()
+            .into_iter()
+            .map(|(_, f)| f)
+            .collect::<Vec<_>>();
+        all.push(saturating_sum());
+        all.push(exit_cleanup_wrapper());
+        for f in all {
+            let errs = validate_function(&f);
+            assert!(errs.is_empty(), "{}: {errs:?}", f.name);
+        }
+    }
+
+    #[test]
+    fn all_demos_run() {
+        for (_, f) in cve_functions() {
+            let mut mem = Memory::new();
+            let a = mem.alloc(4096);
+            let b = mem.alloc(4096);
+            mem.write(b, MemWidth::W64, 0x1122334455667788);
+            let mut host = StdHost::default();
+            run_function(&f, &[a, b, 64], &mut mem, &mut host)
+                .unwrap_or_else(|e| panic!("{}: {e}", f.name));
+        }
+    }
+
+    #[test]
+    fn heartbleed_copies_attacker_length() {
+        let f = heartbleed_like();
+        let mut mem = Memory::new();
+        let dst = mem.alloc(4096);
+        let src = mem.alloc(4096);
+        // Record claims payload 0x100 even though reclen is 8.
+        mem.write_u8(src, 1);
+        mem.write_u8(src + 1, 0x01);
+        mem.write_u8(src + 2, 0x00);
+        mem.write_u8(src + 3 + 0x42, 0x99); // a "secret" byte past the record
+        let mut host = StdHost::default();
+        run_function(&f, &[dst, src, 8], &mut mem, &mut host).expect("runs");
+        // The secret leaked into the response buffer.
+        assert_eq!(mem.read_u8(dst + 3 + 0x42), 0x99);
+    }
+
+    #[test]
+    fn ws_snmp_long_form_path() {
+        let f = ws_snmp_like();
+        let mut mem = Memory::new();
+        let p = mem.alloc(16);
+        mem.write_u8(p, 4);
+        mem.write_u8(p + 1, 0x85); // long form
+        mem.write_u8(p + 2, 2);
+        let mut host = StdHost::default();
+        let r = run_function(&f, &[p, 100], &mut mem, &mut host).expect("runs");
+        assert_eq!(r, (2 << 8) + 5);
+    }
+
+    #[test]
+    fn wrapper_calls_cleanup_chain() {
+        let f = exit_cleanup_wrapper();
+        let mut mem = Memory::new();
+        let mut host = StdHost::default();
+        run_function(&f, &[1], &mut mem, &mut host).expect("runs");
+        let names: Vec<&str> = host.trace.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["cs_enter", "cleanup", "cs_leave", "close_stdout"]);
+    }
+}

@@ -1,0 +1,346 @@
+//! The MiniC reference interpreter.
+//!
+//! This is the *semantic oracle* for the synthetic compilers: `esh-cc`'s
+//! differential tests check that every vendor/version/optimization backend
+//! produces machine code whose emulated behaviour matches this interpreter
+//! on random inputs.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ast::{Expr, Function, Stmt};
+use crate::memory::{Host, Memory};
+
+/// Runtime error raised by the interpreter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A name was referenced before being defined.
+    UnboundVar(String),
+    /// A loop exceeded the iteration fuel (runaway program).
+    OutOfFuel,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVar(n) => write!(f, "unbound variable `{n}`"),
+            EvalError::OutOfFuel => write!(f, "evaluation fuel exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Default iteration fuel: total statements executed.
+pub const DEFAULT_FUEL: u64 = 1 << 20;
+
+struct Interp<'a, H: Host> {
+    vars: HashMap<String, u64>,
+    mem: &'a mut Memory,
+    host: &'a mut H,
+    fuel: u64,
+}
+
+enum Flow {
+    Normal,
+    Return(u64),
+    Break,
+    Continue,
+}
+
+impl<H: Host> Interp<'_, H> {
+    fn eval(&mut self, e: &Expr) -> Result<u64, EvalError> {
+        Ok(match e {
+            Expr::Const(c) => *c as u64,
+            Expr::Var(n) => *self
+                .vars
+                .get(n)
+                .ok_or_else(|| EvalError::UnboundVar(n.clone()))?,
+            Expr::Unary(op, a) => op.eval(self.eval(a)?),
+            Expr::Binary(op, a, b) => {
+                let a = self.eval(a)?;
+                let b = self.eval(b)?;
+                op.eval(a, b)
+            }
+            Expr::Load { addr, width } => {
+                let a = self.eval(addr)?;
+                self.mem.read(a, *width)
+            }
+            Expr::Call { name, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a)?);
+                }
+                self.host.call(name, &vals, self.mem)
+            }
+        })
+    }
+
+    fn exec_block(&mut self, stmts: &[Stmt]) -> Result<Flow, EvalError> {
+        for s in stmts {
+            match self.exec(s)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec(&mut self, s: &Stmt) -> Result<Flow, EvalError> {
+        if self.fuel == 0 {
+            return Err(EvalError::OutOfFuel);
+        }
+        self.fuel -= 1;
+        match s {
+            Stmt::Let { name, init } | Stmt::Assign { name, value: init } => {
+                let v = self.eval(init)?;
+                self.vars.insert(name.clone(), v);
+                Ok(Flow::Normal)
+            }
+            Stmt::Store { addr, width, value } => {
+                let a = self.eval(addr)?;
+                let v = self.eval(value)?;
+                self.mem.write(a, *width, v);
+                Ok(Flow::Normal)
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                if self.eval(cond)? != 0 {
+                    self.exec_block(then_body)
+                } else {
+                    self.exec_block(else_body)
+                }
+            }
+            Stmt::While { cond, body } => {
+                while self.eval(cond)? != 0 {
+                    if self.fuel == 0 {
+                        return Err(EvalError::OutOfFuel);
+                    }
+                    self.fuel -= 1;
+                    match self.exec_block(body)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Return(e) => {
+                let v = match e {
+                    Some(e) => self.eval(e)?,
+                    None => 0,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::ExprStmt(e) => {
+                self.eval(e)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Break => Ok(Flow::Break),
+            Stmt::Continue => Ok(Flow::Continue),
+        }
+    }
+}
+
+/// Runs `f` on `args` against `mem` and `host`, returning its result
+/// (functions that fall off the end return 0).
+///
+/// # Errors
+///
+/// Returns [`EvalError`] on unbound variables (ill-formed programs; see
+/// [`crate::validate_function`]) or fuel exhaustion.
+pub fn run_function<H: Host>(
+    f: &Function,
+    args: &[u64],
+    mem: &mut Memory,
+    host: &mut H,
+) -> Result<u64, EvalError> {
+    run_function_fuel(f, args, mem, host, DEFAULT_FUEL)
+}
+
+/// Like [`run_function`] with an explicit fuel budget.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] on unbound variables or fuel exhaustion.
+pub fn run_function_fuel<H: Host>(
+    f: &Function,
+    args: &[u64],
+    mem: &mut Memory,
+    host: &mut H,
+    fuel: u64,
+) -> Result<u64, EvalError> {
+    let mut vars = HashMap::new();
+    for (i, p) in f.params.iter().enumerate() {
+        vars.insert(p.clone(), args.get(i).copied().unwrap_or(0));
+    }
+    let mut interp = Interp {
+        vars,
+        mem,
+        host,
+        fuel,
+    };
+    match interp.exec_block(&f.body)? {
+        Flow::Return(v) => Ok(v),
+        // Top-level break/continue is rejected by the validator; treat it
+        // like falling off the end for robustness.
+        Flow::Normal | Flow::Break | Flow::Continue => Ok(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, MemWidth};
+    use crate::memory::StdHost;
+
+    fn v(n: &str) -> Expr {
+        Expr::var(n)
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let f = Function::new(
+            "f",
+            vec!["a".into(), "b".into()],
+            vec![
+                Stmt::Let {
+                    name: "t".into(),
+                    init: Expr::bin(BinOp::Mul, v("a"), v("b")),
+                },
+                Stmt::Return(Some(Expr::add(v("t"), Expr::Const(1)))),
+            ],
+        );
+        let mut mem = Memory::new();
+        let mut host = StdHost::default();
+        assert_eq!(run_function(&f, &[6, 7], &mut mem, &mut host).unwrap(), 43);
+    }
+
+    #[test]
+    fn while_loop_sums() {
+        // sum 0..n
+        let f = Function::new(
+            "sum",
+            vec!["n".into()],
+            vec![
+                Stmt::Let {
+                    name: "acc".into(),
+                    init: Expr::Const(0),
+                },
+                Stmt::Let {
+                    name: "i".into(),
+                    init: Expr::Const(0),
+                },
+                Stmt::While {
+                    cond: Expr::bin(BinOp::Ult, v("i"), v("n")),
+                    body: vec![
+                        Stmt::Assign {
+                            name: "acc".into(),
+                            value: Expr::add(v("acc"), v("i")),
+                        },
+                        Stmt::Assign {
+                            name: "i".into(),
+                            value: Expr::add(v("i"), Expr::Const(1)),
+                        },
+                    ],
+                },
+                Stmt::Return(Some(v("acc"))),
+            ],
+        );
+        let mut mem = Memory::new();
+        let mut host = StdHost::default();
+        assert_eq!(run_function(&f, &[10], &mut mem, &mut host).unwrap(), 45);
+    }
+
+    #[test]
+    fn loads_and_stores() {
+        let f = Function::new(
+            "swapbytes",
+            vec!["p".into()],
+            vec![
+                Stmt::Let {
+                    name: "x".into(),
+                    init: Expr::load(v("p"), MemWidth::W8),
+                },
+                Stmt::Let {
+                    name: "y".into(),
+                    init: Expr::load(Expr::add(v("p"), Expr::Const(1)), MemWidth::W8),
+                },
+                Stmt::Store {
+                    addr: v("p"),
+                    width: MemWidth::W8,
+                    value: v("y"),
+                },
+                Stmt::Store {
+                    addr: Expr::add(v("p"), Expr::Const(1)),
+                    width: MemWidth::W8,
+                    value: v("x"),
+                },
+                Stmt::Return(None),
+            ],
+        );
+        let mut mem = Memory::new();
+        mem.write_u8(0x100, 0xab);
+        mem.write_u8(0x101, 0xcd);
+        let mut host = StdHost::default();
+        run_function(&f, &[0x100], &mut mem, &mut host).unwrap();
+        assert_eq!(mem.read_u8(0x100), 0xcd);
+        assert_eq!(mem.read_u8(0x101), 0xab);
+    }
+
+    #[test]
+    fn unbound_variable_errors() {
+        let f = Function::new("bad", vec![], vec![Stmt::Return(Some(v("ghost")))]);
+        let mut mem = Memory::new();
+        let mut host = StdHost::default();
+        assert_eq!(
+            run_function(&f, &[], &mut mem, &mut host),
+            Err(EvalError::UnboundVar("ghost".into()))
+        );
+    }
+
+    #[test]
+    fn infinite_loop_runs_out_of_fuel() {
+        let f = Function::new(
+            "spin",
+            vec![],
+            vec![Stmt::While {
+                cond: Expr::Const(1),
+                body: vec![],
+            }],
+        );
+        let mut mem = Memory::new();
+        let mut host = StdHost::default();
+        assert_eq!(
+            run_function_fuel(&f, &[], &mut mem, &mut host, 100),
+            Err(EvalError::OutOfFuel)
+        );
+    }
+
+    #[test]
+    fn missing_args_default_to_zero() {
+        let f = Function::new("id", vec!["a".into()], vec![Stmt::Return(Some(v("a")))]);
+        let mut mem = Memory::new();
+        let mut host = StdHost::default();
+        assert_eq!(run_function(&f, &[], &mut mem, &mut host).unwrap(), 0);
+    }
+
+    #[test]
+    fn calls_reach_host() {
+        let f = Function::new(
+            "wrap",
+            vec!["p".into(), "n".into()],
+            vec![Stmt::Return(Some(Expr::Call {
+                name: "write_bytes".into(),
+                args: vec![v("p"), v("n")],
+            }))],
+        );
+        let mut mem = Memory::new();
+        let mut host = StdHost::default();
+        assert_eq!(run_function(&f, &[0, 5], &mut mem, &mut host).unwrap(), 5);
+        assert_eq!(host.trace[0].0, "write_bytes");
+    }
+}

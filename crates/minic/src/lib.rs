@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # esh-minic — the MiniC source language
+//!
+//! The paper evaluates Esh on real packages (OpenSSL, bash, Coreutils)
+//! compiled by real gcc/CLang/icc toolchains. Those binaries cannot be
+//! redistributed here, so this crate provides the substitute source layer: a
+//! small, C-like language with enough expressive power (64-bit integer
+//! arithmetic, loads/stores, loops, calls) to write procedures whose
+//! compiled shapes mirror the paper's corpus.
+//!
+//! The crate contains:
+//!
+//! * the AST ([`Function`], [`Stmt`], [`Expr`]) plus a validator,
+//! * a C-like pretty-printer,
+//! * a reference interpreter ([`interp::run_function`]) with a pluggable
+//!   [`Host`] for external calls and a sparse byte-addressed [`Memory`] —
+//!   both shared with the x86 emulator in `esh-cc` for differential testing,
+//! * a seeded random program generator ([`gen`]) for distractor corpora,
+//! * a patch mutator ([`patch`]) modelling source-level patches, and
+//! * hand-written demo sources ([`demo`]) shaped after the paper's CVEs.
+//!
+//! ## Example
+//!
+//! ```
+//! use esh_minic::{demo, interp, Memory, StdHost};
+//!
+//! let f = demo::saturating_sum();
+//! let mut mem = Memory::new();
+//! let mut host = StdHost::default();
+//! let r = interp::run_function(&f, &[7, 3], &mut mem, &mut host).expect("runs");
+//! assert_eq!(r, 10);
+//! ```
+
+mod ast;
+pub mod demo;
+pub mod gen;
+pub mod interp;
+mod memory;
+pub mod patch;
+mod printer;
+pub mod stdlib;
+mod validate;
+
+pub use ast::{BinOp, Expr, Function, MemWidth, Module, Stmt, UnOp};
+pub use memory::{Host, Memory, StdHost};
+pub use validate::{validate_function, validate_module, ValidateError};

@@ -1,0 +1,242 @@
+//! A sparse byte-addressed memory and the external-call host interface.
+//!
+//! Both the MiniC reference interpreter and the x86 emulator in `esh-cc`
+//! execute against these types, which is what makes differential testing of
+//! the synthetic compilers meaningful: one memory model, one external
+//! library, two execution routes.
+
+use std::collections::HashMap;
+
+use crate::ast::MemWidth;
+
+/// A sparse, byte-addressed, little-endian memory.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    bytes: HashMap<u64, u8>,
+    /// Next address handed out by [`Memory::alloc`].
+    brk: u64,
+}
+
+/// The heap region start used by [`Memory::alloc`].
+const HEAP_BASE: u64 = 0x0000_7000_0000_0000;
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Memory {
+        Memory {
+            bytes: HashMap::new(),
+            brk: HEAP_BASE,
+        }
+    }
+
+    /// Reads one byte (unmapped bytes read as zero).
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        self.bytes.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        self.bytes.insert(addr, value);
+    }
+
+    /// Reads `width` bytes little-endian, zero-extended to 64 bits.
+    pub fn read(&self, addr: u64, width: MemWidth) -> u64 {
+        let mut v = 0u64;
+        for i in 0..width.bytes() {
+            v |= u64::from(self.read_u8(addr.wrapping_add(i))) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `width` bytes of `value` little-endian.
+    pub fn write(&mut self, addr: u64, width: MemWidth, value: u64) {
+        for i in 0..width.bytes() {
+            self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Copies `n` bytes from `src` to `dst` (non-overlapping semantics).
+    pub fn copy(&mut self, dst: u64, src: u64, n: u64) {
+        let data: Vec<u8> = (0..n).map(|i| self.read_u8(src.wrapping_add(i))).collect();
+        for (i, b) in data.into_iter().enumerate() {
+            self.write_u8(dst.wrapping_add(i as u64), b);
+        }
+    }
+
+    /// Fills `n` bytes at `dst` with `byte`.
+    pub fn fill(&mut self, dst: u64, byte: u8, n: u64) {
+        for i in 0..n {
+            self.write_u8(dst.wrapping_add(i), byte);
+        }
+    }
+
+    /// Bump-allocates `n` bytes and returns the base address.
+    pub fn alloc(&mut self, n: u64) -> u64 {
+        let base = self.brk;
+        self.brk = self.brk.wrapping_add(n.max(1)).wrapping_add(15) & !15;
+        base
+    }
+
+    /// Writes a NUL-terminated string and returns its address.
+    pub fn alloc_cstr(&mut self, s: &str) -> u64 {
+        let base = self.alloc(s.len() as u64 + 1);
+        for (i, b) in s.bytes().enumerate() {
+            self.write_u8(base + i as u64, b);
+        }
+        self.write_u8(base + s.len() as u64, 0);
+        base
+    }
+
+    /// Number of mapped bytes (for tests).
+    pub fn mapped_len(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+/// External-procedure host: implements the calls MiniC programs may make.
+pub trait Host {
+    /// Invokes external `name` with `args`, possibly touching `mem`.
+    /// Returns the value left in the return register.
+    fn call(&mut self, name: &str, args: &[u64], mem: &mut Memory) -> u64;
+}
+
+/// The standard host implementing [`crate::stdlib`]'s externals with
+/// deterministic semantics.
+#[derive(Debug, Clone, Default)]
+pub struct StdHost {
+    /// Log of calls `(name, args)`, usable as an observable effect trace.
+    pub trace: Vec<(String, Vec<u64>)>,
+}
+
+impl Host for StdHost {
+    fn call(&mut self, name: &str, args: &[u64], mem: &mut Memory) -> u64 {
+        self.trace.push((name.to_string(), args.to_vec()));
+        match name {
+            "memcpy" => {
+                let (dst, src, n) = (args[0], args[1], args[2]);
+                mem.copy(dst, src, n.min(1 << 16));
+                dst
+            }
+            "memset" => {
+                let (dst, c, n) = (args[0], args[1], args[2]);
+                mem.fill(dst, c as u8, n.min(1 << 16));
+                dst
+            }
+            "strlen" => {
+                let mut p = args[0];
+                let mut n = 0u64;
+                while mem.read_u8(p) != 0 && n < (1 << 16) {
+                    p = p.wrapping_add(1);
+                    n += 1;
+                }
+                n
+            }
+            "write_bytes" => {
+                // Models a bounded write syscall wrapper: returns the byte
+                // count on success, negative on (synthetic) overflow.
+                let n = args.get(1).copied().unwrap_or(0);
+                if n > 0xffff {
+                    -1i64 as u64
+                } else {
+                    n
+                }
+            }
+            "checksum" => {
+                let (p, n) = (args[0], args.get(1).copied().unwrap_or(0).min(1 << 12));
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for i in 0..n {
+                    h ^= u64::from(mem.read_u8(p.wrapping_add(i)));
+                    h = h.wrapping_mul(0x1000_0000_01b3);
+                }
+                h
+            }
+            "alloc" => mem.alloc(args.first().copied().unwrap_or(0).min(1 << 20)),
+            "log_msg" | "cleanup" | "close_stdout" | "cs_leave" | "abort_msg" => 0,
+            "cs_enter" => 1,
+            "get_tick" => 0x5f5e100,
+            _ => {
+                // Unknown externals behave like a pure hash of their
+                // arguments: deterministic, argument-sensitive, no state.
+                let mut h = 0x9e37_79b9_7f4a_7c15u64 ^ (name.len() as u64);
+                for b in name.bytes() {
+                    h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+                }
+                for &a in args {
+                    h = (h ^ a).wrapping_mul(0x100_0000_01b3);
+                    h = h.rotate_left(17);
+                }
+                h
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn little_endian_roundtrip() {
+        let mut m = Memory::new();
+        m.write(0x1000, MemWidth::W32, 0xdead_beef);
+        assert_eq!(m.read(0x1000, MemWidth::W32), 0xdead_beef);
+        assert_eq!(m.read_u8(0x1000), 0xef);
+        assert_eq!(m.read(0x1000, MemWidth::W16), 0xbeef);
+        assert_eq!(m.read(0x1000, MemWidth::W64) & 0xffff_ffff, 0xdead_beef);
+    }
+
+    #[test]
+    fn unmapped_reads_zero() {
+        let m = Memory::new();
+        assert_eq!(m.read(0x42, MemWidth::W64), 0);
+    }
+
+    #[test]
+    fn copy_and_fill() {
+        let mut m = Memory::new();
+        m.fill(0x100, 0xaa, 4);
+        m.copy(0x200, 0x100, 4);
+        assert_eq!(m.read(0x200, MemWidth::W32), 0xaaaa_aaaa);
+    }
+
+    #[test]
+    fn alloc_is_disjoint_and_aligned() {
+        let mut m = Memory::new();
+        let a = m.alloc(10);
+        let b = m.alloc(10);
+        assert!(b >= a + 10);
+        assert_eq!(b % 16, 0);
+    }
+
+    #[test]
+    fn strlen_via_host() {
+        let mut m = Memory::new();
+        let p = m.alloc_cstr("hello");
+        let mut h = StdHost::default();
+        assert_eq!(h.call("strlen", &[p], &mut m), 5);
+        assert_eq!(h.trace.len(), 1);
+    }
+
+    #[test]
+    fn memcpy_via_host() {
+        let mut m = Memory::new();
+        let src = m.alloc_cstr("abcd");
+        let dst = m.alloc(8);
+        let mut h = StdHost::default();
+        let r = h.call("memcpy", &[dst, src, 4], &mut m);
+        assert_eq!(r, dst);
+        assert_eq!(m.read_u8(dst), b'a');
+        assert_eq!(m.read_u8(dst + 3), b'd');
+    }
+
+    #[test]
+    fn unknown_external_is_deterministic() {
+        let mut m = Memory::new();
+        let mut h = StdHost::default();
+        let a = h.call("mystery", &[1, 2], &mut m);
+        let b = h.call("mystery", &[1, 2], &mut m);
+        let c = h.call("mystery", &[1, 3], &mut m);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

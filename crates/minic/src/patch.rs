@@ -1,0 +1,326 @@
+//! Source-level patch simulation.
+//!
+//! The paper defines a patch as "any modification of source-code that
+//! changes the semantics of the procedure" (§5.3) and predicts that
+//! precision declines as the patch grows. This module applies controlled,
+//! semantics-changing edits to a [`Function`], with a size knob mirroring
+//! that experiment axis.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::ast::{BinOp, Expr, Function, Stmt};
+
+/// How invasive a patch is, measured in number of applied edits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PatchLevel {
+    /// One edit — e.g. the real Heartbleed fix (an added bounds check).
+    Minor,
+    /// Three edits.
+    Moderate,
+    /// Six edits — a substantial rework.
+    Major,
+}
+
+impl PatchLevel {
+    /// The number of edits this level applies.
+    pub fn edits(self) -> usize {
+        match self {
+            PatchLevel::Minor => 1,
+            PatchLevel::Moderate => 3,
+            PatchLevel::Major => 6,
+        }
+    }
+}
+
+/// One kind of semantic edit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EditKind {
+    TweakConstant,
+    ChangeOperator,
+    AddGuard,
+    AddStatement,
+    RemoveStatement,
+}
+
+/// Applies `edit` to the `target`-th constant (pre-order); returns how many
+/// constants were visited in total.
+fn for_each_const(stmts: &mut [Stmt], target: Option<usize>, delta: i64) -> usize {
+    fn in_expr(e: &mut Expr, n: &mut usize, target: Option<usize>, delta: i64) {
+        match e {
+            Expr::Const(c) => {
+                if target == Some(*n) {
+                    *c = c.wrapping_add(delta);
+                }
+                *n += 1;
+            }
+            Expr::Var(_) => {}
+            Expr::Unary(_, a) | Expr::Load { addr: a, .. } => in_expr(a, n, target, delta),
+            Expr::Binary(_, a, b) => {
+                in_expr(a, n, target, delta);
+                in_expr(b, n, target, delta);
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    in_expr(a, n, target, delta);
+                }
+            }
+        }
+    }
+    fn in_stmt(s: &mut Stmt, n: &mut usize, target: Option<usize>, delta: i64) {
+        match s {
+            Stmt::Let { init, .. } | Stmt::Assign { value: init, .. } => {
+                in_expr(init, n, target, delta)
+            }
+            Stmt::Store { addr, value, .. } => {
+                in_expr(addr, n, target, delta);
+                in_expr(value, n, target, delta);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                in_expr(cond, n, target, delta);
+                for s in then_body {
+                    in_stmt(s, n, target, delta);
+                }
+                for s in else_body {
+                    in_stmt(s, n, target, delta);
+                }
+            }
+            Stmt::While { cond, body } => {
+                in_expr(cond, n, target, delta);
+                for s in body {
+                    in_stmt(s, n, target, delta);
+                }
+            }
+            Stmt::Return(Some(e)) | Stmt::ExprStmt(e) => in_expr(e, n, target, delta),
+            Stmt::Return(None) | Stmt::Break | Stmt::Continue => {}
+        }
+    }
+    let mut n = 0;
+    for s in stmts {
+        in_stmt(s, &mut n, target, delta);
+    }
+    n
+}
+
+fn first_binop(stmts: &mut [Stmt]) -> Option<&mut BinOp> {
+    fn in_expr(e: &mut Expr) -> Option<&mut BinOp> {
+        match e {
+            Expr::Binary(op, a, b) => {
+                if !op.is_cmp() {
+                    return Some(op);
+                }
+                in_expr(a).or_else(|| in_expr(b))
+            }
+            Expr::Unary(_, a) | Expr::Load { addr: a, .. } => in_expr(a),
+            Expr::Call { args, .. } => args.iter_mut().find_map(in_expr),
+            _ => None,
+        }
+    }
+    fn in_stmt(s: &mut Stmt) -> Option<&mut BinOp> {
+        match s {
+            Stmt::Let { init, .. } | Stmt::Assign { value: init, .. } => in_expr(init),
+            Stmt::Store { addr, value, .. } => in_expr(addr).or_else(|| in_expr(value)),
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => in_expr(cond)
+                .or_else(|| then_body.iter_mut().find_map(in_stmt))
+                .or_else(|| else_body.iter_mut().find_map(in_stmt)),
+            Stmt::While { cond, body } => {
+                in_expr(cond).or_else(|| body.iter_mut().find_map(in_stmt))
+            }
+            Stmt::Return(Some(e)) | Stmt::ExprStmt(e) => in_expr(e),
+            Stmt::Return(None) | Stmt::Break | Stmt::Continue => None,
+        }
+    }
+    stmts.iter_mut().find_map(in_stmt)
+}
+
+/// Applies `level.edits()` random semantic edits to a copy of `f`,
+/// returning the patched function (renamed with a `__p` suffix level tag).
+///
+/// The function's parameter list is never changed, so patched variants stay
+/// drop-in replacements (like real security patches).
+pub fn apply_patch(f: &Function, level: PatchLevel, seed: u64) -> Function {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed_beef);
+    let mut out = f.clone();
+    out.name = format!("{}__p{}", f.name, level.edits());
+    let kinds = [
+        EditKind::TweakConstant,
+        EditKind::ChangeOperator,
+        EditKind::AddGuard,
+        EditKind::AddStatement,
+        EditKind::RemoveStatement,
+    ];
+    let mut applied = 0;
+    let mut attempts = 0;
+    while applied < level.edits() && attempts < level.edits() * 10 {
+        attempts += 1;
+        let kind = *kinds.choose(&mut rng).expect("non-empty");
+        let mut candidate = out.clone();
+        apply_edit(&mut candidate, kind, &mut rng);
+        // A patch that breaks loop termination (e.g. flipping the operator
+        // of an induction update) is not a realistic source patch; reject
+        // it and try another edit.
+        if terminates_quickly(&candidate) {
+            out = candidate;
+            applied += 1;
+        }
+    }
+    out
+}
+
+/// Smoke-runs `f` on a canonical input with a small fuel budget.
+fn terminates_quickly(f: &Function) -> bool {
+    use crate::interp::run_function_fuel;
+    use crate::memory::{Memory, StdHost};
+    let mut mem = Memory::new();
+    let a = mem.alloc(4096);
+    let b = mem.alloc(4096);
+    for i in 0..64 {
+        mem.write_u8(b + i, (37u8).wrapping_mul(i as u8 + 1));
+    }
+    let mut host = StdHost::default();
+    run_function_fuel(f, &[a, b, 16, 5], &mut mem, &mut host, 1 << 16).is_ok()
+}
+
+fn apply_edit(f: &mut Function, kind: EditKind, rng: &mut StdRng) {
+    match kind {
+        EditKind::TweakConstant => {
+            let total = for_each_const(&mut f.body, None, 0);
+            if total > 0 {
+                let target = rng.gen_range(0..total);
+                let delta = *[1, 2, 4, 8].choose(rng).expect("non-empty");
+                for_each_const(&mut f.body, Some(target), delta);
+            }
+        }
+        EditKind::ChangeOperator => {
+            if let Some(op) = first_binop(&mut f.body) {
+                *op = match *op {
+                    BinOp::Add => BinOp::Sub,
+                    BinOp::Sub => BinOp::Add,
+                    BinOp::Mul => BinOp::Add,
+                    BinOp::And => BinOp::Or,
+                    BinOp::Or => BinOp::Xor,
+                    BinOp::Xor => BinOp::And,
+                    other => other,
+                };
+            }
+        }
+        EditKind::AddGuard => {
+            // The canonical vulnerability fix: guard the body's tail in a
+            // bounds check on the first parameter.
+            if let Some(p) = f.params.first().cloned() {
+                let split = f.body.len().saturating_sub(1);
+                let tail: Vec<Stmt> = f.body.drain(split..).collect();
+                f.body.push(Stmt::If {
+                    cond: Expr::bin(BinOp::Ule, Expr::var(&p), Expr::Const(0xffff)),
+                    then_body: tail,
+                    else_body: vec![Stmt::Return(Some(Expr::Const(-1)))],
+                });
+            }
+        }
+        EditKind::AddStatement => {
+            if let Some(p) = f.params.first().cloned() {
+                let name = format!("patch_t{}", f.body.len());
+                f.body.insert(
+                    0,
+                    Stmt::Let {
+                        name,
+                        init: Expr::bin(
+                            BinOp::Xor,
+                            Expr::var(&p),
+                            Expr::Const(rng.gen_range(1i64..256)),
+                        ),
+                    },
+                );
+            }
+        }
+        EditKind::RemoveStatement => {
+            // Remove a non-Let, non-Return statement if one exists: Lets
+            // may be referenced later and Returns carry the result.
+            let candidates: Vec<usize> = f
+                .body
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| matches!(s, Stmt::Store { .. } | Stmt::ExprStmt(_)))
+                .map(|(i, _)| i)
+                .collect();
+            if let Some(&idx) = candidates.as_slice().choose(rng) {
+                f.body.remove(idx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo;
+    use crate::interp::run_function;
+    use crate::memory::{Memory, StdHost};
+    use crate::validate::validate_function;
+
+    #[test]
+    fn patched_functions_still_validate() {
+        for level in [PatchLevel::Minor, PatchLevel::Moderate, PatchLevel::Major] {
+            for seed in 0..20 {
+                let f = demo::saturating_sum();
+                let p = apply_patch(&f, level, seed);
+                let errs = validate_function(&p);
+                assert!(errs.is_empty(), "{level:?}/{seed}: {errs:?}\n{p}");
+                assert_eq!(p.params, f.params);
+            }
+        }
+    }
+
+    #[test]
+    fn patches_change_behaviour_or_body() {
+        let f = demo::saturating_sum();
+        let mut changed = 0;
+        for seed in 0..10 {
+            let p = apply_patch(&f, PatchLevel::Minor, seed);
+            if p.body != f.body {
+                changed += 1;
+            }
+        }
+        assert!(
+            changed >= 8,
+            "patching should usually alter the body ({changed}/10)"
+        );
+    }
+
+    #[test]
+    fn patch_levels_scale_edit_counts() {
+        assert!(PatchLevel::Minor.edits() < PatchLevel::Moderate.edits());
+        assert!(PatchLevel::Moderate.edits() < PatchLevel::Major.edits());
+    }
+
+    #[test]
+    fn patched_functions_still_run() {
+        for seed in 0..10 {
+            let f = demo::heartbleed_like();
+            let p = apply_patch(&f, PatchLevel::Minor, seed);
+            let mut mem = Memory::new();
+            let buf = mem.alloc(1024);
+            let src = mem.alloc(1024);
+            let mut host = StdHost::default();
+            run_function(&p, &[buf, src, 64], &mut mem, &mut host)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{p}"));
+        }
+    }
+
+    #[test]
+    fn patch_is_deterministic_per_seed() {
+        let f = demo::saturating_sum();
+        assert_eq!(
+            apply_patch(&f, PatchLevel::Major, 9),
+            apply_patch(&f, PatchLevel::Major, 9)
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! A C-like pretty-printer for MiniC (Display impls).
+
+use std::fmt;
+
+use crate::ast::{Expr, Function, MemWidth, Module, Stmt, UnOp};
+
+fn width_name(w: MemWidth) -> &'static str {
+    match w {
+        MemWidth::W8 => "u8",
+        MemWidth::W16 => "u16",
+        MemWidth::W32 => "u32",
+        MemWidth::W64 => "u64",
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(c) => write!(f, "{c}"),
+            Expr::Var(n) => write!(f, "{n}"),
+            Expr::Unary(op, a) => match op {
+                UnOp::Neg => write!(f, "-({a})"),
+                UnOp::Not => write!(f, "~({a})"),
+                UnOp::Trunc(w) => write!(f, "({})({a})", width_name(*w)),
+                UnOp::Sext(w) => write!(f, "(i{})({a})", w.bytes() * 8),
+            },
+            Expr::Binary(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+            Expr::Load { addr, width } => write!(f, "*({}*)({addr})", width_name(*width)),
+            Expr::Call { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+fn fmt_block(f: &mut fmt::Formatter<'_>, stmts: &[Stmt], indent: usize) -> fmt::Result {
+    for s in stmts {
+        fmt_stmt(f, s, indent)?;
+    }
+    Ok(())
+}
+
+fn fmt_stmt(f: &mut fmt::Formatter<'_>, s: &Stmt, indent: usize) -> fmt::Result {
+    let pad = "  ".repeat(indent);
+    match s {
+        Stmt::Let { name, init } => writeln!(f, "{pad}u64 {name} = {init};"),
+        Stmt::Assign { name, value } => writeln!(f, "{pad}{name} = {value};"),
+        Stmt::Store { addr, width, value } => {
+            writeln!(f, "{pad}*({}*)({addr}) = {value};", width_name(*width))
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            writeln!(f, "{pad}if ({cond}) {{")?;
+            fmt_block(f, then_body, indent + 1)?;
+            if else_body.is_empty() {
+                writeln!(f, "{pad}}}")
+            } else {
+                writeln!(f, "{pad}}} else {{")?;
+                fmt_block(f, else_body, indent + 1)?;
+                writeln!(f, "{pad}}}")
+            }
+        }
+        Stmt::While { cond, body } => {
+            writeln!(f, "{pad}while ({cond}) {{")?;
+            fmt_block(f, body, indent + 1)?;
+            writeln!(f, "{pad}}}")
+        }
+        Stmt::Return(Some(e)) => writeln!(f, "{pad}return {e};"),
+        Stmt::Return(None) => writeln!(f, "{pad}return;"),
+        Stmt::ExprStmt(e) => writeln!(f, "{pad}{e};"),
+        Stmt::Break => writeln!(f, "{pad}break;"),
+        Stmt::Continue => writeln!(f, "{pad}continue;"),
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_stmt(f, self, 0)
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u64 {}(", self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "u64 {p}")?;
+        }
+        writeln!(f, ") {{")?;
+        fmt_block(f, &self.body, 1)?;
+        writeln!(f, "}}")
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "// module {}", self.name)?;
+        for func in &self.functions {
+            writeln!(f, "{func}")?;
+        }
+        Ok(())
+    }
+}

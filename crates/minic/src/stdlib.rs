@@ -1,0 +1,108 @@
+//! The external-procedure library MiniC programs may call.
+//!
+//! The set mirrors the call targets visible in the paper's figures and
+//! corpus (e.g. `memcpy` and `write_bytes` in Figure 2, the cleanup
+//! wrappers of Coreutils' `sort.c` in Figure 7).
+
+/// Signature of an external procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExternalFn {
+    /// Symbol name.
+    pub name: &'static str,
+    /// Number of (register) arguments.
+    pub arity: u8,
+    /// Whether the return value is meaningful.
+    pub returns: bool,
+}
+
+/// All known externals.
+pub const EXTERNALS: &[ExternalFn] = &[
+    ExternalFn {
+        name: "memcpy",
+        arity: 3,
+        returns: true,
+    },
+    ExternalFn {
+        name: "memset",
+        arity: 3,
+        returns: true,
+    },
+    ExternalFn {
+        name: "strlen",
+        arity: 1,
+        returns: true,
+    },
+    ExternalFn {
+        name: "write_bytes",
+        arity: 2,
+        returns: true,
+    },
+    ExternalFn {
+        name: "checksum",
+        arity: 2,
+        returns: true,
+    },
+    ExternalFn {
+        name: "alloc",
+        arity: 1,
+        returns: true,
+    },
+    ExternalFn {
+        name: "log_msg",
+        arity: 1,
+        returns: false,
+    },
+    ExternalFn {
+        name: "cleanup",
+        arity: 0,
+        returns: false,
+    },
+    ExternalFn {
+        name: "close_stdout",
+        arity: 0,
+        returns: false,
+    },
+    ExternalFn {
+        name: "cs_enter",
+        arity: 0,
+        returns: true,
+    },
+    ExternalFn {
+        name: "cs_leave",
+        arity: 1,
+        returns: false,
+    },
+    ExternalFn {
+        name: "abort_msg",
+        arity: 1,
+        returns: false,
+    },
+    ExternalFn {
+        name: "get_tick",
+        arity: 0,
+        returns: true,
+    },
+];
+
+/// Looks up an external by name.
+pub fn external(name: &str) -> Option<&'static ExternalFn> {
+    EXTERNALS.iter().find(|e| e.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_known() {
+        assert_eq!(external("memcpy").map(|e| e.arity), Some(3));
+        assert!(external("nope").is_none());
+    }
+
+    #[test]
+    fn arities_fit_register_convention() {
+        for e in EXTERNALS {
+            assert!(e.arity <= 6, "{} exceeds register args", e.name);
+        }
+    }
+}

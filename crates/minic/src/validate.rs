@@ -1,0 +1,322 @@
+//! Static well-formedness checks for MiniC functions.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::ast::{Expr, Function, Module, Stmt};
+use crate::stdlib;
+
+/// A validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // context fields (`func`, `var`, ...) are uniform
+pub enum ValidateError {
+    /// A variable was used before any definition dominating the use.
+    UseBeforeDef { func: String, var: String },
+    /// A `Let` re-declares an existing name.
+    Redeclaration { func: String, var: String },
+    /// An `Assign` targets an undeclared name.
+    AssignUndeclared { func: String, var: String },
+    /// A call references an unknown external or has the wrong arity.
+    BadCall {
+        func: String,
+        callee: String,
+        reason: String,
+    },
+    /// Two functions in a module share a name.
+    DuplicateFunction(String),
+    /// `break`/`continue` outside a loop.
+    LoopControlOutsideLoop { func: String },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::UseBeforeDef { func, var } => {
+                write!(f, "{func}: `{var}` used before definition")
+            }
+            ValidateError::Redeclaration { func, var } => {
+                write!(f, "{func}: `{var}` redeclared")
+            }
+            ValidateError::AssignUndeclared { func, var } => {
+                write!(f, "{func}: assignment to undeclared `{var}`")
+            }
+            ValidateError::BadCall {
+                func,
+                callee,
+                reason,
+            } => {
+                write!(f, "{func}: bad call to `{callee}`: {reason}")
+            }
+            ValidateError::DuplicateFunction(n) => write!(f, "duplicate function `{n}`"),
+            ValidateError::LoopControlOutsideLoop { func } => {
+                write!(f, "{func}: break/continue outside a loop")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+struct Checker<'a> {
+    func: &'a str,
+    declared: HashSet<String>,
+    errors: Vec<ValidateError>,
+    loop_depth: usize,
+}
+
+impl Checker<'_> {
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Const(_) => {}
+            Expr::Var(n) => {
+                if !self.declared.contains(n) {
+                    self.errors.push(ValidateError::UseBeforeDef {
+                        func: self.func.to_string(),
+                        var: n.clone(),
+                    });
+                }
+            }
+            Expr::Unary(_, a) => self.expr(a),
+            Expr::Binary(_, a, b) => {
+                self.expr(a);
+                self.expr(b);
+            }
+            Expr::Load { addr, .. } => self.expr(addr),
+            Expr::Call { name, args } => {
+                match stdlib::external(name) {
+                    Some(ext) if usize::from(ext.arity) != args.len() => {
+                        self.errors.push(ValidateError::BadCall {
+                            func: self.func.to_string(),
+                            callee: name.clone(),
+                            reason: format!(
+                                "arity mismatch: expected {}, got {}",
+                                ext.arity,
+                                args.len()
+                            ),
+                        });
+                    }
+                    Some(_) => {}
+                    None => self.errors.push(ValidateError::BadCall {
+                        func: self.func.to_string(),
+                        callee: name.clone(),
+                        reason: "unknown external".into(),
+                    }),
+                }
+                if args.len() > 6 {
+                    self.errors.push(ValidateError::BadCall {
+                        func: self.func.to_string(),
+                        callee: name.clone(),
+                        reason: "more than 6 register arguments".into(),
+                    });
+                }
+                for a in args {
+                    self.expr(a);
+                }
+            }
+        }
+    }
+
+    fn block(&mut self, stmts: &[Stmt]) {
+        // Declarations made inside a branch are conservatively kept in
+        // scope afterwards (the generator never relies on shadowing), but a
+        // use is only legal if *some* dominating path declared it; we keep
+        // it simple and require declaration in lexical order, branch-local
+        // declarations do not escape.
+        for s in stmts {
+            match s {
+                Stmt::Let { name, init } => {
+                    self.expr(init);
+                    if !self.declared.insert(name.clone()) {
+                        self.errors.push(ValidateError::Redeclaration {
+                            func: self.func.to_string(),
+                            var: name.clone(),
+                        });
+                    }
+                }
+                Stmt::Assign { name, value } => {
+                    self.expr(value);
+                    if !self.declared.contains(name) {
+                        self.errors.push(ValidateError::AssignUndeclared {
+                            func: self.func.to_string(),
+                            var: name.clone(),
+                        });
+                    }
+                }
+                Stmt::Store { addr, value, .. } => {
+                    self.expr(addr);
+                    self.expr(value);
+                }
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    self.expr(cond);
+                    let snapshot = self.declared.clone();
+                    self.block(then_body);
+                    self.declared = snapshot.clone();
+                    self.block(else_body);
+                    self.declared = snapshot;
+                }
+                Stmt::While { cond, body } => {
+                    self.expr(cond);
+                    let snapshot = self.declared.clone();
+                    self.loop_depth += 1;
+                    self.block(body);
+                    self.loop_depth -= 1;
+                    self.declared = snapshot;
+                }
+                Stmt::Return(e) => {
+                    if let Some(e) = e {
+                        self.expr(e);
+                    }
+                }
+                Stmt::ExprStmt(e) => self.expr(e),
+                Stmt::Break | Stmt::Continue => {
+                    if self.loop_depth == 0 {
+                        self.errors.push(ValidateError::LoopControlOutsideLoop {
+                            func: self.func.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Validates a function; returns all problems found.
+pub fn validate_function(f: &Function) -> Vec<ValidateError> {
+    let mut checker = Checker {
+        func: &f.name,
+        declared: f.params.iter().cloned().collect(),
+        errors: Vec::new(),
+        loop_depth: 0,
+    };
+    checker.block(&f.body);
+    checker.errors
+}
+
+/// Validates every function in a module plus module-level invariants.
+pub fn validate_module(m: &Module) -> Vec<ValidateError> {
+    let mut errors = Vec::new();
+    let mut seen = HashSet::new();
+    for f in &m.functions {
+        if !seen.insert(f.name.clone()) {
+            errors.push(ValidateError::DuplicateFunction(f.name.clone()));
+        }
+        errors.extend(validate_function(f));
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::BinOp;
+
+    #[test]
+    fn accepts_well_formed() {
+        let f = Function::new(
+            "ok",
+            vec!["a".into()],
+            vec![
+                Stmt::Let {
+                    name: "b".into(),
+                    init: Expr::var("a"),
+                },
+                Stmt::Return(Some(Expr::bin(BinOp::Add, Expr::var("a"), Expr::var("b")))),
+            ],
+        );
+        assert!(validate_function(&f).is_empty());
+    }
+
+    #[test]
+    fn rejects_use_before_def() {
+        let f = Function::new("bad", vec![], vec![Stmt::Return(Some(Expr::var("x")))]);
+        assert!(matches!(
+            validate_function(&f)[0],
+            ValidateError::UseBeforeDef { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_redeclaration() {
+        let f = Function::new(
+            "bad",
+            vec![],
+            vec![
+                Stmt::Let {
+                    name: "x".into(),
+                    init: Expr::Const(1),
+                },
+                Stmt::Let {
+                    name: "x".into(),
+                    init: Expr::Const(2),
+                },
+            ],
+        );
+        assert!(matches!(
+            validate_function(&f)[0],
+            ValidateError::Redeclaration { .. }
+        ));
+    }
+
+    #[test]
+    fn branch_locals_do_not_escape() {
+        let f = Function::new(
+            "bad",
+            vec!["c".into()],
+            vec![
+                Stmt::If {
+                    cond: Expr::var("c"),
+                    then_body: vec![Stmt::Let {
+                        name: "t".into(),
+                        init: Expr::Const(1),
+                    }],
+                    else_body: vec![],
+                },
+                Stmt::Return(Some(Expr::var("t"))),
+            ],
+        );
+        assert!(matches!(
+            validate_function(&f)[0],
+            ValidateError::UseBeforeDef { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_calls() {
+        let f = Function::new(
+            "bad",
+            vec![],
+            vec![
+                Stmt::ExprStmt(Expr::Call {
+                    name: "memcpy".into(),
+                    args: vec![],
+                }),
+                Stmt::ExprStmt(Expr::Call {
+                    name: "no_such_fn".into(),
+                    args: vec![],
+                }),
+            ],
+        );
+        let errs = validate_function(&f);
+        assert_eq!(errs.len(), 2);
+        assert!(errs
+            .iter()
+            .all(|e| matches!(e, ValidateError::BadCall { .. })));
+    }
+
+    #[test]
+    fn module_duplicate_names() {
+        let mut m = Module::new("m");
+        m.functions
+            .push(Function::new("f", vec![], vec![Stmt::Return(None)]));
+        m.functions
+            .push(Function::new("f", vec![], vec![Stmt::Return(None)]));
+        assert!(matches!(
+            validate_module(&m)[0],
+            ValidateError::DuplicateFunction(_)
+        ));
+    }
+}

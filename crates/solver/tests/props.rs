@@ -1,0 +1,199 @@
+//! Property tests for the solver: the normalizing constructors must be
+//! semantics-preserving (checked against a shadow interpreter over the
+//! un-normalized expression tree), and the bit-blaster must agree with the
+//! concrete evaluator.
+
+use esh_solver::bitblast::BitBlaster;
+use esh_solver::eval::{eval, Assignment, CVal};
+use esh_solver::{TermId, TermPool};
+use proptest::prelude::*;
+
+/// An explicit expression tree, kept un-normalized for shadow evaluation.
+#[derive(Debug, Clone)]
+enum Tree {
+    Var(u32),
+    Const(u64),
+    Add(Box<Tree>, Box<Tree>),
+    Sub(Box<Tree>, Box<Tree>),
+    Mul(Box<Tree>, Box<Tree>),
+    And(Box<Tree>, Box<Tree>),
+    Or(Box<Tree>, Box<Tree>),
+    Xor(Box<Tree>, Box<Tree>),
+    Not(Box<Tree>),
+    Neg(Box<Tree>),
+    ShlC(Box<Tree>, u32),
+    LShrC(Box<Tree>, u32),
+    AShrC(Box<Tree>, u32),
+}
+
+const WIDTH: u32 = 16;
+
+fn mask(v: u64) -> u64 {
+    v & 0xffff
+}
+
+fn sext16(v: u64) -> i64 {
+    ((mask(v) << 48) as i64) >> 48
+}
+
+impl Tree {
+    /// Direct (shadow) interpretation, independent of the term pool.
+    fn shadow_eval(&self, vars: &[u64; 4]) -> u64 {
+        match self {
+            Tree::Var(i) => mask(vars[*i as usize % 4]),
+            Tree::Const(c) => mask(*c),
+            Tree::Add(a, b) => mask(a.shadow_eval(vars).wrapping_add(b.shadow_eval(vars))),
+            Tree::Sub(a, b) => mask(a.shadow_eval(vars).wrapping_sub(b.shadow_eval(vars))),
+            Tree::Mul(a, b) => mask(a.shadow_eval(vars).wrapping_mul(b.shadow_eval(vars))),
+            Tree::And(a, b) => a.shadow_eval(vars) & b.shadow_eval(vars),
+            Tree::Or(a, b) => a.shadow_eval(vars) | b.shadow_eval(vars),
+            Tree::Xor(a, b) => a.shadow_eval(vars) ^ b.shadow_eval(vars),
+            Tree::Not(a) => mask(!a.shadow_eval(vars)),
+            Tree::Neg(a) => mask(a.shadow_eval(vars).wrapping_neg()),
+            Tree::ShlC(a, k) => mask(a.shadow_eval(vars) << (k % WIDTH)),
+            Tree::LShrC(a, k) => mask(a.shadow_eval(vars)) >> (k % WIDTH),
+            Tree::AShrC(a, k) => mask((sext16(a.shadow_eval(vars)) >> (k % WIDTH)) as u64),
+        }
+    }
+
+    /// Construction through the normalizing pool.
+    fn build(&self, pool: &mut TermPool) -> TermId {
+        match self {
+            Tree::Var(i) => pool.var(i % 4, WIDTH),
+            Tree::Const(c) => pool.constant(*c, WIDTH),
+            Tree::Add(a, b) => {
+                let (x, y) = (a.build(pool), b.build(pool));
+                pool.add2(x, y)
+            }
+            Tree::Sub(a, b) => {
+                let (x, y) = (a.build(pool), b.build(pool));
+                pool.sub(x, y)
+            }
+            Tree::Mul(a, b) => {
+                let (x, y) = (a.build(pool), b.build(pool));
+                pool.mul(vec![x, y])
+            }
+            Tree::And(a, b) => {
+                let (x, y) = (a.build(pool), b.build(pool));
+                pool.and(vec![x, y])
+            }
+            Tree::Or(a, b) => {
+                let (x, y) = (a.build(pool), b.build(pool));
+                pool.or(vec![x, y])
+            }
+            Tree::Xor(a, b) => {
+                let (x, y) = (a.build(pool), b.build(pool));
+                pool.xor(vec![x, y])
+            }
+            Tree::Not(a) => {
+                let x = a.build(pool);
+                pool.not(x)
+            }
+            Tree::Neg(a) => {
+                let x = a.build(pool);
+                pool.neg(x)
+            }
+            Tree::ShlC(a, k) => {
+                let x = a.build(pool);
+                let c = pool.constant(u64::from(*k), WIDTH);
+                pool.shl(x, c)
+            }
+            Tree::LShrC(a, k) => {
+                let x = a.build(pool);
+                let c = pool.constant(u64::from(*k), WIDTH);
+                pool.lshr(x, c)
+            }
+            Tree::AShrC(a, k) => {
+                let x = a.build(pool);
+                let c = pool.constant(u64::from(*k), WIDTH);
+                pool.ashr(x, c)
+            }
+        }
+    }
+}
+
+fn arb_tree() -> impl Strategy<Value = Tree> {
+    let leaf = prop_oneof![
+        (0u32..4).prop_map(Tree::Var),
+        (0u64..0x10000).prop_map(Tree::Const),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Tree::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Tree::Sub(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Tree::Mul(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Tree::And(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Tree::Or(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Tree::Xor(a.into(), b.into())),
+            inner.clone().prop_map(|a| Tree::Not(a.into())),
+            inner.clone().prop_map(|a| Tree::Neg(a.into())),
+            (inner.clone(), 0u32..16).prop_map(|(a, k)| Tree::ShlC(a.into(), k)),
+            (inner.clone(), 0u32..16).prop_map(|(a, k)| Tree::LShrC(a.into(), k)),
+            (inner, 0u32..16).prop_map(|(a, k)| Tree::AShrC(a.into(), k)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Normalizing construction preserves semantics on random inputs.
+    #[test]
+    fn normalization_is_semantics_preserving(tree in arb_tree(), vals in [any::<u64>(); 4]) {
+        let mut pool = TermPool::new();
+        let t = tree.build(&mut pool);
+        let mut asn = Assignment::random(0);
+        for (i, v) in vals.iter().enumerate() {
+            asn.vars.insert(i as u32, mask(*v));
+        }
+        let got = match eval(&pool, t, &asn) {
+            CVal::Bv(v) => v,
+            CVal::Mem(_) => unreachable!(),
+        };
+        prop_assert_eq!(got, tree.shadow_eval(&vals), "tree: {:?}", tree);
+    }
+
+    /// The bit-blaster agrees with the evaluator: pinning the variables to
+    /// concrete values makes `term == eval(term)` valid.
+    #[test]
+    fn bitblast_agrees_with_eval(tree in arb_tree(), vals in [any::<u64>(); 4]) {
+        let mut pool = TermPool::new();
+        let t = tree.build(&mut pool);
+        let mut asn = Assignment::random(0);
+        for (i, v) in vals.iter().enumerate() {
+            asn.vars.insert(i as u32, mask(*v));
+        }
+        let want = match eval(&pool, t, &asn) {
+            CVal::Bv(v) => v,
+            CVal::Mem(_) => unreachable!(),
+        };
+        let want_t = pool.constant(want, WIDTH);
+        let mut bb = BitBlaster::new(&pool);
+        // Pin the variables.
+        for i in 0..4u32 {
+            let vt = pool_var_bits(&mut bb, &pool, i);
+            let v = mask(vals[i as usize]);
+            for (j, l) in vt.iter().enumerate() {
+                let bit = (v >> j) & 1 == 1;
+                let unit = if bit { *l } else { l.negate() };
+                bb.sat.add_clause(vec![unit]);
+            }
+        }
+        match bb.prove_equal(t, want_t, 100_000) {
+            Some(true) => {}
+            other => prop_assert!(false, "blaster disagrees ({other:?}) on {tree:?}"),
+        }
+    }
+}
+
+fn pool_var_bits(bb: &mut BitBlaster<'_>, pool: &TermPool, _i: u32) -> Vec<esh_solver::sat::Lit> {
+    // The pool is immutable here; var terms already exist from build().
+    // Find the var term by scanning (ids are dense and small).
+    let t = (0..pool.len() as u32)
+        .map(TermId)
+        .find(|t| matches!(pool.data(*t).op, esh_solver::term::TermOp::Var(v) if v == _i));
+    match t {
+        Some(t) => bb.blast(t),
+        None => Vec::new(), // variable unused in this tree
+    }
+}

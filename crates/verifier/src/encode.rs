@@ -1,0 +1,212 @@
+//! Encoding IVL procedures into solver terms.
+//!
+//! An *input correspondence* γ (paper Definition 1) is realized by
+//! assigning the same solver variable to both matched inputs: assuming
+//! `iq == it` and renaming apart is equivalent to unifying the two symbols,
+//! and unification lets the term normalizer fire across the two strands.
+
+use std::collections::HashMap;
+
+use esh_ivl::{Op, Operand, Proc, Sort, VarId};
+use esh_solver::{TermId, TermPool};
+
+/// Assigns global solver variable ids to the inputs of encoded procedures.
+///
+/// Inputs mapped to the same id are assumed equal (the `assume iq == it`
+/// of the paper's Algorithm 2).
+#[derive(Debug, Default)]
+pub struct InputNamer {
+    next: u32,
+    assigned: HashMap<(usize, VarId), u32>,
+}
+
+impl InputNamer {
+    /// Creates a namer.
+    pub fn new() -> InputNamer {
+        InputNamer::default()
+    }
+
+    /// Returns a fresh id.
+    pub fn fresh(&mut self) -> u32 {
+        let id = self.next;
+        self.next += 1;
+        id
+    }
+
+    /// The id for input `var` of procedure instance `side` (0 = query,
+    /// 1 = target, arbitrary otherwise), creating a fresh one on first use.
+    pub fn id_for(&mut self, side: usize, var: VarId) -> u32 {
+        if let Some(id) = self.assigned.get(&(side, var)) {
+            return *id;
+        }
+        let id = self.fresh();
+        self.assigned.insert((side, var), id);
+        id
+    }
+
+    /// Forces input `var` of `side` to use `id` (unification with another
+    /// input that already has that id).
+    pub fn unify(&mut self, side: usize, var: VarId, id: u32) {
+        self.assigned.insert((side, var), id);
+        self.next = self.next.max(id + 1);
+    }
+}
+
+/// Encodes `proc_` into `pool`, returning one term per IVL variable.
+///
+/// `input_id` supplies the global solver id for each input variable;
+/// see [`InputNamer`].
+pub fn encode_proc(
+    pool: &mut TermPool,
+    proc_: &Proc,
+    mut input_id: impl FnMut(VarId) -> u32,
+) -> Vec<TermId> {
+    let mut terms: Vec<Option<TermId>> = vec![None; proc_.vars.len()];
+    for id in proc_.inputs() {
+        let sid = input_id(id);
+        let t = match proc_.var(id).sort {
+            Sort::Bv(w) => pool.var(sid, w),
+            Sort::Mem => pool.mem_var(sid),
+        };
+        terms[id.index()] = Some(t);
+    }
+    let operand = |pool: &mut TermPool, terms: &[Option<TermId>], o: &Operand| -> TermId {
+        match o {
+            Operand::Var(v) => terms[v.index()].expect("SSA order"),
+            Operand::Const { value, width } => pool.constant(*value, *width),
+        }
+    };
+    for s in &proc_.stmts {
+        let args: Vec<TermId> = s.args.iter().map(|a| operand(pool, &terms, a)).collect();
+        let t = match s.op {
+            Op::Copy => args[0],
+            Op::Add => pool.add(args),
+            Op::Sub => pool.sub(args[0], args[1]),
+            Op::Mul => pool.mul(args),
+            Op::And => pool.and(args),
+            Op::Or => pool.or(args),
+            Op::Xor => pool.xor(args),
+            Op::Shl => pool.shl(args[0], args[1]),
+            Op::LShr => pool.lshr(args[0], args[1]),
+            Op::AShr => pool.ashr(args[0], args[1]),
+            Op::Not => pool.not(args[0]),
+            Op::Neg => pool.neg(args[0]),
+            Op::Eq => pool.eq(args[0], args[1]),
+            Op::Ne => {
+                let e = pool.eq(args[0], args[1]);
+                pool.not(e)
+            }
+            Op::Ult => pool.ult(args[0], args[1]),
+            Op::Ule => pool.ule(args[0], args[1]),
+            Op::Slt => pool.slt(args[0], args[1]),
+            Op::Sle => pool.sle(args[0], args[1]),
+            Op::Ite => pool.ite(args[0], args[1], args[2]),
+            Op::Zext(to) => pool.zext(args[0], to),
+            Op::Sext(to) => pool.sext(args[0], to),
+            Op::Extract(hi, lo) => pool.extract(args[0], hi, lo),
+            Op::Concat => pool.concat(args[0], args[1]),
+            Op::Load(w) => pool.load(args[0], args[1], w),
+            Op::Store(_) => pool.store(args[0], args[1], args[2]),
+        };
+        terms[s.dst.index()] = Some(t);
+    }
+    terms
+        .into_iter()
+        .map(|t| t.expect("all vars encoded"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esh_asm::parse_proc;
+    use esh_ivl::lift;
+    use esh_solver::{EquivChecker, Verdict};
+
+    fn lift_text(text: &str) -> Proc {
+        let p = parse_proc(&format!("proc t\nentry:\n{text}")).expect("parses");
+        lift("t", &p.blocks[0].insts)
+    }
+
+    #[test]
+    fn unified_inputs_make_equal_strands_equal() {
+        // Figure 3's pair: q = `lea r14d, [r12+13h]`, t = `mov r9, 13h;
+        // mov rbx, r12(:=input); lea r13d, [rbx+r9]` — equivalent when
+        // r12_q is assumed equal to the target's source register.
+        let q = lift_text("lea r14d, [r12+0x13]");
+        let t = lift_text("mov r9, 0x13\nmov r13, rbx\nadd r13, r9");
+        let mut ec = EquivChecker::new();
+        let mut namer = InputNamer::new();
+        // Unify the single register input of each side.
+        let qi = q.inputs()[0];
+        let ti = t.inputs()[0];
+        let shared = namer.fresh();
+        namer.unify(0, qi, shared);
+        namer.unify(1, ti, shared);
+        let qt = encode_proc(&mut ec.pool, &q, |v| namer.id_for(0, v));
+        let tt = encode_proc(&mut ec.pool, &t, |v| namer.id_for(1, v));
+        // q computes (r12+0x13) as a 64-bit temp before truncation; the
+        // target's r13 add computes the same 64-bit sum.
+        let q_sum = q
+            .temps()
+            .into_iter()
+            .find(|v| q.var(*v).sort == Sort::Bv(64))
+            .expect("64-bit temp");
+        let t_sum = t
+            .temps()
+            .into_iter()
+            .rfind(|v| t.var(*v).sort == Sort::Bv(64))
+            .expect("64-bit temp");
+        assert_eq!(
+            ec.check_eq(qt[q_sum.index()], tt[t_sum.index()]),
+            Verdict::Equal
+        );
+    }
+
+    #[test]
+    fn distinct_inputs_are_not_equal() {
+        let q = lift_text("mov rax, rdi");
+        let t = lift_text("mov rax, rsi");
+        let mut ec = EquivChecker::new();
+        let mut namer = InputNamer::new();
+        let qt = encode_proc(&mut ec.pool, &q, |v| namer.id_for(0, v));
+        let tt = encode_proc(&mut ec.pool, &t, |v| namer.id_for(1, v));
+        let qv = q.temps()[0];
+        let tv = t.temps()[0];
+        assert_eq!(
+            ec.check_eq(qt[qv.index()], tt[tv.index()]),
+            Verdict::NotEqual
+        );
+    }
+
+    #[test]
+    fn figure4_syntactically_close_semantically_different() {
+        // Figure 4: v2 = v1 + 1 vs v2 = v1 + 16 — one character apart
+        // syntactically, semantically different almost everywhere.
+        let q = lift_text("mov rax, r14\nadd rax, 0x1\nxor rax, r14\nand rax, r14");
+        let t = lift_text("mov rax, r14\nadd rax, 0x10\nxor rax, r14\nand rax, r14");
+        let mut ec = EquivChecker::new();
+        let mut namer = InputNamer::new();
+        let shared = namer.fresh();
+        namer.unify(0, q.inputs()[0], shared);
+        namer.unify(1, t.inputs()[0], shared);
+        let qt = encode_proc(&mut ec.pool, &q, |v| namer.id_for(0, v));
+        let tt = encode_proc(&mut ec.pool, &t, |v| namer.id_for(1, v));
+        // Count matching temps: only the initial copy of r14 matches.
+        let mut matched = 0;
+        for qv in q.temps() {
+            let found = t
+                .temps()
+                .iter()
+                .any(|tv| ec.check_eq(qt[qv.index()], tt[tv.index()]) == Verdict::Equal);
+            if found {
+                matched += 1;
+            }
+        }
+        assert!(
+            matched * 6 <= q.temps().len() * 2,
+            "at most ~1/3 of temps should match, got {matched}/{}",
+            q.temps().len()
+        );
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # esh-verifier — the program-verifier layer
+//!
+//! The paper encodes strand similarity as Boogie procedures: assume input
+//! equality under a correspondence γ, sequentially compose the strands,
+//! assert equality of all variable pairs, and let the verifier label each
+//! assertion (§4.2). This crate provides that interface over the
+//! from-scratch `esh-solver` backend:
+//!
+//! * [`encode_proc`]/[`InputNamer`] — lower an IVL strand into solver
+//!   terms, realizing assumptions by variable unification;
+//! * [`JointQuery`] — the assume/compose/assert program shape;
+//! * [`VerifierSession`] — a long-lived session whose term pool and
+//!   decision cache are shared across queries (the paper's batching).
+//!
+//! ```
+//! use esh_asm::parse_inst;
+//! use esh_ivl::lift;
+//! use esh_verifier::{JointQuery, VerifierSession};
+//!
+//! let q = lift("q", &[parse_inst("lea r14, [r12+0x13]").unwrap()]);
+//! let t = lift("t", &[parse_inst("lea rcx, [rbx+0x13]").unwrap()]);
+//! let mut session = VerifierSession::new();
+//! let mut jq = JointQuery::new(&q, &t);
+//! jq.assume_eq(q.inputs()[0], t.inputs()[0]);
+//! jq.assert_eq(q.temps()[0], t.temps()[0]);
+//! assert_eq!(session.solve(&jq), vec![esh_solver::Verdict::Equal]);
+//! ```
+
+mod encode;
+mod query;
+
+pub use encode::{encode_proc, InputNamer};
+pub use esh_solver::{EquivConfig, EquivStats, Verdict};
+pub use query::{var_shape, JointQuery, VerifierSession};

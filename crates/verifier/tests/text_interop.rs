@@ -1,0 +1,80 @@
+//! Interop: strands serialized to the textual IVL format and parsed back
+//! verify identically — the guarantee that `.ivl` dumps are faithful
+//! exchange artifacts (like the paper's `.bpl` files).
+
+use esh_asm::parse_proc;
+use esh_ivl::{lift, parse_proc_text, proc_to_text};
+use esh_verifier::{JointQuery, VerifierSession};
+
+fn lift_text(text: &str) -> esh_ivl::Proc {
+    let p = parse_proc(&format!("proc t\nentry:\n{text}")).expect("parses");
+    lift("t", &p.blocks[0].insts)
+}
+
+#[test]
+fn parsed_strands_verify_like_originals() {
+    let q = lift_text("lea r14d, [r12+0x13]");
+    let t = lift_text("mov r9, 0x13\nmov r13, rbx\nlea r13d, [r13+r9]");
+    let q2 = parse_proc_text(&proc_to_text(&q)).expect("q roundtrips");
+    let t2 = parse_proc_text(&proc_to_text(&t)).expect("t roundtrips");
+
+    let run = |q: &esh_ivl::Proc, t: &esh_ivl::Proc| {
+        let mut session = VerifierSession::new();
+        let mut jq = JointQuery::new(q, t);
+        jq.assume_eq(q.inputs()[0], t.inputs()[0]);
+        // Compare the zero-extended 32-bit results (the final temps).
+        let qv = *q.temps().last().expect("temps");
+        let tv = *t.temps().last().expect("temps");
+        jq.assert_eq(qv, tv);
+        session.solve(&jq)
+    };
+    assert_eq!(run(&q, &t), run(&q2, &t2), "verdicts must survive the text roundtrip");
+    assert_eq!(run(&q, &t2), run(&q2, &t), "mixed original/parsed pairs agree too");
+}
+
+#[test]
+fn text_dump_of_compiled_strand_is_parseable_and_equivalent() {
+    use esh_cc::{Compiler, Vendor, VendorVersion};
+    use esh_minic::demo;
+    use esh_strands::extract_proc_strands;
+
+    let cc = Compiler::new(Vendor::Gcc, VendorVersion::new(4, 9));
+    let p = cc.compile_function(&demo::ws_snmp_like());
+    let strand = extract_proc_strands(&p)
+        .into_iter()
+        .max_by_key(|s| s.insts.len())
+        .expect("strands");
+    let lifted = lift("s", &strand.insts);
+    let parsed = parse_proc_text(&proc_to_text(&lifted)).expect("parses");
+
+    // Every temp of the original must verify equal to its same-named twin
+    // under identity input matching.
+    let mut session = VerifierSession::new();
+    let mut jq = JointQuery::new(&lifted, &parsed);
+    for (qi, ti) in lifted.inputs().into_iter().zip(parsed.inputs()) {
+        assert_eq!(lifted.var(qi).name, parsed.var(ti).name, "input order preserved");
+        jq.assume_eq(qi, ti);
+    }
+    let pairs: Vec<_> = lifted
+        .temps()
+        .into_iter()
+        .map(|qv| {
+            let name = &lifted.var(qv).name;
+            let tv = parsed
+                .temps()
+                .into_iter()
+                .find(|tv| &parsed.var(*tv).name == name)
+                .expect("same temp names");
+            (qv, tv)
+        })
+        .collect();
+    for (qv, tv) in &pairs {
+        jq.assert_eq(*qv, *tv);
+    }
+    let verdicts = session.solve(&jq);
+    assert!(
+        verdicts.iter().all(|v| *v == esh_verifier::Verdict::Equal),
+        "all {} temps must match: {verdicts:?}",
+        pairs.len()
+    );
+}

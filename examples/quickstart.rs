@@ -1,0 +1,45 @@
+//! Quickstart: compile one source function with two different "vendors"
+//! and measure their statistical similarity with Esh.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use esh::prelude::*;
+use esh_minic::demo;
+
+fn main() {
+    // A small C-like source function (see `esh_minic::demo`).
+    let source = demo::saturating_sum();
+    println!("source:\n{source}");
+
+    // Compile it twice: a gcc-flavoured and a clang-flavoured toolchain.
+    let gcc = Compiler::new(Vendor::Gcc, VendorVersion::new(4, 9));
+    let clang = Compiler::new(Vendor::Clang, VendorVersion::new(3, 5));
+    let query = gcc.compile_function(&source);
+    let target = clang.compile_function(&source);
+    println!(
+        "gcc 4.9 produced {} instructions:\n{query}",
+        query.inst_count()
+    );
+    println!(
+        "clang 3.5 produced {} instructions:\n{target}",
+        target.inst_count()
+    );
+
+    // Index the clang build (plus a decoy) and query with the gcc build.
+    let decoy_src = demo::venom_like();
+    let decoy = clang.compile_function(&decoy_src);
+    let mut engine = SimilarityEngine::new(EngineConfig::default());
+    let tp = engine.add_target("saturating_sum [clang 3.5]", &target);
+    engine.add_target("fdctrl_handle_drive_specification [clang 3.5]", &decoy);
+
+    let scores = engine.query(&query);
+    println!("ranked results (GES, higher = more similar):");
+    for s in scores.ranked() {
+        let marker = if s.target == tp {
+            "  <-- same source"
+        } else {
+            ""
+        };
+        println!("  {:>8.3}  {}{}", s.ges, s.name, marker);
+    }
+}

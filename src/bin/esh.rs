@@ -1,0 +1,144 @@
+//! `esh` — command-line binary similarity search, in the shape of the
+//! paper's released tool: build a corpus, then query procedures against it.
+//!
+//! ```text
+//! esh build-corpus [smoke|default|paper] <corpus.json>
+//! esh search <corpus.json> <query-substring> [top_n]
+//! esh stats <corpus.json>
+//! esh pair <corpus.json> <query-substring> <target-substring>
+//! ```
+
+use esh::prelude::*;
+use esh_eval::experiments::Scale;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  esh build-corpus [smoke|default|paper] <corpus.json>\n  \
+         esh search <corpus.json> <query-substring> [top_n]\n  \
+         esh stats <corpus.json>\n  \
+         esh pair <corpus.json> <query-substring> <target-substring>"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Corpus, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Corpus::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn find_proc(corpus: &Corpus, needle: &str) -> Option<usize> {
+    corpus
+        .procs
+        .iter()
+        .position(|p| p.display().contains(needle))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("build-corpus") => build_corpus(&args[1..]),
+        Some("search") => search(&args[1..]),
+        Some("stats") => stats(&args[1..]),
+        Some("pair") => pair(&args[1..]),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn build_corpus(args: &[String]) -> Result<(), String> {
+    let (scale, path) = match args {
+        [path] => (Scale::Default, path),
+        [scale, path] => (
+            Scale::parse(scale).ok_or_else(|| format!("unknown scale `{scale}`"))?,
+            path,
+        ),
+        _ => return Err("build-corpus takes [scale] <corpus.json>".into()),
+    };
+    eprintln!("building {scale:?} corpus...");
+    let corpus = Corpus::build(&scale.corpus_config());
+    let json = corpus.to_json().map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| e.to_string())?;
+    println!("wrote {} procedures to {path}", corpus.procs.len());
+    Ok(())
+}
+
+fn search(args: &[String]) -> Result<(), String> {
+    let (path, needle, top_n) = match args {
+        [path, needle] => (path, needle, 10),
+        [path, needle, n] => (
+            path,
+            needle,
+            n.parse().map_err(|_| format!("bad top_n `{n}`"))?,
+        ),
+        _ => return Err("search takes <corpus.json> <query-substring> [top_n]".into()),
+    };
+    let corpus = load(path)?;
+    let qi =
+        find_proc(&corpus, needle).ok_or_else(|| format!("no procedure matching `{needle}`"))?;
+    eprintln!("query: {}", corpus.procs[qi].display());
+    let mut engine = SimilarityEngine::new(EngineConfig::default());
+    for p in &corpus.procs {
+        engine.add_target(p.display(), &p.proc_);
+    }
+    let scores = engine.query(&corpus.procs[qi].proc_);
+    println!("{:>10}  procedure", "GES");
+    for s in scores
+        .ranked()
+        .iter()
+        .filter(|s| s.target.0 != qi)
+        .take(top_n)
+    {
+        println!("{:>10.3}  {}", s.ges, s.name);
+    }
+    Ok(())
+}
+
+fn stats(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("stats takes <corpus.json>".into());
+    };
+    let corpus = load(path)?;
+    println!("procedures: {}", corpus.procs.len());
+    let cves: std::collections::BTreeSet<_> =
+        corpus.procs.iter().filter_map(|p| p.cve.clone()).collect();
+    println!("CVE functions: {}", cves.len());
+    let toolchains: std::collections::BTreeSet<_> =
+        corpus.procs.iter().map(|p| p.toolchain.clone()).collect();
+    println!("toolchains: {}", toolchains.len());
+    for t in toolchains {
+        println!("  {t}");
+    }
+    let insts: usize = corpus.procs.iter().map(|p| p.proc_.inst_count()).sum();
+    println!("total instructions: {insts}");
+    Ok(())
+}
+
+fn pair(args: &[String]) -> Result<(), String> {
+    let [path, qn, tn] = args else {
+        return Err("pair takes <corpus.json> <query-substring> <target-substring>".into());
+    };
+    let corpus = load(path)?;
+    let qi = find_proc(&corpus, qn).ok_or_else(|| format!("no procedure matching `{qn}`"))?;
+    let ti = find_proc(&corpus, tn).ok_or_else(|| format!("no procedure matching `{tn}`"))?;
+    let mut engine = SimilarityEngine::new(EngineConfig::default());
+    let target = engine.add_target(corpus.procs[ti].display(), &corpus.procs[ti].proc_);
+    let scores = engine.query(&corpus.procs[qi].proc_);
+    let s = scores
+        .scores
+        .iter()
+        .find(|s| s.target == target)
+        .expect("scored");
+    println!("query : {}", corpus.procs[qi].display());
+    println!("target: {}", corpus.procs[ti].display());
+    println!("GES   : {:.3}", s.ges);
+    println!("S-LOG : {:.3}", s.s_log);
+    println!("S-VCP : {:.3}", s.s_vcp);
+    Ok(())
+}

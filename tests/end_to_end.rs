@@ -1,0 +1,159 @@
+//! Cross-crate integration tests: the full pipeline from MiniC source
+//! through the synthetic compilers, strand extraction, verification and
+//! statistical scoring — plus the who-wins orderings the paper reports.
+
+use esh::prelude::*;
+use esh_baselines::{match_libraries, tracy_similarity};
+use esh_corpus::CorpusConfig;
+use esh_minic::demo;
+use esh_minic::patch::{apply_patch, PatchLevel};
+
+fn gcc() -> Compiler {
+    Compiler::new(Vendor::Gcc, VendorVersion::new(4, 9))
+}
+
+fn gcc_old() -> Compiler {
+    Compiler::new(Vendor::Gcc, VendorVersion::new(4, 6))
+}
+
+fn clang() -> Compiler {
+    Compiler::new(Vendor::Clang, VendorVersion::new(3, 5))
+}
+
+fn icc() -> Compiler {
+    Compiler::new(Vendor::Icc, VendorVersion::new(15, 0))
+}
+
+#[test]
+fn cross_vendor_search_ranks_all_variants_first() {
+    // Index every CVE function compiled with clang and icc; query with the
+    // gcc build of heartbleed. Both true positives must outrank every
+    // distractor (experiment #1's shape).
+    let hb = demo::heartbleed_like();
+    let mut engine = SimilarityEngine::new(EngineConfig::default());
+    let mut tps = Vec::new();
+    for (name, f) in demo::cve_functions() {
+        let is_tp = f.name == hb.name;
+        let c = engine.add_target(format!("{name} [clang]"), &clang().compile_function(&f));
+        let i = engine.add_target(format!("{name} [icc]"), &icc().compile_function(&f));
+        if is_tp {
+            tps.extend([c, i]);
+        }
+    }
+    let scores = engine.query(&gcc().compile_function(&hb));
+    let ranked = scores.ranked();
+    let top2: Vec<_> = ranked.iter().take(2).map(|s| s.target).collect();
+    for tp in &tps {
+        assert!(
+            top2.contains(tp),
+            "true positive {tp:?} not in top 2: {ranked:#?}"
+        );
+    }
+}
+
+#[test]
+fn esh_beats_tracy_cross_vendor_and_tracy_holds_on_patches() {
+    // Table 2's shape: TRACY survives same-vendor patching but collapses
+    // cross-vendor; Esh handles both.
+    let f = demo::shellshock_like();
+    let query = gcc().compile_function(&f);
+
+    // Same vendor + small patch: TRACY similarity stays high.
+    let mut patched = apply_patch(&f, PatchLevel::Minor, 3);
+    patched.name = f.name.clone();
+    let same_vendor_patched = gcc().compile_function(&patched);
+    let tracy_patch = tracy_similarity(&query, &same_vendor_patched);
+
+    // Cross vendor, unpatched: TRACY similarity degrades.
+    let cross = icc().compile_function(&f);
+    let tracy_cross = tracy_similarity(&query, &cross);
+    assert!(
+        tracy_patch >= tracy_cross && tracy_cross < 1.0,
+        "TRACY should prefer same-vendor patched ({tracy_patch}) over cross-vendor \
+         ({tracy_cross})"
+    );
+
+    // Esh must still rank the cross-vendor build above an unrelated one.
+    let mut engine = SimilarityEngine::new(EngineConfig::default());
+    let tp = engine.add_target("cross", &cross);
+    engine.add_target(
+        "unrelated",
+        &icc().compile_function(&demo::clobberin_time_like()),
+    );
+    let scores = engine.query(&query);
+    assert_eq!(scores.ranked()[0].target, tp);
+}
+
+#[test]
+fn bindiff_matches_same_structure_but_not_cross_vendor_rewrites() {
+    use esh_asm::Program;
+    // Same toolchain: BinDiff-style matching works.
+    let m = esh_minic::gen::generate_module(11, "lib", 6);
+    let mut a = Program::new("a");
+    let mut b = Program::new("b");
+    for f in &m.functions {
+        a.procs.push(gcc().compile_function(f));
+        b.procs.push(gcc().compile_function(f));
+    }
+    let ms = match_libraries(&a, &b);
+    let correct = ms.iter().filter(|p| p.a == p.b).count();
+    assert_eq!(correct, 6, "identical builds must fully match");
+
+    // Cross-vendor: accuracy drops (the paper's Table 3 shows BinDiff
+    // failing on most cross-vendor+patch pairs). clang's unrotated loops
+    // and inline returns reshape the CFG relative to gcc.
+    let mut c = Program::new("c");
+    for f in &m.functions {
+        c.procs.push(clang().compile_function(f));
+    }
+    let ms = match_libraries(&a, &c);
+    let correct_cross = ms.iter().filter(|p| p.a == p.b).count();
+    assert!(
+        correct_cross < 6,
+        "cross-vendor matching should be lossy (got {correct_cross}/6)"
+    );
+}
+
+#[test]
+fn version_and_vendor_variants_both_beat_unrelated_code() {
+    // §5.3's axes: whether the target differs by compiler version (gcc 4.6
+    // vs 4.9 — which also flips frame-pointer policy) or by vendor (icc),
+    // the true variants must outrank unrelated code.
+    let f = demo::ws_snmp_like();
+    let query = gcc().compile_function(&f);
+    let mut engine = SimilarityEngine::new(EngineConfig::default());
+    engine.add_target("gcc 4.6", &gcc_old().compile_function(&f));
+    engine.add_target("icc", &icc().compile_function(&f));
+    engine.add_target("decoy", &icc().compile_function(&demo::venom_like()));
+    engine.add_target("decoy2", &gcc_old().compile_function(&demo::ffmpeg_like()));
+    let scores = engine.query(&query);
+    let ranked = scores.ranked();
+    assert!(
+        !ranked[0].name.starts_with("decoy") && !ranked[1].name.starts_with("decoy"),
+        "true variants must outrank decoys: {ranked:#?}"
+    );
+}
+
+#[test]
+fn corpus_pipeline_smoke() {
+    // End-to-end over the corpus builder: every CVE query finds its own
+    // cross-toolchain sibling at rank 1 in the small corpus.
+    let corpus = Corpus::build(&CorpusConfig::small());
+    let mut engine = SimilarityEngine::new(EngineConfig::default());
+    for p in &corpus.procs {
+        engine.add_target(p.display(), &p.proc_);
+    }
+    let qi = corpus
+        .query_for("CVE-2015-3456", "gcc 4.9")
+        .expect("venom query");
+    let scores = engine.query(&corpus.procs[qi].proc_);
+    let ranked = scores.ranked();
+    // Rank 1 is the query's own corpus entry; rank 2 must be the sibling.
+    assert_eq!(ranked[0].target.0, qi, "self first");
+    assert_eq!(
+        corpus.procs[ranked[1].target.0].func,
+        corpus.procs[qi].func,
+        "cross-toolchain sibling second: {:#?}",
+        &ranked[..4.min(ranked.len())]
+    );
+}

@@ -1,0 +1,129 @@
+//! Property-style invariants over randomly generated programs, spanning
+//! the compiler, strand, lifter and scoring layers.
+
+use esh::prelude::*;
+use esh_cc::Toolchain;
+use esh_minic::gen::{self, GenConfig, Shape};
+use esh_strands::{lift_strand, semantic_signature};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+#[test]
+fn strands_cover_and_lift_for_all_toolchains() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let config = GenConfig::default();
+    for shape in Shape::ALL {
+        let f = gen::generate_function(&mut rng, format!("inv_{shape:?}"), shape, &config);
+        for tc in Toolchain::paper_matrix() {
+            let p = Compiler::from_toolchain(tc).compile_function(&f);
+            let strands = extract_proc_strands(&p);
+            // Coverage: every instruction appears in some strand.
+            for (bi, block) in p.blocks.iter().enumerate() {
+                for ii in 0..block.insts.len() {
+                    let covered = strands
+                        .iter()
+                        .any(|s| s.block == block.label && s.indices.contains(&ii));
+                    assert!(covered, "{tc}: inst {ii} of block {bi} uncovered\n{p}");
+                }
+            }
+            // Every strand lifts to valid SSA IVL with a signature.
+            for s in &strands {
+                let lifted = lift_strand(s);
+                let errs = lifted.validate();
+                assert!(errs.is_empty(), "{tc}: {errs:?}\n{lifted}");
+                let sig = semantic_signature(&lifted);
+                assert_eq!(sig.rounds.len(), esh_strands::SIGNATURE_SEEDS.len());
+            }
+        }
+    }
+}
+
+#[test]
+fn self_signature_overlap_is_total() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let f = gen::generate_function(&mut rng, "sig_self", Shape::Mixed, &GenConfig::default());
+    let p = Compiler::new(Vendor::Gcc, VendorVersion::new(4, 9)).compile_function(&f);
+    for s in extract_proc_strands(&p) {
+        let lifted = lift_strand(&s);
+        if lifted.temps().is_empty() {
+            // Value-free strands (e.g. a lone jmp) carry no signature and
+            // are filtered by the engine's minimum-size threshold.
+            continue;
+        }
+        let sig = semantic_signature(&lifted);
+        assert!(
+            (sig.overlap_bound(&sig) - 1.0).abs() < 1e-12,
+            "a signature must fully overlap itself"
+        );
+    }
+}
+
+#[test]
+fn same_source_scores_above_different_source_across_vendors() {
+    // For a handful of generated programs: GES(query | same-source
+    // cross-vendor build) > GES(query | different-source same-vendor
+    // build). This is the core retrieval property.
+    let mut rng = StdRng::seed_from_u64(99);
+    let config = GenConfig {
+        stmt_budget: 14,
+        ..GenConfig::default()
+    };
+    let mut wins = 0;
+    let mut total = 0;
+    for k in 0..4 {
+        let f = gen::generate_function(&mut rng, format!("p{k}"), Shape::Mixed, &config);
+        let g = gen::generate_function(&mut rng, format!("q{k}"), Shape::Mixed, &config);
+        let query = Compiler::new(Vendor::Gcc, VendorVersion::new(4, 9)).compile_function(&f);
+        let clang = Compiler::new(Vendor::Clang, VendorVersion::new(3, 5));
+        let mut engine = SimilarityEngine::new(EngineConfig::default());
+        let tp = engine.add_target("same-source", &clang.compile_function(&f));
+        let fp = engine.add_target("diff-source", &clang.compile_function(&g));
+        let scores = engine.query(&query);
+        let get = |id| {
+            scores
+                .scores
+                .iter()
+                .find(|s| s.target == id)
+                .map(|s| s.ges)
+                .unwrap()
+        };
+        total += 1;
+        if get(tp) > get(fp) {
+            wins += 1;
+        }
+    }
+    assert!(
+        wins >= 3,
+        "same-source should win consistently ({wins}/{total})"
+    );
+}
+
+#[test]
+fn ges_self_query_is_maximal() {
+    // Querying a procedure against a set containing itself must rank the
+    // exact binary first.
+    let mut rng = StdRng::seed_from_u64(5);
+    let f = gen::generate_function(
+        &mut rng,
+        "selfq",
+        Shape::LoopAccumulate,
+        &GenConfig::default(),
+    );
+    let me = Compiler::new(Vendor::Icc, VendorVersion::new(15, 0)).compile_function(&f);
+    let mut engine = SimilarityEngine::new(EngineConfig::default());
+    let self_id = engine.add_target("self", &me);
+    for (i, tc) in Toolchain::paper_matrix().into_iter().take(3).enumerate() {
+        let g = gen::generate_function(
+            &mut rng,
+            format!("other{i}"),
+            Shape::Mixed,
+            &GenConfig::default(),
+        );
+        engine.add_target(
+            format!("other{i}"),
+            &Compiler::from_toolchain(tc).compile_function(&g),
+        );
+    }
+    let scores = engine.query(&me);
+    assert_eq!(scores.ranked()[0].target, self_id);
+}
