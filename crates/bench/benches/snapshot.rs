@@ -1,0 +1,66 @@
+//! Serving-layer benchmarks: corpus build vs snapshot reload, and
+//! cold-cache vs warm-cache query latency — the two wins that turn the
+//! batch pipeline into a persistent service (see docs/ARCHITECTURE.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esh_cc::{Compiler, Vendor, VendorVersion};
+use esh_core::{EngineConfig, SimilarityEngine};
+use esh_minic::demo;
+use std::hint::black_box;
+
+fn config() -> EngineConfig {
+    EngineConfig {
+        threads: 2,
+        ..EngineConfig::default()
+    }
+}
+
+fn corpus_engine() -> SimilarityEngine {
+    let clang = Compiler::new(Vendor::Clang, VendorVersion::new(3, 5));
+    let icc = Compiler::new(Vendor::Icc, VendorVersion::new(15, 0));
+    let mut engine = SimilarityEngine::new(config());
+    for (i, (_, f)) in demo::cve_functions().into_iter().enumerate() {
+        engine.add_target(format!("clang-{i}"), &clang.compile_function(&f));
+        engine.add_target(format!("icc-{i}"), &icc.compile_function(&f));
+    }
+    engine
+}
+
+fn bench_build_vs_load(c: &mut Criterion) {
+    let path = std::env::temp_dir().join(format!("esh-bench-snapshot-{}", std::process::id()));
+    corpus_engine().save(&path).unwrap();
+
+    c.bench_function("snapshot/build_corpus_engine", |b| {
+        b.iter(|| black_box(corpus_engine()))
+    });
+    c.bench_function("snapshot/load_corpus_engine", |b| {
+        b.iter(|| black_box(SimilarityEngine::load(&path).unwrap()))
+    });
+    std::fs::remove_file(&path).ok();
+}
+
+fn bench_cold_vs_warm_query(c: &mut Criterion) {
+    let gcc = Compiler::new(Vendor::Gcc, VendorVersion::new(4, 9));
+    let query = gcc.compile_function(&demo::heartbleed_like());
+
+    c.bench_function("snapshot/query_cold_cache", |b| {
+        // A fresh engine each iteration: every VCP pair hits the verifier.
+        b.iter(|| {
+            let engine = corpus_engine();
+            black_box(engine.query(&query))
+        })
+    });
+
+    let warmed = corpus_engine();
+    warmed.query(&query);
+    c.bench_function("snapshot/query_warm_cache", |b| {
+        b.iter(|| black_box(warmed.query(&query)))
+    });
+}
+
+criterion_group!(
+    name = snapshot;
+    config = Criterion::default().sample_size(10);
+    targets = bench_build_vs_load, bench_cold_vs_warm_query
+);
+criterion_main!(snapshot);

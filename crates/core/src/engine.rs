@@ -4,9 +4,12 @@
 //! structural hash, prefilter by semantic signature) → VCP via the
 //! verifier → sigmoid likelihood → LES against the corpus-wide H0 →
 //! GES per target. Pairwise comparison is embarrassingly parallel (§5.5);
-//! the engine shards corpus strand classes across threads.
+//! the engine distributes (query strand × class range) tiles over a
+//! work-stealing queue and memoizes verifier results in a cross-query
+//! [`VcpCache`]. Corpus state persists via [`crate::snapshot`].
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use esh_asm::Procedure;
 use esh_ivl::Proc;
@@ -17,6 +20,7 @@ use esh_strands::{
 use esh_verifier::VerifierSession;
 use serde::{Deserialize, Serialize};
 
+use crate::cache::{CacheStats, VcpCache};
 use crate::stats::{ges, les, likelihood, H0Accumulator, ScoringMode};
 use crate::vcp::{size_ratio_ok, vcp_pair, VcpConfig, VcpPair};
 
@@ -32,7 +36,7 @@ pub enum Granularity {
 }
 
 /// Engine configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EngineConfig {
     /// Decomposition granularity (§3.2).
     pub granularity: Granularity,
@@ -63,26 +67,54 @@ impl Default for EngineConfig {
     }
 }
 
+impl EngineConfig {
+    /// Stable digest of every scoring-relevant knob. Two engines with the
+    /// same fingerprint produce identical scores for identical corpora, so
+    /// snapshots and caches key on it. `threads` only changes scheduling,
+    /// never results, and is deliberately excluded.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |field: u64| {
+            for b in field.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        mix(match self.granularity {
+            Granularity::Strands => 1,
+            Granularity::WholeBlocks => 2,
+        });
+        mix(self.vcp.fingerprint());
+        mix(self.equiv.fingerprint());
+        mix(u64::from(self.prefilter));
+        mix(self.prefilter_threshold.to_bits());
+        h
+    }
+}
+
 /// Identifies a target in the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct TargetId(pub usize);
 
 /// One deduplicated strand shape.
-#[derive(Debug)]
-struct StrandClass {
-    proc_: Proc,
-    signature: Signature,
-    vars: usize,
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct StrandClass {
+    pub(crate) proc_: Proc,
+    pub(crate) signature: Signature,
+    pub(crate) vars: usize,
+    /// Structural hash — the dedup key, kept so snapshots can rebuild the
+    /// hash index and the VCP cache can key on it without re-hashing.
+    pub(crate) hash: u64,
     /// Total occurrences across the whole corpus (drives H0).
-    corpus_count: u64,
+    pub(crate) corpus_count: u64,
 }
 
-#[derive(Debug)]
-struct TargetRecord {
-    name: String,
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct TargetRecord {
+    pub(crate) name: String,
     /// `(class index, occurrences in this target)`.
-    strands: Vec<(usize, u64)>,
-    basic_blocks: usize,
+    pub(crate) strands: Vec<(usize, u64)>,
+    pub(crate) basic_blocks: usize,
 }
 
 /// A prepared query strand.
@@ -91,6 +123,7 @@ struct QueryStrand {
     proc_: Proc,
     signature: Signature,
     vars: usize,
+    hash: u64,
     count: u64,
 }
 
@@ -125,8 +158,13 @@ impl TargetScore {
 pub struct QueryScores {
     /// One entry per target, in insertion order.
     pub scores: Vec<TargetScore>,
-    /// Number of query strands that participated (after §5.5 filtering).
+    /// Number of *deduplicated* query strand classes that participated
+    /// (after §5.5 filtering). Each class is counted once regardless of
+    /// how many times it occurs in the query procedure.
     pub query_strands: usize,
+    /// Total query strand occurrences behind those classes — the weight
+    /// mass the GES sum runs over.
+    pub query_strand_occurrences: usize,
 }
 
 impl QueryScores {
@@ -168,6 +206,12 @@ impl QueryScores {
 
 /// The similarity engine. Add targets once, query many times.
 ///
+/// The corpus can be persisted with [`SimilarityEngine::save`] /
+/// [`SimilarityEngine::save_with_cache`] and restored with
+/// [`SimilarityEngine::load`]; repeated queries reuse verifier results
+/// through the cross-query [`VcpCache`] (see
+/// [`SimilarityEngine::cache_stats`]).
+///
 /// ```
 /// use esh_cc::{Compiler, Vendor, VendorVersion};
 /// use esh_core::{EngineConfig, SimilarityEngine};
@@ -187,6 +231,7 @@ pub struct SimilarityEngine {
     classes: Vec<StrandClass>,
     class_by_hash: HashMap<u64, usize>,
     targets: Vec<TargetRecord>,
+    cache: VcpCache,
 }
 
 impl SimilarityEngine {
@@ -197,12 +242,45 @@ impl SimilarityEngine {
             classes: Vec::new(),
             class_by_hash: HashMap::new(),
             targets: Vec::new(),
+            cache: VcpCache::new(),
         }
     }
 
     /// The configured thresholds.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// Hit/miss/size counters of the cross-query VCP cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Zeroes the cache hit/miss counters (memoized entries are kept).
+    pub fn reset_cache_counters(&self) {
+        self.cache.reset_counters()
+    }
+
+    pub(crate) fn cache(&self) -> &VcpCache {
+        &self.cache
+    }
+
+    pub(crate) fn classes_for_snapshot(&self) -> &[StrandClass] {
+        &self.classes
+    }
+
+    pub(crate) fn targets_for_snapshot(&self) -> &[TargetRecord] {
+        &self.targets
+    }
+
+    pub(crate) fn from_snapshot_parts(
+        config: EngineConfig,
+        classes: Vec<StrandClass>,
+        class_by_hash: HashMap<u64, usize>,
+        targets: Vec<TargetRecord>,
+        cache: VcpCache,
+    ) -> SimilarityEngine {
+        SimilarityEngine { config, classes, class_by_hash, targets, cache }
     }
 
     /// Number of targets.
@@ -256,6 +334,7 @@ impl SimilarityEngine {
                         proc_: lifted,
                         signature,
                         vars,
+                        hash: h,
                         corpus_count: 0,
                     });
                     self.class_by_hash.insert(h, i);
@@ -310,6 +389,7 @@ impl SimilarityEngine {
                     signature: semantic_signature(&lifted),
                     proc_: lifted,
                     vars,
+                    hash: h,
                     count: 0,
                 })
                 .count += 1;
@@ -317,7 +397,19 @@ impl SimilarityEngine {
         by_hash.into_values().collect()
     }
 
+    /// Classes per work-stealing tile. Small enough that a tile of
+    /// expensive verifier calls cannot straggle the whole matrix, large
+    /// enough that queue contention on the atomic cursor is negligible.
+    const VCP_TILE: usize = 32;
+
     /// Computes the VCP matrix `query strand × corpus class` in parallel.
+    ///
+    /// Work is distributed dynamically: the `(query, class-range)` tile
+    /// space is consumed through an atomic cursor, so workers that land on
+    /// cheap tiles (size-ratio or prefilter rejections, cache hits)
+    /// immediately steal more instead of idling behind a static split.
+    /// Results for pairs that reach the verifier are memoized in the
+    /// cross-query [`VcpCache`].
     fn vcp_matrix(&self, query: &[QueryStrand]) -> Vec<Vec<VcpPair>> {
         let threads = if self.config.threads == 0 {
             std::thread::available_parallelism()
@@ -332,48 +424,72 @@ impl SimilarityEngine {
         if nq == 0 || nc == 0 {
             return matrix;
         }
-        let chunk = nc.div_ceil(threads.max(1));
-        let results: Vec<(usize, Vec<Vec<VcpPair>>)> = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (ti, class_chunk) in self.classes.chunks(chunk).enumerate() {
-                let config = &self.config;
-                handles.push(scope.spawn(move |_| {
-                    let mut session = VerifierSession::with_config(config.equiv);
-                    let mut out = vec![vec![VcpPair::default(); class_chunk.len()]; nq];
-                    for (qi, q) in query.iter().enumerate() {
-                        for (ci, class) in class_chunk.iter().enumerate() {
-                            if !size_ratio_ok(&config.vcp, q.vars, class.vars) {
-                                continue;
+        let tiles_per_query = nc.div_ceil(Self::VCP_TILE);
+        let total_tiles = nq * tiles_per_query;
+        let cursor = AtomicUsize::new(0);
+        let vcp_fp = self.config.vcp.fingerprint();
+        let workers = threads.max(1).min(total_tiles);
+        let tiles: Vec<(usize, usize, Vec<VcpPair>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let config = &self.config;
+                    let classes = &self.classes;
+                    let cache = &self.cache;
+                    scope.spawn(move || {
+                        let mut session = VerifierSession::with_config(config.equiv);
+                        let mut out: Vec<(usize, usize, Vec<VcpPair>)> = Vec::new();
+                        loop {
+                            let tile = cursor.fetch_add(1, Ordering::Relaxed);
+                            if tile >= total_tiles {
+                                break;
                             }
-                            if config.prefilter {
-                                let fwd = q.signature.overlap_bound(&class.signature);
-                                let bwd = class.signature.overlap_bound(&q.signature);
-                                if fwd < config.prefilter_threshold
-                                    && bwd < config.prefilter_threshold
-                                {
+                            let qi = tile / tiles_per_query;
+                            let start = (tile % tiles_per_query) * Self::VCP_TILE;
+                            let end = (start + Self::VCP_TILE).min(nc);
+                            let q = &query[qi];
+                            let mut row = vec![VcpPair::default(); end - start];
+                            for (k, class) in classes[start..end].iter().enumerate() {
+                                if !size_ratio_ok(&config.vcp, q.vars, class.vars) {
                                     continue;
                                 }
+                                if config.prefilter {
+                                    let fwd = q.signature.overlap_bound(&class.signature);
+                                    let bwd = class.signature.overlap_bound(&q.signature);
+                                    if fwd < config.prefilter_threshold
+                                        && bwd < config.prefilter_threshold
+                                    {
+                                        continue;
+                                    }
+                                }
+                                let key = (q.hash, class.hash, vcp_fp);
+                                row[k] = match cache.get(&key) {
+                                    Some(v) => v,
+                                    None => {
+                                        let v = vcp_pair(
+                                            &mut session,
+                                            &q.proc_,
+                                            &class.proc_,
+                                            &config.vcp,
+                                        );
+                                        cache.insert(key, v);
+                                        v
+                                    }
+                                };
                             }
-                            out[qi][ci] =
-                                vcp_pair(&mut session, &q.proc_, &class.proc_, &config.vcp);
+                            out.push((qi, start, row));
                         }
-                    }
-                    (ti, out)
-                }));
-            }
+                        out
+                    })
+                })
+                .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
+                .flat_map(|h| h.join().expect("worker panicked"))
                 .collect()
-        })
-        .expect("scope");
-        for (ti, chunk_rows) in results {
-            let base = ti * chunk;
-            for (qi, row) in chunk_rows.into_iter().enumerate() {
-                for (ci, v) in row.into_iter().enumerate() {
-                    matrix[qi][base + ci] = v;
-                }
-            }
+        });
+        for (qi, start, row) in tiles {
+            matrix[qi][start..start + row.len()].copy_from_slice(&row);
         }
         matrix
     }
@@ -429,7 +545,8 @@ impl SimilarityEngine {
         }
         QueryScores {
             scores,
-            query_strands: query.iter().map(|q| q.count as usize).sum(),
+            query_strands: query.len(),
+            query_strand_occurrences: query.iter().map(|q| q.count as usize).sum(),
         }
     }
 }

@@ -13,11 +13,65 @@
 //! The three scoring modes mirror the paper's ablation (§6.2):
 //! [`ScoringMode::SVcp`] (no statistics), [`ScoringMode::SLog`]
 //! (statistics, no sigmoid) and [`ScoringMode::Esh`] (the full method).
+//!
+//! The engine is a persistent service component: a built corpus can be
+//! saved to a versioned [`snapshot`] and reloaded by later processes, and
+//! verifier results are memoized across queries in a sharded
+//! [`VcpCache`]. See `docs/ARCHITECTURE.md` for the full data-flow and
+//! the on-disk format specification.
+//!
+//! # Examples
+//!
+//! Build a corpus, persist it, reload it, and query — the reloaded engine
+//! produces scores identical to the in-memory one:
+//!
+//! ```
+//! use esh_cc::{Compiler, Vendor, VendorVersion};
+//! use esh_core::{EngineConfig, SimilarityEngine};
+//! use esh_minic::demo;
+//!
+//! let f = demo::saturating_sum();
+//! let gcc = Compiler::new(Vendor::Gcc, VendorVersion::new(4, 9)).compile_function(&f);
+//! let clang = Compiler::new(Vendor::Clang, VendorVersion::new(3, 5)).compile_function(&f);
+//!
+//! let mut engine = SimilarityEngine::new(EngineConfig::default());
+//! engine.add_target("clang-build", &clang);
+//!
+//! let path = std::env::temp_dir().join("esh-core-doc-example.esh");
+//! engine.save(&path).unwrap();
+//! let reloaded = SimilarityEngine::load(&path).unwrap();
+//! std::fs::remove_file(&path).ok();
+//!
+//! let a = engine.query(&gcc);
+//! let b = reloaded.query(&gcc);
+//! assert_eq!(a.scores[0].ges, b.scores[0].ges);
+//! ```
+//!
+//! Compare one strand pair directly with [`vcp_pair`]:
+//!
+//! ```
+//! use esh_core::{vcp_pair, VcpConfig};
+//! use esh_ivl::lift;
+//! use esh_verifier::VerifierSession;
+//!
+//! let p = esh_asm::parse_proc("proc p\nentry:\nmov r12, rbx\nlea rdi, [r12+0x3]").unwrap();
+//! let q = esh_asm::parse_proc("proc q\nentry:\nmov r13, rbx\nlea rcx, [r13+0x3]").unwrap();
+//! let sp = lift("p", &p.blocks[0].insts);
+//! let sq = lift("q", &q.blocks[0].insts);
+//! let config = VcpConfig { min_strand_vars: 1, ..VcpConfig::default() };
+//! let mut session = VerifierSession::new();
+//! let v = vcp_pair(&mut session, &sp, &sq, &config);
+//! assert_eq!(v.q_in_t, 1.0); // same computation, different registers
+//! ```
 
+mod cache;
 mod engine;
+pub mod snapshot;
 mod stats;
 mod vcp;
 
+pub use cache::{CacheStats, VcpCache, VcpCacheEntry, VcpKey};
 pub use engine::{EngineConfig, Granularity, QueryScores, SimilarityEngine, TargetId, TargetScore};
+pub use snapshot::{SnapshotError, SNAPSHOT_FORMAT_VERSION};
 pub use stats::{ges, les, likelihood, H0Accumulator, ScoringMode, SIGMOID_K, SIGMOID_MIDPOINT};
 pub use vcp::{size_ratio_ok, vcp_pair, VcpConfig, VcpPair};

@@ -1,0 +1,224 @@
+//! Versioned on-disk corpus snapshots.
+//!
+//! Building a [`SimilarityEngine`] corpus means decomposing, lifting,
+//! hashing and signing every target procedure — work that is identical
+//! across runs of the evaluation harness and the CLI. A snapshot persists
+//! the engine's derived state (strand classes, structural hashes, semantic
+//! signatures, target records, configuration) plus, optionally, the warmed
+//! cross-query VCP cache, so later processes resume without rebuilding.
+//!
+//! ## Format
+//!
+//! A snapshot is a single JSON document (rendered by the vendored
+//! `serde_json`) with this top-level shape:
+//!
+//! ```text
+//! {
+//!   "format_version": 1,          // SNAPSHOT_FORMAT_VERSION at write time
+//!   "config_fingerprint": <u64>,  // EngineConfig::fingerprint() at write time
+//!   "config": { ... },            // full EngineConfig (threads included but
+//!                                 //   excluded from the fingerprint)
+//!   "classes": [ ... ],           // deduplicated strand classes, with their
+//!                                 //   structural hashes and signatures
+//!   "targets": [ ... ],           // per-target (class index, count) lists
+//!   "cache": [ ... ]              // optional warmed VCP cache entries
+//! }
+//! ```
+//!
+//! ## Invalidation rules
+//!
+//! * `format_version` must equal [`SNAPSHOT_FORMAT_VERSION`] exactly —
+//!   there is no cross-version migration. Bump the constant whenever the
+//!   serialized shape of any embedded type changes.
+//! * `config_fingerprint` must equal the fingerprint recomputed from the
+//!   embedded `config`; a mismatch means the file was edited or corrupted.
+//! * [`SimilarityEngine::load_compatible`] additionally rejects snapshots
+//!   whose fingerprint differs from the caller's expected configuration,
+//!   so experiment harnesses never silently reuse state built under
+//!   different thresholds. `threads` is a runtime knob and deliberately
+//!   excluded from the fingerprint.
+//! * Structural hashes are computed with the standard library's default
+//!   hasher, so snapshots are tied to the toolchain that wrote them;
+//!   rebuild snapshots after a compiler upgrade.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{VcpCache, VcpCacheEntry};
+use crate::engine::{EngineConfig, SimilarityEngine, StrandClass, TargetRecord};
+
+/// Current snapshot format version.
+///
+/// Bump policy: increment on **any** change to the serialized shape of
+/// [`EngineConfig`], [`StrandClass`], [`TargetRecord`], [`VcpCacheEntry`]
+/// or the top-level layout, even backward-compatible ones — loaders
+/// reject on inequality rather than attempting migration.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+
+/// Why a snapshot failed to save or load.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// The file is not a well-formed snapshot document.
+    Format(String),
+    /// The file was written by an incompatible format version.
+    VersionMismatch {
+        /// Version recorded in the file.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
+    /// The configuration fingerprint does not match.
+    ConfigMismatch {
+        /// Fingerprint recorded in (or recomputed from) the file.
+        found: u64,
+        /// Fingerprint the loader requires.
+        expected: u64,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o: {e}"),
+            SnapshotError::Format(msg) => write!(f, "snapshot format: {msg}"),
+            SnapshotError::VersionMismatch { found, expected } => write!(
+                f,
+                "snapshot version {found} is not supported (this build reads \
+                 version {expected}); rebuild the index"
+            ),
+            SnapshotError::ConfigMismatch { found, expected } => write!(
+                f,
+                "snapshot config fingerprint {found:#018x} does not match the \
+                 expected {expected:#018x}; the snapshot was built under \
+                 different engine thresholds — rebuild the index"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// The on-disk document. Field order is the serialization order.
+#[derive(Serialize, Deserialize)]
+struct SnapshotFile {
+    format_version: u32,
+    config_fingerprint: u64,
+    config: EngineConfig,
+    classes: Vec<StrandClass>,
+    targets: Vec<TargetRecord>,
+    cache: Vec<VcpCacheEntry>,
+}
+
+impl SimilarityEngine {
+    /// Serializes the engine's corpus state to `path` (without the VCP
+    /// cache; use [`SimilarityEngine::save_with_cache`] to persist warmed
+    /// results too).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        self.write_snapshot(path.as_ref(), Vec::new())
+    }
+
+    /// Serializes corpus state *and* the current VCP cache contents, so a
+    /// later process starts with every previously verified pair memoized.
+    pub fn save_with_cache(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        self.write_snapshot(path.as_ref(), self.cache().entries())
+    }
+
+    fn write_snapshot(&self, path: &Path, cache: Vec<VcpCacheEntry>) -> Result<(), SnapshotError> {
+        let file = SnapshotFile {
+            format_version: SNAPSHOT_FORMAT_VERSION,
+            config_fingerprint: self.config().fingerprint(),
+            config: self.config().clone(),
+            classes: self.classes_for_snapshot().to_vec(),
+            targets: self.targets_for_snapshot().to_vec(),
+            cache,
+        };
+        let json = serde_json::to_string(&file)
+            .map_err(|e| SnapshotError::Format(e.to_string()))?;
+        std::fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Restores an engine from a snapshot written by
+    /// [`SimilarityEngine::save`] / `save_with_cache`.
+    ///
+    /// Rejects files whose `format_version` differs from
+    /// [`SNAPSHOT_FORMAT_VERSION`], and files whose recorded fingerprint
+    /// does not match the one recomputed from the embedded configuration
+    /// (a tamper/corruption check).
+    pub fn load(path: impl AsRef<Path>) -> Result<SimilarityEngine, SnapshotError> {
+        let text = std::fs::read_to_string(path.as_ref())?;
+        let file: SnapshotFile =
+            serde_json::from_str(&text).map_err(|e| SnapshotError::Format(e.to_string()))?;
+        if file.format_version != SNAPSHOT_FORMAT_VERSION {
+            return Err(SnapshotError::VersionMismatch {
+                found: file.format_version,
+                expected: SNAPSHOT_FORMAT_VERSION,
+            });
+        }
+        let recomputed = file.config.fingerprint();
+        if file.config_fingerprint != recomputed {
+            return Err(SnapshotError::ConfigMismatch {
+                found: file.config_fingerprint,
+                expected: recomputed,
+            });
+        }
+        let mut class_by_hash = HashMap::with_capacity(file.classes.len());
+        for (i, class) in file.classes.iter().enumerate() {
+            class_by_hash.insert(class.hash, i);
+        }
+        if class_by_hash.len() != file.classes.len() {
+            return Err(SnapshotError::Format(
+                "duplicate strand-class hashes in snapshot".into(),
+            ));
+        }
+        for target in &file.targets {
+            if target.strands.iter().any(|&(ci, _)| ci >= file.classes.len()) {
+                return Err(SnapshotError::Format(format!(
+                    "target `{}` references a class index out of range",
+                    target.name
+                )));
+            }
+        }
+        Ok(SimilarityEngine::from_snapshot_parts(
+            file.config,
+            file.classes,
+            class_by_hash,
+            file.targets,
+            VcpCache::from_entries(&file.cache),
+        ))
+    }
+
+    /// Like [`SimilarityEngine::load`], but also rejects snapshots whose
+    /// configuration fingerprint differs from `expected`'s — the guard
+    /// experiment harnesses use before reusing an index across runs.
+    pub fn load_compatible(
+        path: impl AsRef<Path>,
+        expected: &EngineConfig,
+    ) -> Result<SimilarityEngine, SnapshotError> {
+        let engine = SimilarityEngine::load(path)?;
+        let found = engine.config().fingerprint();
+        let want = expected.fingerprint();
+        if found != want {
+            return Err(SnapshotError::ConfigMismatch { found, expected: want });
+        }
+        Ok(engine)
+    }
+}

@@ -14,9 +14,10 @@ use esh_ivl::{Proc, Sort, VarId};
 use esh_solver::eval::{eval_many, Assignment, CVal};
 use esh_solver::Verdict;
 use esh_verifier::{InputNamer, VerifierSession};
+use serde::{Deserialize, Serialize};
 
 /// Tuning for the VCP search.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct VcpConfig {
     /// Minimum non-input variable count for a strand to participate
     /// (§5.5: 5 in the paper's experiments).
@@ -41,8 +42,29 @@ impl Default for VcpConfig {
     }
 }
 
+impl VcpConfig {
+    /// Stable FNV-1a digest over every threshold. Cached VCP results are
+    /// only valid under the exact configuration that produced them, so the
+    /// cross-query cache and on-disk snapshots key on this value.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for field in [
+            self.min_strand_vars as u64,
+            self.size_ratio.to_bits(),
+            self.max_correspondences as u64,
+            self.verified_gammas as u64,
+        ] {
+            for b in field.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        h
+    }
+}
+
 /// Both directions of the VCP for one strand pair.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct VcpPair {
     /// `VCP(q, t)`: fraction of query variables matched in the target.
     pub q_in_t: f64,

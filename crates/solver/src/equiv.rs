@@ -24,6 +24,8 @@
 
 use std::collections::HashMap;
 
+use serde::{Deserialize, Serialize};
+
 use crate::bitblast::BitBlaster;
 use crate::eval::{eval, Assignment};
 use crate::term::{TermId, TermPool};
@@ -40,7 +42,7 @@ pub enum Verdict {
 }
 
 /// Budgets for the checker.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EquivConfig {
     /// Random refutation rounds before bit-blasting.
     pub random_rounds: u64,
@@ -64,6 +66,28 @@ impl Default for EquivConfig {
             max_mem_cost: 16,
             max_mul_cost: 1_100,
         }
+    }
+}
+
+impl EquivConfig {
+    /// Stable FNV-1a digest over every budget. Two configs with the same
+    /// fingerprint decide term pairs identically, so cached or snapshotted
+    /// results keyed by it are safe to reuse.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for field in [
+            self.random_rounds,
+            self.sat_budget,
+            self.max_dag as u64,
+            self.max_mem_cost as u64,
+            self.max_mul_cost as u64,
+        ] {
+            for b in field.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        h
     }
 }
 

@@ -8,6 +8,10 @@
 //! similarity engine to deduplicate compiler-replicated strands and to
 //! prefilter verifier queries without affecting exactness.
 //!
+//! # Examples
+//!
+//! Decompose a parsed procedure into strands:
+//!
 //! ```
 //! use esh_asm::parse_proc;
 //! use esh_strands::extract_proc_strands;

@@ -14,6 +14,11 @@
 //! * [`VerifierSession`] — a long-lived session whose term pool and
 //!   decision cache are shared across queries (the paper's batching).
 //!
+//! # Examples
+//!
+//! Prove two single-instruction strands equivalent under an input
+//! correspondence:
+//!
 //! ```
 //! use esh_asm::parse_inst;
 //! use esh_ivl::lift;

@@ -4,9 +4,17 @@
 //! ```text
 //! esh build-corpus [smoke|default|paper] <corpus.json>
 //! esh search <corpus.json> <query-substring> [top_n]
+//! esh index build <corpus.json> <index.esh>
+//! esh query --index <index.esh> <corpus.json> <query-substring> [top_n]
 //! esh stats <corpus.json>
 //! esh pair <corpus.json> <query-substring> <target-substring>
 //! ```
+//!
+//! `index build` persists the engine's derived corpus state (strand
+//! classes, signatures, hashes) to a versioned snapshot; `query --index`
+//! restores it — skipping decomposition/lifting of every target — runs the
+//! query, reports VCP-cache statistics, and writes the warmed cache back
+//! into the snapshot so repeat queries skip the verifier almost entirely.
 
 use esh::prelude::*;
 use esh_eval::experiments::Scale;
@@ -16,6 +24,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  esh build-corpus [smoke|default|paper] <corpus.json>\n  \
          esh search <corpus.json> <query-substring> [top_n]\n  \
+         esh index build <corpus.json> <index.esh>\n  \
+         esh query --index <index.esh> <corpus.json> <query-substring> [top_n]\n  \
          esh stats <corpus.json>\n  \
          esh pair <corpus.json> <query-substring> <target-substring>"
     );
@@ -39,6 +49,8 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("build-corpus") => build_corpus(&args[1..]),
         Some("search") => search(&args[1..]),
+        Some("index") => index(&args[1..]),
+        Some("query") => query(&args[1..]),
         Some("stats") => stats(&args[1..]),
         Some("pair") => pair(&args[1..]),
         _ => return usage(),
@@ -97,6 +109,78 @@ fn search(args: &[String]) -> Result<(), String> {
     {
         println!("{:>10.3}  {}", s.ges, s.name);
     }
+    Ok(())
+}
+
+/// Builds an engine over every procedure of a corpus — the shared path of
+/// `search` (in-memory) and `index build` (persisted), kept in one place
+/// so `query --index` scores are identical to the in-memory ones.
+fn engine_over_corpus(corpus: &Corpus) -> SimilarityEngine {
+    let mut engine = SimilarityEngine::new(EngineConfig::default());
+    for p in &corpus.procs {
+        engine.add_target(p.display(), &p.proc_);
+    }
+    engine
+}
+
+fn index(args: &[String]) -> Result<(), String> {
+    let [sub, corpus_path, index_path] = args else {
+        return Err("index takes: build <corpus.json> <index.esh>".into());
+    };
+    if sub != "build" {
+        return Err(format!("unknown index subcommand `{sub}` (expected `build`)"));
+    }
+    let corpus = load(corpus_path)?;
+    eprintln!("indexing {} procedures...", corpus.procs.len());
+    let engine = engine_over_corpus(&corpus);
+    engine.save(index_path).map_err(|e| e.to_string())?;
+    println!(
+        "wrote index: {} targets, {} strand classes, format v{}, config {:#018x}",
+        engine.target_count(),
+        engine.class_count(),
+        esh::core::SNAPSHOT_FORMAT_VERSION,
+        engine.config().fingerprint(),
+    );
+    Ok(())
+}
+
+fn query(args: &[String]) -> Result<(), String> {
+    let (index_path, corpus_path, needle, top_n) = match args {
+        [flag, index, corpus, needle] if flag == "--index" => (index, corpus, needle, 10),
+        [flag, index, corpus, needle, n] if flag == "--index" => (
+            index,
+            corpus,
+            needle,
+            n.parse().map_err(|_| format!("bad top_n `{n}`"))?,
+        ),
+        _ => return Err("query takes --index <index.esh> <corpus.json> <query-substring> [top_n]".into()),
+    };
+    let corpus = load(corpus_path)?;
+    let qi =
+        find_proc(&corpus, needle).ok_or_else(|| format!("no procedure matching `{needle}`"))?;
+    eprintln!("query: {}", corpus.procs[qi].display());
+    let engine = SimilarityEngine::load(index_path).map_err(|e| e.to_string())?;
+    let scores = engine.query(&corpus.procs[qi].proc_);
+    println!("{:>10}  procedure", "GES");
+    for s in scores
+        .ranked()
+        .iter()
+        .filter(|s| s.target.0 != qi)
+        .take(top_n)
+    {
+        println!("{:>10.3}  {}", s.ges, s.name);
+    }
+    let stats = engine.cache_stats();
+    println!(
+        "vcp cache: {} hits, {} misses, {:.1}% hit rate, {} entries",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0,
+        stats.entries,
+    );
+    // Persist the warmed cache: the next identical query skips the
+    // verifier entirely.
+    engine.save_with_cache(index_path).map_err(|e| e.to_string())?;
     Ok(())
 }
 

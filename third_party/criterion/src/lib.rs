@@ -1,0 +1,136 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmarking harness exposing the subset of the
+//! criterion 0.5 API this workspace's benches use: [`Criterion`] with
+//! `sample_size`, [`Criterion::bench_function`], [`Bencher::iter`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. It runs each
+//! benchmark body `sample_size` times after a short warm-up and prints
+//! mean per-iteration timings; there are no statistics, plots or baselines.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Times closures handed to [`Criterion::bench_function`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `body` repeatedly, recording one timing sample per run.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warm-up: one untimed run (also forces lazy initialization).
+        std_black_box(body());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std_black_box(body());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Benchmark driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark and prints its mean/min/max timings.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut b);
+        if b.samples.is_empty() {
+            println!("bench {name}: no samples recorded");
+            return self;
+        }
+        let total: Duration = b.samples.iter().sum();
+        let mean = total / b.samples.len() as u32;
+        let min = b.samples.iter().min().copied().unwrap_or_default();
+        let max = b.samples.iter().max().copied().unwrap_or_default();
+        println!(
+            "bench {name}: mean {mean:?} min {min:?} max {max:?} ({} samples)",
+            b.samples.len()
+        );
+        self
+    }
+
+    /// No-op finalizer for API parity.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a benchmark group; mirrors criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `fn main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut runs = 0u32;
+        Criterion::default()
+            .sample_size(5)
+            .bench_function("smoke", |b| b.iter(|| runs += 1));
+        // 5 timed + 1 warm-up.
+        assert_eq!(runs, 6);
+    }
+
+    criterion_group!(
+        name = test_group;
+        config = Criterion::default().sample_size(2);
+        targets = noop_bench
+    );
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        test_group();
+    }
+}

@@ -1,0 +1,667 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy combinators and macros this workspace uses —
+//! [`Strategy::prop_map`], [`Strategy::prop_filter_map`],
+//! [`Strategy::prop_recursive`], [`prop_oneof!`], [`sample::select`],
+//! [`collection::vec`], [`option::of`], [`any`], [`Just`] and the
+//! [`proptest!`] test macro with `prop_assert*`/`prop_assume!` — over a
+//! deterministic splitmix64 RNG seeded from the test's module path.
+//! There is no shrinking: a failing case reports the generated inputs via
+//! the assertion message instead.
+
+pub mod test_runner {
+    //! Test-execution plumbing: config, RNG, and case errors.
+
+    /// Per-`proptest!` block configuration.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` successful iterations per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed; the case is retried with fresh inputs.
+        Reject(String),
+        /// A `prop_assert*` failed; the property is falsified.
+        Fail(String),
+    }
+
+    /// Deterministic splitmix64 RNG used for all generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds deterministically from a name (typically the test path).
+        pub fn from_name(name: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, bound)`.
+        pub fn below(&mut self, bound: usize) -> usize {
+            assert!(bound > 0, "below: zero bound");
+            (self.next_u64() as usize) % bound
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinator types.
+
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::rc::Rc;
+
+    /// A recipe for generating random values of an associated type.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keeps only values for which `f` returns `Some`, retrying others.
+        fn prop_filter_map<U, F>(self, reason: &'static str, f: F) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> Option<U>,
+        {
+            FilterMap { inner: self, reason, f }
+        }
+
+        /// Builds recursive structures: `f` wraps an inner strategy one
+        /// level, applied up to `depth` times. The `desired_size` and
+        /// `expected_branch_size` hints are accepted for API parity but
+        /// unused.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let leaf = self.boxed();
+            let mut s = leaf.clone();
+            for _ in 0..depth {
+                let wrapped = f(s).boxed();
+                // Two recursing arms to one leaf arm keeps trees non-trivial
+                // while still terminating quickly.
+                s = OneOf::new(vec![leaf.clone(), wrapped.clone(), wrapped]).boxed();
+            }
+            s
+        }
+
+        /// Erases the strategy type behind a clonable handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+        }
+    }
+
+    /// Type-erased, clonable strategy handle.
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> std::fmt::Debug for BoxedStrategy<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter_map`].
+    #[derive(Debug, Clone)]
+    pub struct FilterMap<S, F> {
+        inner: S,
+        reason: &'static str,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for FilterMap<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Option<U>,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            for _ in 0..10_000 {
+                if let Some(v) = (self.f)(self.inner.generate(rng)) {
+                    return v;
+                }
+            }
+            panic!("prop_filter_map exhausted retries: {}", self.reason);
+        }
+    }
+
+    /// Uniform choice between same-valued strategies (see [`prop_oneof!`]).
+    pub struct OneOf<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> OneOf<T> {
+        /// Builds a choice over `arms`; panics if empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof: no arms");
+            OneOf { arms }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.arms.len());
+            self.arms[idx].generate(rng)
+        }
+    }
+
+    /// Always generates a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy for any value of a [`Arbitrary`]-implementing type.
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<T> Copy for Any<T> {}
+
+    impl<T> std::fmt::Debug for Any<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Any")
+        }
+    }
+
+    /// Types with a canonical "generate anything" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.unit_f64()
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Returns the canonical strategy for `T` (`any::<u64>()` etc.).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! strategy_for_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + offset as i128) as $t
+                }
+            }
+        )*};
+    }
+    strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for ::std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! strategy_for_tuple {
+        ($(($($s:ident : $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    strategy_for_tuple! {
+        (A: 0, B: 1);
+        (A: 0, B: 1, C: 2);
+        (A: 0, B: 1, C: 2, D: 3);
+        (A: 0, B: 1, C: 2, D: 3, E: 4);
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for [S; N] {
+        type Value = [S::Value; N];
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+            std::array::from_fn(|i| self[i].generate(rng))
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy producing `Vec`s with lengths drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.len.end - self.len.start;
+            let n = self.len.start + if span == 0 { 0 } else { rng.below(span) };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(element, min..max)`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies over explicit item lists.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy choosing uniformly from a fixed list.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.items[rng.below(self.items.len())].clone()
+        }
+    }
+
+    /// `prop::sample::select(items)`; panics if `items` is empty.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select: empty item list");
+        Select { items }
+    }
+}
+
+pub mod option {
+    //! Strategies for `Option` values.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy producing `None` about a quarter of the time.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+
+    /// `prop::option::of(strategy)`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// Runs one property body against `config.cases` generated inputs.
+///
+/// Used by the [`proptest!`] macro; not part of the public proptest API
+/// but kept `pub` so the macro expansion can reach it.
+pub fn run_cases(
+    name: &str,
+    config: test_runner::ProptestConfig,
+    mut case: impl FnMut(&mut test_runner::TestRng) -> Result<(), test_runner::TestCaseError>,
+) {
+    use test_runner::TestCaseError;
+    let mut rng = test_runner::TestRng::from_name(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < config.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.cases.saturating_mul(16).saturating_add(1024),
+                    "{name}: too many prop_assume! rejections"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: property falsified after {passed} passing cases: {msg}")
+            }
+        }
+    }
+}
+
+/// Everything needed by a typical `use proptest::prelude::*;` consumer.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Any, Arbitrary, BoxedStrategy, Just, OneOf, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines property tests. See crate docs; mirrors proptest's macro shape.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases(
+                ::std::concat!(::std::module_path!(), "::", ::std::stringify!($name)),
+                $cfg,
+                |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body (fails the property).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", ::std::stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (va, vb) = (&$a, &$b);
+        $crate::prop_assert!(va == vb, "{:?} != {:?}", va, vb);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (va, vb) = (&$a, &$b);
+        $crate::prop_assert!(
+            va == vb,
+            "{:?} != {:?}: {}", va, vb, ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (va, vb) = (&$a, &$b);
+        $crate::prop_assert!(va != vb, "{:?} == {:?}", va, vb);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (va, vb) = (&$a, &$b);
+        $crate::prop_assert!(
+            va != vb,
+            "{:?} == {:?}: {}", va, vb, ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+/// Discards the current case (retried with fresh inputs) if `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(::std::stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Expr {
+        Leaf(u32),
+        Pair(Box<Expr>, Box<Expr>),
+    }
+
+    impl Expr {
+        fn depth(&self) -> u32 {
+            match self {
+                Expr::Leaf(_) => 0,
+                Expr::Pair(a, b) => 1 + a.depth().max(b.depth()),
+            }
+        }
+    }
+
+    fn arb_expr() -> impl Strategy<Value = Expr> {
+        let leaf = (0u32..10).prop_map(Expr::Leaf);
+        leaf.prop_recursive(3, 8, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Pair(a.into(), b.into()))
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in -5i64..5, z in 0.0f64..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.0..1.0).contains(&z));
+        }
+
+        #[test]
+        fn recursion_is_depth_bounded(e in arb_expr()) {
+            prop_assert!(e.depth() <= 3, "too deep: {:?}", e);
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in prop::collection::vec(any::<u64>(), 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+        }
+
+        #[test]
+        fn select_only_returns_listed(x in prop::sample::select(vec![1u8, 3, 5])) {
+            prop_assert!([1u8, 3, 5].contains(&x));
+        }
+
+        #[test]
+        fn assume_retries(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn filter_map_applies(x in (0u32..100).prop_filter_map("odd", |x| (x % 2 == 1).then_some(x))) {
+            prop_assert_ne!(x % 2, 0);
+        }
+
+        #[test]
+        fn arrays_and_tuples_generate(pair in ([any::<u64>(); 4], Just(7u8))) {
+            let (arr, seven) = pair;
+            prop_assert_eq!(arr.len(), 4);
+            prop_assert_eq!(seven, 7u8);
+        }
+
+        #[test]
+        fn oneof_and_option(v in prop_oneof![Just(0u8), 1u8..4], o in prop::option::of(Just(1u8))) {
+            prop_assert!(v < 4);
+            prop_assert!(o.is_none() || o == Some(1));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let s = (0u32..1000, 0u32..1000);
+        let mut r1 = TestRng::from_name("x");
+        let mut r2 = TestRng::from_name("x");
+        for _ in 0..32 {
+            assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+        }
+    }
+}
