@@ -9,11 +9,12 @@
 //! [`VcpCache`]. Corpus state persists via [`crate::snapshot`].
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use esh_asm::Procedure;
 use esh_ivl::Proc;
-use esh_solver::EquivConfig;
+use esh_solver::{EquivConfig, SolverPerf};
 use esh_strands::{
     extract_proc_strands, lift_strand, semantic_signature, structural_hash, Signature,
 };
@@ -232,6 +233,57 @@ pub struct SimilarityEngine {
     class_by_hash: HashMap<u64, usize>,
     targets: Vec<TargetRecord>,
     cache: VcpCache,
+    /// Idle verifier sessions, checked out one per worker thread so term
+    /// pools, verdict caches, and the incremental solver survive across
+    /// queries — not just across one query's tiles.
+    sessions: Mutex<Vec<VerifierSession>>,
+    solver: SolverCounters,
+}
+
+/// Engine-lifetime SAT counters aggregated across worker sessions.
+/// Mirrors [`SolverPerf`] with atomic fields; pure counters add, the
+/// retained-learnts gauge takes the max over sessions.
+#[derive(Debug, Default)]
+struct SolverCounters {
+    sat_queries: AtomicU64,
+    blast_cache_hits: AtomicU64,
+    blast_cache_misses: AtomicU64,
+    conflicts: AtomicU64,
+    sat_time_ns: AtomicU64,
+    retained_learnts: AtomicU64,
+    learnts_dropped: AtomicU64,
+    solver_resets: AtomicU64,
+}
+
+impl SolverCounters {
+    fn add(&self, d: &SolverPerf) {
+        self.sat_queries.fetch_add(d.sat_queries, Ordering::Relaxed);
+        self.blast_cache_hits
+            .fetch_add(d.blast_cache_hits, Ordering::Relaxed);
+        self.blast_cache_misses
+            .fetch_add(d.blast_cache_misses, Ordering::Relaxed);
+        self.conflicts.fetch_add(d.conflicts, Ordering::Relaxed);
+        self.sat_time_ns.fetch_add(d.sat_time_ns, Ordering::Relaxed);
+        self.retained_learnts
+            .fetch_max(d.retained_learnts, Ordering::Relaxed);
+        self.learnts_dropped
+            .fetch_add(d.learnts_dropped, Ordering::Relaxed);
+        self.solver_resets
+            .fetch_add(d.solver_resets, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> SolverPerf {
+        SolverPerf {
+            sat_queries: self.sat_queries.load(Ordering::Relaxed),
+            blast_cache_hits: self.blast_cache_hits.load(Ordering::Relaxed),
+            blast_cache_misses: self.blast_cache_misses.load(Ordering::Relaxed),
+            conflicts: self.conflicts.load(Ordering::Relaxed),
+            sat_time_ns: self.sat_time_ns.load(Ordering::Relaxed),
+            retained_learnts: self.retained_learnts.load(Ordering::Relaxed),
+            learnts_dropped: self.learnts_dropped.load(Ordering::Relaxed),
+            solver_resets: self.solver_resets.load(Ordering::Relaxed),
+        }
+    }
 }
 
 impl SimilarityEngine {
@@ -243,6 +295,8 @@ impl SimilarityEngine {
             class_by_hash: HashMap::new(),
             targets: Vec::new(),
             cache: VcpCache::new(),
+            sessions: Mutex::new(Vec::new()),
+            solver: SolverCounters::default(),
         }
     }
 
@@ -259,6 +313,13 @@ impl SimilarityEngine {
     /// Zeroes the cache hit/miss counters (memoized entries are kept).
     pub fn reset_cache_counters(&self) {
         self.cache.reset_counters()
+    }
+
+    /// Aggregate SAT-solver counters across all worker sessions this
+    /// engine has run (CNF-cache hits, conflicts, wall time, clause
+    /// retention — see [`SolverPerf`]).
+    pub fn solver_stats(&self) -> SolverPerf {
+        self.solver.snapshot()
     }
 
     pub(crate) fn cache(&self) -> &VcpCache {
@@ -280,7 +341,15 @@ impl SimilarityEngine {
         targets: Vec<TargetRecord>,
         cache: VcpCache,
     ) -> SimilarityEngine {
-        SimilarityEngine { config, classes, class_by_hash, targets, cache }
+        SimilarityEngine {
+            config,
+            classes,
+            class_by_hash,
+            targets,
+            cache,
+            sessions: Mutex::new(Vec::new()),
+            solver: SolverCounters::default(),
+        }
     }
 
     /// Number of targets.
@@ -402,6 +471,10 @@ impl SimilarityEngine {
     /// enough that queue contention on the atomic cursor is negligible.
     const VCP_TILE: usize = 32;
 
+    /// A verifier session whose term pool has grown past this many terms
+    /// is dropped at query end instead of returned to the session pool.
+    const SESSION_TERM_CAP: usize = 2_000_000;
+
     /// Computes the VCP matrix `query strand × corpus class` in parallel.
     ///
     /// Work is distributed dynamically: the `(query, class-range)` tile
@@ -436,8 +509,19 @@ impl SimilarityEngine {
                     let config = &self.config;
                     let classes = &self.classes;
                     let cache = &self.cache;
+                    let sessions = &self.sessions;
+                    let solver = &self.solver;
                     scope.spawn(move || {
-                        let mut session = VerifierSession::with_config(config.equiv);
+                        // Check a session out of the engine-owned pool so
+                        // its term pool, verdict cache, and incremental
+                        // solver stay warm across queries, not just
+                        // across this query's tiles.
+                        let mut session = sessions
+                            .lock()
+                            .expect("session pool poisoned")
+                            .pop()
+                            .unwrap_or_else(|| VerifierSession::with_config(config.equiv));
+                        let perf0 = session.stats().solver;
                         let mut out: Vec<(usize, usize, Vec<VcpPair>)> = Vec::new();
                         loop {
                             let tile = cursor.fetch_add(1, Ordering::Relaxed);
@@ -478,6 +562,16 @@ impl SimilarityEngine {
                                 };
                             }
                             out.push((qi, start, row));
+                        }
+                        solver.add(&session.stats().solver.delta_since(&perf0));
+                        // Return the session for later queries unless its
+                        // term pool outgrew the cap — past that point the
+                        // memory cost outweighs what the warm caches save.
+                        if session.pool().len() <= Self::SESSION_TERM_CAP {
+                            sessions
+                                .lock()
+                                .expect("session pool poisoned")
+                                .push(session);
                         }
                         out
                     })

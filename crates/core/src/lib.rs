@@ -72,6 +72,7 @@ mod vcp;
 
 pub use cache::{CacheStats, VcpCache, VcpCacheEntry, VcpKey};
 pub use engine::{EngineConfig, Granularity, QueryScores, SimilarityEngine, TargetId, TargetScore};
+pub use esh_solver::SolverPerf;
 pub use snapshot::{SnapshotError, SNAPSHOT_FORMAT_VERSION};
 pub use stats::{ges, les, likelihood, H0Accumulator, ScoringMode, SIGMOID_K, SIGMOID_MIDPOINT};
 pub use vcp::{size_ratio_ok, vcp_pair, VcpConfig, VcpPair};

@@ -56,7 +56,7 @@ use crate::engine::{EngineConfig, SimilarityEngine, StrandClass, TargetRecord};
 /// [`EngineConfig`], [`StrandClass`], [`TargetRecord`], [`VcpCacheEntry`]
 /// or the top-level layout, even backward-compatible ones — loaders
 /// reject on inequality rather than attempting migration.
-pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 2;
 
 /// Why a snapshot failed to save or load.
 #[derive(Debug)]

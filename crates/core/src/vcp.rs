@@ -220,7 +220,7 @@ pub fn vcp_pair(session: &mut VerifierSession, q: &Proc, t: &Proc, config: &VcpC
             .collect();
         for round in DIGEST_ROUNDS {
             let asn = Assignment::random(round);
-            let vals = eval_many(session_pool(session), &all_terms, &asn);
+            let vals = eval_many(session.pool(), &all_terms, &asn);
             for (k, v) in vals[..q_term_list.len()].iter().enumerate() {
                 q_digests[k].0 = (q_digests[k].0 ^ digest_of(v)).wrapping_mul(0x100_0000_01b3);
             }
@@ -312,11 +312,6 @@ pub fn vcp_pair(session: &mut VerifierSession, q: &Proc, t: &Proc, config: &VcpC
         q_in_t: best_q as f64 / q_temps.len() as f64,
         t_in_q: best_t as f64 / t_temps.len() as f64,
     }
-}
-
-// The session does not expose its pool directly for reading; small shim.
-fn session_pool(session: &VerifierSession) -> &esh_solver::TermPool {
-    session.pool()
 }
 
 #[cfg(test)]

@@ -4,6 +4,14 @@
 //! store chains become address-comparison mux chains, and reads from the
 //! same base memory variable are related by Ackermann congruence
 //! constraints. This keeps mixed-width load/store reasoning sound.
+//!
+//! The blaster owns no reference to the [`TermPool`]; every encoding call
+//! takes the pool as an argument instead. Because the pool is append-only
+//! and hash-consing (a `TermId` never changes meaning), encodings memoized
+//! in [`BitBlaster::blast`]'s CNF cache stay valid across many queries —
+//! this is what the incremental layer (see [`crate::incremental`]) builds
+//! on to share one solver instance between closely-related equality
+//! queries.
 
 use std::collections::HashMap;
 
@@ -14,8 +22,7 @@ use crate::term::{TermId, TermOp, TermPool};
 type ByteRead = (Vec<Lit>, Vec<Lit>);
 
 /// A bit-blasting context wrapping a SAT solver.
-pub struct BitBlaster<'a> {
-    pool: &'a TermPool,
+pub struct BitBlaster {
     /// The underlying SAT solver.
     pub sat: Solver,
     bits: HashMap<TermId, Vec<Lit>>,
@@ -25,23 +32,38 @@ pub struct BitBlaster<'a> {
     /// Memoized byte reads keyed by (memory term, address bits).
     #[allow(clippy::type_complexity)]
     byte_memo: HashMap<(TermId, Vec<Lit>), Vec<Lit>>,
+    /// Memoized equality comparators keyed by the (ordered) term pair.
+    eq_memo: HashMap<(TermId, TermId), Lit>,
     true_lit: Lit,
+    /// Term encodings served from the CNF cache (counted per `blast`
+    /// lookup, including recursive sub-DAG lookups).
+    pub blast_hits: u64,
+    /// Term encodings built fresh.
+    pub blast_misses: u64,
 }
 
-impl<'a> BitBlaster<'a> {
-    /// Creates a blaster over `pool`.
-    pub fn new(pool: &'a TermPool) -> BitBlaster<'a> {
+impl Default for BitBlaster {
+    fn default() -> BitBlaster {
+        BitBlaster::new()
+    }
+}
+
+impl BitBlaster {
+    /// Creates an empty blaster.
+    pub fn new() -> BitBlaster {
         let mut sat = Solver::new();
         let t = sat.new_var();
         sat.add_clause(vec![Lit::pos(t)]);
         BitBlaster {
-            pool,
             sat,
             bits: HashMap::new(),
             var_bits: HashMap::new(),
             mem_reads: HashMap::new(),
             byte_memo: HashMap::new(),
+            eq_memo: HashMap::new(),
             true_lit: Lit::pos(t),
+            blast_hits: 0,
+            blast_misses: 0,
         }
     }
 
@@ -250,26 +272,26 @@ impl<'a> BitBlaster<'a> {
     // ---- memory ---------------------------------------------------------
 
     /// One byte read `mem[addr]` where `mem` is a term of memory sort.
-    fn byte_read(&mut self, mem: TermId, addr: &[Lit]) -> Vec<Lit> {
+    fn byte_read(&mut self, pool: &TermPool, mem: TermId, addr: &[Lit]) -> Vec<Lit> {
         debug_assert_eq!(addr.len(), 64);
         let key = (mem, addr.to_vec());
         if let Some(bits) = self.byte_memo.get(&key) {
             return bits.clone();
         }
-        let out = self.byte_read_uncached(mem, addr);
+        let out = self.byte_read_uncached(pool, mem, addr);
         self.byte_memo.insert(key, out.clone());
         out
     }
 
-    fn byte_read_uncached(&mut self, mem: TermId, addr: &[Lit]) -> Vec<Lit> {
-        match self.pool.data(mem).op {
+    fn byte_read_uncached(&mut self, pool: &TermPool, mem: TermId, addr: &[Lit]) -> Vec<Lit> {
+        match pool.data(mem).op {
             TermOp::Store => {
-                let args = self.pool.data(mem).args.clone();
+                let args = pool.data(mem).args.clone();
                 let (inner, saddr_t, sval_t) = (args[0], args[1], args[2]);
-                let saddr = self.blast(saddr_t);
-                let sval = self.blast(sval_t);
-                let nbytes = (self.pool.width(sval_t) / 8).max(1);
-                let mut out = self.byte_read(inner, addr);
+                let saddr = self.blast(pool, saddr_t);
+                let sval = self.blast(pool, sval_t);
+                let nbytes = (pool.width(sval_t) / 8).max(1);
+                let mut out = self.byte_read(pool, inner, addr);
                 for k in 0..nbytes {
                     // target = saddr + k
                     let kconst = self.const_bits(u64::from(k), 64);
@@ -309,10 +331,10 @@ impl<'a> BitBlaster<'a> {
                 fresh
             }
             TermOp::Ite => {
-                let args = self.pool.data(mem).args.clone();
-                let c = self.blast(args[0])[0];
-                let t = self.byte_read(args[1], addr);
-                let e = self.byte_read(args[2], addr);
+                let args = pool.data(mem).args.clone();
+                let c = self.blast(pool, args[0])[0];
+                let t = self.byte_read(pool, args[1], addr);
+                let e = self.byte_read(pool, args[2], addr);
                 (0..8).map(|j| self.gate_mux(c, t[j], e[j])).collect()
             }
             _ => panic!("byte_read of non-memory term"),
@@ -334,11 +356,16 @@ impl<'a> BitBlaster<'a> {
     // ---- terms ---------------------------------------------------------
 
     /// Bit-blasts a bitvector term, returning its bits LSB-first.
-    pub fn blast(&mut self, t: TermId) -> Vec<Lit> {
+    ///
+    /// Encodings are memoized by `TermId`; the pool must be the same
+    /// (append-only) pool across all calls on one blaster.
+    pub fn blast(&mut self, pool: &TermPool, t: TermId) -> Vec<Lit> {
         if let Some(b) = self.bits.get(&t) {
+            self.blast_hits += 1;
             return b.clone();
         }
-        let data = self.pool.data(t).clone();
+        self.blast_misses += 1;
+        let data = pool.data(t).clone();
         let w = data.width;
         let out: Vec<Lit> = match data.op {
             TermOp::Const(v) => self.const_bits(v, w),
@@ -355,9 +382,9 @@ impl<'a> BitBlaster<'a> {
                 panic!("memory-sorted terms have no bit representation")
             }
             TermOp::Add => {
-                let mut acc = self.blast(data.args[0]);
+                let mut acc = self.blast(pool, data.args[0]);
                 for a in &data.args[1..] {
-                    let b = self.blast(*a);
+                    let b = self.blast(pool, *a);
                     acc = self.add_bits(&acc, &b);
                 }
                 acc
@@ -367,22 +394,22 @@ impl<'a> BitBlaster<'a> {
                 // cheaper than a full multiplier and very common because
                 // the normalizer encodes subtraction that way.
                 if data.args.len() == 2
-                    && self.pool.as_const(data.args[0]) == Some(crate::term::mask(w))
+                    && pool.as_const(data.args[0]) == Some(crate::term::mask(w))
                 {
-                    let b = self.blast(data.args[1]);
+                    let b = self.blast(pool, data.args[1]);
                     self.neg_bits(&b)
                 } else {
-                    let mut acc = self.blast(data.args[0]);
-                    let mut acc_const = self.pool.as_const(data.args[0]);
+                    let mut acc = self.blast(pool, data.args[0]);
+                    let mut acc_const = pool.as_const(data.args[0]);
                     for a in &data.args[1..] {
                         // Constant multiplicand: shift-add over its set
                         // bits only (the normalizer keeps at most one
                         // constant, in front).
                         if let Some(c) = acc_const.take() {
-                            let b = self.blast(*a);
+                            let b = self.blast(pool, *a);
                             acc = self.mul_const_bits(&b, c);
                         } else {
-                            let b = self.blast(*a);
+                            let b = self.blast(pool, *a);
                             acc = self.mul_bits(&acc, &b);
                         }
                     }
@@ -390,9 +417,9 @@ impl<'a> BitBlaster<'a> {
                 }
             }
             TermOp::And | TermOp::Or | TermOp::Xor => {
-                let mut acc = self.blast(data.args[0]);
+                let mut acc = self.blast(pool, data.args[0]);
                 for a in &data.args[1..] {
-                    let b = self.blast(*a);
+                    let b = self.blast(pool, *a);
                     acc = (0..w as usize)
                         .map(|i| match data.op {
                             TermOp::And => self.gate_and(acc[i], b[i]),
@@ -404,12 +431,12 @@ impl<'a> BitBlaster<'a> {
                 acc
             }
             TermOp::Not => {
-                let a = self.blast(data.args[0]);
+                let a = self.blast(pool, data.args[0]);
                 a.iter().map(|l| l.negate()).collect()
             }
             TermOp::Shl | TermOp::LShr | TermOp::AShr => {
-                let a = self.blast(data.args[0]);
-                let amt = self.blast(data.args[1]);
+                let a = self.blast(pool, data.args[0]);
+                let amt = self.blast(pool, data.args[1]);
                 // Amount is taken modulo the width (widths are powers of
                 // two here, so the low log2(w) bits suffice).
                 let kind = match data.op {
@@ -420,25 +447,25 @@ impl<'a> BitBlaster<'a> {
                 self.shift_bits(&a, &amt, kind)
             }
             TermOp::Eq => {
-                let aw = self.pool.width(data.args[0]);
+                let aw = pool.width(data.args[0]);
                 if aw == 0 {
                     panic!("memory equality is not bit-blastable");
                 }
-                let a = self.blast(data.args[0]);
-                let b = self.blast(data.args[1]);
+                let a = self.blast(pool, data.args[0]);
+                let b = self.blast(pool, data.args[1]);
                 vec![self.eq_bits(&a, &b)]
             }
             TermOp::Ult => {
-                let a = self.blast(data.args[0]);
-                let b = self.blast(data.args[1]);
+                let a = self.blast(pool, data.args[0]);
+                let b = self.blast(pool, data.args[1]);
                 // ult_bits expects MSB-first traversal; reverse.
                 let ar: Vec<Lit> = a.iter().rev().copied().collect();
                 let br: Vec<Lit> = b.iter().rev().copied().collect();
                 vec![self.ult_bits(&ar, &br)]
             }
             TermOp::Slt => {
-                let a = self.blast(data.args[0]);
-                let b = self.blast(data.args[1]);
+                let a = self.blast(pool, data.args[0]);
+                let b = self.blast(pool, data.args[1]);
                 let n = a.len();
                 let (sa, sb) = (a[n - 1], b[n - 1]);
                 let ar: Vec<Lit> = a.iter().rev().copied().collect();
@@ -451,22 +478,22 @@ impl<'a> BitBlaster<'a> {
                 vec![self.gate_or(diff_neg, same_lt)]
             }
             TermOp::Ite => {
-                let c = self.blast(data.args[0])[0];
-                let a = self.blast(data.args[1]);
-                let b = self.blast(data.args[2]);
+                let c = self.blast(pool, data.args[0])[0];
+                let a = self.blast(pool, data.args[1]);
+                let b = self.blast(pool, data.args[2]);
                 (0..w as usize)
                     .map(|i| self.gate_mux(c, a[i], b[i]))
                     .collect()
             }
             TermOp::Zext => {
-                let mut a = self.blast(data.args[0]);
+                let mut a = self.blast(pool, data.args[0]);
                 while a.len() < w as usize {
                     a.push(self.fals());
                 }
                 a
             }
             TermOp::Sext => {
-                let mut a = self.blast(data.args[0]);
+                let mut a = self.blast(pool, data.args[0]);
                 let s = *a.last().expect("non-empty");
                 while a.len() < w as usize {
                     a.push(s);
@@ -474,22 +501,22 @@ impl<'a> BitBlaster<'a> {
                 a
             }
             TermOp::Extract(hi, lo) => {
-                let a = self.blast(data.args[0]);
+                let a = self.blast(pool, data.args[0]);
                 a[lo as usize..=hi as usize].to_vec()
             }
             TermOp::Concat => {
-                let hi = self.blast(data.args[0]);
-                let mut lo = self.blast(data.args[1]);
+                let hi = self.blast(pool, data.args[0]);
+                let mut lo = self.blast(pool, data.args[1]);
                 lo.extend(hi);
                 lo
             }
             TermOp::Load => {
-                let addr = self.blast(data.args[1]);
+                let addr = self.blast(pool, data.args[1]);
                 let mut out = Vec::with_capacity(w as usize);
                 for k in 0..(w / 8).max(1) {
                     let kc = self.const_bits(u64::from(k), 64);
                     let a = self.add_bits(&addr, &kc);
-                    out.extend(self.byte_read(data.args[0], &a));
+                    out.extend(self.byte_read(pool, data.args[0], &a));
                 }
                 out.truncate(w as usize);
                 out
@@ -500,13 +527,24 @@ impl<'a> BitBlaster<'a> {
         out
     }
 
+    /// The (memoized) comparator literal asserting `a == b` bitwise.
+    pub fn eq_lit(&mut self, pool: &TermPool, a: TermId, b: TermId) -> Lit {
+        let key = if a < b { (a, b) } else { (b, a) };
+        if let Some(&l) = self.eq_memo.get(&key) {
+            return l;
+        }
+        let ab = self.blast(pool, key.0);
+        let bb = self.blast(pool, key.1);
+        let eq = self.eq_bits(&ab, &bb);
+        self.eq_memo.insert(key, eq);
+        eq
+    }
+
     /// Checks the validity of `a == b` (same width) with a conflict budget:
     /// `Some(true)` = valid, `Some(false)` = counterexample, `None` =
     /// budget exhausted.
-    pub fn prove_equal(&mut self, a: TermId, b: TermId, budget: u64) -> Option<bool> {
-        let ab = self.blast(a);
-        let bb = self.blast(b);
-        let eq = self.eq_bits(&ab, &bb);
+    pub fn prove_equal(&mut self, pool: &TermPool, a: TermId, b: TermId, budget: u64) -> Option<bool> {
+        let eq = self.eq_lit(pool, a, b);
         match self.sat.solve_with_budget(&[eq.negate()], budget) {
             SatResult::Unsat => Some(true),
             SatResult::Sat => Some(false),
@@ -531,8 +569,8 @@ mod tests {
     /// Builds a raw (non-normalizing) binary term for testing the blaster
     /// against the evaluator without normalization collapsing both sides.
     fn check_equiv_decision(pool: &mut TermPool, a: TermId, b: TermId, expect_equal: bool) {
-        let mut bb = BitBlaster::new(pool);
-        let got = bb.prove_equal(a, b, 1_000_000).expect("within budget");
+        let mut bb = BitBlaster::new();
+        let got = bb.prove_equal(pool, a, b, 1_000_000).expect("within budget");
         assert_eq!(got, expect_equal);
     }
 
@@ -622,7 +660,7 @@ mod tests {
                 CVal::Mem(_) => unreachable!(),
             };
             let c = p.constant(want, 16);
-            let mut bb = BitBlaster::new(&p);
+            let mut bb = BitBlaster::new();
             // Pin the variables to the assignment values via constants.
             let xv = match eval(&p, x, &a) {
                 CVal::Bv(v) => v,
@@ -632,19 +670,19 @@ mod tests {
                 CVal::Bv(v) => v,
                 CVal::Mem(_) => unreachable!(),
             };
-            let xb = bb.blast(x);
+            let xb = bb.blast(&p, x);
             let xc = bb.const_bits(xv, 16);
             for (l, cbit) in xb.iter().zip(&xc) {
                 bb.sat.add_clause(vec![l.negate(), *cbit]);
                 bb.sat.add_clause(vec![*l, cbit.negate()]);
             }
-            let sb = bb.blast(s);
+            let sb = bb.blast(&p, s);
             let sc = bb.const_bits(sv, 16);
             for (l, cbit) in sb.iter().zip(&sc) {
                 bb.sat.add_clause(vec![l.negate(), *cbit]);
                 bb.sat.add_clause(vec![*l, cbit.negate()]);
             }
-            let got = bb.prove_equal(shifted, c, 1_000_000).expect("budget");
+            let got = bb.prove_equal(&p, shifted, c, 1_000_000).expect("budget");
             assert!(got, "round {round}: shift blasting disagrees with eval");
         }
     }
@@ -693,5 +731,20 @@ mod tests {
         let byte = p.load(m2, a1, 8);
         let want = p.extract(v, 15, 8);
         check_equiv_decision(&mut p, byte, want, true);
+    }
+
+    #[test]
+    fn blast_cache_counters_track_sub_dag_sharing() {
+        let mut p = TermPool::new();
+        let x = p.var(0, 16);
+        let y = p.var(1, 16);
+        let xor = p.xor(vec![x, y]);
+        let mut bb = BitBlaster::new();
+        bb.blast(&p, xor);
+        let misses = bb.blast_misses;
+        assert!(misses >= 3, "x, y and the xor all built fresh");
+        bb.blast(&p, xor);
+        assert_eq!(bb.blast_misses, misses, "second blast is a pure hit");
+        assert!(bb.blast_hits >= 1);
     }
 }

@@ -27,7 +27,8 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 use crate::bitblast::BitBlaster;
-use crate::eval::{eval, Assignment};
+use crate::eval::{eval, Assignment, CVal};
+use crate::incremental::{IncrementalBlaster, IncrementalLimits, SolverPerf};
 use crate::term::{TermId, TermPool};
 
 /// The equivalence verdict for a pair of terms.
@@ -55,16 +56,33 @@ pub struct EquivConfig {
     /// Maximum multiplier blast cost (Σ width² over variable×variable
     /// multiplications).
     pub max_mul_cost: usize,
+    /// Decide SAT queries on the shared incremental solver (see
+    /// [`IncrementalBlaster`]) instead of a fresh blaster per query.
+    pub incremental: bool,
+    /// Incremental only: rebuild the shared solver past this many
+    /// variables.
+    pub solver_max_vars: usize,
+    /// Incremental only: rebuild the shared solver past this many
+    /// clauses.
+    pub solver_max_clauses: usize,
+    /// Incremental only: reduce the learnt-clause database past this many
+    /// retained learnts.
+    pub reduce_learnts_at: usize,
 }
 
 impl Default for EquivConfig {
     fn default() -> EquivConfig {
+        let lim = IncrementalLimits::default();
         EquivConfig {
             random_rounds: 6,
             sat_budget: 4_000,
             max_dag: 4_000,
             max_mem_cost: 16,
             max_mul_cost: 1_100,
+            incremental: true,
+            solver_max_vars: lim.max_vars,
+            solver_max_clauses: lim.max_clauses,
+            reduce_learnts_at: lim.reduce_learnts_at,
         }
     }
 }
@@ -81,6 +99,14 @@ impl EquivConfig {
             self.max_dag as u64,
             self.max_mem_cost as u64,
             self.max_mul_cost as u64,
+            // The incremental-solver knobs cannot change verdicts (both
+            // paths decide the same theory under the same conflict
+            // budget), but they are part of the config surface; keep the
+            // fingerprint an honest digest of every field.
+            u64::from(self.incremental),
+            self.solver_max_vars as u64,
+            self.solver_max_clauses as u64,
+            self.reduce_learnts_at as u64,
         ] {
             for b in field.to_le_bytes() {
                 h ^= u64::from(b);
@@ -106,6 +132,9 @@ pub struct EquivStats {
     pub unknown: u64,
     /// Served from the pair cache.
     pub cache_hits: u64,
+    /// SAT-solver cost counters (filled by both the incremental and the
+    /// fresh-blaster paths).
+    pub solver: SolverPerf,
 }
 
 /// A term pool plus decision machinery and a pair cache.
@@ -118,6 +147,7 @@ pub struct EquivChecker {
     /// Decision counters.
     pub stats: EquivStats,
     cache: HashMap<(TermId, TermId), Verdict>,
+    blaster: IncrementalBlaster,
 }
 
 impl std::fmt::Debug for EquivChecker {
@@ -165,13 +195,31 @@ impl EquivChecker {
     }
 
     fn decide(&mut self, a: TermId, b: TermId) -> Verdict {
-        // Random refutation.
-        for round in 0..self.config.random_rounds {
-            let asn = Assignment::random(round.wrapping_mul(0x9e37) + 1);
-            if eval(&self.pool, a, &asn) != eval(&self.pool, b, &asn) {
+        // Random refutation with value-feedback seeding. Round 0 uses a
+        // fixed seed; every later round folds a digest of the value both
+        // sides agreed on into the next seed. This diversifies the
+        // assignments *per pair* (pairs that agree on different values
+        // diverge immediately) without keying on raw `TermId`s — ids
+        // depend on per-session term construction order, which the
+        // work-stealing scheduler makes nondeterministic, and seeds
+        // derived from them would make engine scores vary run to run.
+        // The digest is a structural property of the pair, so this stays
+        // fully deterministic and symmetric in (a, b).
+        let mut seed = 0x9e37u64 + 1;
+        for _ in 0..self.config.random_rounds {
+            let asn = Assignment::random(seed);
+            let va = eval(&self.pool, a, &asn);
+            if va != eval(&self.pool, b, &asn) {
                 self.stats.by_random += 1;
                 return Verdict::NotEqual;
             }
+            let digest = match va {
+                CVal::Bv(v) => v,
+                CVal::Mem(_) => 0x004d_454d,
+            };
+            seed = (seed ^ digest)
+                .wrapping_mul(0x2545_f491_4f6c_dd1d)
+                .wrapping_add(0x9e37_79b9_7f4a_7c15);
         }
         // Memory sort: no bit-level decision; random agreement is not a
         // proof, so remain unknown.
@@ -258,8 +306,33 @@ impl EquivChecker {
     }
 
     fn sat_decide(&mut self, a: TermId, b: TermId) -> Verdict {
-        let mut bb = BitBlaster::new(&self.pool);
-        match bb.prove_equal(a, b, self.config.sat_budget) {
+        let res = if self.config.incremental {
+            let limits = IncrementalLimits {
+                max_vars: self.config.solver_max_vars,
+                max_clauses: self.config.solver_max_clauses,
+                reduce_learnts_at: self.config.reduce_learnts_at,
+            };
+            self.blaster.prove_equal(
+                &self.pool,
+                a,
+                b,
+                self.config.sat_budget,
+                &limits,
+                &mut self.stats.solver,
+            )
+        } else {
+            let mut bb = BitBlaster::new();
+            let t0 = std::time::Instant::now();
+            let r = bb.prove_equal(&self.pool, a, b, self.config.sat_budget);
+            let perf = &mut self.stats.solver;
+            perf.sat_queries += 1;
+            perf.blast_cache_hits += bb.blast_hits;
+            perf.blast_cache_misses += bb.blast_misses;
+            perf.conflicts += bb.sat.conflicts;
+            perf.sat_time_ns += t0.elapsed().as_nanos() as u64;
+            r
+        };
+        match res {
             Some(true) => {
                 self.stats.sat_equal += 1;
                 Verdict::Equal
@@ -322,6 +395,37 @@ mod tests {
         assert_eq!(v1, v2);
         assert_eq!(ec.stats.cache_hits, 1);
         assert_eq!(ec.stats.sat_equal, 1);
+    }
+
+    #[test]
+    fn checker_survives_solver_watermark_fallback() {
+        // A watermark so tight that every SAT query trips a solver
+        // rebuild: verdicts must be unaffected.
+        let mut ec = EquivChecker::with_config(EquivConfig {
+            solver_max_vars: 8,
+            solver_max_clauses: 16,
+            ..Default::default()
+        });
+        for w in [16u32, 24, 32] {
+            let x = ec.pool.var(0, w);
+            let y = ec.pool.var(1, w);
+            let xor = ec.pool.xor(vec![x, y]);
+            let or = ec.pool.or(vec![x, y]);
+            let and = ec.pool.and(vec![x, y]);
+            let diff = ec.pool.sub(or, and);
+            assert_eq!(ec.check_eq(xor, diff), Verdict::Equal);
+            let one = ec.pool.constant(1, w);
+            let x1 = ec.pool.add2(x, one);
+            let nand = ec.pool.not(and);
+            let a = ec.pool.and(vec![x1, nand]);
+            let b = ec.pool.and(vec![x, nand]);
+            assert_eq!(ec.check_eq(a, b), Verdict::NotEqual);
+        }
+        assert!(
+            ec.stats.solver.solver_resets > 0,
+            "tight watermark must force solver rebuilds"
+        );
+        assert_eq!(ec.stats.sat_equal, 3);
     }
 
     #[test]

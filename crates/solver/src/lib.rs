@@ -17,6 +17,8 @@
 //! * [`sat`] — a from-scratch CDCL SAT solver;
 //! * [`bitblast`] — Tseitin encoding with byte-accurate memory and
 //!   Ackermann congruence for base-memory reads;
+//! * [`incremental`] — one long-lived solver shared across queries via
+//!   activation literals, with learnt-clause retention and hygiene;
 //! * [`equiv`] — the layered [`equiv::EquivChecker`] with a pair cache.
 //!
 //! ```
@@ -35,8 +37,10 @@
 pub mod bitblast;
 pub mod equiv;
 pub mod eval;
+pub mod incremental;
 pub mod sat;
 pub mod term;
 
 pub use equiv::{EquivChecker, EquivConfig, EquivStats, Verdict};
+pub use incremental::{IncrementalBlaster, IncrementalLimits, SolverPerf};
 pub use term::{TermId, TermPool};

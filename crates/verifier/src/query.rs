@@ -83,7 +83,11 @@ impl<'a> JointQuery<'a> {
 
 /// A long-lived verifier session: one term pool and decision cache shared
 /// by many joint queries (the paper's batching, §5.5 — repeated strands
-/// and repeated subterms are decided once).
+/// and repeated subterms are decided once). The checker's SAT backend is
+/// incremental by default (one shared solver, CNF cache, learned-clause
+/// retention — see `esh_solver::incremental`), so the longer a session
+/// lives, the cheaper its queries get; the engine keeps sessions alive
+/// across whole queries for exactly this reason.
 #[derive(Debug, Default)]
 pub struct VerifierSession {
     checker: EquivChecker,
@@ -120,6 +124,12 @@ impl VerifierSession {
     /// Decision statistics.
     pub fn stats(&self) -> EquivStats {
         self.checker.stats
+    }
+
+    /// SAT-solver cost counters for this session (a view into
+    /// [`VerifierSession::stats`]).
+    pub fn solver_perf(&self) -> esh_solver::SolverPerf {
+        self.checker.stats.solver
     }
 
     /// Direct access to the underlying checker.

@@ -178,6 +178,19 @@ fn query(args: &[String]) -> Result<(), String> {
         stats.hit_rate() * 100.0,
         stats.entries,
     );
+    let sp = engine.solver_stats();
+    println!(
+        "sat solver: {} queries, {:.1} conflicts/query, {:.1} ms sat time, \
+         {} blast hits / {} misses, {} learnts retained ({} dropped, {} resets)",
+        sp.sat_queries,
+        sp.conflicts_per_query(),
+        sp.sat_time_ns as f64 / 1e6,
+        sp.blast_cache_hits,
+        sp.blast_cache_misses,
+        sp.retained_learnts,
+        sp.learnts_dropped,
+        sp.solver_resets,
+    );
     // Persist the warmed cache: the next identical query skips the
     // verifier entirely.
     engine.save_with_cache(index_path).map_err(|e| e.to_string())?;
