@@ -9,8 +9,10 @@
 //! [`VcpCache`]. Corpus state persists via [`crate::snapshot`].
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use esh_asm::Procedure;
 use esh_ivl::Proc;
@@ -205,6 +207,67 @@ impl QueryScores {
     }
 }
 
+/// Cooperative cancellation handle for [`SimilarityEngine::query_cancellable`].
+///
+/// A token combines an explicit flag (set by [`CancelToken::cancel`], e.g.
+/// on server shutdown) with an optional wall-clock deadline. The engine's
+/// VCP workers poll it between tiles, so a cancelled query stops issuing
+/// verifier work within one tile's latency instead of running to
+/// completion. Clones share the same flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that never fires on its own (cancel it explicitly).
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that fires once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Requests cancellation; every clone observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// True once cancelled explicitly or past the deadline. A deadline
+    /// trip latches the shared flag so later polls skip the clock read.
+    pub fn is_cancelled(&self) -> bool {
+        if self.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.deadline {
+            Some(d) if Instant::now() >= d => {
+                self.flag.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Error returned when a query is abandoned via its [`CancelToken`]
+/// (deadline passed or cancelled explicitly) before scoring finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryCancelled;
+
+impl fmt::Display for QueryCancelled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("query cancelled before completion")
+    }
+}
+
+impl std::error::Error for QueryCancelled {}
+
 /// The similarity engine. Add targets once, query many times.
 ///
 /// The corpus can be persisted with [`SimilarityEngine::save`] /
@@ -326,6 +389,7 @@ impl SimilarityEngine {
         &self.cache
     }
 
+
     pub(crate) fn classes_for_snapshot(&self) -> &[StrandClass] {
         &self.classes
     }
@@ -414,9 +478,15 @@ impl SimilarityEngine {
             *per_class.entry(idx).or_default() += 1;
         }
         let id = TargetId(self.targets.len());
+        // Canonical class order: S-VCP sums floats over this list, so it
+        // must not inherit HashMap iteration order — two engines built
+        // from the same corpus would otherwise disagree by ULPs (and
+        // snapshots would not be byte-reproducible).
+        let mut strands: Vec<(usize, u64)> = per_class.into_iter().collect();
+        strands.sort_unstable_by_key(|&(class, _)| class);
         self.targets.push(TargetRecord {
             name: name.into(),
-            strands: per_class.into_iter().collect(),
+            strands,
             basic_blocks: proc_.blocks.len(),
         });
         id
@@ -463,7 +533,13 @@ impl SimilarityEngine {
                 })
                 .count += 1;
         }
-        by_hash.into_values().collect()
+        // Canonical order: HashMap iteration is seeded per instance, and
+        // the GES sum runs over query strands — float addition must happen
+        // in one fixed order or identical queries drift by ULPs between
+        // runs (and between the daemon and the one-shot CLI).
+        let mut strands: Vec<QueryStrand> = by_hash.into_values().collect();
+        strands.sort_by_key(|s| s.hash);
+        strands
     }
 
     /// Classes per work-stealing tile. Small enough that a tile of
@@ -483,7 +559,7 @@ impl SimilarityEngine {
     /// immediately steal more instead of idling behind a static split.
     /// Results for pairs that reach the verifier are memoized in the
     /// cross-query [`VcpCache`].
-    fn vcp_matrix(&self, query: &[QueryStrand]) -> Vec<Vec<VcpPair>> {
+    fn vcp_matrix(&self, query: &[QueryStrand], cancel: &CancelToken) -> Vec<Vec<VcpPair>> {
         let threads = if self.config.threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -524,6 +600,12 @@ impl SimilarityEngine {
                         let perf0 = session.stats().solver;
                         let mut out: Vec<(usize, usize, Vec<VcpPair>)> = Vec::new();
                         loop {
+                            // Poll cancellation between tiles: a timed-out
+                            // or abandoned query stops issuing verifier
+                            // work within one tile's latency.
+                            if cancel.is_cancelled() {
+                                break;
+                            }
                             let tile = cursor.fetch_add(1, Ordering::Relaxed);
                             if tile >= total_tiles {
                                 break;
@@ -590,8 +672,26 @@ impl SimilarityEngine {
 
     /// Scores every target against `proc_`.
     pub fn query(&self, proc_: &Procedure) -> QueryScores {
+        self.query_cancellable(proc_, &CancelToken::new())
+            .expect("query with a never-firing token cannot be cancelled")
+    }
+
+    /// Like [`SimilarityEngine::query`], but abandons the computation as
+    /// soon as `cancel` fires — the serving layer's per-request deadline
+    /// hook. Cancellation is cooperative: VCP workers poll the token
+    /// between tiles, stop issuing verifier calls, and the partial matrix
+    /// is discarded. Completed pairs stay memoized in the cross-query
+    /// cache, so a retried query resumes from where the deadline struck.
+    pub fn query_cancellable(
+        &self,
+        proc_: &Procedure,
+        cancel: &CancelToken,
+    ) -> Result<QueryScores, QueryCancelled> {
         let query = self.prepare_query(proc_);
-        let matrix = self.vcp_matrix(&query);
+        let matrix = self.vcp_matrix(&query, cancel);
+        if cancel.is_cancelled() {
+            return Err(QueryCancelled);
+        }
 
         // H0 per query strand: corpus-wide mean over every strand
         // occurrence (weighted by class multiplicity).
@@ -637,11 +737,21 @@ impl SimilarityEngine {
                 s_vcp,
             });
         }
-        QueryScores {
+        Ok(QueryScores {
             scores,
             query_strands: query.len(),
             query_strand_occurrences: query.iter().map(|q| q.count as usize).sum(),
-        }
+        })
+    }
+
+    /// Overrides the worker-thread count for subsequent queries. Threads
+    /// only change scheduling, never scores (the VCP matrix is a pure
+    /// function per cell), so this is safe to adjust after loading a
+    /// snapshot — a daemon running N concurrent queries over one shared
+    /// engine caps each query's parallelism this way instead of letting
+    /// every request claim the whole machine.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config.threads = threads;
     }
 }
 
@@ -771,6 +881,34 @@ mod tests {
         );
         // Identical targets stack counts on the same classes.
         assert!(report[0].0 >= 3);
+    }
+
+    #[test]
+    fn cancelled_token_aborts_query_and_keeps_engine_usable() {
+        let f = demo::heartbleed_like();
+        let mut engine = SimilarityEngine::new(quick_config());
+        let tp = engine.add_target("tp", &clang().compile_function(&f));
+        engine.add_target("fp", &clang().compile_function(&demo::venom_like()));
+        let q = gcc().compile_function(&f);
+
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        assert!(matches!(
+            engine.query_cancellable(&q, &cancel),
+            Err(QueryCancelled)
+        ));
+
+        // An expired deadline behaves identically.
+        let expired = CancelToken::with_deadline(Instant::now());
+        assert!(matches!(
+            engine.query_cancellable(&q, &expired),
+            Err(QueryCancelled)
+        ));
+
+        // The engine is untouched: a live token still completes and ranks.
+        let live = CancelToken::new();
+        let scores = engine.query_cancellable(&q, &live).unwrap();
+        assert_eq!(scores.ranked()[0].target, tp);
     }
 
     #[test]

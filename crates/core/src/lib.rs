@@ -71,8 +71,11 @@ mod stats;
 mod vcp;
 
 pub use cache::{CacheStats, VcpCache, VcpCacheEntry, VcpKey};
-pub use engine::{EngineConfig, Granularity, QueryScores, SimilarityEngine, TargetId, TargetScore};
+pub use engine::{
+    CancelToken, EngineConfig, Granularity, QueryCancelled, QueryScores, SimilarityEngine,
+    TargetId, TargetScore,
+};
 pub use esh_solver::SolverPerf;
-pub use snapshot::{SnapshotError, SNAPSHOT_FORMAT_VERSION};
+pub use snapshot::{ConfigMismatchKind, SnapshotError, SNAPSHOT_FORMAT_VERSION};
 pub use stats::{ges, les, likelihood, H0Accumulator, ScoringMode, SIGMOID_K, SIGMOID_MIDPOINT};
 pub use vcp::{size_ratio_ok, vcp_pair, VcpConfig, VcpPair};

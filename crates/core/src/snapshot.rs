@@ -43,7 +43,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
 
@@ -58,15 +58,42 @@ use crate::engine::{EngineConfig, SimilarityEngine, StrandClass, TargetRecord};
 /// reject on inequality rather than attempting migration.
 pub const SNAPSHOT_FORMAT_VERSION: u32 = 2;
 
-/// Why a snapshot failed to save or load.
+/// How a [`SnapshotError::ConfigMismatch`] came about — the two cases call
+/// for different operator action, so the error spells them apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigMismatchKind {
+    /// The fingerprint recorded in the file disagrees with the one
+    /// recomputed from the embedded configuration: the file was edited or
+    /// corrupted after it was written.
+    Corrupted,
+    /// The snapshot is internally consistent but was built under engine
+    /// thresholds different from the caller's required configuration.
+    Incompatible,
+}
+
+/// Why a snapshot failed to save or load. Every variant names the file it
+/// refers to, so a daemon juggling several indexes produces actionable
+/// startup errors.
 #[derive(Debug)]
 pub enum SnapshotError {
     /// Filesystem error.
-    Io(std::io::Error),
+    Io {
+        /// File being read or written.
+        path: PathBuf,
+        /// Underlying error.
+        source: std::io::Error,
+    },
     /// The file is not a well-formed snapshot document.
-    Format(String),
+    Format {
+        /// File that failed to parse.
+        path: PathBuf,
+        /// What was wrong with it.
+        detail: String,
+    },
     /// The file was written by an incompatible format version.
     VersionMismatch {
+        /// File that was rejected.
+        path: PathBuf,
         /// Version recorded in the file.
         found: u32,
         /// Version this build understands.
@@ -74,29 +101,71 @@ pub enum SnapshotError {
     },
     /// The configuration fingerprint does not match.
     ConfigMismatch {
-        /// Fingerprint recorded in (or recomputed from) the file.
+        /// File that was rejected.
+        path: PathBuf,
+        /// Fingerprint recorded in the file.
         found: u64,
         /// Fingerprint the loader requires.
         expected: u64,
+        /// Whether this is corruption or an honest config difference.
+        kind: ConfigMismatchKind,
     },
+}
+
+impl SnapshotError {
+    /// The snapshot file the error refers to.
+    pub fn path(&self) -> &Path {
+        match self {
+            SnapshotError::Io { path, .. }
+            | SnapshotError::Format { path, .. }
+            | SnapshotError::VersionMismatch { path, .. }
+            | SnapshotError::ConfigMismatch { path, .. } => path,
+        }
+    }
 }
 
 impl fmt::Display for SnapshotError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SnapshotError::Io(e) => write!(f, "snapshot i/o: {e}"),
-            SnapshotError::Format(msg) => write!(f, "snapshot format: {msg}"),
-            SnapshotError::VersionMismatch { found, expected } => write!(
+            SnapshotError::Io { path, source } => {
+                write!(f, "snapshot {}: i/o: {source}", path.display())
+            }
+            SnapshotError::Format { path, detail } => {
+                write!(f, "snapshot {}: malformed document: {detail}", path.display())
+            }
+            SnapshotError::VersionMismatch {
+                path,
+                found,
+                expected,
+            } => write!(
                 f,
-                "snapshot version {found} is not supported (this build reads \
-                 version {expected}); rebuild the index"
+                "snapshot {}: format version {found} is not supported (this \
+                 build reads version {expected}); rebuild the index",
+                path.display()
             ),
-            SnapshotError::ConfigMismatch { found, expected } => write!(
-                f,
-                "snapshot config fingerprint {found:#018x} does not match the \
-                 expected {expected:#018x}; the snapshot was built under \
-                 different engine thresholds — rebuild the index"
-            ),
+            SnapshotError::ConfigMismatch {
+                path,
+                found,
+                expected,
+                kind,
+            } => match kind {
+                ConfigMismatchKind::Corrupted => write!(
+                    f,
+                    "snapshot {}: recorded config fingerprint {found:#018x} \
+                     does not match {expected:#018x} recomputed from the \
+                     embedded configuration — the file was edited or \
+                     corrupted after it was written; rebuild the index",
+                    path.display()
+                ),
+                ConfigMismatchKind::Incompatible => write!(
+                    f,
+                    "snapshot {}: built under config fingerprint {found:#018x} \
+                     but this run requires {expected:#018x} — the engine \
+                     thresholds differ; rebuild the index under the current \
+                     configuration",
+                    path.display()
+                ),
+            },
         }
     }
 }
@@ -104,15 +173,9 @@ impl fmt::Display for SnapshotError {
 impl std::error::Error for SnapshotError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            SnapshotError::Io(e) => Some(e),
+            SnapshotError::Io { source, .. } => Some(source),
             _ => None,
         }
-    }
-}
-
-impl From<std::io::Error> for SnapshotError {
-    fn from(e: std::io::Error) -> Self {
-        SnapshotError::Io(e)
     }
 }
 
@@ -150,9 +213,14 @@ impl SimilarityEngine {
             targets: self.targets_for_snapshot().to_vec(),
             cache,
         };
-        let json = serde_json::to_string(&file)
-            .map_err(|e| SnapshotError::Format(e.to_string()))?;
-        std::fs::write(path, json)?;
+        let json = serde_json::to_string(&file).map_err(|e| SnapshotError::Format {
+            path: path.to_path_buf(),
+            detail: e.to_string(),
+        })?;
+        std::fs::write(path, json).map_err(|e| SnapshotError::Io {
+            path: path.to_path_buf(),
+            source: e,
+        })?;
         Ok(())
     }
 
@@ -164,11 +232,20 @@ impl SimilarityEngine {
     /// does not match the one recomputed from the embedded configuration
     /// (a tamper/corruption check).
     pub fn load(path: impl AsRef<Path>) -> Result<SimilarityEngine, SnapshotError> {
-        let text = std::fs::read_to_string(path.as_ref())?;
+        let path = path.as_ref();
+        let format_err = |detail: String| SnapshotError::Format {
+            path: path.to_path_buf(),
+            detail,
+        };
+        let text = std::fs::read_to_string(path).map_err(|e| SnapshotError::Io {
+            path: path.to_path_buf(),
+            source: e,
+        })?;
         let file: SnapshotFile =
-            serde_json::from_str(&text).map_err(|e| SnapshotError::Format(e.to_string()))?;
+            serde_json::from_str(&text).map_err(|e| format_err(e.to_string()))?;
         if file.format_version != SNAPSHOT_FORMAT_VERSION {
             return Err(SnapshotError::VersionMismatch {
+                path: path.to_path_buf(),
                 found: file.format_version,
                 expected: SNAPSHOT_FORMAT_VERSION,
             });
@@ -176,8 +253,10 @@ impl SimilarityEngine {
         let recomputed = file.config.fingerprint();
         if file.config_fingerprint != recomputed {
             return Err(SnapshotError::ConfigMismatch {
+                path: path.to_path_buf(),
                 found: file.config_fingerprint,
                 expected: recomputed,
+                kind: ConfigMismatchKind::Corrupted,
             });
         }
         let mut class_by_hash = HashMap::with_capacity(file.classes.len());
@@ -185,13 +264,11 @@ impl SimilarityEngine {
             class_by_hash.insert(class.hash, i);
         }
         if class_by_hash.len() != file.classes.len() {
-            return Err(SnapshotError::Format(
-                "duplicate strand-class hashes in snapshot".into(),
-            ));
+            return Err(format_err("duplicate strand-class hashes in snapshot".into()));
         }
         for target in &file.targets {
             if target.strands.iter().any(|&(ci, _)| ci >= file.classes.len()) {
-                return Err(SnapshotError::Format(format!(
+                return Err(format_err(format!(
                     "target `{}` references a class index out of range",
                     target.name
                 )));
@@ -213,12 +290,144 @@ impl SimilarityEngine {
         path: impl AsRef<Path>,
         expected: &EngineConfig,
     ) -> Result<SimilarityEngine, SnapshotError> {
+        let path = path.as_ref();
         let engine = SimilarityEngine::load(path)?;
         let found = engine.config().fingerprint();
         let want = expected.fingerprint();
         if found != want {
-            return Err(SnapshotError::ConfigMismatch { found, expected: want });
+            return Err(SnapshotError::ConfigMismatch {
+                path: path.to_path_buf(),
+                found,
+                expected: want,
+                kind: ConfigMismatchKind::Incompatible,
+            });
         }
         Ok(engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("esh-snapshot-err-{name}-{}", std::process::id()))
+    }
+
+    /// A tiny engine whose snapshot is cheap to write and tamper with.
+    fn tiny_engine() -> SimilarityEngine {
+        let p = esh_asm::parse_proc(
+            "proc p\nentry:\nmov r12, rbx\nadd r12, 5\nlea rdi, [r12+0x3]\nxor rax, rdi",
+        )
+        .unwrap();
+        let mut engine = SimilarityEngine::new(EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        });
+        engine.add_target("t0", &p);
+        engine
+    }
+
+    #[test]
+    fn missing_file_reports_path() {
+        let path = temp_path("does-not-exist");
+        match SimilarityEngine::load(&path) {
+            Err(e @ SnapshotError::Io { .. }) => {
+                assert_eq!(e.path(), path.as_path());
+                assert!(e.to_string().contains(&path.display().to_string()));
+            }
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_document_reports_path_and_detail() {
+        let path = temp_path("garbage");
+        std::fs::write(&path, "not json at all").unwrap();
+        match SimilarityEngine::load(&path) {
+            Err(e @ SnapshotError::Format { .. }) => {
+                assert_eq!(e.path(), path.as_path());
+                assert!(e.to_string().contains("malformed"));
+                assert!(e.to_string().contains(&path.display().to_string()));
+            }
+            other => panic!("expected Format error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_mismatch_reports_path_and_both_versions() {
+        let path = temp_path("version");
+        tiny_engine().save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let needle = format!("\"format_version\":{SNAPSHOT_FORMAT_VERSION}");
+        std::fs::write(&path, text.replace(&needle, "\"format_version\":777")).unwrap();
+        match SimilarityEngine::load(&path) {
+            Err(
+                e @ SnapshotError::VersionMismatch {
+                    found: 777,
+                    expected: SNAPSHOT_FORMAT_VERSION,
+                    ..
+                },
+            ) => {
+                let msg = e.to_string();
+                assert!(msg.contains(&path.display().to_string()));
+                assert!(msg.contains("777"));
+                assert!(msg.contains(&SNAPSHOT_FORMAT_VERSION.to_string()));
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tampered_fingerprint_is_reported_as_corruption() {
+        let engine = tiny_engine();
+        let path = temp_path("corrupt");
+        engine.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let needle = format!("\"config_fingerprint\":{}", engine.config().fingerprint());
+        assert!(text.contains(&needle));
+        std::fs::write(&path, text.replace(&needle, "\"config_fingerprint\":12345")).unwrap();
+        match SimilarityEngine::load(&path) {
+            Err(
+                e @ SnapshotError::ConfigMismatch {
+                    kind: ConfigMismatchKind::Corrupted,
+                    found: 12345,
+                    ..
+                },
+            ) => {
+                let msg = e.to_string();
+                assert!(msg.contains("corrupted"));
+                assert!(msg.contains(&path.display().to_string()));
+            }
+            other => panic!("expected corrupted ConfigMismatch, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn incompatible_config_is_reported_as_such() {
+        let engine = tiny_engine();
+        let path = temp_path("incompatible");
+        engine.save(&path).unwrap();
+        let mut want = engine.config().clone();
+        want.prefilter_threshold += 0.125;
+        match SimilarityEngine::load_compatible(&path, &want) {
+            Err(
+                e @ SnapshotError::ConfigMismatch {
+                    kind: ConfigMismatchKind::Incompatible,
+                    ..
+                },
+            ) => {
+                let msg = e.to_string();
+                assert!(msg.contains("thresholds differ"));
+                assert!(msg.contains(&path.display().to_string()));
+                assert!(msg.contains(&format!("{:#018x}", engine.config().fingerprint())));
+                assert!(msg.contains(&format!("{:#018x}", want.fingerprint())));
+            }
+            other => panic!("expected incompatible ConfigMismatch, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -119,9 +119,15 @@ fn mismatched_config_fingerprint_is_rejected() {
         ..engine.config().clone()
     };
     match SimilarityEngine::load_compatible(&path, &other) {
-        Err(SnapshotError::ConfigMismatch { found, expected }) => {
+        Err(SnapshotError::ConfigMismatch {
+            found,
+            expected,
+            kind,
+            ..
+        }) => {
             assert_eq!(found, engine.config().fingerprint());
             assert_eq!(expected, other.fingerprint());
+            assert_eq!(kind, esh_core::ConfigMismatchKind::Incompatible);
         }
         Err(e) => panic!("expected ConfigMismatch, got {e}"),
         Ok(_) => panic!("expected ConfigMismatch, got a loaded engine"),
@@ -161,7 +167,9 @@ fn unknown_format_version_is_rejected() {
     std::fs::write(&path, tampered).unwrap();
 
     match SimilarityEngine::load(&path) {
-        Err(SnapshotError::VersionMismatch { found, expected }) => {
+        Err(SnapshotError::VersionMismatch {
+            found, expected, ..
+        }) => {
             assert_eq!(found, 999);
             assert_eq!(expected, esh_core::SNAPSHOT_FORMAT_VERSION);
         }

@@ -1,0 +1,316 @@
+//! `esh bench-serve`: a loopback load generator for the daemon.
+//!
+//! Four phases, each exercising one acceptance property:
+//!
+//! 1. **Correctness under load** — concurrent clients fire the same
+//!    queries the offline engine answered; every response must carry
+//!    rankings *byte-identical* (f64 bit patterns included) to the
+//!    offline baseline.
+//! 2. **Admission control** — a burst against a one-worker,
+//!    one-slot-queue server must produce typed `Overloaded` rejections,
+//!    never hangs or silent drops.
+//! 3. **Deadlines** — a zero-budget request must come back
+//!    `DeadlineExceeded` without touching the verifier.
+//! 4. **Observability & drain** — `/healthz` and `/metrics` answer over
+//!    HTTP, and a wire `@shutdown` drains the daemon cleanly.
+//!
+//! Results land in `BENCH_serve.json` at the repo root. `--smoke`
+//! shrinks the client counts for CI.
+
+use std::time::{Duration, Instant};
+
+use esh_core::{EngineConfig, SimilarityEngine, TargetId};
+use esh_corpus::{Corpus, CorpusConfig};
+
+use crate::protocol::{
+    http_get, ranked_matches, remote_query, Outcome, QueryRequest, RankedMatch,
+};
+use crate::server::{ServeConfig, Server};
+
+/// Client-side timeout: generous, the server enforces the real deadline.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Builds the engine the daemon serves — one target per corpus
+/// procedure, in corpus order (the contract [`Server::start`] checks).
+fn engine_over(corpus: &Corpus, threads: usize) -> SimilarityEngine {
+    let mut engine = SimilarityEngine::new(EngineConfig {
+        threads,
+        ..EngineConfig::default()
+    });
+    for p in &corpus.procs {
+        engine.add_target(p.display(), &p.proc_);
+    }
+    engine
+}
+
+/// Distinct CVE query display names present in the corpus, capped at
+/// `n`. Using display-name substrings mirrors real CLI usage.
+fn query_names(corpus: &Corpus, n: usize) -> Vec<String> {
+    let mut names: Vec<String> = corpus
+        .procs
+        .iter()
+        .filter(|p| p.cve.is_some())
+        .map(|p| p.display())
+        .collect();
+    names.sort();
+    names.dedup();
+    names.truncate(n);
+    names
+}
+
+/// Byte-identical comparison: rank, name, and the bit pattern of every
+/// score must agree.
+fn identical(a: &[RankedMatch], b: &[RankedMatch]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.rank == y.rank
+                && x.name == y.name
+                && x.ges.to_bits() == y.ges.to_bits()
+                && x.s_log.to_bits() == y.s_log.to_bits()
+                && x.s_vcp.to_bits() == y.s_vcp.to_bits()
+        })
+}
+
+/// Runs the full bench and writes `BENCH_serve.json`. `smoke` shrinks
+/// the load for CI. Returns an error on any property violation.
+pub fn run(smoke: bool) -> Result<(), String> {
+    let t0 = Instant::now();
+    let (clients, repeats, n_queries) = if smoke { (2, 2, 2) } else { (4, 5, 4) };
+    let top_n = 10usize;
+
+    eprintln!("bench-serve: building corpus...");
+    let corpus = Corpus::build(&CorpusConfig::small());
+    let queries = query_names(&corpus, n_queries);
+    if queries.len() < n_queries {
+        return Err(format!(
+            "corpus has only {} CVE queries, need {n_queries}",
+            queries.len()
+        ));
+    }
+
+    // Offline baseline: the rankings `esh query` would print.
+    eprintln!("bench-serve: computing offline baselines...");
+    let offline = engine_over(&corpus, 0);
+    let baselines: Vec<Vec<RankedMatch>> = queries
+        .iter()
+        .map(|q| {
+            let qi = corpus
+                .procs
+                .iter()
+                .position(|p| p.display().contains(q.as_str()))
+                .expect("query name came from the corpus");
+            let scores = offline.query(&corpus.procs[qi].proc_);
+            ranked_matches(&scores, Some(TargetId(qi)), top_n)
+        })
+        .collect();
+
+    // Phase 1: sustained concurrent load, byte-identical responses.
+    eprintln!(
+        "bench-serve: load phase ({clients} clients x {repeats} reps x {} queries)...",
+        queries.len()
+    );
+    let server = Server::start(
+        engine_over(&corpus, 1),
+        corpus.clone(),
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 64,
+            ..ServeConfig::default()
+        },
+    )
+    .map_err(|e| format!("starting load server: {e}"))?;
+    let addr = server.local_addr().to_string();
+
+    let load_start = Instant::now();
+    let total_requests = clients * repeats * queries.len();
+    std::thread::scope(|scope| -> Result<(), String> {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let (addr, queries, baselines) = (&addr, &queries, &baselines);
+                scope.spawn(move || -> Result<(), String> {
+                    for r in 0..repeats {
+                        for (qi, q) in queries.iter().enumerate() {
+                            let request = QueryRequest {
+                                query: q.clone(),
+                                top_n: Some(top_n as u64),
+                                deadline_ms: None,
+                            };
+                            let resp = remote_query(addr, &request, CLIENT_TIMEOUT)
+                                .map_err(|e| format!("client {c} rep {r} query {qi}: {e}"))?;
+                            if resp.outcome != Outcome::Ok {
+                                return Err(format!(
+                                    "client {c} rep {r} query {qi}: outcome {:?} ({:?})",
+                                    resp.outcome, resp.error
+                                ));
+                            }
+                            if !identical(&resp.matches, &baselines[qi]) {
+                                return Err(format!(
+                                    "client {c} rep {r} query {qi}: rankings diverged \
+                                     from the offline baseline"
+                                ));
+                            }
+                        }
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread panicked")?;
+        }
+        Ok(())
+    })?;
+    let load_elapsed = load_start.elapsed();
+
+    // Phase 4a (same server, still warm): observability probes.
+    let (status, body) = http_get(&addr, "/healthz", CLIENT_TIMEOUT)
+        .map_err(|e| format!("healthz probe: {e}"))?;
+    if status != 200 || body.trim() != "ok" {
+        return Err(format!("healthz returned {status} {body:?}"));
+    }
+    let (status, metrics) = http_get(&addr, "/metrics", CLIENT_TIMEOUT)
+        .map_err(|e| format!("metrics probe: {e}"))?;
+    if status != 200 || !metrics.contains("esh_requests_total{outcome=\"ok\"}") {
+        return Err(format!("metrics returned {status} without request counters"));
+    }
+
+    // Phase 4b: graceful drain over the wire.
+    let ack = remote_query(&addr, &QueryRequest::new("@shutdown"), CLIENT_TIMEOUT)
+        .map_err(|e| format!("@shutdown request: {e}"))?;
+    if ack.outcome != Outcome::ShuttingDown {
+        return Err(format!("@shutdown acknowledged with {:?}", ack.outcome));
+    }
+    let load_stats = server.join();
+    if load_stats.ok != total_requests as u64 {
+        return Err(format!(
+            "load server answered {} ok, expected {total_requests}",
+            load_stats.ok
+        ));
+    }
+    let throughput = total_requests as f64 / load_elapsed.as_secs_f64().max(1e-9);
+    // The serve engine's cross-query cache hit rate, scraped from the
+    // /metrics payload fetched while the server was still up.
+    let hit_rate: f64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("esh_vcp_cache_hit_rate "))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0.0);
+    eprintln!(
+        "bench-serve: load ok ({total_requests} requests, {throughput:.1} req/s, \
+         p50 {}ms p99 {}ms)",
+        load_stats.p50_ms, load_stats.p99_ms
+    );
+
+    // Phase 2: admission control. One worker pinned by a stalled
+    // connection (it sends nothing, so the worker blocks until the read
+    // timeout), one queue slot filled the same way; every further
+    // request must be rejected as Overloaded.
+    eprintln!("bench-serve: overload phase...");
+    let server = Server::start(
+        engine_over(&corpus, 1),
+        corpus.clone(),
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_capacity: 1,
+            read_timeout_ms: 3_000,
+            ..ServeConfig::default()
+        },
+    )
+    .map_err(|e| format!("starting overload server: {e}"))?;
+    let addr = server.local_addr().to_string();
+    let stall_worker = std::net::TcpStream::connect(&addr).map_err(|e| e.to_string())?;
+    // Stagger the stalls so the worker pops the first (and blocks on its
+    // silent socket) before the second arrives to occupy the queue slot.
+    std::thread::sleep(Duration::from_millis(200));
+    let stall_queue = std::net::TcpStream::connect(&addr).map_err(|e| e.to_string())?;
+    std::thread::sleep(Duration::from_millis(200));
+    let burst = if smoke { 4 } else { 8 };
+    let mut overloaded = 0usize;
+    for _ in 0..burst {
+        let resp = remote_query(&addr, &QueryRequest::new(&queries[0]), CLIENT_TIMEOUT)
+            .map_err(|e| format!("overload probe: {e}"))?;
+        match resp.outcome {
+            Outcome::Overloaded => overloaded += 1,
+            Outcome::Ok => {}
+            other => return Err(format!("overload phase saw {other:?}")),
+        }
+    }
+    drop(stall_worker);
+    drop(stall_queue);
+    let overload_stats = server.shutdown();
+    if overloaded == 0 {
+        return Err("overload phase produced no Overloaded rejections".into());
+    }
+    if overload_stats.queue_depth_hwm > 1 {
+        return Err(format!(
+            "queue bound violated: high-water {} > capacity 1",
+            overload_stats.queue_depth_hwm
+        ));
+    }
+    eprintln!("bench-serve: overload ok ({overloaded}/{burst} rejected)");
+
+    // Phase 3: deadlines. A zero-budget request expires in the queue.
+    eprintln!("bench-serve: deadline phase...");
+    let server = Server::start(
+        engine_over(&corpus, 1),
+        corpus.clone(),
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_capacity: 8,
+            ..ServeConfig::default()
+        },
+    )
+    .map_err(|e| format!("starting deadline server: {e}"))?;
+    let addr = server.local_addr().to_string();
+    let resp = remote_query(
+        &addr,
+        &QueryRequest {
+            query: queries[0].clone(),
+            top_n: None,
+            deadline_ms: Some(0),
+        },
+        CLIENT_TIMEOUT,
+    )
+    .map_err(|e| format!("deadline probe: {e}"))?;
+    if resp.outcome != Outcome::DeadlineExceeded {
+        return Err(format!("zero deadline returned {:?}", resp.outcome));
+    }
+    let deadline_stats = server.shutdown();
+    if deadline_stats.deadline_exceeded != 1 {
+        return Err(format!(
+            "deadline counter reads {}, expected 1",
+            deadline_stats.deadline_exceeded
+        ));
+    }
+    eprintln!("bench-serve: deadline ok");
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"mode\": \"{mode}\",\n  \
+         \"corpus_procs\": {procs},\n  \"queries\": {nq},\n  \
+         \"clients\": {clients},\n  \"requests\": {total_requests},\n  \
+         \"identical_to_offline\": true,\n  \
+         \"throughput_rps\": {throughput:.1},\n  \
+         \"p50_ms\": {p50},\n  \"p99_ms\": {p99},\n  \
+         \"queue_depth_high_water\": {hwm},\n  \
+         \"overload_burst\": {burst},\n  \"overloaded\": {overloaded},\n  \
+         \"deadline_exceeded\": {dl},\n  \
+         \"serve_vcp_cache_hit_rate\": {hit_rate:.4},\n  \
+         \"elapsed_ms\": {elapsed}\n}}\n",
+        mode = if smoke { "smoke" } else { "full" },
+        procs = corpus.procs.len(),
+        nq = queries.len(),
+        p50 = load_stats.p50_ms,
+        p99 = load_stats.p99_ms,
+        hwm = load_stats.queue_depth_hwm,
+        dl = deadline_stats.deadline_exceeded,
+        elapsed = t0.elapsed().as_millis(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, &json).map_err(|e| format!("writing BENCH_serve.json: {e}"))?;
+    println!("{json}");
+    println!("bench-serve: all phases passed; wrote BENCH_serve.json");
+    Ok(())
+}

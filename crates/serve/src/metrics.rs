@@ -1,0 +1,278 @@
+//! Live server metrics: outcome counters, queue-depth high-water mark
+//! and a fixed-bucket latency histogram.
+//!
+//! Everything is lock-free atomics so the hot path (workers recording an
+//! outcome per request) never contends with scrapes of `/metrics`. The
+//! histogram trades exactness for bounded memory: latencies are counted
+//! into fixed millisecond buckets and quantiles report the upper bound of
+//! the bucket containing the requested rank — the standard
+//! Prometheus-histogram compromise.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use esh_core::CacheStats;
+use esh_solver::SolverPerf;
+
+use crate::protocol::Outcome;
+
+/// Upper bounds (milliseconds, inclusive) of the latency histogram
+/// buckets. An implicit overflow bucket catches everything slower.
+pub const LATENCY_BUCKETS_MS: [u64; 12] = [1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000];
+
+/// Reported bound of the overflow bucket.
+const OVERFLOW_MS: u64 = 10_000;
+
+/// Concurrently-updatable server counters. One instance lives for the
+/// whole daemon; workers record into it and `/metrics` renders it.
+#[derive(Debug)]
+pub struct ServerStats {
+    ok: AtomicU64,
+    overloaded: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    not_found: AtomicU64,
+    bad_request: AtomicU64,
+    shutting_down: AtomicU64,
+    http: AtomicU64,
+    queue_depth_hwm: AtomicU64,
+    buckets: [AtomicU64; LATENCY_BUCKETS_MS.len() + 1],
+}
+
+impl Default for ServerStats {
+    fn default() -> ServerStats {
+        ServerStats::new()
+    }
+}
+
+impl ServerStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> ServerStats {
+        ServerStats {
+            ok: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            not_found: AtomicU64::new(0),
+            bad_request: AtomicU64::new(0),
+            shutting_down: AtomicU64::new(0),
+            http: AtomicU64::new(0),
+            queue_depth_hwm: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Counts one finished (or rejected) query request.
+    pub fn record_outcome(&self, outcome: Outcome) {
+        let counter = match outcome {
+            Outcome::Ok => &self.ok,
+            Outcome::Overloaded => &self.overloaded,
+            Outcome::DeadlineExceeded => &self.deadline_exceeded,
+            Outcome::NotFound => &self.not_found,
+            Outcome::BadRequest => &self.bad_request,
+            Outcome::ShuttingDown => &self.shutting_down,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one HTTP request (`/healthz`, `/metrics`, 404s).
+    pub fn record_http(&self) {
+        self.http.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds one admission-to-response latency to the histogram.
+    pub fn record_latency_ms(&self, ms: u64) {
+        let idx = LATENCY_BUCKETS_MS
+            .iter()
+            .position(|&bound| ms <= bound)
+            .unwrap_or(LATENCY_BUCKETS_MS.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raises the queue-depth high-water mark to `depth` if it is a new
+    /// maximum.
+    pub fn observe_queue_depth(&self, depth: usize) {
+        self.queue_depth_hwm
+            .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter, with quantiles resolved.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        StatsSnapshot {
+            ok: self.ok.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            not_found: self.not_found.load(Ordering::Relaxed),
+            bad_request: self.bad_request.load(Ordering::Relaxed),
+            shutting_down: self.shutting_down.load(Ordering::Relaxed),
+            http: self.http.load(Ordering::Relaxed),
+            queue_depth_hwm: self.queue_depth_hwm.load(Ordering::Relaxed),
+            p50_ms: quantile(&buckets, 0.50),
+            p99_ms: quantile(&buckets, 0.99),
+        }
+    }
+
+    /// Renders the Prometheus-style `/metrics` payload, folding in the
+    /// engine's VCP-cache and SAT-solver counters so one scrape shows the
+    /// whole serving stack.
+    pub fn render(&self, cache: &CacheStats, solver: &SolverPerf, queue_depth: usize) -> String {
+        let s = self.snapshot();
+        let mut out = String::new();
+        for (label, v) in [
+            ("ok", s.ok),
+            ("overloaded", s.overloaded),
+            ("deadline_exceeded", s.deadline_exceeded),
+            ("not_found", s.not_found),
+            ("bad_request", s.bad_request),
+            ("shutting_down", s.shutting_down),
+        ] {
+            out.push_str(&format!("esh_requests_total{{outcome=\"{label}\"}} {v}\n"));
+        }
+        out.push_str(&format!("esh_http_requests_total {}\n", s.http));
+        out.push_str(&format!("esh_queue_depth {queue_depth}\n"));
+        out.push_str(&format!("esh_queue_depth_high_water {}\n", s.queue_depth_hwm));
+        out.push_str(&format!(
+            "esh_request_latency_ms{{quantile=\"0.5\"}} {}\n",
+            s.p50_ms
+        ));
+        out.push_str(&format!(
+            "esh_request_latency_ms{{quantile=\"0.99\"}} {}\n",
+            s.p99_ms
+        ));
+        out.push_str(&format!("esh_vcp_cache_hits_total {}\n", cache.hits));
+        out.push_str(&format!("esh_vcp_cache_misses_total {}\n", cache.misses));
+        out.push_str(&format!("esh_vcp_cache_entries {}\n", cache.entries));
+        out.push_str(&format!(
+            "esh_vcp_cache_hit_rate {:.6}\n",
+            cache.hit_rate()
+        ));
+        out.push_str(&format!("esh_sat_queries_total {}\n", solver.sat_queries));
+        out.push_str(&format!("esh_sat_conflicts_total {}\n", solver.conflicts));
+        out.push_str(&format!(
+            "esh_sat_time_ms {:.3}\n",
+            solver.sat_time_ns as f64 / 1e6
+        ));
+        out.push_str(&format!(
+            "esh_sat_learnts_retained {}\n",
+            solver.retained_learnts
+        ));
+        out.push_str(&format!("esh_sat_solver_resets_total {}\n", solver.solver_resets));
+        out
+    }
+}
+
+/// A plain copy of the counters at one instant — what the daemon prints
+/// at shutdown and what `bench-serve` records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Completed queries.
+    pub ok: u64,
+    /// Requests rejected because the admission queue was full.
+    pub overloaded: u64,
+    /// Requests whose deadline expired before or during scoring.
+    pub deadline_exceeded: u64,
+    /// Requests naming no corpus procedure.
+    pub not_found: u64,
+    /// Unparseable request lines.
+    pub bad_request: u64,
+    /// `@shutdown` acknowledgements.
+    pub shutting_down: u64,
+    /// HTTP requests served by the metrics shim.
+    pub http: u64,
+    /// Deepest the admission queue ever got.
+    pub queue_depth_hwm: u64,
+    /// Median admission-to-response latency (bucket upper bound).
+    pub p50_ms: u64,
+    /// 99th-percentile latency (bucket upper bound).
+    pub p99_ms: u64,
+}
+
+impl StatsSnapshot {
+    /// Total query requests across all outcomes (HTTP excluded).
+    pub fn total(&self) -> u64 {
+        self.ok
+            + self.overloaded
+            + self.deadline_exceeded
+            + self.not_found
+            + self.bad_request
+            + self.shutting_down
+    }
+}
+
+/// Bucket-resolved quantile: the upper bound of the bucket holding the
+/// `q`-ranked observation (0 when the histogram is empty).
+fn quantile(buckets: &[u64], q: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((q * total as f64).ceil() as u64).max(1);
+    let mut cumulative = 0u64;
+    for (i, &count) in buckets.iter().enumerate() {
+        cumulative += count;
+        if cumulative >= rank {
+            return LATENCY_BUCKETS_MS.get(i).copied().unwrap_or(OVERFLOW_MS);
+        }
+    }
+    OVERFLOW_MS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_resolve_to_bucket_bounds() {
+        let stats = ServerStats::new();
+        // 98 fast requests, 2 slow ones: p50 in the ≤5ms bucket, p99 in
+        // the ≤500ms bucket.
+        for _ in 0..98 {
+            stats.record_latency_ms(3);
+        }
+        stats.record_latency_ms(400);
+        stats.record_latency_ms(450);
+        let s = stats.snapshot();
+        assert_eq!(s.p50_ms, 5);
+        assert_eq!(s.p99_ms, 500);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let s = ServerStats::new().snapshot();
+        assert_eq!(s.p50_ms, 0);
+        assert_eq!(s.p99_ms, 0);
+        assert_eq!(s.total(), 0);
+    }
+
+    #[test]
+    fn overflow_latencies_land_in_the_terminal_bucket() {
+        let stats = ServerStats::new();
+        stats.record_latency_ms(60_000);
+        assert_eq!(stats.snapshot().p50_ms, OVERFLOW_MS);
+    }
+
+    #[test]
+    fn high_water_mark_is_monotone() {
+        let stats = ServerStats::new();
+        stats.observe_queue_depth(3);
+        stats.observe_queue_depth(7);
+        stats.observe_queue_depth(2);
+        assert_eq!(stats.snapshot().queue_depth_hwm, 7);
+    }
+
+    #[test]
+    fn outcomes_count_into_distinct_counters() {
+        let stats = ServerStats::new();
+        stats.record_outcome(Outcome::Ok);
+        stats.record_outcome(Outcome::Ok);
+        stats.record_outcome(Outcome::Overloaded);
+        stats.record_outcome(Outcome::DeadlineExceeded);
+        let s = stats.snapshot();
+        assert_eq!(s.ok, 2);
+        assert_eq!(s.overloaded, 1);
+        assert_eq!(s.deadline_exceeded, 1);
+        assert_eq!(s.total(), 4);
+    }
+}

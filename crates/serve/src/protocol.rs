@@ -1,0 +1,251 @@
+//! The wire protocol: newline-delimited JSON over TCP.
+//!
+//! One connection carries one request and one response, each a single
+//! JSON object on its own line. The same [`QueryResponse`] schema backs
+//! `esh query --json` (offline) and the daemon (remote), so a client can
+//! switch between the two without re-parsing — the shared construction
+//! path is [`ranked_matches`].
+//!
+//! The daemon also answers plain `GET /healthz` and `GET /metrics` on the
+//! same port: the first line of a connection decides whether it is HTTP
+//! (starts with `GET ` / `HEAD `) or a JSON request. [`http_get`] is the
+//! matching minimal client.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use esh_core::{QueryScores, TargetId};
+use serde::{Deserialize, Serialize};
+
+/// One query request. Serialized as a single JSON line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryRequest {
+    /// Substring selecting the query procedure from the served corpus
+    /// (same resolution rule as `esh query`). The reserved value
+    /// `@shutdown` asks the daemon to drain and exit.
+    pub query: String,
+    /// Maximum number of matches to return (server default when absent).
+    pub top_n: Option<u64>,
+    /// Per-request deadline in milliseconds, measured from admission;
+    /// time spent waiting in the queue counts against it (server default
+    /// when absent).
+    pub deadline_ms: Option<u64>,
+}
+
+impl QueryRequest {
+    /// A request for `query` with server-default `top_n` and deadline.
+    pub fn new(query: impl Into<String>) -> QueryRequest {
+        QueryRequest {
+            query: query.into(),
+            top_n: None,
+            deadline_ms: None,
+        }
+    }
+}
+
+/// Typed request outcome — the admission-control and deadline decisions
+/// a client must be able to distinguish without parsing error strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// The query ran to completion; `matches` is populated.
+    Ok,
+    /// Rejected at admission: the bounded request queue was full.
+    Overloaded,
+    /// The deadline expired before or during scoring.
+    DeadlineExceeded,
+    /// No corpus procedure matched the query substring.
+    NotFound,
+    /// The request line was not a valid [`QueryRequest`].
+    BadRequest,
+    /// Acknowledges an `@shutdown` request; the daemon is draining.
+    ShuttingDown,
+}
+
+/// One ranked corpus target, scores exactly as the engine produced them
+/// (the JSON encoding round-trips `f64` bit-for-bit).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RankedMatch {
+    /// 1-based rank under GES ordering.
+    pub rank: u64,
+    /// Target display name.
+    pub name: String,
+    /// Full-method GES score.
+    pub ges: f64,
+    /// S-LOG ablation score.
+    pub s_log: f64,
+    /// S-VCP ablation score.
+    pub s_vcp: f64,
+}
+
+/// The response line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryResponse {
+    /// What happened to the request.
+    pub outcome: Outcome,
+    /// Human-readable detail for non-`Ok` outcomes.
+    pub error: Option<String>,
+    /// Resolved display name of the query procedure (on `Ok`).
+    pub query: Option<String>,
+    /// Ranked matches, best first; empty unless `outcome` is `Ok`.
+    pub matches: Vec<RankedMatch>,
+    /// Milliseconds the request waited in the admission queue.
+    pub queue_ms: u64,
+    /// Milliseconds from admission to response.
+    pub latency_ms: u64,
+}
+
+impl QueryResponse {
+    /// A response with `outcome` and optional detail, no matches.
+    pub fn status(outcome: Outcome, error: Option<String>) -> QueryResponse {
+        QueryResponse {
+            outcome,
+            error,
+            query: None,
+            matches: Vec::new(),
+            queue_ms: 0,
+            latency_ms: 0,
+        }
+    }
+}
+
+/// Builds the ranked-match list from engine scores — the single
+/// construction path shared by `esh query --json` and the daemon, so the
+/// two surfaces can never drift apart.
+///
+/// `exclude` drops one target (the query procedure itself when it is a
+/// member of the served corpus, matching the offline CLI's self-filter);
+/// `top_n` caps the list length.
+pub fn ranked_matches(
+    scores: &QueryScores,
+    exclude: Option<TargetId>,
+    top_n: usize,
+) -> Vec<RankedMatch> {
+    scores
+        .ranked()
+        .iter()
+        .filter(|s| Some(s.target) != exclude)
+        .take(top_n)
+        .enumerate()
+        .map(|(i, s)| RankedMatch {
+            rank: i as u64 + 1,
+            name: s.name.clone(),
+            ges: s.ges,
+            s_log: s.s_log,
+            s_vcp: s.s_vcp,
+        })
+        .collect()
+}
+
+/// Serializes `msg` as one newline-terminated JSON line.
+pub fn encode_line<T: Serialize>(msg: &T) -> String {
+    let mut line = serde_json::to_string(msg).expect("wire types serialize infallibly");
+    line.push('\n');
+    line
+}
+
+/// Parses one JSON line into `T`.
+pub fn decode_line<T: Deserialize>(line: &str) -> Result<T, String> {
+    serde_json::from_str(line.trim()).map_err(|e| format!("invalid JSON line: {e}"))
+}
+
+/// Sends one request to a running daemon and waits for the response.
+///
+/// Opens a fresh connection (the protocol is one request per
+/// connection), writes the request line, and blocks — bounded by
+/// `timeout` — for the response line.
+pub fn remote_query(
+    addr: &str,
+    request: &QueryRequest,
+    timeout: Duration,
+) -> std::io::Result<QueryResponse> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(encode_line(request).as_bytes())?;
+    writer.flush()?;
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line)?;
+    decode_line(&line)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// Minimal HTTP/1.1 GET against the daemon's metrics shim. Returns the
+/// status code and body.
+pub fn http_get(addr: &str, path: &str, timeout: Duration) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: esh\r\nConnection: close\r\n\r\n")?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed HTTP status line")
+        })?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_with_optional_fields() {
+        let full = QueryRequest {
+            query: "openssl".into(),
+            top_n: Some(5),
+            deadline_ms: Some(250),
+        };
+        let back: QueryRequest = decode_line(&encode_line(&full)).unwrap();
+        assert_eq!(back.query, "openssl");
+        assert_eq!(back.top_n, Some(5));
+        assert_eq!(back.deadline_ms, Some(250));
+
+        // Absent Option fields deserialize as None — a bare query line is
+        // a valid request.
+        let bare: QueryRequest = decode_line(r#"{"query":"wget"}"#).unwrap();
+        assert_eq!(bare.query, "wget");
+        assert_eq!(bare.top_n, None);
+        assert_eq!(bare.deadline_ms, None);
+    }
+
+    #[test]
+    fn response_scores_round_trip_bit_exactly() {
+        let resp = QueryResponse {
+            outcome: Outcome::Ok,
+            error: None,
+            query: Some("q".into()),
+            matches: vec![RankedMatch {
+                rank: 1,
+                name: "t".into(),
+                ges: 0.1 + 0.2, // not representable exactly: the acid test
+                s_log: -3.25e-17,
+                s_vcp: 1.0 / 3.0,
+            }],
+            queue_ms: 2,
+            latency_ms: 17,
+        };
+        let back: QueryResponse = decode_line(&encode_line(&resp)).unwrap();
+        assert_eq!(back.outcome, Outcome::Ok);
+        let (a, b) = (&resp.matches[0], &back.matches[0]);
+        assert_eq!(a.ges.to_bits(), b.ges.to_bits());
+        assert_eq!(a.s_log.to_bits(), b.s_log.to_bits());
+        assert_eq!(a.s_vcp.to_bits(), b.s_vcp.to_bits());
+    }
+
+    #[test]
+    fn outcomes_serialize_as_plain_strings() {
+        let line = encode_line(&Outcome::Overloaded);
+        assert_eq!(line.trim(), "\"Overloaded\"");
+        let back: Outcome = decode_line(&line).unwrap();
+        assert_eq!(back, Outcome::Overloaded);
+    }
+}

@@ -1,0 +1,385 @@
+//! The daemon: accept loop, bounded admission queue, worker pool and
+//! graceful drain.
+//!
+//! Thread shape: one acceptor plus `workers` query workers, all sharing
+//! one read-only [`SimilarityEngine`]. The acceptor admits connections
+//! into a bounded queue (capacity [`ServeConfig::queue_capacity`]) and
+//! rejects the overflow *immediately* with a typed
+//! [`Outcome::Overloaded`] response — backpressure is explicit, never a
+//! silently growing backlog. Workers pop admitted connections, classify
+//! the first line (HTTP probe vs JSON query), and answer.
+//!
+//! Deadlines are measured from *admission*, so queue wait counts against
+//! a request's budget; expired work is dropped before it reaches the
+//! verifier, and in-flight work is cancelled cooperatively between VCP
+//! tiles via [`CancelToken`].
+//!
+//! Shutdown: `std` exposes no signal-handler API, so the drain is driven
+//! by a control request on the wire (`{"query":"@shutdown"}`) or by
+//! [`Server::request_shutdown`] in-process. Either path sets the flag,
+//! wakes every worker, and self-connects once to unblock `accept`; the
+//! acceptor stops admitting, workers finish everything already in the
+//! queue, and [`Server::join`] returns the final counters.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use esh_core::{CancelToken, SimilarityEngine, TargetId};
+use esh_corpus::Corpus;
+
+use crate::metrics::{ServerStats, StatsSnapshot};
+use crate::protocol::{encode_line, ranked_matches, Outcome, QueryRequest, QueryResponse};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Query worker threads.
+    pub workers: usize,
+    /// Admission queue bound: connections beyond this are rejected with
+    /// [`Outcome::Overloaded`].
+    pub queue_capacity: usize,
+    /// Deadline applied when a request carries none, in milliseconds.
+    pub default_deadline_ms: u64,
+    /// Match-list length when a request carries no `top_n`.
+    pub default_top_n: usize,
+    /// How long a worker waits for a client's request line before giving
+    /// up on the connection, in milliseconds.
+    pub read_timeout_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:4891".into(),
+            workers: 2,
+            queue_capacity: 32,
+            default_deadline_ms: 10_000,
+            default_top_n: 10,
+            read_timeout_ms: 2_000,
+        }
+    }
+}
+
+/// An admitted connection waiting for a worker.
+struct Job {
+    stream: TcpStream,
+    admitted: Instant,
+}
+
+/// State shared by the acceptor, the workers and the [`Server`] handle.
+struct Shared {
+    engine: SimilarityEngine,
+    corpus: Corpus,
+    config: ServeConfig,
+    stats: ServerStats,
+    queue: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn request_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return; // already draining
+        }
+        self.ready.notify_all();
+        // Unblock the acceptor's `accept()`; it re-checks the flag before
+        // admitting, so this dummy connection is dropped on the floor.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running daemon. Dropping the handle without calling
+/// [`Server::shutdown`] or [`Server::join`] leaves the threads serving —
+/// always drain explicitly.
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `config.addr` and starts serving `engine` over `corpus`.
+    ///
+    /// The corpus must be the one the engine's targets were built from,
+    /// in order — query substrings resolve against corpus display names,
+    /// and the matching corpus index is excluded from that query's
+    /// results (the offline CLI's self-filter).
+    pub fn start(
+        engine: SimilarityEngine,
+        corpus: Corpus,
+        config: ServeConfig,
+    ) -> std::io::Result<Server> {
+        assert_eq!(
+            engine.target_count(),
+            corpus.procs.len(),
+            "engine targets must mirror the corpus, in order"
+        );
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            engine,
+            corpus,
+            config,
+            stats: ServerStats::new(),
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            addr,
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&shared, &listener))
+        };
+        let workers = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        Ok(Server {
+            shared,
+            acceptor,
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Point-in-time server counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// The `/metrics` payload, rendered in-process.
+    pub fn metrics(&self) -> String {
+        render_metrics(&self.shared)
+    }
+
+    /// Begins a graceful drain: stop admitting, finish queued work.
+    pub fn request_shutdown(&self) {
+        self.shared.request_shutdown();
+    }
+
+    /// Blocks until the daemon has drained and every thread has exited,
+    /// then returns the final counters. Call [`Server::request_shutdown`]
+    /// first (or let a client send `@shutdown`), otherwise this waits
+    /// indefinitely — which is exactly what `esh serve` wants.
+    pub fn join(self) -> StatsSnapshot {
+        self.acceptor.join().expect("acceptor thread panicked");
+        for w in self.workers {
+            w.join().expect("worker thread panicked");
+        }
+        self.shared.stats.snapshot()
+    }
+
+    /// [`Server::request_shutdown`] followed by [`Server::join`].
+    pub fn shutdown(self) -> StatsSnapshot {
+        self.request_shutdown();
+        self.join()
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let mut queue = shared.queue.lock().expect("queue poisoned");
+        if queue.len() >= shared.config.queue_capacity {
+            drop(queue);
+            reject(shared, stream, Outcome::Overloaded, "admission queue full");
+        } else {
+            queue.push_back(Job {
+                stream,
+                admitted: Instant::now(),
+            });
+            shared.stats.observe_queue_depth(queue.len());
+            drop(queue);
+            shared.ready.notify_one();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                // Drain before exit: only stop once the queue is empty.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared.ready.wait(queue).expect("queue poisoned");
+            }
+        };
+        handle(shared, job);
+    }
+}
+
+/// Answers one admitted connection: reads the first line, dispatches to
+/// the HTTP shim or the query path.
+fn handle(shared: &Shared, job: Job) {
+    let Job { stream, admitted } = job;
+    let queue_ms = admitted.elapsed().as_millis() as u64;
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(
+        shared.config.read_timeout_ms.max(1),
+    )));
+    let Ok(reader) = stream.try_clone() else {
+        return;
+    };
+    let mut line = String::new();
+    if BufReader::new(reader).read_line(&mut line).is_err() || line.trim().is_empty() {
+        return; // client vanished or sent nothing; nothing to answer
+    }
+    if line.starts_with("GET ") || line.starts_with("HEAD ") {
+        shared.stats.record_http();
+        respond_http(shared, stream, line.trim());
+    } else {
+        respond_query(shared, stream, line.trim(), admitted, queue_ms);
+    }
+}
+
+/// The minimal HTTP/1.1 shim: `/healthz` and `/metrics`, 404 otherwise.
+fn respond_http(shared: &Shared, stream: TcpStream, request_line: &str) {
+    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+    let (status, body) = match path {
+        "/healthz" => ("200 OK", "ok\n".to_string()),
+        "/metrics" => ("200 OK", render_metrics(shared)),
+        _ => ("404 Not Found", "not found\n".to_string()),
+    };
+    write_http(stream, status, &body);
+}
+
+fn render_metrics(shared: &Shared) -> String {
+    let queue_depth = shared.queue.lock().expect("queue poisoned").len();
+    shared.stats.render(
+        &shared.engine.cache_stats(),
+        &shared.engine.solver_stats(),
+        queue_depth,
+    )
+}
+
+fn write_http(mut stream: TcpStream, status: &str, body: &str) {
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}
+
+/// The query path: parse, resolve, enforce the deadline, score, respond.
+fn respond_query(
+    shared: &Shared,
+    stream: TcpStream,
+    line: &str,
+    admitted: Instant,
+    queue_ms: u64,
+) {
+    let mut response = match serde_json::from_str::<QueryRequest>(line) {
+        Err(e) => QueryResponse::status(Outcome::BadRequest, Some(format!("bad request: {e}"))),
+        Ok(request) if request.query == "@shutdown" => {
+            shared.request_shutdown();
+            QueryResponse::status(Outcome::ShuttingDown, None)
+        }
+        Ok(request) => answer(shared, &request, admitted),
+    };
+    response.queue_ms = queue_ms;
+    response.latency_ms = admitted.elapsed().as_millis() as u64;
+    shared.stats.record_outcome(response.outcome);
+    shared.stats.record_latency_ms(response.latency_ms);
+    write_line(stream, &response);
+}
+
+/// Scores one resolved request against the shared engine.
+fn answer(shared: &Shared, request: &QueryRequest, admitted: Instant) -> QueryResponse {
+    let Some(qi) = shared
+        .corpus
+        .procs
+        .iter()
+        .position(|p| p.display().contains(&request.query))
+    else {
+        return QueryResponse::status(
+            Outcome::NotFound,
+            Some(format!("no procedure matching `{}`", request.query)),
+        );
+    };
+    let budget = request
+        .deadline_ms
+        .unwrap_or(shared.config.default_deadline_ms);
+    let deadline = admitted + Duration::from_millis(budget);
+    if Instant::now() >= deadline {
+        return QueryResponse::status(
+            Outcome::DeadlineExceeded,
+            Some(format!("deadline of {budget}ms expired in the queue")),
+        );
+    }
+    let token = CancelToken::with_deadline(deadline);
+    match shared
+        .engine
+        .query_cancellable(&shared.corpus.procs[qi].proc_, &token)
+    {
+        Err(_) => QueryResponse::status(
+            Outcome::DeadlineExceeded,
+            Some(format!("deadline of {budget}ms expired during scoring")),
+        ),
+        Ok(scores) => {
+            let top_n = request
+                .top_n
+                .map_or(shared.config.default_top_n, |n| n as usize);
+            QueryResponse {
+                outcome: Outcome::Ok,
+                error: None,
+                query: Some(shared.corpus.procs[qi].display()),
+                matches: ranked_matches(&scores, Some(TargetId(qi)), top_n),
+                queue_ms: 0,
+                latency_ms: 0,
+            }
+        }
+    }
+}
+
+/// Admission-control rejection. Reads the first line briefly (bounded at
+/// 100ms so a slow client cannot stall the acceptor for long) only to
+/// answer in the dialect the client speaks: HTTP probes get a 503, JSON
+/// clients get a typed [`QueryResponse`].
+fn reject(shared: &Shared, stream: TcpStream, outcome: Outcome, detail: &str) {
+    shared.stats.record_outcome(outcome);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut line = String::new();
+    if let Ok(reader) = stream.try_clone() {
+        let _ = BufReader::new(reader).read_line(&mut line);
+    }
+    if line.starts_with("GET ") || line.starts_with("HEAD ") {
+        write_http(stream, "503 Service Unavailable", &format!("{detail}\n"));
+    } else {
+        write_line(
+            stream,
+            &QueryResponse::status(outcome, Some(detail.to_string())),
+        );
+    }
+}
+
+fn write_line(mut stream: TcpStream, response: &QueryResponse) {
+    let _ = stream.write_all(encode_line(response).as_bytes());
+    let _ = stream.flush();
+}

@@ -1,0 +1,246 @@
+//! End-to-end daemon tests over real loopback sockets: correctness vs
+//! the offline engine, typed rejections, deadlines, the HTTP shim and
+//! graceful drain.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use esh_cc::{Compiler, Vendor, VendorVersion};
+use esh_core::{EngineConfig, SimilarityEngine, TargetId};
+use esh_corpus::{CompiledProc, Corpus, PatchTag};
+use esh_minic::demo;
+use esh_serve::protocol::{
+    http_get, ranked_matches, remote_query, Outcome, QueryRequest,
+};
+use esh_serve::server::{ServeConfig, Server};
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A four-procedure corpus: two demo functions, each compiled by two
+/// vendors, with display names distinct enough to query by substring.
+fn tiny_corpus() -> Corpus {
+    let clang = Compiler::new(Vendor::Clang, VendorVersion::new(3, 5));
+    let icc = Compiler::new(Vendor::Icc, VendorVersion::new(15, 0));
+    let mut procs = Vec::new();
+    for f in [demo::saturating_sum(), demo::wget_like()] {
+        for (toolchain, cc) in [("clang 3.5", &clang), ("icc 15.0", &icc)] {
+            procs.push(CompiledProc {
+                package: "e2e".into(),
+                func: f.name.clone(),
+                cve: None,
+                toolchain: toolchain.into(),
+                patch: PatchTag::Original,
+                proc_: cc.compile_function(&f),
+            });
+        }
+    }
+    Corpus { procs }
+}
+
+fn engine_over(corpus: &Corpus) -> SimilarityEngine {
+    let mut engine = SimilarityEngine::new(EngineConfig {
+        threads: 1,
+        ..EngineConfig::default()
+    });
+    for p in &corpus.procs {
+        engine.add_target(p.display(), &p.proc_);
+    }
+    engine
+}
+
+fn start(workers: usize, queue_capacity: usize, read_timeout_ms: u64) -> (Server, String) {
+    let corpus = tiny_corpus();
+    let server = Server::start(
+        engine_over(&corpus),
+        corpus,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers,
+            queue_capacity,
+            read_timeout_ms,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+#[test]
+fn served_rankings_are_byte_identical_to_offline() {
+    let corpus = tiny_corpus();
+    let offline = engine_over(&corpus);
+    let needle = &corpus.procs[0].display();
+    let expected = ranked_matches(&offline.query(&corpus.procs[0].proc_), Some(TargetId(0)), 10);
+
+    let (server, addr) = start(2, 8, 2_000);
+    let resp = remote_query(&addr, &QueryRequest::new(needle), TIMEOUT).unwrap();
+    assert_eq!(resp.outcome, Outcome::Ok);
+    assert_eq!(resp.query.as_deref(), Some(needle.as_str()));
+    assert_eq!(resp.matches.len(), expected.len());
+    for (got, want) in resp.matches.iter().zip(&expected) {
+        assert_eq!(got.rank, want.rank);
+        assert_eq!(got.name, want.name);
+        assert_eq!(got.ges.to_bits(), want.ges.to_bits(), "{}", want.name);
+        assert_eq!(got.s_log.to_bits(), want.s_log.to_bits(), "{}", want.name);
+        assert_eq!(got.s_vcp.to_bits(), want.s_vcp.to_bits(), "{}", want.name);
+    }
+    // The query's own corpus entry is excluded, like the offline CLI.
+    assert!(resp.matches.iter().all(|m| &m.name != needle));
+    server.shutdown();
+}
+
+#[test]
+fn top_n_caps_the_match_list() {
+    let (server, addr) = start(1, 8, 2_000);
+    let resp = remote_query(
+        &addr,
+        &QueryRequest {
+            query: "saturating_sum [clang".into(),
+            top_n: Some(1),
+            deadline_ms: None,
+        },
+        TIMEOUT,
+    )
+    .unwrap();
+    assert_eq!(resp.outcome, Outcome::Ok);
+    assert_eq!(resp.matches.len(), 1);
+    assert_eq!(resp.matches[0].rank, 1);
+    server.shutdown();
+}
+
+#[test]
+fn unknown_query_is_not_found() {
+    let (server, addr) = start(1, 8, 2_000);
+    let resp = remote_query(&addr, &QueryRequest::new("no-such-proc"), TIMEOUT).unwrap();
+    assert_eq!(resp.outcome, Outcome::NotFound);
+    assert!(resp.error.unwrap().contains("no-such-proc"));
+    assert!(resp.matches.is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn malformed_line_is_bad_request() {
+    let (server, addr) = start(1, 8, 2_000);
+    let stream = TcpStream::connect(&addr).unwrap();
+    stream.set_read_timeout(Some(TIMEOUT)).unwrap();
+    let mut w = stream.try_clone().unwrap();
+    w.write_all(b"this is not json\n").unwrap();
+    let mut line = String::new();
+    std::io::BufRead::read_line(&mut std::io::BufReader::new(stream), &mut line).unwrap();
+    let resp: esh_serve::protocol::QueryResponse =
+        esh_serve::protocol::decode_line(&line).unwrap();
+    assert_eq!(resp.outcome, Outcome::BadRequest);
+    server.shutdown();
+}
+
+#[test]
+fn zero_deadline_expires_in_the_queue() {
+    let (server, addr) = start(1, 8, 2_000);
+    let resp = remote_query(
+        &addr,
+        &QueryRequest {
+            query: "ftp_syst".into(),
+            top_n: None,
+            deadline_ms: Some(0),
+        },
+        TIMEOUT,
+    )
+    .unwrap();
+    assert_eq!(resp.outcome, Outcome::DeadlineExceeded);
+    let stats = server.shutdown();
+    assert_eq!(stats.deadline_exceeded, 1);
+    assert_eq!(stats.ok, 0);
+}
+
+#[test]
+fn healthz_and_metrics_answer_over_http() {
+    let (server, addr) = start(1, 8, 2_000);
+    let (status, body) = http_get(&addr, "/healthz", TIMEOUT).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(body.trim(), "ok");
+
+    // One query so the counters are non-trivial.
+    remote_query(&addr, &QueryRequest::new("ftp_syst"), TIMEOUT).unwrap();
+    let (status, body) = http_get(&addr, "/metrics", TIMEOUT).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("esh_requests_total{outcome=\"ok\"} 1"));
+    assert!(body.contains("esh_vcp_cache_misses_total"));
+    assert!(body.contains("esh_sat_queries_total"));
+
+    let (status, _) = http_get(&addr, "/nope", TIMEOUT).unwrap();
+    assert_eq!(status, 404);
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_yields_typed_overload_rejections() {
+    // One worker, one queue slot. Two idle connections (they send
+    // nothing) pin the worker and fill the slot for the duration of the
+    // read timeout, so a real request must be rejected at admission.
+    let (server, addr) = start(1, 1, 3_000);
+    let _stall_worker = TcpStream::connect(&addr).unwrap();
+    // Stagger the stalls: the worker must pop the first before the second
+    // arrives, so the second occupies the queue slot rather than racing
+    // the pop.
+    std::thread::sleep(Duration::from_millis(200));
+    let _stall_queue = TcpStream::connect(&addr).unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+
+    let resp = remote_query(&addr, &QueryRequest::new("ftp_syst"), TIMEOUT).unwrap();
+    assert_eq!(resp.outcome, Outcome::Overloaded);
+    assert!(resp.error.unwrap().contains("queue full"));
+
+    // An HTTP probe during overload is load-shed in its own dialect.
+    let (status, _) = http_get(&addr, "/healthz", TIMEOUT).unwrap();
+    assert_eq!(status, 503);
+
+    let stats = server.shutdown();
+    assert!(stats.overloaded >= 2);
+    assert!(stats.queue_depth_hwm <= 1, "queue bound was violated");
+}
+
+#[test]
+fn shutdown_drains_admitted_requests() {
+    // One worker pinned by an idle connection; two real requests queue
+    // up behind it. Shutdown must still answer both (drain), not drop
+    // them.
+    let (server, addr) = start(1, 8, 1_000);
+    let _stall = TcpStream::connect(&addr).unwrap();
+
+    let send = |q: &str| {
+        let stream = TcpStream::connect(&addr).unwrap();
+        stream.set_read_timeout(Some(TIMEOUT)).unwrap();
+        let mut w = stream.try_clone().unwrap();
+        w.write_all(
+            esh_serve::protocol::encode_line(&QueryRequest::new(q)).as_bytes(),
+        )
+        .unwrap();
+        stream
+    };
+    let pending = [send("ftp_syst"), send("saturating_sum [icc")];
+    std::thread::sleep(Duration::from_millis(200)); // let both be admitted
+
+    server.request_shutdown();
+    for stream in pending {
+        let mut line = String::new();
+        std::io::BufRead::read_line(&mut std::io::BufReader::new(stream), &mut line).unwrap();
+        let resp: esh_serve::protocol::QueryResponse =
+            esh_serve::protocol::decode_line(&line).unwrap();
+        assert_eq!(resp.outcome, Outcome::Ok, "admitted request was dropped");
+    }
+    let stats = server.join();
+    assert_eq!(stats.ok, 2);
+}
+
+#[test]
+fn wire_shutdown_acknowledges_and_drains() {
+    let (server, addr) = start(2, 8, 2_000);
+    remote_query(&addr, &QueryRequest::new("ftp_syst"), TIMEOUT).unwrap();
+    let ack = remote_query(&addr, &QueryRequest::new("@shutdown"), TIMEOUT).unwrap();
+    assert_eq!(ack.outcome, Outcome::ShuttingDown);
+    let stats = server.join(); // must return: every thread exits
+    assert_eq!(stats.ok, 1);
+    assert_eq!(stats.shutting_down, 1);
+}

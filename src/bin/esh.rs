@@ -5,7 +5,11 @@
 //! esh build-corpus [smoke|default|paper] <corpus.json>
 //! esh search <corpus.json> <query-substring> [top_n]
 //! esh index build <corpus.json> <index.esh>
-//! esh query --index <index.esh> <corpus.json> <query-substring> [top_n]
+//! esh query --index <index.esh> <corpus.json> <query-substring> [top_n] [--json]
+//! esh query --remote <addr> <query-substring> [top_n] [--json]
+//! esh serve --index <index.esh> <corpus.json> [--addr A] [--workers N]
+//!           [--queue N] [--deadline-ms N] [--threads N]
+//! esh bench-serve [--smoke]
 //! esh stats <corpus.json>
 //! esh pair <corpus.json> <query-substring> <target-substring>
 //! ```
@@ -15,6 +19,13 @@
 //! restores it — skipping decomposition/lifting of every target — runs the
 //! query, reports VCP-cache statistics, and writes the warmed cache back
 //! into the snapshot so repeat queries skip the verifier almost entirely.
+//!
+//! `serve` turns the same engine into a long-running daemon: snapshot
+//! loaded once, queries answered concurrently over newline-delimited
+//! JSON with bounded admission, per-request deadlines and `/metrics`.
+//! `query --remote` is the matching client; `--json` prints the shared
+//! machine-readable response schema from either path. `bench-serve`
+//! load-tests the daemon over loopback and writes `BENCH_serve.json`.
 
 use esh::prelude::*;
 use esh_eval::experiments::Scale;
@@ -25,7 +36,11 @@ fn usage() -> ExitCode {
         "usage:\n  esh build-corpus [smoke|default|paper] <corpus.json>\n  \
          esh search <corpus.json> <query-substring> [top_n]\n  \
          esh index build <corpus.json> <index.esh>\n  \
-         esh query --index <index.esh> <corpus.json> <query-substring> [top_n]\n  \
+         esh query --index <index.esh> <corpus.json> <query-substring> [top_n] [--json]\n  \
+         esh query --remote <addr> <query-substring> [top_n] [--json]\n  \
+         esh serve --index <index.esh> <corpus.json> [--addr A] [--workers N]\n  \
+         \x20         [--queue N] [--deadline-ms N] [--threads N]\n  \
+         esh bench-serve [--smoke]\n  \
          esh stats <corpus.json>\n  \
          esh pair <corpus.json> <query-substring> <target-substring>"
     );
@@ -51,6 +66,8 @@ fn main() -> ExitCode {
         Some("search") => search(&args[1..]),
         Some("index") => index(&args[1..]),
         Some("query") => query(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        Some("bench-serve") => bench_serve(&args[1..]),
         Some("stats") => stats(&args[1..]),
         Some("pair") => pair(&args[1..]),
         _ => return usage(),
@@ -145,56 +162,215 @@ fn index(args: &[String]) -> Result<(), String> {
 }
 
 fn query(args: &[String]) -> Result<(), String> {
-    let (index_path, corpus_path, needle, top_n) = match args {
-        [flag, index, corpus, needle] if flag == "--index" => (index, corpus, needle, 10),
-        [flag, index, corpus, needle, n] if flag == "--index" => (
+    // `--json` may appear anywhere; strip it before positional matching.
+    let json = args.iter().any(|a| a == "--json");
+    let args: Vec<&String> = args.iter().filter(|a| *a != "--json").collect();
+    match args.as_slice() {
+        [flag, index, corpus, needle] if *flag == "--index" => {
+            query_index(index, corpus, needle, 10, json)
+        }
+        [flag, index, corpus, needle, n] if *flag == "--index" => query_index(
             index,
             corpus,
             needle,
             n.parse().map_err(|_| format!("bad top_n `{n}`"))?,
+            json,
         ),
-        _ => return Err("query takes --index <index.esh> <corpus.json> <query-substring> [top_n]".into()),
-    };
+        [flag, addr, needle] if *flag == "--remote" => query_remote(addr, needle, 10, json),
+        [flag, addr, needle, n] if *flag == "--remote" => query_remote(
+            addr,
+            needle,
+            n.parse().map_err(|_| format!("bad top_n `{n}`"))?,
+            json,
+        ),
+        _ => Err("query takes --index <index.esh> <corpus.json> <query-substring> [top_n] \
+                  [--json], or --remote <addr> <query-substring> [top_n] [--json]"
+            .into()),
+    }
+}
+
+/// Prints a ranked match list in the human-readable table format.
+fn print_matches(matches: &[esh::serve::RankedMatch]) {
+    println!("{:>10}  procedure", "GES");
+    for m in matches {
+        println!("{:>10.3}  {}", m.ges, m.name);
+    }
+}
+
+fn query_index(
+    index_path: &str,
+    corpus_path: &str,
+    needle: &str,
+    top_n: usize,
+    json: bool,
+) -> Result<(), String> {
     let corpus = load(corpus_path)?;
     let qi =
         find_proc(&corpus, needle).ok_or_else(|| format!("no procedure matching `{needle}`"))?;
     eprintln!("query: {}", corpus.procs[qi].display());
     let engine = SimilarityEngine::load(index_path).map_err(|e| e.to_string())?;
+    let started = std::time::Instant::now();
     let scores = engine.query(&corpus.procs[qi].proc_);
-    println!("{:>10}  procedure", "GES");
-    for s in scores
-        .ranked()
-        .iter()
-        .filter(|s| s.target.0 != qi)
-        .take(top_n)
-    {
-        println!("{:>10.3}  {}", s.ges, s.name);
+    let matches = esh::serve::ranked_matches(&scores, Some(esh::core::TargetId(qi)), top_n);
+    if json {
+        // The wire schema, verbatim: offline and remote output are
+        // interchangeable for machine consumers.
+        let response = esh::serve::QueryResponse {
+            outcome: esh::serve::Outcome::Ok,
+            error: None,
+            query: Some(corpus.procs[qi].display()),
+            matches,
+            queue_ms: 0,
+            latency_ms: started.elapsed().as_millis() as u64,
+        };
+        print!("{}", esh::serve::encode_line(&response));
+    } else {
+        print_matches(&matches);
+        let stats = engine.cache_stats();
+        println!(
+            "vcp cache: {} hits, {} misses, {:.1}% hit rate, {} entries",
+            stats.hits,
+            stats.misses,
+            stats.hit_rate() * 100.0,
+            stats.entries,
+        );
+        let sp = engine.solver_stats();
+        println!(
+            "sat solver: {} queries, {:.1} conflicts/query, {:.1} ms sat time, \
+             {} blast hits / {} misses, {} learnts retained ({} dropped, {} resets)",
+            sp.sat_queries,
+            sp.conflicts_per_query(),
+            sp.sat_time_ns as f64 / 1e6,
+            sp.blast_cache_hits,
+            sp.blast_cache_misses,
+            sp.retained_learnts,
+            sp.learnts_dropped,
+            sp.solver_resets,
+        );
     }
-    let stats = engine.cache_stats();
-    println!(
-        "vcp cache: {} hits, {} misses, {:.1}% hit rate, {} entries",
-        stats.hits,
-        stats.misses,
-        stats.hit_rate() * 100.0,
-        stats.entries,
-    );
-    let sp = engine.solver_stats();
-    println!(
-        "sat solver: {} queries, {:.1} conflicts/query, {:.1} ms sat time, \
-         {} blast hits / {} misses, {} learnts retained ({} dropped, {} resets)",
-        sp.sat_queries,
-        sp.conflicts_per_query(),
-        sp.sat_time_ns as f64 / 1e6,
-        sp.blast_cache_hits,
-        sp.blast_cache_misses,
-        sp.retained_learnts,
-        sp.learnts_dropped,
-        sp.solver_resets,
-    );
     // Persist the warmed cache: the next identical query skips the
     // verifier entirely.
     engine.save_with_cache(index_path).map_err(|e| e.to_string())?;
     Ok(())
+}
+
+fn query_remote(addr: &str, needle: &str, top_n: usize, json: bool) -> Result<(), String> {
+    let request = esh::serve::QueryRequest {
+        query: needle.to_string(),
+        top_n: Some(top_n as u64),
+        deadline_ms: None,
+    };
+    let response =
+        esh::serve::remote_query(addr, &request, std::time::Duration::from_secs(60))
+            .map_err(|e| format!("querying {addr}: {e}"))?;
+    if json {
+        print!("{}", esh::serve::encode_line(&response));
+        return Ok(());
+    }
+    match response.outcome {
+        esh::serve::Outcome::Ok => {
+            if let Some(name) = &response.query {
+                eprintln!("query: {name}");
+            }
+            print_matches(&response.matches);
+            println!(
+                "server: {}ms latency ({}ms queued)",
+                response.latency_ms, response.queue_ms
+            );
+            Ok(())
+        }
+        outcome => Err(format!(
+            "server answered {outcome:?}: {}",
+            response.error.unwrap_or_default()
+        )),
+    }
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    let mut index_path = None;
+    let mut corpus_path = None;
+    let mut config = esh::serve::ServeConfig::default();
+    let mut threads = 1usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--index" => index_path = Some(value("--index")?.to_string()),
+            "--addr" => config.addr = value("--addr")?.to_string(),
+            "--workers" => {
+                config.workers = value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?
+            }
+            "--queue" => {
+                config.queue_capacity =
+                    value("--queue")?.parse().map_err(|e| format!("--queue: {e}"))?
+            }
+            "--deadline-ms" => {
+                config.default_deadline_ms = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--deadline-ms: {e}"))?
+            }
+            "--threads" => {
+                threads = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
+            }
+            path if corpus_path.is_none() => corpus_path = Some(path.to_string()),
+            extra => return Err(format!("unexpected argument `{extra}`")),
+        }
+    }
+    let index_path = index_path.ok_or("serve needs --index <index.esh>")?;
+    let corpus_path = corpus_path.ok_or("serve needs <corpus.json>")?;
+
+    let corpus = load(&corpus_path)?;
+    let mut engine = SimilarityEngine::load(&index_path).map_err(|e| e.to_string())?;
+    if engine.target_count() != corpus.procs.len() {
+        return Err(format!(
+            "index {} has {} targets but {} has {} procedures — rebuild with `esh index build`",
+            index_path,
+            engine.target_count(),
+            corpus_path,
+            corpus.procs.len(),
+        ));
+    }
+    // Under a worker pool, per-query parallelism multiplies: keep each
+    // query narrow by default and let concurrency come from requests.
+    engine.set_threads(threads);
+
+    let server = esh::serve::Server::start(engine, corpus, config.clone())
+        .map_err(|e| format!("binding {}: {e}", config.addr))?;
+    let addr = server.local_addr();
+    eprintln!(
+        "esh serve: listening on {addr} ({} workers, queue {}, default deadline {}ms)",
+        config.workers, config.queue_capacity, config.default_deadline_ms
+    );
+    eprintln!("esh serve: GET /healthz and /metrics on the same port");
+    eprintln!("esh serve: send {{\"query\":\"@shutdown\"}} to drain and exit");
+    let stats = server.join();
+    eprintln!(
+        "esh serve: drained — {} ok, {} overloaded, {} deadline-exceeded, {} not-found, \
+         {} bad, {} http; queue high-water {}, p50 {}ms, p99 {}ms",
+        stats.ok,
+        stats.overloaded,
+        stats.deadline_exceeded,
+        stats.not_found,
+        stats.bad_request,
+        stats.http,
+        stats.queue_depth_hwm,
+        stats.p50_ms,
+        stats.p99_ms,
+    );
+    Ok(())
+}
+
+fn bench_serve(args: &[String]) -> Result<(), String> {
+    let smoke = match args {
+        [] => false,
+        [flag] if flag == "--smoke" => true,
+        _ => return Err("bench-serve takes [--smoke]".into()),
+    };
+    esh::serve::bench::run(smoke)
 }
 
 fn stats(args: &[String]) -> Result<(), String> {

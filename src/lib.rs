@@ -9,7 +9,8 @@
 //! verification language and lifter, strand extraction, a bitvector
 //! equivalence verifier (normalization + CDCL SAT), the Esh statistical
 //! similarity engine, baselines (S-VCP, S-LOG, TRACY, BinDiff-like), a
-//! corpus builder and the ROC/CROC evaluation harness.
+//! corpus builder and the ROC/CROC evaluation harness — plus a serving
+//! layer (`esh serve`) that answers queries concurrently over TCP.
 //!
 //! This crate is a facade that re-exports the workspace members.
 //!
@@ -39,6 +40,7 @@ pub use esh_corpus as corpus;
 pub use esh_eval as eval;
 pub use esh_ivl as ivl;
 pub use esh_minic as minic;
+pub use esh_serve as serve;
 pub use esh_solver as solver;
 pub use esh_strands as strands;
 pub use esh_verifier as verifier;
