@@ -24,6 +24,10 @@ use esh_verifier::VerifierSession;
 use serde::{Deserialize, Serialize};
 
 use crate::cache::{CacheStats, VcpCache};
+use crate::prefilter::{
+    compute_sketch, PrefilterConfig, PrefilterStats, PrefilterStatsSnapshot, SemanticSketch,
+    SketchIndex,
+};
 use crate::stats::{ges, les, likelihood, H0Accumulator, ScoringMode};
 use crate::vcp::{size_ratio_ok, vcp_pair, VcpConfig, VcpPair};
 
@@ -53,6 +57,11 @@ pub struct EngineConfig {
     /// Pairs whose signature overlap bound is below this skip verification
     /// (0.5 matches the paper's minimum-VCP filter).
     pub prefilter_threshold: f64,
+    /// The semantic-sketch prefilter tier (concrete-execution fingerprints
+    /// and banded LSH; see [`crate::prefilter`]). `None` reproduces the
+    /// pre-sketch engine exactly — snapshots written before format v3
+    /// load as `None`, preserving their recorded fingerprint.
+    pub sketch: Option<PrefilterConfig>,
     /// Worker threads (0 = use available parallelism).
     pub threads: usize,
 }
@@ -65,6 +74,7 @@ impl Default for EngineConfig {
             equiv: EquivConfig::default(),
             prefilter: true,
             prefilter_threshold: 0.5,
+            sketch: Some(PrefilterConfig::default()),
             threads: 0,
         }
     }
@@ -91,7 +101,19 @@ impl EngineConfig {
         mix(self.equiv.fingerprint());
         mix(u64::from(self.prefilter));
         mix(self.prefilter_threshold.to_bits());
+        // Mixed only when present so configs without a sketch tier keep
+        // the fingerprint they had before format v3 — a v2 snapshot's
+        // recorded fingerprint must still verify after an upgrade.
+        if let Some(sketch) = &self.sketch {
+            mix(sketch.fingerprint());
+        }
         h
+    }
+
+    /// The sketch-prefilter parameters when the tier is configured *and*
+    /// switched on.
+    pub fn active_sketch(&self) -> Option<&PrefilterConfig> {
+        self.sketch.as_ref().filter(|s| s.enabled)
     }
 }
 
@@ -110,6 +132,11 @@ pub(crate) struct StrandClass {
     pub(crate) hash: u64,
     /// Total occurrences across the whole corpus (drives H0).
     pub(crate) corpus_count: u64,
+    /// Semantic sketch under the configured [`PrefilterConfig`]. `None`
+    /// when the tier is off or the class came from a pre-v3 snapshot;
+    /// missing sketches are rebuilt lazily on the first sketch-enabled
+    /// query.
+    pub(crate) sketch: Option<SemanticSketch>,
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -125,6 +152,7 @@ pub(crate) struct TargetRecord {
 struct QueryStrand {
     proc_: Proc,
     signature: Signature,
+    sketch: Option<SemanticSketch>,
     vars: usize,
     hash: u64,
     count: u64,
@@ -176,13 +204,18 @@ impl QueryScores {
         self.ranked_by(ScoringMode::Esh)
     }
 
-    /// Targets sorted by descending score under `mode`.
+    /// Targets sorted by descending score under `mode`. Exact score ties
+    /// break by ascending [`TargetId`]: `sort_by` is stable but upstream
+    /// callers (serving layer, benches) compare rankings across engines
+    /// whose score vectors were built independently, so the order must be
+    /// a pure function of the scores themselves.
     pub fn ranked_by(&self, mode: ScoringMode) -> Vec<&TargetScore> {
         let mut v: Vec<&TargetScore> = self.scores.iter().collect();
         v.sort_by(|a, b| {
             b.score(mode)
                 .partial_cmp(&a.score(mode))
                 .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.target.cmp(&b.target))
         });
         v
     }
@@ -301,6 +334,12 @@ pub struct SimilarityEngine {
     /// queries — not just across one query's tiles.
     sessions: Mutex<Vec<VerifierSession>>,
     solver: SolverCounters,
+    prefilter_stats: PrefilterStats,
+    /// Banded LSH index over the corpus classes' sketches, built lazily on
+    /// the first sketch-enabled query (so pre-v3 snapshots without
+    /// persisted sketches just rebuild them) and dropped whenever the
+    /// corpus changes.
+    sketch_index: Mutex<Option<Arc<SketchIndex>>>,
 }
 
 /// Engine-lifetime SAT counters aggregated across worker sessions.
@@ -360,6 +399,8 @@ impl SimilarityEngine {
             cache: VcpCache::new(),
             sessions: Mutex::new(Vec::new()),
             solver: SolverCounters::default(),
+            prefilter_stats: PrefilterStats::default(),
+            sketch_index: Mutex::new(None),
         }
     }
 
@@ -383,6 +424,27 @@ impl SimilarityEngine {
     /// retention — see [`SolverPerf`]).
     pub fn solver_stats(&self) -> SolverPerf {
         self.solver.snapshot()
+    }
+
+    /// Engine-lifetime counters of the semantic-sketch prefilter tier
+    /// (pairs priced without the solver, LSH band collisions, margin
+    /// fallbacks).
+    pub fn prefilter_stats(&self) -> PrefilterStatsSnapshot {
+        self.prefilter_stats.snapshot()
+    }
+
+    /// Switches the sketch prefilter tier on or off for subsequent
+    /// queries (the `esh query --no-prefilter` escape hatch). Enabling it
+    /// on an engine configured without the tier installs the default
+    /// [`PrefilterConfig`]; note both directions change the config
+    /// fingerprint, since pruned pairs carry estimated VCP values.
+    pub fn set_prefilter_enabled(&mut self, enabled: bool) {
+        match &mut self.config.sketch {
+            Some(sketch) => sketch.enabled = enabled,
+            None if enabled => self.config.sketch = Some(PrefilterConfig::default()),
+            None => {}
+        }
+        *self.sketch_index.get_mut().expect("sketch index poisoned") = None;
     }
 
     pub(crate) fn cache(&self) -> &VcpCache {
@@ -413,6 +475,8 @@ impl SimilarityEngine {
             cache,
             sessions: Mutex::new(Vec::new()),
             solver: SolverCounters::default(),
+            prefilter_stats: PrefilterStats::default(),
+            sketch_index: Mutex::new(None),
         }
     }
 
@@ -462,6 +526,10 @@ impl SimilarityEngine {
                 Some(&i) => i,
                 None => {
                     let signature = semantic_signature(&lifted);
+                    let sketch = self
+                        .config
+                        .active_sketch()
+                        .map(|cfg| compute_sketch(&lifted, cfg));
                     let i = self.classes.len();
                     self.classes.push(StrandClass {
                         proc_: lifted,
@@ -469,6 +537,7 @@ impl SimilarityEngine {
                         vars,
                         hash: h,
                         corpus_count: 0,
+                        sketch,
                     });
                     self.class_by_hash.insert(h, i);
                     i
@@ -477,6 +546,8 @@ impl SimilarityEngine {
             self.classes[idx].corpus_count += 1;
             *per_class.entry(idx).or_default() += 1;
         }
+        // New classes invalidate the lazily-built LSH index.
+        *self.sketch_index.get_mut().expect("sketch index poisoned") = None;
         let id = TargetId(self.targets.len());
         // Canonical class order: S-VCP sums floats over this list, so it
         // must not inherit HashMap iteration order — two engines built
@@ -526,6 +597,10 @@ impl SimilarityEngine {
                 .entry(h)
                 .or_insert_with(|| QueryStrand {
                     signature: semantic_signature(&lifted),
+                    sketch: self
+                        .config
+                        .active_sketch()
+                        .map(|cfg| compute_sketch(&lifted, cfg)),
                     proc_: lifted,
                     vars,
                     hash: h,
@@ -540,6 +615,28 @@ impl SimilarityEngine {
         let mut strands: Vec<QueryStrand> = by_hash.into_values().collect();
         strands.sort_by_key(|s| s.hash);
         strands
+    }
+
+    /// Returns the banded LSH index over the corpus sketches, building it
+    /// on first use. Classes missing a persisted sketch (pre-v3 snapshots,
+    /// or targets added while the tier was off) are sketched here — the
+    /// forward-compat path: a v2 snapshot loads cleanly and pays the
+    /// sketching cost once, on its first prefilter-enabled query.
+    fn ensure_sketch_index(&self) -> Option<Arc<SketchIndex>> {
+        let cfg = self.config.active_sketch()?;
+        let mut slot = self.sketch_index.lock().expect("sketch index poisoned");
+        if slot.is_none() {
+            let sketches = self
+                .classes
+                .iter()
+                .map(|c| match &c.sketch {
+                    Some(s) => s.clone(),
+                    None => compute_sketch(&c.proc_, cfg),
+                })
+                .collect();
+            *slot = Some(Arc::new(SketchIndex::build(sketches, cfg)));
+        }
+        slot.clone()
     }
 
     /// Classes per work-stealing tile. Small enough that a tile of
@@ -578,6 +675,31 @@ impl SimilarityEngine {
         let cursor = AtomicUsize::new(0);
         let vcp_fp = self.config.vcp.fingerprint();
         let workers = threads.max(1).min(total_tiles);
+        // Sketch tier context, resolved once before the workers spawn: the
+        // LSH index over corpus sketches, plus one candidate mask per
+        // query strand (mask[ci] = class ci shares a band → exact verify).
+        struct SketchCtx {
+            index: Arc<SketchIndex>,
+            masks: Vec<Option<Vec<bool>>>,
+            margin: f64,
+        }
+        let sketch_ctx: Option<SketchCtx> = self.ensure_sketch_index().map(|index| {
+            let masks = query
+                .iter()
+                .map(|q| q.sketch.as_ref().map(|s| index.candidates(s)))
+                .collect();
+            let margin = self
+                .config
+                .active_sketch()
+                .map(|c| c.exact_fallback_margin)
+                .unwrap_or(1.0);
+            SketchCtx {
+                index,
+                masks,
+                margin,
+            }
+        });
+        let sketch_ctx = &sketch_ctx;
         let tiles: Vec<(usize, usize, Vec<VcpPair>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
@@ -587,6 +709,7 @@ impl SimilarityEngine {
                     let cache = &self.cache;
                     let sessions = &self.sessions;
                     let solver = &self.solver;
+                    let prefilter_stats = &self.prefilter_stats;
                     scope.spawn(move || {
                         // Check a session out of the engine-owned pool so
                         // its term pool, verdict cache, and incremental
@@ -626,6 +749,34 @@ impl SimilarityEngine {
                                         && bwd < config.prefilter_threshold
                                     {
                                         continue;
+                                    }
+                                }
+                                // Sketch tier: a band collision goes to the
+                                // exact verifier; a non-candidate pair whose
+                                // containment bounds both sit below the
+                                // margin is dropped to the zero pair, same
+                                // as a legacy-signature rejection above
+                                // (sound: the bounds never underestimate
+                                // VCP, so no pair at or above the margin is
+                                // ever skipped — and a below-margin pair
+                                // contributes the no-evidence likelihood
+                                // floor rather than an inflated estimate);
+                                // anything else falls back to exact.
+                                if let Some(ctx) = sketch_ctx {
+                                    if let (Some(mask), Some(qs)) = (&ctx.masks[qi], &q.sketch) {
+                                        let ci = start + k;
+                                        if mask[ci] {
+                                            prefilter_stats.record_collision();
+                                        } else {
+                                            let ts = ctx.index.sketch(ci);
+                                            let c_q = qs.containment_in(ts);
+                                            let c_t = ts.containment_in(qs);
+                                            if c_q < ctx.margin && c_t < ctx.margin {
+                                                prefilter_stats.record_pruned();
+                                                continue;
+                                            }
+                                            prefilter_stats.record_fallback();
+                                        }
                                     }
                                 }
                                 let key = (q.hash, class.hash, vcp_fp);
@@ -909,6 +1060,92 @@ mod tests {
         let live = CancelToken::new();
         let scores = engine.query_cancellable(&q, &live).unwrap();
         assert_eq!(scores.ranked()[0].target, tp);
+    }
+
+    #[test]
+    fn ranked_breaks_exact_score_ties_by_target_id() {
+        // Hand-built equal scores in shuffled insertion order: the tie
+        // must break by ascending TargetId, not by insertion position.
+        let mk = |id: usize, v: f64| TargetScore {
+            target: TargetId(id),
+            name: format!("t{id}"),
+            ges: v,
+            s_log: v,
+            s_vcp: v,
+        };
+        let scores = QueryScores {
+            scores: vec![mk(3, 1.5), mk(1, 1.5), mk(2, 7.0), mk(0, 1.5)],
+            query_strands: 1,
+            query_strand_occurrences: 1,
+        };
+        for mode in [ScoringMode::Esh, ScoringMode::SLog, ScoringMode::SVcp] {
+            let ids: Vec<usize> = scores.ranked_by(mode).iter().map(|s| s.target.0).collect();
+            assert_eq!(ids, vec![2, 0, 1, 3], "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn sketch_prefilter_skips_solver_work_but_keeps_top_rank() {
+        // Same corpus, same query: the sketch tier must preserve the top
+        // rank while issuing strictly fewer verifier calls (cache misses
+        // count vcp_pair invocations).
+        let f = demo::heartbleed_like();
+        let corpus: Vec<_> = demo::cve_functions()
+            .into_iter()
+            .map(|(name, p)| (name, clang().compile_function(&p)))
+            .collect();
+        let q = gcc().compile_function(&f);
+
+        let mut on = SimilarityEngine::new(quick_config());
+        let mut off = SimilarityEngine::new(EngineConfig {
+            sketch: None,
+            ..quick_config()
+        });
+        for (name, p) in &corpus {
+            on.add_target(*name, p);
+            off.add_target(*name, p);
+        }
+        let ranked_on = on.query(&q);
+        let ranked_off = off.query(&q);
+        assert_eq!(
+            ranked_on.ranked()[0].target,
+            ranked_off.ranked()[0].target,
+            "sketch tier changed the top-1 answer"
+        );
+        let stats = on.prefilter_stats();
+        assert!(stats.pairs_pruned > 0, "nothing pruned: {stats:?}");
+        assert!(
+            on.cache_stats().misses < off.cache_stats().misses,
+            "prefilter issued no fewer verifier calls: on={} off={}",
+            on.cache_stats().misses,
+            off.cache_stats().misses
+        );
+    }
+
+    #[test]
+    fn disabling_sketch_tier_reproduces_sketchless_scores_exactly() {
+        // `esh query --no-prefilter` must be byte-identical to an engine
+        // that never had the tier.
+        let f = demo::venom_like();
+        let mut with = SimilarityEngine::new(quick_config());
+        let mut without = SimilarityEngine::new(EngineConfig {
+            sketch: None,
+            ..quick_config()
+        });
+        for (i, (_, p)) in demo::cve_functions().into_iter().enumerate() {
+            with.add_target(format!("t{i}"), &gcc().compile_function(&p));
+            without.add_target(format!("t{i}"), &gcc().compile_function(&p));
+        }
+        with.set_prefilter_enabled(false);
+        let q = clang().compile_function(&f);
+        let a = with.query(&q);
+        let b = without.query(&q);
+        for (x, y) in a.scores.iter().zip(&b.scores) {
+            assert_eq!(x.ges.to_bits(), y.ges.to_bits());
+            assert_eq!(x.s_log.to_bits(), y.s_log.to_bits());
+            assert_eq!(x.s_vcp.to_bits(), y.s_vcp.to_bits());
+        }
+        assert_eq!(with.prefilter_stats(), PrefilterStatsSnapshot::default());
     }
 
     #[test]

@@ -66,6 +66,7 @@
 
 mod cache;
 mod engine;
+pub mod prefilter;
 pub mod snapshot;
 mod stats;
 mod vcp;
@@ -74,6 +75,10 @@ pub use cache::{CacheStats, VcpCache, VcpCacheEntry, VcpKey};
 pub use engine::{
     CancelToken, EngineConfig, Granularity, QueryCancelled, QueryScores, SimilarityEngine,
     TargetId, TargetScore,
+};
+pub use prefilter::{
+    compute_sketch, PrefilterConfig, PrefilterStats, PrefilterStatsSnapshot, SemanticSketch,
+    SketchIndex,
 };
 pub use esh_solver::SolverPerf;
 pub use snapshot::{ConfigMismatchKind, SnapshotError, SNAPSHOT_FORMAT_VERSION};

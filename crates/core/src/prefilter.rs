@@ -1,0 +1,427 @@
+//! Semantic sketch prefilter: concrete-execution fingerprints + banded
+//! LSH in front of the SAT-backed VCP matrix.
+//!
+//! The verifier tier scales quadratically: every (query strand class ×
+//! corpus strand class) pair surviving the §5.5 size filter costs a
+//! [`vcp_pair`](crate::vcp_pair) call, and each of those drives the SAT
+//! solver. This module prices most pairs with concrete execution instead:
+//!
+//! 1. **Sketching.** Every strand class is evaluated once on a fixed,
+//!    seed-deterministic battery of *uniform* random input vectors (all
+//!    inputs of a round share one value — the same trick that makes
+//!    [`esh_strands::semantic_signature`] correspondence-invariant, here
+//!    over many more rounds and through the solver's concrete evaluator).
+//!    Each non-input value folds its whole cross-round trace into one
+//!    stable digest; the sorted digest multiset is the class's
+//!    [`SemanticSketch`].
+//!
+//! 2. **Banding.** Digest sets are minhashed and grouped into LSH bands
+//!    (a [`SketchIndex`]). Classes sharing a band with a query strand are
+//!    *candidates* and go straight to the exact verifier.
+//!
+//! 3. **Pricing.** For a non-candidate pair the sketch containment bound
+//!    is computed (cheap multiset arithmetic). The bound is a true upper
+//!    bound on VCP: a verified variable match implies equal values on
+//!    every uniform round, hence equal digests. If both directions fall
+//!    below [`PrefilterConfig::exact_fallback_margin`] the pair is
+//!    dropped to the zero pair without consulting the solver — the same
+//!    no-evidence pricing the legacy signature filter applies, chosen
+//!    over assigning the bound itself because an upper bound fed through
+//!    the sigmoid manufactures false positive evidence for dissimilar
+//!    pairs. Otherwise the pair falls back to exact verification
+//!    (counted in [`PrefilterStatsSnapshot::exact_fallbacks`]), so
+//!    **every pair whose true VCP reaches the margin is still decided
+//!    exactly**.
+//!
+//! Sketches are pure functions of the lifted strand and the sketch
+//! parameters, so snapshots persist them (format v3) and `esh index
+//! build` amortizes the sketching work across queries.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use esh_ivl::{Proc, Sort};
+use esh_solver::eval::{eval_battery, cval_digest, Assignment};
+use esh_solver::TermPool;
+use esh_strands::{stable_hash64, stable_mix, STABLE_HASH_SEED};
+use esh_verifier::encode_proc;
+use serde::{Deserialize, Serialize};
+
+/// Tuning for the semantic sketch prefilter tier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrefilterConfig {
+    /// Master switch. Disabled, the engine behaves exactly like the
+    /// pre-sketch pipeline (`esh query --no-prefilter`).
+    pub enabled: bool,
+    /// Number of concrete input vectors every strand class is evaluated
+    /// on. More vectors tighten the containment bound (fewer spurious
+    /// exact fallbacks) at linear sketching cost.
+    pub vectors: usize,
+    /// LSH bands over the minhash signature.
+    pub bands: usize,
+    /// Minhash rows per band. `bands × rows` hash functions total; more
+    /// rows make a band collision demand closer sketches.
+    pub rows: usize,
+    /// Containment bound at or above which a non-candidate pair is still
+    /// verified exactly. Every pair whose true VCP (either direction)
+    /// reaches this margin is guaranteed an exact verdict, because the
+    /// bound never underestimates VCP.
+    pub exact_fallback_margin: f64,
+}
+
+impl Default for PrefilterConfig {
+    fn default() -> PrefilterConfig {
+        PrefilterConfig {
+            enabled: true,
+            vectors: 8,
+            bands: 4,
+            rows: 4,
+            exact_fallback_margin: 0.7,
+        }
+    }
+}
+
+impl PrefilterConfig {
+    /// Stable FNV-1a digest over every knob. Sketches and pruned-pair
+    /// estimates are only valid under the parameters that produced them,
+    /// so [`crate::EngineConfig::fingerprint`] folds this in.
+    pub fn fingerprint(&self) -> u64 {
+        stable_hash64([
+            u64::from(self.enabled),
+            self.vectors as u64,
+            self.bands as u64,
+            self.rows as u64,
+            self.exact_fallback_margin.to_bits(),
+        ])
+    }
+}
+
+/// Domain-separation tag for the minhash family (keeps minhash values
+/// from colliding with digest or band-key derivations).
+const TAG_MINHASH: u64 = 0x6d69_6e68_6173_6831;
+
+/// Seed of the sketch input battery. Fixed so sketches are reproducible
+/// across processes and toolchains.
+const SKETCH_SEED: u64 = 0x0e5b_5eed_f19e_0901;
+
+/// A per-strand-class semantic sketch: one stable digest per non-input
+/// value (its entire trace across the input battery), plus the minhash
+/// signature the LSH index bands.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SemanticSketch {
+    /// Sorted digests, one per non-input variable. Two digests are equal
+    /// exactly when the values agreed (width included) on every round.
+    pub digests: Vec<u64>,
+    /// Minhash signature (`bands × rows` entries).
+    pub minhash: Vec<u64>,
+}
+
+impl SemanticSketch {
+    /// Upper bound on `VCP(self, other)`: the fraction of `self`'s values
+    /// whose digest occurs in `other` (0.0 for an empty sketch).
+    ///
+    /// Soundness: a verified match `q_i ≡ t_j` under any type-respecting
+    /// correspondence γ implies equal concrete values on every uniform
+    /// round (matched inputs share a sort, so they receive identical
+    /// masked values), hence equal digests — so every exactly-matchable
+    /// value is counted here, and the bound never underestimates VCP.
+    pub fn containment_in(&self, other: &SemanticSketch) -> f64 {
+        if self.digests.is_empty() {
+            return 0.0;
+        }
+        // Both sides sorted; count self entries (with multiplicity —
+        // matching is not injective) present anywhere in `other`.
+        let mut matched = 0usize;
+        let mut j = 0usize;
+        for &d in &self.digests {
+            while j < other.digests.len() && other.digests[j] < d {
+                j += 1;
+            }
+            if j < other.digests.len() && other.digests[j] == d {
+                matched += 1;
+            }
+        }
+        matched as f64 / self.digests.len() as f64
+    }
+
+    /// The LSH band keys of this sketch under the given banding shape.
+    pub fn band_keys(&self, bands: usize, rows: usize) -> Vec<u64> {
+        (0..bands)
+            .map(|b| {
+                let mut h = stable_mix(STABLE_HASH_SEED, b as u64 + 1);
+                for r in 0..rows {
+                    let v = self.minhash.get(b * rows + r).copied().unwrap_or(u64::MAX);
+                    h = stable_mix(h, v);
+                }
+                h
+            })
+            .collect()
+    }
+}
+
+/// Computes the semantic sketch of a lifted strand.
+///
+/// The strand is encoded into a throwaway term pool and its non-input
+/// values are evaluated on `config.vectors` uniform assignments (all
+/// bitvector inputs of a round share one pseudo-random value, all memory
+/// inputs one base image — the correspondence-invariance requirement).
+pub fn compute_sketch(proc_: &Proc, config: &PrefilterConfig) -> SemanticSketch {
+    let mut pool = TermPool::new();
+    let mut next_id = 0u32;
+    let mut ids = HashMap::new();
+    let terms = encode_proc(&mut pool, proc_, |v| {
+        *ids.entry(v).or_insert_with(|| {
+            let id = next_id;
+            next_id += 1;
+            id
+        })
+    });
+    let temps = proc_.temps();
+    let temp_terms: Vec<_> = temps.iter().map(|v| terms[v.index()]).collect();
+
+    let rounds: Vec<Assignment> = (0..config.vectors as u64)
+        .map(|round| {
+            let mut a = Assignment::random(round);
+            let bv = stable_hash64([SKETCH_SEED, round, 1]);
+            let mem = stable_hash64([SKETCH_SEED, round, 2]);
+            for (v, id) in &ids {
+                match proc_.var(*v).sort {
+                    Sort::Bv(_) => {
+                        a.vars.insert(*id, bv);
+                    }
+                    Sort::Mem => {
+                        a.mems.insert(*id, mem);
+                    }
+                }
+            }
+            a
+        })
+        .collect();
+    let grid = eval_battery(&pool, &temp_terms, &rounds);
+
+    let mut digests: Vec<u64> = temps
+        .iter()
+        .enumerate()
+        .map(|(k, v)| {
+            let width = match proc_.var(*v).sort {
+                Sort::Bv(w) => u64::from(w),
+                Sort::Mem => 0,
+            };
+            let mut h = stable_mix(STABLE_HASH_SEED, width);
+            for row in &grid {
+                h = stable_mix(h, cval_digest(&row[k]));
+            }
+            h
+        })
+        .collect();
+    digests.sort_unstable();
+
+    let k = config.bands * config.rows;
+    let minhash = (0..k as u64)
+        .map(|i| {
+            digests
+                .iter()
+                .map(|&d| stable_hash64([TAG_MINHASH, i, d]))
+                .min()
+                .unwrap_or(u64::MAX)
+        })
+        .collect();
+    SemanticSketch { digests, minhash }
+}
+
+/// The banded LSH index over every corpus strand class's sketch.
+///
+/// Built lazily on the first prefilter-enabled query (so v2 snapshots
+/// without persisted sketches just rebuild them) and invalidated whenever
+/// a target is added.
+#[derive(Debug)]
+pub struct SketchIndex {
+    bands: usize,
+    rows: usize,
+    sketches: Vec<SemanticSketch>,
+    buckets: HashMap<u64, Vec<usize>>,
+}
+
+impl SketchIndex {
+    /// Builds the index over per-class sketches.
+    pub fn build(sketches: Vec<SemanticSketch>, config: &PrefilterConfig) -> SketchIndex {
+        let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (i, s) in sketches.iter().enumerate() {
+            for key in s.band_keys(config.bands, config.rows) {
+                buckets.entry(key).or_default().push(i);
+            }
+        }
+        SketchIndex {
+            bands: config.bands,
+            rows: config.rows,
+            sketches,
+            buckets,
+        }
+    }
+
+    /// Number of indexed classes.
+    pub fn len(&self) -> usize {
+        self.sketches.len()
+    }
+
+    /// True when no classes are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.sketches.is_empty()
+    }
+
+    /// The sketch of class `i`.
+    pub fn sketch(&self, i: usize) -> &SemanticSketch {
+        &self.sketches[i]
+    }
+
+    /// Candidate mask for a query sketch: `mask[i]` is true when class
+    /// `i` shares at least one LSH band with the query — those pairs go
+    /// straight to the exact verifier.
+    pub fn candidates(&self, query: &SemanticSketch) -> Vec<bool> {
+        let mut mask = vec![false; self.sketches.len()];
+        for key in query.band_keys(self.bands, self.rows) {
+            if let Some(bucket) = self.buckets.get(&key) {
+                for &i in bucket {
+                    mask[i] = true;
+                }
+            }
+        }
+        mask
+    }
+}
+
+/// Engine-lifetime prefilter counters (atomic; workers record, scrapes
+/// read).
+#[derive(Debug, Default)]
+pub struct PrefilterStats {
+    pairs_pruned: AtomicU64,
+    sketch_collisions: AtomicU64,
+    exact_fallbacks: AtomicU64,
+}
+
+impl PrefilterStats {
+    /// Counts one pair priced by its sketch bound (solver skipped).
+    pub fn record_pruned(&self) {
+        self.pairs_pruned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one pair retrieved as an LSH candidate (band collision).
+    pub fn record_collision(&self) {
+        self.sketch_collisions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one non-candidate pair whose bound reached the margin and
+    /// was verified exactly anyway.
+    pub fn record_fallback(&self) {
+        self.exact_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> PrefilterStatsSnapshot {
+        PrefilterStatsSnapshot {
+            pairs_pruned: self.pairs_pruned.load(Ordering::Relaxed),
+            sketch_collisions: self.sketch_collisions.load(Ordering::Relaxed),
+            exact_fallbacks: self.exact_fallbacks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain copy of the prefilter counters at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrefilterStatsSnapshot {
+    /// Pairs whose VCP was estimated from sketches — no solver call.
+    pub pairs_pruned: u64,
+    /// Pairs retrieved as LSH candidates (shared at least one band).
+    pub sketch_collisions: u64,
+    /// Non-candidate pairs whose containment bound reached the margin and
+    /// fell back to exact verification.
+    pub exact_fallbacks: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esh_ivl::lift;
+
+    fn lift_text(text: &str) -> Proc {
+        let p = esh_asm::parse_proc(&format!("proc t\nentry:\n{text}")).expect("parses");
+        lift("t", &p.blocks[0].insts)
+    }
+
+    #[test]
+    fn sketch_is_deterministic_and_register_rename_invariant() {
+        let a = lift_text("mov r13, rbx\nlea rcx, [r13+0x3]\nshr rcx, 0x2");
+        let b = lift_text("mov r12, rbx\nlea rdi, [r12+0x3]\nshr rdi, 0x2");
+        let cfg = PrefilterConfig::default();
+        assert_eq!(compute_sketch(&a, &cfg), compute_sketch(&a, &cfg));
+        assert_eq!(compute_sketch(&a, &cfg), compute_sketch(&b, &cfg));
+    }
+
+    #[test]
+    fn equivalent_strands_have_full_containment() {
+        // Figure 3's pair: the query's every value exists in the target.
+        let q = lift_text("lea r14d, [r12+0x13]\nmov rsi, 0x18\nlea rax, [rsi+r14]");
+        let t = lift_text(
+            "mov r9, 0x13\nmov rbx, r12\nlea r13d, [rbx+r9]\nadd r9, 0x5\nmov rsi, r9\n\
+             lea rax, [rsi+r13]",
+        );
+        let cfg = PrefilterConfig::default();
+        let sq = compute_sketch(&q, &cfg);
+        let st = compute_sketch(&t, &cfg);
+        assert_eq!(sq.containment_in(&st), 1.0);
+        assert!(st.containment_in(&sq) < 1.0, "t computes extra values");
+    }
+
+    #[test]
+    fn unrelated_strands_have_low_containment_and_no_band_collision() {
+        let q = lift_text("mov rax, rdi\nimul rax, rsi\nxor rax, 0x1234");
+        let t = lift_text("mov rbx, rdi\nshr rbx, 0x7\nor rbx, 0x8000");
+        let cfg = PrefilterConfig::default();
+        let sq = compute_sketch(&q, &cfg);
+        let st = compute_sketch(&t, &cfg);
+        assert!(sq.containment_in(&st) < 0.5);
+        let index = SketchIndex::build(vec![st], &cfg);
+        assert!(!index.candidates(&sq)[0], "no band should collide");
+    }
+
+    #[test]
+    fn identical_sketches_always_collide_in_every_band() {
+        let s = compute_sketch(
+            &lift_text("mov rax, rdi\nadd rax, 0x5\nimul rax, rax"),
+            &PrefilterConfig::default(),
+        );
+        let cfg = PrefilterConfig::default();
+        let index = SketchIndex::build(vec![s.clone()], &cfg);
+        assert!(index.candidates(&s)[0]);
+        assert_eq!(s.band_keys(cfg.bands, cfg.rows).len(), cfg.bands);
+    }
+
+    #[test]
+    fn stats_counters_accumulate() {
+        let stats = PrefilterStats::default();
+        stats.record_pruned();
+        stats.record_pruned();
+        stats.record_collision();
+        stats.record_fallback();
+        let s = stats.snapshot();
+        assert_eq!(s.pairs_pruned, 2);
+        assert_eq!(s.sketch_collisions, 1);
+        assert_eq!(s.exact_fallbacks, 1);
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_knob() {
+        let base = PrefilterConfig::default();
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(base.fingerprint());
+        for cfg in [
+            PrefilterConfig { enabled: false, ..base },
+            PrefilterConfig { vectors: 16, ..base },
+            PrefilterConfig { bands: 8, ..base },
+            PrefilterConfig { rows: 3, ..base },
+            PrefilterConfig { exact_fallback_margin: 0.5, ..base },
+        ] {
+            assert!(seen.insert(cfg.fingerprint()), "collision for {cfg:?}");
+        }
+    }
+}

@@ -27,9 +27,13 @@
 //!
 //! ## Invalidation rules
 //!
-//! * `format_version` must equal [`SNAPSHOT_FORMAT_VERSION`] exactly —
-//!   there is no cross-version migration. Bump the constant whenever the
-//!   serialized shape of any embedded type changes.
+//! * `format_version` must be a version this build reads. Version 3 added
+//!   optional per-class semantic sketches and the `sketch` config block;
+//!   both deserialize as absent from a version-2 document, so v2 snapshots
+//!   still load — their sketches are rebuilt lazily on the first
+//!   prefilter-enabled query, and the next save writes v3. Older versions
+//!   are rejected; bump the constant whenever the serialized shape of any
+//!   embedded type changes incompatibly.
 //! * `config_fingerprint` must equal the fingerprint recomputed from the
 //!   embedded `config`; a mismatch means the file was edited or corrupted.
 //! * [`SimilarityEngine::load_compatible`] additionally rejects snapshots
@@ -54,9 +58,15 @@ use crate::engine::{EngineConfig, SimilarityEngine, StrandClass, TargetRecord};
 ///
 /// Bump policy: increment on **any** change to the serialized shape of
 /// [`EngineConfig`], [`StrandClass`], [`TargetRecord`], [`VcpCacheEntry`]
-/// or the top-level layout, even backward-compatible ones — loaders
-/// reject on inequality rather than attempting migration.
-pub const SNAPSHOT_FORMAT_VERSION: u32 = 2;
+/// or the top-level layout. Purely additive optional fields may keep the
+/// older version readable (list it in [`READABLE_FORMAT_VERSIONS`]);
+/// anything else is rejected rather than migrated.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 3;
+
+/// Format versions [`SimilarityEngine::load`] accepts. Version 2 predates
+/// per-class semantic sketches; its documents parse with `sketch: None`
+/// everywhere and the engine rebuilds sketches lazily.
+pub const READABLE_FORMAT_VERSIONS: [u32; 2] = [2, SNAPSHOT_FORMAT_VERSION];
 
 /// How a [`SnapshotError::ConfigMismatch`] came about — the two cases call
 /// for different operator action, so the error spells them apart.
@@ -227,10 +237,12 @@ impl SimilarityEngine {
     /// Restores an engine from a snapshot written by
     /// [`SimilarityEngine::save`] / `save_with_cache`.
     ///
-    /// Rejects files whose `format_version` differs from
-    /// [`SNAPSHOT_FORMAT_VERSION`], and files whose recorded fingerprint
+    /// Rejects files whose `format_version` is not in
+    /// [`READABLE_FORMAT_VERSIONS`], and files whose recorded fingerprint
     /// does not match the one recomputed from the embedded configuration
-    /// (a tamper/corruption check).
+    /// (a tamper/corruption check). Version-2 documents (pre-sketch) load
+    /// with no per-class sketches; a prefilter-enabled engine rebuilds
+    /// them lazily on its first query.
     pub fn load(path: impl AsRef<Path>) -> Result<SimilarityEngine, SnapshotError> {
         let path = path.as_ref();
         let format_err = |detail: String| SnapshotError::Format {
@@ -243,7 +255,7 @@ impl SimilarityEngine {
         })?;
         let file: SnapshotFile =
             serde_json::from_str(&text).map_err(|e| format_err(e.to_string()))?;
-        if file.format_version != SNAPSHOT_FORMAT_VERSION {
+        if !READABLE_FORMAT_VERSIONS.contains(&file.format_version) {
             return Err(SnapshotError::VersionMismatch {
                 path: path.to_path_buf(),
                 found: file.format_version,
@@ -377,6 +389,50 @@ mod tests {
             }
             other => panic!("expected VersionMismatch, got {other:?}"),
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_snapshot_loads_and_rebuilds_sketches_lazily() {
+        // A pre-sketch (format 2) document: no `sketch` key anywhere and
+        // a fingerprint computed without the sketch block. It must load,
+        // serve prefilter-enabled queries (sketching on demand), and save
+        // back as the current version.
+        let p = esh_asm::parse_proc(
+            "proc p\nentry:\nmov r12, rbx\nadd r12, 5\nlea rdi, [r12+0x3]\nxor rax, rdi",
+        )
+        .unwrap();
+        let mut engine = SimilarityEngine::new(EngineConfig {
+            threads: 1,
+            sketch: None,
+            ..EngineConfig::default()
+        });
+        engine.add_target("t0", &p);
+        let path = temp_path("v2-forward");
+        engine.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Rewrite as a faithful v2 document: drop the null sketch fields
+        // the v3 writer emits and stamp the old version number.
+        let v2 = text
+            .replace(&format!("\"format_version\":{SNAPSHOT_FORMAT_VERSION}"), "\"format_version\":2")
+            .replace(",\"sketch\":null", "")
+            .replace("\"sketch\":null,", "");
+        assert!(!v2.contains("sketch"), "v2 doc must not mention sketches");
+        std::fs::write(&path, &v2).unwrap();
+
+        let mut restored = SimilarityEngine::load(&path).expect("v2 snapshot must load");
+        assert!(restored.config().sketch.is_none(), "v2 config has no sketch tier");
+        restored.set_prefilter_enabled(true);
+        let scores = restored.query(&p);
+        assert_eq!(scores.scores.len(), 1);
+        let stats = restored.prefilter_stats();
+        assert!(
+            stats.sketch_collisions + stats.pairs_pruned + stats.exact_fallbacks > 0,
+            "lazily rebuilt sketches never consulted: {stats:?}"
+        );
+        restored.save(&path).unwrap();
+        let resaved = std::fs::read_to_string(&path).unwrap();
+        assert!(resaved.contains(&format!("\"format_version\":{SNAPSHOT_FORMAT_VERSION}")));
         std::fs::remove_file(&path).ok();
     }
 

@@ -10,17 +10,25 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use esh_core::CacheStats;
+use esh_core::{CacheStats, PrefilterStatsSnapshot};
 use esh_solver::SolverPerf;
 
 use crate::protocol::Outcome;
 
 /// Upper bounds (milliseconds, inclusive) of the latency histogram
-/// buckets. An implicit overflow bucket catches everything slower.
-pub const LATENCY_BUCKETS_MS: [u64; 12] = [1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000];
+/// buckets. The ladder extends well past one second — SAT-heavy queries
+/// against cold caches routinely take seconds, and a histogram whose top
+/// finite bucket sits at the p99 reports the cap, not the tail. An
+/// implicit `+Inf` bucket still catches everything slower than the last
+/// bound, and the Prometheus render reports it distinctly.
+pub const LATENCY_BUCKETS_MS: [u64; 16] = [
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10_000, 20_000, 60_000, 120_000,
+];
 
-/// Reported bound of the overflow bucket.
-const OVERFLOW_MS: u64 = 10_000;
+/// Value quantiles report when the ranked observation fell in the `+Inf`
+/// overflow bucket — deliberately past every finite bound so an
+/// overflowing tail is unmistakable in dashboards.
+const OVERFLOW_MS: u64 = 300_000;
 
 /// Concurrently-updatable server counters. One instance lives for the
 /// whole daemon; workers record into it and `/metrics` renders it.
@@ -115,9 +123,15 @@ impl ServerStats {
     }
 
     /// Renders the Prometheus-style `/metrics` payload, folding in the
-    /// engine's VCP-cache and SAT-solver counters so one scrape shows the
-    /// whole serving stack.
-    pub fn render(&self, cache: &CacheStats, solver: &SolverPerf, queue_depth: usize) -> String {
+    /// engine's VCP-cache, SAT-solver and sketch-prefilter counters so one
+    /// scrape shows the whole serving stack.
+    pub fn render(
+        &self,
+        cache: &CacheStats,
+        solver: &SolverPerf,
+        prefilter: &PrefilterStatsSnapshot,
+        queue_depth: usize,
+    ) -> String {
         let s = self.snapshot();
         let mut out = String::new();
         for (label, v) in [
@@ -141,6 +155,20 @@ impl ServerStats {
             "esh_request_latency_ms{{quantile=\"0.99\"}} {}\n",
             s.p99_ms
         ));
+        // Full cumulative histogram. The `+Inf` bucket is rendered as its
+        // own series (not folded into the last finite bound) so overflow
+        // is visible as the gap between `le="120000"` and `le="+Inf"`.
+        let mut cumulative = 0u64;
+        for (i, &bound) in LATENCY_BUCKETS_MS.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "esh_request_latency_ms_bucket{{le=\"{bound}\"}} {cumulative}\n"
+            ));
+        }
+        cumulative += self.buckets[LATENCY_BUCKETS_MS.len()].load(Ordering::Relaxed);
+        out.push_str(&format!(
+            "esh_request_latency_ms_bucket{{le=\"+Inf\"}} {cumulative}\n"
+        ));
         out.push_str(&format!("esh_vcp_cache_hits_total {}\n", cache.hits));
         out.push_str(&format!("esh_vcp_cache_misses_total {}\n", cache.misses));
         out.push_str(&format!("esh_vcp_cache_entries {}\n", cache.entries));
@@ -159,6 +187,18 @@ impl ServerStats {
             solver.retained_learnts
         ));
         out.push_str(&format!("esh_sat_solver_resets_total {}\n", solver.solver_resets));
+        out.push_str(&format!(
+            "esh_prefilter_pairs_pruned_total {}\n",
+            prefilter.pairs_pruned
+        ));
+        out.push_str(&format!(
+            "esh_prefilter_sketch_collisions_total {}\n",
+            prefilter.sketch_collisions
+        ));
+        out.push_str(&format!(
+            "esh_prefilter_exact_fallbacks_total {}\n",
+            prefilter.exact_fallbacks
+        ));
         out
     }
 }
@@ -249,8 +289,57 @@ mod tests {
     #[test]
     fn overflow_latencies_land_in_the_terminal_bucket() {
         let stats = ServerStats::new();
+        // A minute-long query now has its own finite bucket…
         stats.record_latency_ms(60_000);
-        assert_eq!(stats.snapshot().p50_ms, OVERFLOW_MS);
+        assert_eq!(stats.snapshot().p50_ms, 60_000);
+        // …and only latencies past the whole ladder report the overflow
+        // sentinel.
+        let slow = ServerStats::new();
+        slow.record_latency_ms(150_000);
+        assert_eq!(slow.snapshot().p50_ms, OVERFLOW_MS);
+    }
+
+    #[test]
+    fn render_reports_cumulative_buckets_and_distinct_inf() {
+        let stats = ServerStats::new();
+        stats.record_latency_ms(3);
+        stats.record_latency_ms(1500);
+        stats.record_latency_ms(150_000); // past every finite bound
+        let text = stats.render(
+            &CacheStats {
+                hits: 0,
+                misses: 0,
+                entries: 0,
+            },
+            &SolverPerf::default(),
+            &PrefilterStatsSnapshot::default(),
+            0,
+        );
+        assert!(text.contains("esh_request_latency_ms_bucket{le=\"5\"} 1\n"));
+        assert!(text.contains("esh_request_latency_ms_bucket{le=\"2000\"} 2\n"));
+        assert!(text.contains("esh_request_latency_ms_bucket{le=\"120000\"} 2\n"));
+        assert!(text.contains("esh_request_latency_ms_bucket{le=\"+Inf\"} 3\n"));
+    }
+
+    #[test]
+    fn render_includes_prefilter_counters() {
+        let text = ServerStats::new().render(
+            &CacheStats {
+                hits: 0,
+                misses: 0,
+                entries: 0,
+            },
+            &SolverPerf::default(),
+            &PrefilterStatsSnapshot {
+                pairs_pruned: 41,
+                sketch_collisions: 7,
+                exact_fallbacks: 3,
+            },
+            0,
+        );
+        assert!(text.contains("esh_prefilter_pairs_pruned_total 41\n"));
+        assert!(text.contains("esh_prefilter_sketch_collisions_total 7\n"));
+        assert!(text.contains("esh_prefilter_exact_fallbacks_total 3\n"));
     }
 
     #[test]

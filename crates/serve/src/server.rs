@@ -274,6 +274,7 @@ fn render_metrics(shared: &Shared) -> String {
     shared.stats.render(
         &shared.engine.cache_stats(),
         &shared.engine.solver_stats(),
+        &shared.engine.prefilter_stats(),
         queue_depth,
     )
 }

@@ -129,6 +129,44 @@ pub fn eval_many(pool: &TermPool, terms: &[TermId], a: &Assignment) -> Vec<CVal>
         .collect()
 }
 
+/// Evaluates `terms` under every assignment in `rounds` — the batch entry
+/// point behind semantic sketching. One memo is shared per round (terms of
+/// one strand share almost all of their structure), and the result is laid
+/// out round-major: `result[r][k]` is the value of `terms[k]` under
+/// `rounds[r]`.
+pub fn eval_battery(pool: &TermPool, terms: &[TermId], rounds: &[Assignment]) -> Vec<Vec<CVal>> {
+    rounds.iter().map(|a| eval_many(pool, terms, a)).collect()
+}
+
+/// Stable 64-bit digest of a concrete value (FNV-1a over its bytes, with
+/// store chains folded in for memories). Unlike hashes built on the
+/// standard library's [`DefaultHasher`](std::collections::hash_map::DefaultHasher),
+/// this is a fixed function of the value alone, so digests persisted to
+/// disk (semantic sketches) stay valid across toolchain upgrades.
+pub fn cval_digest(v: &CVal) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mix = |mut h: u64, word: u64| -> u64 {
+        for b in word.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    };
+    match v {
+        CVal::Bv(b) => mix(mix(OFFSET, 1), *b),
+        CVal::Mem(m) => {
+            let mut h = mix(mix(OFFSET, 2), m.seed);
+            for (addr, width, value) in &m.stores {
+                h = mix(h, *addr);
+                h = mix(h, u64::from(*width));
+                h = mix(h, *value);
+            }
+            h
+        }
+    }
+}
+
 fn eval_memo(pool: &TermPool, t: TermId, a: &Assignment, memo: &mut HashMap<TermId, CVal>) -> CVal {
     if let Some(v) = memo.get(&t) {
         return v.clone();
@@ -271,6 +309,36 @@ mod tests {
         a.vars.insert(2, 0x100); // same concrete address!
         assert_eq!(eval(&p, ld, &a).bv(), 0xdead);
         assert_eq!(eval(&p, ld2, &a).bv(), 0xdead, "aliasing must be honoured");
+    }
+
+    #[test]
+    fn battery_matches_per_round_eval() {
+        let mut p = TermPool::new();
+        let x = p.var(0, 64);
+        let y = p.var(1, 64);
+        let sum = p.add2(x, y);
+        let prod = p.mul(vec![x, y]);
+        let terms = [sum, prod];
+        let rounds: Vec<Assignment> = (0..4).map(Assignment::random).collect();
+        let grid = eval_battery(&p, &terms, &rounds);
+        assert_eq!(grid.len(), 4);
+        for (r, a) in rounds.iter().enumerate() {
+            for (k, t) in terms.iter().enumerate() {
+                assert_eq!(grid[r][k], eval(&p, *t, a));
+            }
+        }
+    }
+
+    #[test]
+    fn cval_digest_separates_values_and_is_stable() {
+        assert_eq!(cval_digest(&CVal::Bv(7)), cval_digest(&CVal::Bv(7)));
+        assert_ne!(cval_digest(&CVal::Bv(7)), cval_digest(&CVal::Bv(8)));
+        // A bitvector and a memory with a coinciding seed must not collide
+        // by construction (distinct kind tags are folded in first).
+        let mem = CVal::Mem(MemRep { seed: 7, stores: Vec::new() });
+        assert_ne!(cval_digest(&CVal::Bv(7)), cval_digest(&mem));
+        let stored = CVal::Mem(MemRep { seed: 7, stores: vec![(0x10, 64, 42)] });
+        assert_ne!(cval_digest(&mem), cval_digest(&stored));
     }
 
     #[test]

@@ -25,6 +25,31 @@ use serde::{Deserialize, Serialize};
 /// Seeds of the uniform assignments used for semantic signatures.
 pub const SIGNATURE_SEEDS: [u64; 2] = [0x00c0_ffee, 0x0bad_f00d];
 
+/// Folds one 64-bit word into a running FNV-1a state. The starting state
+/// is [`STABLE_HASH_SEED`]; chain calls to hash a sequence.
+///
+/// Unlike [`structural_hash`] (which rides the standard library's default
+/// hasher and is therefore tied to the toolchain that produced it), this
+/// is a fixed function: values derived from it — per-class semantic
+/// sketches, minhash signatures, LSH band keys — can be persisted in
+/// snapshots and compared across builds.
+pub fn stable_mix(mut h: u64, word: u64) -> u64 {
+    for b in word.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// FNV-1a offset basis — the starting state for [`stable_mix`] chains.
+pub const STABLE_HASH_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Stable digest of a word sequence (a [`stable_mix`] fold from
+/// [`STABLE_HASH_SEED`]).
+pub fn stable_hash64(words: impl IntoIterator<Item = u64>) -> u64 {
+    words.into_iter().fold(STABLE_HASH_SEED, stable_mix)
+}
+
 /// Structural hash of a lifted strand (op sequence + operand shape).
 pub fn structural_hash(p: &Proc) -> u64 {
     let mut h = DefaultHasher::new();
@@ -138,6 +163,19 @@ mod tests {
     fn lift_text(text: &str) -> Proc {
         let p = parse_proc(&format!("proc t\nentry:\n{text}")).expect("parses");
         lift("t", &p.blocks[0].insts)
+    }
+
+    #[test]
+    fn stable_hash_is_a_fixed_function() {
+        // These constants pin the algorithm itself: if they move, every
+        // persisted sketch digest silently invalidates.
+        assert_eq!(stable_hash64([]), STABLE_HASH_SEED);
+        assert_eq!(stable_hash64([0u64]), 0xa8c7_f832_281a_39c5);
+        assert_ne!(stable_hash64([1u64, 2]), stable_hash64([2u64, 1]));
+        assert_eq!(
+            stable_mix(stable_mix(STABLE_HASH_SEED, 7), 9),
+            stable_hash64([7u64, 9])
+        );
     }
 
     #[test]

@@ -6,10 +6,12 @@
 //! esh search <corpus.json> <query-substring> [top_n]
 //! esh index build <corpus.json> <index.esh>
 //! esh query --index <index.esh> <corpus.json> <query-substring> [top_n] [--json]
+//!           [--no-prefilter]
 //! esh query --remote <addr> <query-substring> [top_n] [--json]
 //! esh serve --index <index.esh> <corpus.json> [--addr A] [--workers N]
 //!           [--queue N] [--deadline-ms N] [--threads N]
 //! esh bench-serve [--smoke]
+//! esh bench-prefilter [--smoke]
 //! esh stats <corpus.json>
 //! esh pair <corpus.json> <query-substring> <target-substring>
 //! ```
@@ -25,7 +27,14 @@
 //! JSON with bounded admission, per-request deadlines and `/metrics`.
 //! `query --remote` is the matching client; `--json` prints the shared
 //! machine-readable response schema from either path. `bench-serve`
-//! load-tests the daemon over loopback and writes `BENCH_serve.json`.
+//! load-tests the daemon over loopback and writes `BENCH_serve.json`;
+//! `bench-prefilter` compares the sketch-prefiltered engine against the
+//! exhaustive one and writes `BENCH_prefilter.json`.
+//!
+//! `query --index ... --no-prefilter` disables the semantic-sketch tier
+//! for that one query — the escape hatch when a sketch-estimated pair
+//! must be re-checked exactly; output is byte-identical to an engine
+//! built without the tier.
 
 use esh::prelude::*;
 use esh_eval::experiments::Scale;
@@ -37,10 +46,12 @@ fn usage() -> ExitCode {
          esh search <corpus.json> <query-substring> [top_n]\n  \
          esh index build <corpus.json> <index.esh>\n  \
          esh query --index <index.esh> <corpus.json> <query-substring> [top_n] [--json]\n  \
+         \x20         [--no-prefilter]\n  \
          esh query --remote <addr> <query-substring> [top_n] [--json]\n  \
          esh serve --index <index.esh> <corpus.json> [--addr A] [--workers N]\n  \
          \x20         [--queue N] [--deadline-ms N] [--threads N]\n  \
          esh bench-serve [--smoke]\n  \
+         esh bench-prefilter [--smoke]\n  \
          esh stats <corpus.json>\n  \
          esh pair <corpus.json> <query-substring> <target-substring>"
     );
@@ -68,6 +79,7 @@ fn main() -> ExitCode {
         Some("query") => query(&args[1..]),
         Some("serve") => serve(&args[1..]),
         Some("bench-serve") => bench_serve(&args[1..]),
+        Some("bench-prefilter") => bench_prefilter(&args[1..]),
         Some("stats") => stats(&args[1..]),
         Some("pair") => pair(&args[1..]),
         _ => return usage(),
@@ -162,12 +174,20 @@ fn index(args: &[String]) -> Result<(), String> {
 }
 
 fn query(args: &[String]) -> Result<(), String> {
-    // `--json` may appear anywhere; strip it before positional matching.
+    // `--json` / `--no-prefilter` may appear anywhere; strip them before
+    // positional matching.
     let json = args.iter().any(|a| a == "--json");
-    let args: Vec<&String> = args.iter().filter(|a| *a != "--json").collect();
+    let no_prefilter = args.iter().any(|a| a == "--no-prefilter");
+    let args: Vec<&String> = args
+        .iter()
+        .filter(|a| *a != "--json" && *a != "--no-prefilter")
+        .collect();
+    if no_prefilter && args.first().map(|a| a.as_str()) == Some("--remote") {
+        return Err("--no-prefilter applies to --index queries (the daemon owns its engine)".into());
+    }
     match args.as_slice() {
         [flag, index, corpus, needle] if *flag == "--index" => {
-            query_index(index, corpus, needle, 10, json)
+            query_index(index, corpus, needle, 10, json, no_prefilter)
         }
         [flag, index, corpus, needle, n] if *flag == "--index" => query_index(
             index,
@@ -175,6 +195,7 @@ fn query(args: &[String]) -> Result<(), String> {
             needle,
             n.parse().map_err(|_| format!("bad top_n `{n}`"))?,
             json,
+            no_prefilter,
         ),
         [flag, addr, needle] if *flag == "--remote" => query_remote(addr, needle, 10, json),
         [flag, addr, needle, n] if *flag == "--remote" => query_remote(
@@ -184,7 +205,8 @@ fn query(args: &[String]) -> Result<(), String> {
             json,
         ),
         _ => Err("query takes --index <index.esh> <corpus.json> <query-substring> [top_n] \
-                  [--json], or --remote <addr> <query-substring> [top_n] [--json]"
+                  [--json] [--no-prefilter], or --remote <addr> <query-substring> [top_n] \
+                  [--json]"
             .into()),
     }
 }
@@ -203,12 +225,20 @@ fn query_index(
     needle: &str,
     top_n: usize,
     json: bool,
+    no_prefilter: bool,
 ) -> Result<(), String> {
     let corpus = load(corpus_path)?;
     let qi =
         find_proc(&corpus, needle).ok_or_else(|| format!("no procedure matching `{needle}`"))?;
     eprintln!("query: {}", corpus.procs[qi].display());
-    let engine = SimilarityEngine::load(index_path).map_err(|e| e.to_string())?;
+    let mut engine = SimilarityEngine::load(index_path).map_err(|e| e.to_string())?;
+    // The escape hatch: answer this one query with the exhaustive engine.
+    // The index's own configuration is restored before the snapshot is
+    // written back, so the stored fingerprint is untouched.
+    let saved_sketch = engine.config().sketch;
+    if no_prefilter {
+        engine.set_prefilter_enabled(false);
+    }
     let started = std::time::Instant::now();
     let scores = engine.query(&corpus.procs[qi].proc_);
     let matches = esh::serve::ranked_matches(&scores, Some(esh::core::TargetId(qi)), top_n);
@@ -250,6 +280,9 @@ fn query_index(
     }
     // Persist the warmed cache: the next identical query skips the
     // verifier entirely.
+    if no_prefilter && saved_sketch.is_some_and(|s| s.enabled) {
+        engine.set_prefilter_enabled(true);
+    }
     engine.save_with_cache(index_path).map_err(|e| e.to_string())?;
     Ok(())
 }
@@ -371,6 +404,15 @@ fn bench_serve(args: &[String]) -> Result<(), String> {
         _ => return Err("bench-serve takes [--smoke]".into()),
     };
     esh::serve::bench::run(smoke)
+}
+
+fn bench_prefilter(args: &[String]) -> Result<(), String> {
+    let smoke = match args {
+        [] => false,
+        [flag] if flag == "--smoke" => true,
+        _ => return Err("bench-prefilter takes [--smoke]".into()),
+    };
+    esh::bench_prefilter::run(smoke)
 }
 
 fn stats(args: &[String]) -> Result<(), String> {

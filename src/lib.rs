@@ -32,6 +32,8 @@
 //! assert_eq!(scores.ranked()[0].target, t);
 //! ```
 
+pub mod bench_prefilter;
+
 pub use esh_asm as asm;
 pub use esh_baselines as baselines;
 pub use esh_cc as cc;
