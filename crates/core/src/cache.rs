@@ -104,6 +104,16 @@ impl VcpCache {
         found
     }
 
+    /// Looks up a memoized result **without** counting the outcome.
+    ///
+    /// The refine-top-K pass scans every served-window cell to separate
+    /// cache-known values from candidates for re-verification; counting
+    /// those scans as misses would break the `misses == vcp_pair
+    /// invocations` identity the benches report as `verifier_calls`.
+    pub fn peek(&self, key: &VcpKey) -> Option<VcpPair> {
+        self.shard(key).lock().expect("cache shard").get(key).copied()
+    }
+
     /// Memoizes one result.
     pub fn insert(&self, key: VcpKey, pair: VcpPair) {
         self.shard(&key).lock().expect("cache shard").insert(key, pair);

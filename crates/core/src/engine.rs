@@ -18,15 +18,17 @@ use esh_asm::Procedure;
 use esh_ivl::Proc;
 use esh_solver::{EquivConfig, SolverPerf};
 use esh_strands::{
-    extract_proc_strands, lift_strand, semantic_signature, structural_hash, Signature,
+    extract_proc_strands, lift_strand, semantic_signature, stable_hash64, structural_hash,
+    Signature,
 };
 use esh_verifier::VerifierSession;
 use serde::{Deserialize, Serialize};
 
 use crate::cache::{CacheStats, VcpCache};
 use crate::prefilter::{
-    compute_sketch, PrefilterConfig, PrefilterStats, PrefilterStatsSnapshot, SemanticSketch,
-    SketchIndex,
+    bounds_decision, calibrated_margin, compute_probe_sketch, compute_sketch, MarginCalibration,
+    MarginSample, PrefilterConfig, PrefilterStats, PrefilterStatsSnapshot, SemanticSketch,
+    SketchDecision, SketchIndex,
 };
 use crate::stats::{ges, les, likelihood, H0Accumulator, ScoringMode};
 use crate::vcp::{size_ratio_ok, vcp_pair, VcpConfig, VcpPair};
@@ -676,27 +678,53 @@ impl SimilarityEngine {
         let vcp_fp = self.config.vcp.fingerprint();
         let workers = threads.max(1).min(total_tiles);
         // Sketch tier context, resolved once before the workers spawn: the
-        // LSH index over corpus sketches, plus one candidate mask per
-        // query strand (mask[ci] = class ci shares a band → exact verify).
+        // LSH index over corpus sketches, one candidate mask per query
+        // strand (mask[ci] = class ci shares a band → exact verify), and
+        // shared caches of probe sketches — ambiguous pairs re-sketch per
+        // *strand*, not per pair, so each side is probed at most once no
+        // matter how many ambiguous pairs it participates in.
         struct SketchCtx {
             index: Arc<SketchIndex>,
             masks: Vec<Option<Vec<bool>>>,
             margin: f64,
+            window: f64,
+            cfg: PrefilterConfig,
+            query_probes: Mutex<HashMap<usize, Arc<SemanticSketch>>>,
+            class_probes: Mutex<HashMap<usize, Arc<SemanticSketch>>>,
+        }
+        impl SketchCtx {
+            /// The cached probe sketch at `key`, computing it under the
+            /// cache lock on first use (serializing duplicate computes is
+            /// cheaper than racing the concrete evaluation).
+            fn probed(
+                cache: &Mutex<HashMap<usize, Arc<SemanticSketch>>>,
+                key: usize,
+                compute: impl FnOnce() -> SemanticSketch,
+            ) -> Arc<SemanticSketch> {
+                let mut map = cache.lock().expect("probe cache poisoned");
+                map.entry(key)
+                    .or_insert_with(|| Arc::new(compute()))
+                    .clone()
+            }
         }
         let sketch_ctx: Option<SketchCtx> = self.ensure_sketch_index().map(|index| {
             let masks = query
                 .iter()
                 .map(|q| q.sketch.as_ref().map(|s| index.candidates(s)))
                 .collect();
-            let margin = self
+            let cfg = self
                 .config
                 .active_sketch()
-                .map(|c| c.exact_fallback_margin)
-                .unwrap_or(1.0);
+                .cloned()
+                .unwrap_or_default();
             SketchCtx {
                 index,
                 masks,
-                margin,
+                margin: cfg.exact_fallback_margin,
+                window: cfg.probe_window(),
+                cfg,
+                query_probes: Mutex::new(HashMap::new()),
+                class_probes: Mutex::new(HashMap::new()),
             }
         });
         let sketch_ctx = &sketch_ctx;
@@ -751,31 +779,77 @@ impl SimilarityEngine {
                                         continue;
                                     }
                                 }
-                                // Sketch tier: a band collision goes to the
-                                // exact verifier; a non-candidate pair whose
-                                // containment bounds both sit below the
-                                // margin is dropped to the zero pair, same
-                                // as a legacy-signature rejection above
-                                // (sound: the bounds never underestimate
-                                // VCP, so no pair at or above the margin is
-                                // ever skipped — and a below-margin pair
-                                // contributes the no-evidence likelihood
-                                // floor rather than an inflated estimate);
-                                // anything else falls back to exact.
+                                // Sketch tier pricing. Every pair is priced
+                                // by its containment bounds: both below the
+                                // margin drops the pair to the zero pair,
+                                // same as a legacy-signature rejection
+                                // above (sound: the bounds never
+                                // underestimate VCP, so no pair at or above
+                                // the margin is ever skipped — and a
+                                // below-margin pair contributes the
+                                // no-evidence likelihood floor rather than
+                                // an inflated estimate). Bounds inside the
+                                // ambiguity window around the margin
+                                // re-sketch both strands on extra probe
+                                // vectors and re-apply the margin to the
+                                // refined bounds; anything else goes to the
+                                // exact verifier. An LSH band collision is
+                                // recorded for observability; under the
+                                // pre-probe rule (no ambiguity window —
+                                // pre-v4 snapshot configs) a collision
+                                // still forces exact verification, while
+                                // staged pricing lets the margin prune
+                                // spurious band matches too (a true
+                                // same-source pair has bound 1.0 and always
+                                // verifies either way).
                                 if let Some(ctx) = sketch_ctx {
                                     if let (Some(mask), Some(qs)) = (&ctx.masks[qi], &q.sketch) {
                                         let ci = start + k;
-                                        if mask[ci] {
+                                        let collided = mask[ci];
+                                        if collided {
                                             prefilter_stats.record_collision();
-                                        } else {
+                                        }
+                                        if !collided || ctx.window > 0.0 {
                                             let ts = ctx.index.sketch(ci);
                                             let c_q = qs.containment_in(ts);
                                             let c_t = ts.containment_in(qs);
-                                            if c_q < ctx.margin && c_t < ctx.margin {
-                                                prefilter_stats.record_pruned();
-                                                continue;
+                                            match bounds_decision(
+                                                c_q, c_t, ctx.margin, ctx.window,
+                                            ) {
+                                                SketchDecision::Prune => {
+                                                    prefilter_stats.record_pruned();
+                                                    continue;
+                                                }
+                                                SketchDecision::Probe => {
+                                                    prefilter_stats.record_probe();
+                                                    let pq = SketchCtx::probed(
+                                                        &ctx.query_probes,
+                                                        qi,
+                                                        || compute_probe_sketch(&q.proc_, &ctx.cfg),
+                                                    );
+                                                    let pt = SketchCtx::probed(
+                                                        &ctx.class_probes,
+                                                        ci,
+                                                        || {
+                                                            compute_probe_sketch(
+                                                                &class.proc_,
+                                                                &ctx.cfg,
+                                                            )
+                                                        },
+                                                    );
+                                                    let r_q = pq.containment_in(&pt);
+                                                    let r_t = pt.containment_in(&pq);
+                                                    if r_q < ctx.margin && r_t < ctx.margin {
+                                                        prefilter_stats.record_pruned();
+                                                        continue;
+                                                    }
+                                                    prefilter_stats.record_probe_escalation();
+                                                    prefilter_stats.record_fallback();
+                                                }
+                                                SketchDecision::Exact => {
+                                                    prefilter_stats.record_fallback();
+                                                }
                                             }
-                                            prefilter_stats.record_fallback();
                                         }
                                     }
                                 }
@@ -843,16 +917,35 @@ impl SimilarityEngine {
         if cancel.is_cancelled() {
             return Err(QueryCancelled);
         }
+        let mut scores = self.score_targets(&query, &matrix);
+        self.refine_served_window(&query, &matrix, &mut scores, cancel)?;
+        Ok(QueryScores {
+            scores,
+            query_strands: query.len(),
+            query_strand_occurrences: query.iter().map(|q| q.count as usize).sum(),
+        })
+    }
 
-        // H0 per query strand: corpus-wide mean over every strand
-        // occurrence (weighted by class multiplicity).
+    /// H0 per query strand: corpus-wide mean over every strand occurrence
+    /// (weighted by class multiplicity). Pure in the matrix — the refine
+    /// pass reuses the estimated matrix's accumulators verbatim so its
+    /// scores stay a pure function of the query, corpus and config.
+    fn h0_accumulators(&self, query: &[QueryStrand], matrix: &[Vec<VcpPair>]) -> Vec<H0Accumulator> {
         let mut h0: Vec<H0Accumulator> = vec![H0Accumulator::default(); query.len()];
         for (qi, row) in matrix.iter().enumerate() {
             for (ci, v) in row.iter().enumerate() {
                 h0[qi].add(v.q_in_t, self.classes[ci].corpus_count);
             }
         }
+        h0
+    }
 
+    /// Scores every target from a computed VCP matrix. Pure in the matrix;
+    /// float summation order must stay fixed (targets in insertion order,
+    /// query strands in canonical hash order) so concurrent and offline
+    /// rankings agree bit-for-bit.
+    fn score_targets(&self, query: &[QueryStrand], matrix: &[Vec<VcpPair>]) -> Vec<TargetScore> {
+        let h0 = self.h0_accumulators(query, matrix);
         let mut scores = Vec::with_capacity(self.targets.len());
         for (ti, target) in self.targets.iter().enumerate() {
             let mut ges_terms = Vec::with_capacity(query.len());
@@ -888,11 +981,373 @@ impl SimilarityEngine {
                 s_vcp,
             });
         }
-        Ok(QueryScores {
-            scores,
-            query_strands: query.len(),
-            query_strand_occurrences: query.iter().map(|q| q.count as usize).sum(),
-        })
+        scores
+    }
+
+    /// One refined target's score, rebuilt from its **exact** per-query-
+    /// strand and per-class VCP maxima plus the estimated matrix's H0
+    /// accumulators. Mirrors [`SimilarityEngine::score_targets`]
+    /// float-for-float: the maxima are the very values an exhaustive
+    /// matrix's column scans would produce, so S-VCP comes out
+    /// bit-identical to exhaustive scoring, and GES differs from it only
+    /// by the per-strand H0 offset every target shares.
+    fn score_refined_target(
+        &self,
+        ti: usize,
+        query: &[QueryStrand],
+        max_q: &[f64],
+        max_t: &HashMap<usize, f64>,
+        h0: &[H0Accumulator],
+    ) -> TargetScore {
+        let target = &self.targets[ti];
+        let mut ges_terms = Vec::with_capacity(query.len());
+        let mut slog_terms = Vec::with_capacity(query.len());
+        for (qi, q) in query.iter().enumerate() {
+            let max_vcp = max_q[qi];
+            let l_esh = les(likelihood(max_vcp), h0[qi].mean_pr());
+            let l_slog = les(max_vcp.max(1e-12), h0[qi].mean_vcp());
+            ges_terms.push(l_esh * q.count as f64);
+            slog_terms.push(l_slog * q.count as f64);
+        }
+        let mut s_vcp = 0.0;
+        for (ci, n) in &target.strands {
+            s_vcp += max_t.get(ci).copied().unwrap_or(0.0) * *n as f64;
+        }
+        TargetScore {
+            target: TargetId(ti),
+            name: target.name.clone(),
+            ges: ges(ges_terms),
+            s_log: ges(slog_terms),
+            s_vcp,
+        }
+    }
+
+    /// The refine-top-K second pass: makes every score behind the served
+    /// ranking window **exact** (scanning 2× the served depth so rank-K
+    /// membership is decided among exact scores, not estimates), then
+    /// re-ranks — to a fixpoint, since exact repricing can pull new
+    /// targets into the window.
+    ///
+    /// For each window target, cells already verified (band collisions,
+    /// margin fallbacks, earlier queries) are pulled from the [`VcpCache`]
+    /// — no solver work. Remaining cells were sketch-pruned; they are
+    /// verified in descending-bound order, but **only while their
+    /// containment bound can still beat the target's current exact
+    /// maximum** (per query strand for GES/S-LOG, per class for S-VCP).
+    /// A skipped cell provably cannot change either maximum — the bound
+    /// never underestimates VCP — so each window target's final maxima are
+    /// its true maxima, whatever subset of cells the cache already knew.
+    ///
+    /// Scores are rebuilt from those maxima via
+    /// [`SimilarityEngine::score_refined_target`], with the H0
+    /// accumulators **frozen at the estimated matrix**. The matrix itself
+    /// is never mutated: which cells the pass verifies (and which it
+    /// dominance-skips or finds pre-cached) depends on cross-query cache
+    /// state, so folding those values back into H0 would make served GES
+    /// depend on engine history — the serving layer's byte-identity
+    /// contract (`bench-serve`) demands that a query's response be a pure
+    /// function of the query, corpus and config. With frozen H0 and true
+    /// maxima, it is. The served window's internal order equals the
+    /// exhaustive engine's relative order of those targets: LES
+    /// differences between targets share the per-strand H0 term, which
+    /// cancels (absolute GES still differs from the exhaustive engine by
+    /// that H0 offset, identically for every window target).
+    ///
+    /// Terminates because the refined-target set grows monotonically and
+    /// is bounded by the corpus. No-op when the sketch tier or
+    /// [`PrefilterConfig::refine_top_k`] is off.
+    fn refine_served_window(
+        &self,
+        query: &[QueryStrand],
+        matrix: &[Vec<VcpPair>],
+        scores: &mut [TargetScore],
+        cancel: &CancelToken,
+    ) -> Result<(), QueryCancelled> {
+        let Some(cfg) = self.config.active_sketch().cloned() else {
+            return Ok(());
+        };
+        let k = cfg.effective_refine_top_k();
+        if k == 0 || query.is_empty() || self.targets.is_empty() {
+            return Ok(());
+        }
+        if self.ensure_sketch_index().is_none() {
+            return Ok(());
+        }
+        // Frozen at the estimated matrix (see the method docs): every
+        // refined score shares these accumulators, keeping responses
+        // cache-state-independent.
+        let h0 = self.h0_accumulators(query, matrix);
+        let vcp_fp = self.config.vcp.fingerprint();
+        let mut session = self
+            .sessions
+            .lock()
+            .expect("session pool poisoned")
+            .pop()
+            .unwrap_or_else(|| VerifierSession::with_config(self.config.equiv));
+        let perf0 = session.stats().solver;
+        let mut refined_targets = vec![false; self.targets.len()];
+        let mut refined_pairs = 0u64;
+        // Probe sketches (base battery + probe rounds) for refine's
+        // bounds, cached per strand: a few extra concrete-eval rounds per
+        // side buy the tightest available upper bound, and every
+        // tightened bound is another chance to dominance-skip an exact
+        // verification.
+        let mut probe_q: HashMap<usize, SemanticSketch> = HashMap::new();
+        let mut probe_c: HashMap<usize, SemanticSketch> = HashMap::new();
+        self.prefilter_stats.record_refine_pass();
+        let outcome = 'refine: loop {
+            // The served window under the current scores — the same order
+            // `QueryScores::ranked` serves (GES desc, TargetId asc).
+            let mut order: Vec<usize> = (0..scores.len()).collect();
+            order.sort_by(|&a, &b| {
+                scores[b]
+                    .ges
+                    .partial_cmp(&scores[a].ges)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(scores[a].target.cmp(&scores[b].target))
+            });
+            // 2× slack: refining only the estimated top-K decides the
+            // window *boundary* on estimated scores — a target whose
+            // pruned evidence would lift it from rank 12 to rank 8 never
+            // enters the window. Scanning twice the served depth prices
+            // the contenders exactly too, so membership at rank K is
+            // decided among exact scores (bounded, and deterministic
+            // because the scan depth depends only on config).
+            let pending: Vec<usize> = order
+                .into_iter()
+                .take(k.saturating_mul(2))
+                .filter(|&ti| !refined_targets[ti])
+                .collect();
+            if pending.is_empty() {
+                break Ok(());
+            }
+            for ti in pending {
+                refined_targets[ti] = true;
+                if cancel.is_cancelled() {
+                    break 'refine Err(QueryCancelled);
+                }
+                let strands = &self.targets[ti].strands;
+                // Exact maxima this target already has: per query strand
+                // (drives GES/S-LOG) and per class (drives S-VCP). Seeded
+                // from cache-known cells; unknown cells are sketch-pruned.
+                let mut max_q = vec![0.0f64; query.len()];
+                let mut max_t: HashMap<usize, f64> = HashMap::new();
+                // Sketch-pruned cells: `(bound_q, bound_t, qi, ci)`.
+                let mut unknown: Vec<(f64, f64, usize, usize)> = Vec::new();
+                for &(ci, _) in strands {
+                    let class = &self.classes[ci];
+                    for (qi, q) in query.iter().enumerate() {
+                        if !size_ratio_ok(&self.config.vcp, q.vars, class.vars) {
+                            continue;
+                        }
+                        if self.config.prefilter {
+                            let fwd = q.signature.overlap_bound(&class.signature);
+                            let bwd = class.signature.overlap_bound(&q.signature);
+                            if fwd < self.config.prefilter_threshold
+                                && bwd < self.config.prefilter_threshold
+                            {
+                                continue;
+                            }
+                        }
+                        let key = (q.hash, class.hash, vcp_fp);
+                        // `peek`, not `get`: this scan separates known from
+                        // pruned cells and must not distort the miss
+                        // counter the benches report as verifier calls.
+                        if let Some(v) = self.cache.peek(&key) {
+                            max_q[qi] = max_q[qi].max(v.q_in_t);
+                            let m = max_t.entry(ci).or_insert(0.0);
+                            *m = m.max(v.t_in_q);
+                        } else {
+                            let (c_q, c_t) = if q.sketch.is_some() {
+                                let pq = probe_q
+                                    .entry(qi)
+                                    .or_insert_with(|| compute_probe_sketch(&q.proc_, &cfg));
+                                let pt = probe_c
+                                    .entry(ci)
+                                    .or_insert_with(|| compute_probe_sketch(&class.proc_, &cfg));
+                                (pq.containment_in(pt), pt.containment_in(pq))
+                            } else {
+                                // No sketch to bound with: always verify.
+                                (1.0, 1.0)
+                            };
+                            unknown.push((c_q, c_t, qi, ci));
+                        }
+                    }
+                }
+                // Verify pruned cells best-bound-first so early exact
+                // results raise the maxima and dominate the rest away.
+                unknown.sort_by(|a, b| {
+                    b.0.max(b.1)
+                        .partial_cmp(&a.0.max(a.1))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.2.cmp(&b.2))
+                        .then(a.3.cmp(&b.3))
+                });
+                for (c_q, c_t, qi, ci) in unknown {
+                    let dominated = c_q <= max_q[qi] && c_t <= *max_t.get(&ci).unwrap_or(&0.0);
+                    if dominated {
+                        // True VCP ≤ bound ≤ an exact value already in the
+                        // matrix: this cell cannot move any maximum.
+                        continue;
+                    }
+                    if cancel.is_cancelled() {
+                        break 'refine Err(QueryCancelled);
+                    }
+                    let q = &query[qi];
+                    let class = &self.classes[ci];
+                    let key = (q.hash, class.hash, vcp_fp);
+                    // `peek` again (see above): refine's lookups are
+                    // state-dependent (a warm repeat verifies nothing), so
+                    // counting them would make the hit/miss totals
+                    // nondeterministic. [`PrefilterStats::refined_pairs`]
+                    // carries refine's verifier work instead. The re-peek
+                    // also picks up a value a concurrent query inserted
+                    // since the scan.
+                    let v = match self.cache.peek(&key) {
+                        Some(v) => v,
+                        None => {
+                            let v = vcp_pair(
+                                &mut session,
+                                &q.proc_,
+                                &class.proc_,
+                                &self.config.vcp,
+                            );
+                            self.cache.insert(key, v);
+                            refined_pairs += 1;
+                            v
+                        }
+                    };
+                    max_q[qi] = max_q[qi].max(v.q_in_t);
+                    let m = max_t.entry(ci).or_insert(0.0);
+                    *m = m.max(v.t_in_q);
+                }
+                // Exact maxima in hand: rebuild this target's score
+                // against the frozen H0. `scores` is in target order
+                // (score_targets builds it that way), so `ti` indexes it.
+                scores[ti] = self.score_refined_target(ti, query, &max_q, &max_t, &h0);
+            }
+        };
+        self.prefilter_stats.record_refined_pairs(refined_pairs);
+        self.solver.add(&session.stats().solver.delta_since(&perf0));
+        if session.pool().len() <= Self::SESSION_TERM_CAP {
+            self.sessions
+                .lock()
+                .expect("session pool poisoned")
+                .push(session);
+        }
+        outcome
+    }
+
+    /// Calibrates [`PrefilterConfig::exact_fallback_margin`] from a
+    /// held-out sample of this corpus and installs the chosen margin.
+    ///
+    /// Samples up to `sample_pairs` deterministic pseudo-random distinct
+    /// class pairs that survive the size and legacy-signature filters,
+    /// prices each pair's sketch containment bound **and** exact VCP, and
+    /// picks the largest grid margin whose would-pruned samples all have
+    /// exact VCP at most `max_pruned_vcp` (see
+    /// [`calibrated_margin`](crate::prefilter::calibrated_margin)).
+    ///
+    /// Returns `None` when the sketch tier is off, the corpus has fewer
+    /// than two classes, or no sampled pair survives the filters. Exact
+    /// results are memoized in the [`VcpCache`], so calibration work is
+    /// shared with later queries. Note the installed margin changes the
+    /// config fingerprint — calibrate before saving a snapshot, not after
+    /// loading one.
+    pub fn calibrate_margin(
+        &mut self,
+        sample_pairs: usize,
+        max_pruned_vcp: f64,
+    ) -> Option<MarginCalibration> {
+        let cfg = *self.config.active_sketch()?;
+        let n = self.classes.len();
+        if n < 2 || sample_pairs == 0 {
+            return None;
+        }
+        let vcp_fp = self.config.vcp.fingerprint();
+        let mut session = self
+            .sessions
+            .lock()
+            .expect("session pool poisoned")
+            .pop()
+            .unwrap_or_else(|| VerifierSession::with_config(self.config.equiv));
+        let perf0 = session.stats().solver;
+        let mut samples = Vec::with_capacity(sample_pairs);
+        let mut seen = std::collections::HashSet::new();
+        let mut sketches: HashMap<usize, SemanticSketch> = HashMap::new();
+        // Deterministic pseudo-random pair stream: the sample (and hence
+        // the calibrated margin) is a pure function of the corpus.
+        for draw in 0..(sample_pairs as u64).saturating_mul(64) {
+            if samples.len() >= sample_pairs {
+                break;
+            }
+            let a = (stable_hash64([0x6361_6c69_u64, draw]) % n as u64) as usize;
+            let b = (stable_hash64([0x6d61_7267_u64, draw]) % n as u64) as usize;
+            if a == b {
+                continue;
+            }
+            let (a, b) = (a.min(b), a.max(b));
+            if !seen.insert((a, b)) {
+                continue;
+            }
+            let (qa, qb) = (&self.classes[a], &self.classes[b]);
+            if !size_ratio_ok(&self.config.vcp, qa.vars, qb.vars) {
+                continue;
+            }
+            if self.config.prefilter {
+                let fwd = qa.signature.overlap_bound(&qb.signature);
+                let bwd = qb.signature.overlap_bound(&qa.signature);
+                if fwd < self.config.prefilter_threshold && bwd < self.config.prefilter_threshold {
+                    continue;
+                }
+            }
+            for i in [a, b] {
+                sketches.entry(i).or_insert_with(|| match &self.classes[i].sketch {
+                    Some(s) => s.clone(),
+                    None => compute_sketch(&self.classes[i].proc_, &cfg),
+                });
+            }
+            let bound = sketches[&a]
+                .containment_in(&sketches[&b])
+                .max(sketches[&b].containment_in(&sketches[&a]));
+            // Exact pricing only where it can matter: a sample whose
+            // *bound* already clears the safety cap has exact VCP ≤ bound
+            // ≤ cap and can never veto a margin, so recording the bound
+            // as its (upper-bounded) exact value leaves the calibration
+            // decision unchanged and skips the solver entirely. Only
+            // samples in the risky band above the cap pay for a
+            // verification.
+            let exact = if bound <= max_pruned_vcp {
+                bound
+            } else {
+                let key = (qa.hash, qb.hash, vcp_fp);
+                let v = match self.cache.get(&key) {
+                    Some(v) => v,
+                    None => {
+                        let v = vcp_pair(&mut session, &qa.proc_, &qb.proc_, &self.config.vcp);
+                        self.cache.insert(key, v);
+                        v
+                    }
+                };
+                v.q_in_t.max(v.t_in_q)
+            };
+            samples.push(MarginSample { bound, exact });
+        }
+        self.solver.add(&session.stats().solver.delta_since(&perf0));
+        if session.pool().len() <= Self::SESSION_TERM_CAP {
+            self.sessions
+                .lock()
+                .expect("session pool poisoned")
+                .push(session);
+        }
+        if samples.is_empty() {
+            return None;
+        }
+        let cal = calibrated_margin(&samples, max_pruned_vcp);
+        if let Some(sketch) = &mut self.config.sketch {
+            sketch.exact_fallback_margin = cal.margin;
+        }
+        Some(cal)
     }
 
     /// Overrides the worker-thread count for subsequent queries. Threads
@@ -1096,7 +1551,16 @@ mod tests {
             .collect();
         let q = gcc().compile_function(&f);
 
-        let mut on = SimilarityEngine::new(quick_config());
+        // Refinement off: the whole 8-target corpus fits inside the
+        // default K=10 window, so refine would re-price every pair and
+        // erase the solver saving this test asserts.
+        let mut on = SimilarityEngine::new(EngineConfig {
+            sketch: Some(PrefilterConfig {
+                refine_top_k: None,
+                ..PrefilterConfig::default()
+            }),
+            ..quick_config()
+        });
         let mut off = SimilarityEngine::new(EngineConfig {
             sketch: None,
             ..quick_config()
@@ -1146,6 +1610,104 @@ mod tests {
             assert_eq!(x.s_vcp.to_bits(), y.s_vcp.to_bits());
         }
         assert_eq!(with.prefilter_stats(), PrefilterStatsSnapshot::default());
+    }
+
+    #[test]
+    fn refine_window_covering_corpus_reproduces_exhaustive_ranking() {
+        // With every target inside the refine window, every target's
+        // maxima are exact: the full ranking must equal the exhaustive
+        // engine's and S-VCP (H0-free) must be bit-identical. GES itself
+        // differs by a per-query H0 constant — dominance-skipped cells
+        // keep their pruned zero in the H0 mean — which shifts every
+        // target equally and cancels in the order.
+        let f = demo::heartbleed_like();
+        let mut on = SimilarityEngine::new(quick_config());
+        let mut off = SimilarityEngine::new(EngineConfig {
+            sketch: None,
+            ..quick_config()
+        });
+        for (name, p) in demo::cve_functions() {
+            let p = clang().compile_function(&p);
+            on.add_target(name, &p);
+            off.add_target(name, &p);
+        }
+        let q = gcc().compile_function(&f);
+        let a = on.query(&q);
+        let b = off.query(&q);
+        let order = |s: &QueryScores| -> Vec<TargetId> {
+            s.ranked().iter().map(|t| t.target).collect()
+        };
+        assert_eq!(order(&a), order(&b), "served order diverged");
+        for (x, y) in a.scores.iter().zip(&b.scores) {
+            assert_eq!(x.s_vcp.to_bits(), y.s_vcp.to_bits(), "{}", x.name);
+        }
+        let stats = on.prefilter_stats();
+        assert_eq!(stats.refine_passes, 1, "one query, one refine pass");
+    }
+
+    #[test]
+    fn wide_ambiguity_window_probes_and_keeps_top_rank() {
+        // A window spanning the whole bound range forces every
+        // non-candidate pair through the probe path; the refined bounds
+        // must still be sound (top-1 matches the exhaustive engine) and
+        // every probe must resolve to a prune or an escalation.
+        let f = demo::heartbleed_like();
+        let probing = PrefilterConfig {
+            ambiguity_window: Some(1.0),
+            refine_top_k: None,
+            ..PrefilterConfig::default()
+        };
+        let mut on = SimilarityEngine::new(EngineConfig {
+            sketch: Some(probing),
+            ..quick_config()
+        });
+        let mut off = SimilarityEngine::new(EngineConfig {
+            sketch: None,
+            ..quick_config()
+        });
+        for (name, p) in demo::cve_functions() {
+            let p = clang().compile_function(&p);
+            on.add_target(name, &p);
+            off.add_target(name, &p);
+        }
+        let q = gcc().compile_function(&f);
+        let ranked_on = on.query(&q);
+        let ranked_off = off.query(&q);
+        assert_eq!(ranked_on.ranked()[0].target, ranked_off.ranked()[0].target);
+        let stats = on.prefilter_stats();
+        assert!(stats.ambiguous_probes > 0, "window forced no probes");
+        assert_eq!(
+            stats.pairs_pruned + stats.probe_escalations,
+            stats.ambiguous_probes,
+            "every probe resolves to a prune or an escalation: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn calibrate_margin_installs_a_grid_margin_and_changes_fingerprint() {
+        let mut engine = SimilarityEngine::new(quick_config());
+        for (name, p) in demo::cve_functions() {
+            engine.add_target(name, &gcc().compile_function(&p));
+        }
+        let fp0 = engine.config().fingerprint();
+        let cal = engine
+            .calibrate_margin(40, 0.5)
+            .expect("corpus yields samples");
+        assert!(cal.sampled_pairs > 0);
+        assert!((0.3..=0.9).contains(&cal.margin), "off-grid: {cal:?}");
+        assert!(cal.max_pruned_exact <= 0.5, "distortion cap violated");
+        let installed = engine.config().active_sketch().unwrap().exact_fallback_margin;
+        assert_eq!(installed, cal.margin);
+        if (cal.margin - PrefilterConfig::default().exact_fallback_margin).abs() > 1e-9 {
+            assert_ne!(engine.config().fingerprint(), fp0);
+        }
+        // Calibration is a pure function of the corpus: re-running on an
+        // identical engine picks the same margin.
+        let mut twin = SimilarityEngine::new(quick_config());
+        for (name, p) in demo::cve_functions() {
+            twin.add_target(name, &gcc().compile_function(&p));
+        }
+        assert_eq!(twin.calibrate_margin(40, 0.5).unwrap().margin, cal.margin);
     }
 
     #[test]

@@ -77,8 +77,9 @@ pub use engine::{
     TargetId, TargetScore,
 };
 pub use prefilter::{
-    compute_sketch, PrefilterConfig, PrefilterStats, PrefilterStatsSnapshot, SemanticSketch,
-    SketchIndex,
+    bounds_decision, calibrated_margin, compute_probe_sketch, compute_sketch, MarginCalibration,
+    MarginSample, PrefilterConfig, PrefilterStats, PrefilterStatsSnapshot, SemanticSketch,
+    SketchDecision, SketchIndex,
 };
 pub use esh_solver::SolverPerf;
 pub use snapshot::{ConfigMismatchKind, SnapshotError, SNAPSHOT_FORMAT_VERSION};

@@ -55,18 +55,51 @@ pub struct PrefilterConfig {
     pub enabled: bool,
     /// Number of concrete input vectors every strand class is evaluated
     /// on. More vectors tighten the containment bound (fewer spurious
-    /// exact fallbacks) at linear sketching cost.
+    /// exact fallbacks) at linear sketching cost. Default: 8.
     pub vectors: usize,
-    /// LSH bands over the minhash signature.
+    /// LSH bands over the minhash signature. Default: 4.
     pub bands: usize,
     /// Minhash rows per band. `bands × rows` hash functions total; more
-    /// rows make a band collision demand closer sketches.
+    /// rows make a band collision demand closer sketches. Default: 4.
     pub rows: usize,
     /// Containment bound at or above which a non-candidate pair is still
     /// verified exactly. Every pair whose true VCP (either direction)
     /// reaches this margin is guaranteed an exact verdict, because the
-    /// bound never underestimates VCP.
+    /// bound never underestimates VCP. Lower margins prune less (deeper
+    /// rank fidelity, more SAT work); higher margins prune more. Default
+    /// 0.7; [`SimilarityEngine::calibrate_margin`] picks a per-corpus
+    /// value from a held-out sample.
+    ///
+    /// [`SimilarityEngine::calibrate_margin`]:
+    ///     crate::SimilarityEngine::calibrate_margin
     pub exact_fallback_margin: f64,
+    /// Half-width of the **ambiguity window** around
+    /// `exact_fallback_margin`. A non-candidate pair whose larger
+    /// containment bound lands inside `[margin − w, margin + w)` is
+    /// *ambiguous*: the base battery cannot confidently separate it from
+    /// the margin, so the pair is re-sketched on
+    /// [`PrefilterConfig::probe_vectors`] extra concrete vectors before
+    /// deciding (the PEM-style "more probes where the evidence is thin").
+    /// Wider windows trade extra concrete evaluation for fewer wrong
+    /// prune/fallback calls near the margin. `None` disables probing
+    /// (the pre-probe decision rule; also what pre-v4 snapshots load as).
+    /// Default: `Some(0.2)`.
+    pub ambiguity_window: Option<f64>,
+    /// Extra eval-battery vectors an ambiguous pair's strands are probed
+    /// on (on top of [`PrefilterConfig::vectors`]). More probe vectors
+    /// make the refined bound tighter — spurious digest agreements
+    /// separate — at linear concrete-evaluation cost per *strand class*
+    /// (probe sketches are cached per class, not per pair). `None`
+    /// disables probing. Default: `Some(24)`.
+    pub probe_vectors: Option<usize>,
+    /// Size of the served ranking window that is re-priced through the
+    /// full solver path after the pruned ranking (the refine-top-K pass):
+    /// every pair behind the top-K targets users actually see is exact,
+    /// so the window's internal order equals the exhaustive order.
+    /// Larger K buys ranking depth with SAT work proportional to the
+    /// window's class count. `None`/`Some(0)` disables refinement.
+    /// Default: `Some(10)`.
+    pub refine_top_k: Option<usize>,
 }
 
 impl Default for PrefilterConfig {
@@ -77,6 +110,9 @@ impl Default for PrefilterConfig {
             bands: 4,
             rows: 4,
             exact_fallback_margin: 0.7,
+            ambiguity_window: Some(0.2),
+            probe_vectors: Some(24),
+            refine_top_k: Some(10),
         }
     }
 }
@@ -85,14 +121,94 @@ impl PrefilterConfig {
     /// Stable FNV-1a digest over every knob. Sketches and pruned-pair
     /// estimates are only valid under the parameters that produced them,
     /// so [`crate::EngineConfig::fingerprint`] folds this in.
+    ///
+    /// The post-v3 knobs (`ambiguity_window`, `probe_vectors`,
+    /// `refine_top_k`) are mixed **only when present**, so a config
+    /// loaded from a pre-v4 snapshot (where they deserialize as `None`)
+    /// keeps the fingerprint it was recorded with.
     pub fn fingerprint(&self) -> u64 {
-        stable_hash64([
+        let mut fields = vec![
             u64::from(self.enabled),
             self.vectors as u64,
             self.bands as u64,
             self.rows as u64,
             self.exact_fallback_margin.to_bits(),
-        ])
+        ];
+        if let Some(w) = self.ambiguity_window {
+            fields.push(0xa3b1);
+            fields.push(w.to_bits());
+        }
+        if let Some(p) = self.probe_vectors {
+            fields.push(0xa3b2);
+            fields.push(p as u64);
+        }
+        if let Some(k) = self.refine_top_k {
+            fields.push(0xa3b3);
+            fields.push(k as u64);
+        }
+        stable_hash64(fields)
+    }
+
+    /// Effective ambiguity-window half-width: 0.0 (probing off) unless
+    /// both `ambiguity_window` and `probe_vectors` are configured.
+    pub fn probe_window(&self) -> f64 {
+        match (self.ambiguity_window, self.probe_vectors) {
+            (Some(w), Some(p)) if w > 0.0 && p > 0 => w,
+            _ => 0.0,
+        }
+    }
+
+    /// Effective extra probe-vector count (0 = probing off).
+    pub fn effective_probe_vectors(&self) -> usize {
+        if self.probe_window() > 0.0 {
+            self.probe_vectors.unwrap_or(0)
+        } else {
+            0
+        }
+    }
+
+    /// Effective refine window size (0 = refinement off).
+    pub fn effective_refine_top_k(&self) -> usize {
+        self.refine_top_k.unwrap_or(0)
+    }
+}
+
+/// What the sketch tier decided for a non-candidate pair from its base
+/// containment bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SketchDecision {
+    /// Both bounds confidently below the margin: price the pair as the
+    /// zero pair without any solver work.
+    Prune,
+    /// The larger bound lands inside the ambiguity window around the
+    /// margin: re-sketch both strands on extra probe vectors and re-apply
+    /// the margin to the refined bounds.
+    Probe,
+    /// A bound confidently reaches the margin: verify exactly.
+    Exact,
+}
+
+/// The decision rule over one pair's containment bounds.
+///
+/// With `window == 0.0` this is the pre-probe rule: prune iff both
+/// bounds fall below `margin`. With a positive window, bounds whose
+/// maximum lands inside `[margin − window, margin + window)` return
+/// [`SketchDecision::Probe`] instead of being decided on base evidence.
+/// Soundness is unaffected: probing re-applies the margin to refined
+/// bounds which are themselves upper bounds on the exact VCP, so a pair
+/// whose true VCP reaches the margin can never end up pruned.
+pub fn bounds_decision(c_q: f64, c_t: f64, margin: f64, window: f64) -> SketchDecision {
+    let hi = c_q.max(c_t);
+    if hi >= margin + window {
+        SketchDecision::Exact
+    } else if hi < margin - window {
+        SketchDecision::Prune
+    } else if window > 0.0 {
+        SketchDecision::Probe
+    } else if hi < margin {
+        SketchDecision::Prune
+    } else {
+        SketchDecision::Exact
     }
 }
 
@@ -166,6 +282,28 @@ impl SemanticSketch {
 /// bitvector inputs of a round share one pseudo-random value, all memory
 /// inputs one base image — the correspondence-invariance requirement).
 pub fn compute_sketch(proc_: &Proc, config: &PrefilterConfig) -> SemanticSketch {
+    compute_sketch_rounds(proc_, config, config.vectors)
+}
+
+/// Computes the **probe** sketch of a lifted strand: the same
+/// construction as [`compute_sketch`] over the base battery *extended*
+/// by [`PrefilterConfig::effective_probe_vectors`] extra rounds.
+///
+/// More rounds make each per-temp digest fold more evidence, so two
+/// temps that agreed on the base battery by coincidence separate, while
+/// genuinely matchable temps (equal under some correspondence on every
+/// uniform round) still collide. The resulting containment bound is
+/// therefore still a true upper bound on the exact VCP — the property
+/// the ambiguity-window decision relies on.
+pub fn compute_probe_sketch(proc_: &Proc, config: &PrefilterConfig) -> SemanticSketch {
+    compute_sketch_rounds(
+        proc_,
+        config,
+        config.vectors + config.effective_probe_vectors(),
+    )
+}
+
+fn compute_sketch_rounds(proc_: &Proc, config: &PrefilterConfig, vectors: usize) -> SemanticSketch {
     let mut pool = TermPool::new();
     let mut next_id = 0u32;
     let mut ids = HashMap::new();
@@ -179,7 +317,7 @@ pub fn compute_sketch(proc_: &Proc, config: &PrefilterConfig) -> SemanticSketch 
     let temps = proc_.temps();
     let temp_terms: Vec<_> = temps.iter().map(|v| terms[v.index()]).collect();
 
-    let rounds: Vec<Assignment> = (0..config.vectors as u64)
+    let rounds: Vec<Assignment> = (0..vectors as u64)
         .map(|round| {
             let mut a = Assignment::random(round);
             let bv = stable_hash64([SKETCH_SEED, round, 1]);
@@ -297,6 +435,10 @@ pub struct PrefilterStats {
     pairs_pruned: AtomicU64,
     sketch_collisions: AtomicU64,
     exact_fallbacks: AtomicU64,
+    ambiguous_probes: AtomicU64,
+    probe_escalations: AtomicU64,
+    refined_pairs: AtomicU64,
+    refine_passes: AtomicU64,
 }
 
 impl PrefilterStats {
@@ -316,12 +458,38 @@ impl PrefilterStats {
         self.exact_fallbacks.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one pair whose base bounds landed in the ambiguity window
+    /// and was re-sketched on extra probe vectors.
+    pub fn record_probe(&self) {
+        self.ambiguous_probes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one probed pair whose refined bounds still reached the
+    /// margin and escalated to exact verification.
+    pub fn record_probe_escalation(&self) {
+        self.probe_escalations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts `n` sketch-pruned pairs re-verified by a refine-top-K pass.
+    pub fn record_refined_pairs(&self, n: u64) {
+        self.refined_pairs.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts one query that ran a refine-top-K pass.
+    pub fn record_refine_pass(&self) {
+        self.refine_passes.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of the counters.
     pub fn snapshot(&self) -> PrefilterStatsSnapshot {
         PrefilterStatsSnapshot {
             pairs_pruned: self.pairs_pruned.load(Ordering::Relaxed),
             sketch_collisions: self.sketch_collisions.load(Ordering::Relaxed),
             exact_fallbacks: self.exact_fallbacks.load(Ordering::Relaxed),
+            ambiguous_probes: self.ambiguous_probes.load(Ordering::Relaxed),
+            probe_escalations: self.probe_escalations.load(Ordering::Relaxed),
+            refined_pairs: self.refined_pairs.load(Ordering::Relaxed),
+            refine_passes: self.refine_passes.load(Ordering::Relaxed),
         }
     }
 }
@@ -334,8 +502,92 @@ pub struct PrefilterStatsSnapshot {
     /// Pairs retrieved as LSH candidates (shared at least one band).
     pub sketch_collisions: u64,
     /// Non-candidate pairs whose containment bound reached the margin and
-    /// fell back to exact verification.
+    /// fell back to exact verification (probe escalations included).
     pub exact_fallbacks: u64,
+    /// Pairs whose base bounds landed inside the ambiguity window and
+    /// were re-sketched on extra probe vectors before deciding.
+    pub ambiguous_probes: u64,
+    /// Probed pairs whose refined bounds still reached the margin and
+    /// escalated to exact verification (the rest of the probes pruned).
+    pub probe_escalations: u64,
+    /// Sketch-pruned pairs the refine-top-K pass re-priced through the
+    /// verifier (cache-known and dominance-skipped cells excluded — see
+    /// the refine pass in `SimilarityEngine`).
+    pub refined_pairs: u64,
+    /// Queries that ran a refine-top-K pass over their served window.
+    pub refine_passes: u64,
+}
+
+/// One held-out observation for margin calibration: the larger of a
+/// pair's two sketch containment bounds against the larger of its two
+/// exact VCP directions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarginSample {
+    /// `max(containment(q→t), containment(t→q))` from the base sketches.
+    pub bound: f64,
+    /// `max(VCP(q,t), VCP(t,q))` from the exact verifier.
+    pub exact: f64,
+}
+
+/// Result of calibrating `exact_fallback_margin` against a held-out
+/// sample (see [`calibrated_margin`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarginCalibration {
+    /// The chosen margin.
+    pub margin: f64,
+    /// Sampled pairs the choice was driven by.
+    pub sampled_pairs: usize,
+    /// Fraction of the sample the chosen margin would prune.
+    pub pruned_fraction: f64,
+    /// Largest exact VCP among sampled pairs the chosen margin prunes
+    /// (the calibration's realized score-distortion bound).
+    pub max_pruned_exact: f64,
+}
+
+/// Margin grid the calibration searches (ascending).
+const MARGIN_GRID: [f64; 13] = [
+    0.30, 0.35, 0.40, 0.45, 0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90,
+];
+
+/// Picks the largest margin on a fixed grid such that **no sampled pair
+/// the margin would prune has exact VCP above `max_pruned_vcp`**.
+///
+/// The containment bound already guarantees pruned pairs have exact VCP
+/// below the margin; calibration tightens that to a per-corpus bound on
+/// the VCP evidence pruning may discard. `max_pruned_vcp` is the knob:
+/// at most this much true VCP may be zeroed per pruned pair. Sub-sigmoid
+/// values (≤ 0.5, where `likelihood` contributes almost nothing) keep
+/// pruned pairs out of the scoring's sensitive region entirely.
+///
+/// With an empty sample the grid's most conservative margin is returned.
+pub fn calibrated_margin(samples: &[MarginSample], max_pruned_vcp: f64) -> MarginCalibration {
+    let mut best = MARGIN_GRID[0];
+    if samples.is_empty() {
+        // No evidence: every grid point is vacuously "safe"; stay at the
+        // grid's most conservative margin instead of its largest.
+        return MarginCalibration {
+            margin: best,
+            sampled_pairs: 0,
+            pruned_fraction: 0.0,
+            max_pruned_exact: 0.0,
+        };
+    }
+    for &m in &MARGIN_GRID {
+        let safe = samples
+            .iter()
+            .filter(|s| s.bound < m)
+            .all(|s| s.exact <= max_pruned_vcp);
+        if safe {
+            best = m;
+        }
+    }
+    let pruned: Vec<&MarginSample> = samples.iter().filter(|s| s.bound < best).collect();
+    MarginCalibration {
+        margin: best,
+        sampled_pairs: samples.len(),
+        pruned_fraction: pruned.len() as f64 / samples.len().max(1) as f64,
+        max_pruned_exact: pruned.iter().map(|s| s.exact).fold(0.0, f64::max),
+    }
 }
 
 #[cfg(test)]
@@ -403,10 +655,19 @@ mod tests {
         stats.record_pruned();
         stats.record_collision();
         stats.record_fallback();
+        stats.record_probe();
+        stats.record_probe();
+        stats.record_probe_escalation();
+        stats.record_refined_pairs(5);
+        stats.record_refine_pass();
         let s = stats.snapshot();
         assert_eq!(s.pairs_pruned, 2);
         assert_eq!(s.sketch_collisions, 1);
         assert_eq!(s.exact_fallbacks, 1);
+        assert_eq!(s.ambiguous_probes, 2);
+        assert_eq!(s.probe_escalations, 1);
+        assert_eq!(s.refined_pairs, 5);
+        assert_eq!(s.refine_passes, 1);
     }
 
     #[test]
@@ -420,8 +681,91 @@ mod tests {
             PrefilterConfig { bands: 8, ..base },
             PrefilterConfig { rows: 3, ..base },
             PrefilterConfig { exact_fallback_margin: 0.5, ..base },
+            PrefilterConfig { ambiguity_window: Some(0.3), ..base },
+            PrefilterConfig { ambiguity_window: None, ..base },
+            PrefilterConfig { probe_vectors: Some(48), ..base },
+            PrefilterConfig { probe_vectors: None, ..base },
+            PrefilterConfig { refine_top_k: Some(5), ..base },
+            PrefilterConfig { refine_top_k: None, ..base },
         ] {
             assert!(seen.insert(cfg.fingerprint()), "collision for {cfg:?}");
         }
+    }
+
+    #[test]
+    fn probe_sketch_keeps_rename_invariance_and_folds_extra_rounds() {
+        // Probing extends the battery: rename-equivalent strands still
+        // produce identical probe sketches (full containment both ways),
+        // while each digest now folds more rounds than the base sketch.
+        let a = lift_text("mov r13, rbx\nlea rcx, [r13+0x3]\nshr rcx, 0x2");
+        let b = lift_text("mov r12, rbx\nlea rdi, [r12+0x3]\nshr rdi, 0x2");
+        let cfg = PrefilterConfig::default();
+        let pa = compute_probe_sketch(&a, &cfg);
+        let pb = compute_probe_sketch(&b, &cfg);
+        assert_eq!(pa, pb);
+        assert_eq!(pa.containment_in(&pb), 1.0);
+        let base = compute_sketch(&a, &cfg);
+        assert_eq!(base.digests.len(), pa.digests.len(), "digests are per value");
+        assert_ne!(base.digests, pa.digests, "probe rounds fold into digests");
+    }
+
+    #[test]
+    fn bounds_decision_partitions_around_the_margin() {
+        let m = 0.6;
+        let w = 0.1;
+        // Clearly below the window: prune without probing.
+        assert_eq!(bounds_decision(0.2, 0.3, m, w), SketchDecision::Prune);
+        // Clearly above the window: exact, no probe needed.
+        assert_eq!(bounds_decision(0.1, 0.8, m, w), SketchDecision::Exact);
+        // Inside [margin - w, margin + w): ambiguous, probe.
+        assert_eq!(bounds_decision(0.55, 0.1, m, w), SketchDecision::Probe);
+        assert_eq!(bounds_decision(0.1, 0.65, m, w), SketchDecision::Probe);
+        // The decision keys off the larger bound.
+        assert_eq!(bounds_decision(0.65, 0.75, m, w), SketchDecision::Exact);
+        // Zero window reduces to the legacy two-way margin rule.
+        assert_eq!(bounds_decision(0.59, 0.0, m, 0.0), SketchDecision::Prune);
+        assert_eq!(bounds_decision(0.61, 0.0, m, 0.0), SketchDecision::Exact);
+    }
+
+    #[test]
+    fn bounds_decision_never_prunes_at_or_above_margin() {
+        // Soundness invariant of the window rule: any pair whose larger
+        // bound reaches the margin is probed or verified, never pruned.
+        for m in [0.3, 0.6, 0.9] {
+            for w in [0.0, 0.05, 0.2] {
+                let mut hi = m;
+                while hi <= 1.0 + 1e-9 {
+                    let d = bounds_decision(hi, 0.0, m, w);
+                    assert_ne!(d, SketchDecision::Prune, "pruned hi={hi} m={m} w={w}");
+                    hi += 0.01;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn calibrated_margin_picks_largest_safe_grid_point() {
+        // Bounds dominate exacts (as containment guarantees). A margin of
+        // 0.7 would prune the (0.65, 0.6) sample whose exact exceeds the
+        // 0.5 distortion cap, so calibration must stop at 0.65.
+        let samples = [
+            MarginSample { bound: 0.2, exact: 0.1 },
+            MarginSample { bound: 0.5, exact: 0.4 },
+            MarginSample { bound: 0.65, exact: 0.6 },
+            MarginSample { bound: 0.9, exact: 0.85 },
+        ];
+        let cal = calibrated_margin(&samples, 0.5);
+        assert_eq!(cal.margin, 0.65);
+        assert_eq!(cal.sampled_pairs, 4);
+        assert_eq!(cal.pruned_fraction, 0.5);
+        assert_eq!(cal.max_pruned_exact, 0.4);
+    }
+
+    #[test]
+    fn calibrated_margin_on_empty_sample_is_most_conservative() {
+        let cal = calibrated_margin(&[], 0.5);
+        assert_eq!(cal.margin, MARGIN_GRID[0]);
+        assert_eq!(cal.sampled_pairs, 0);
+        assert_eq!(cal.pruned_fraction, 0.0);
     }
 }

@@ -61,12 +61,20 @@ use crate::engine::{EngineConfig, SimilarityEngine, StrandClass, TargetRecord};
 /// or the top-level layout. Purely additive optional fields may keep the
 /// older version readable (list it in [`READABLE_FORMAT_VERSIONS`]);
 /// anything else is rejected rather than migrated.
-pub const SNAPSHOT_FORMAT_VERSION: u32 = 3;
+///
+/// Version 4 added the staged-pricing knobs on `PrefilterConfig`
+/// (`ambiguity_window`, `probe_vectors`, `refine_top_k`) — optional
+/// fields, absent in older files, whose absence means "pre-probe
+/// behavior" and leaves the recorded fingerprint unchanged.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 4;
 
 /// Format versions [`SimilarityEngine::load`] accepts. Version 2 predates
 /// per-class semantic sketches; its documents parse with `sketch: None`
-/// everywhere and the engine rebuilds sketches lazily.
-pub const READABLE_FORMAT_VERSIONS: [u32; 2] = [2, SNAPSHOT_FORMAT_VERSION];
+/// everywhere and the engine rebuilds sketches lazily. Version 3 predates
+/// the staged-pricing knobs; its configs parse with the probe and refine
+/// fields `None`, which the engine treats as the v3 pricing rule
+/// (collision ⇒ exact, no ambiguity probing, no window refinement).
+pub const READABLE_FORMAT_VERSIONS: [u32; 3] = [2, 3, SNAPSHOT_FORMAT_VERSION];
 
 /// How a [`SnapshotError::ConfigMismatch`] came about — the two cases call
 /// for different operator action, so the error spells them apart.
@@ -430,6 +438,74 @@ mod tests {
             stats.sketch_collisions + stats.pairs_pruned + stats.exact_fallbacks > 0,
             "lazily rebuilt sketches never consulted: {stats:?}"
         );
+        restored.save(&path).unwrap();
+        let resaved = std::fs::read_to_string(&path).unwrap();
+        assert!(resaved.contains(&format!("\"format_version\":{SNAPSHOT_FORMAT_VERSION}")));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v3_snapshot_loads_with_pre_probe_pricing() {
+        // A format-3 document: sketch tier present but none of the
+        // staged-pricing knobs (`ambiguity_window`, `probe_vectors`,
+        // `refine_top_k`) and a fingerprint computed without them. It
+        // must load with those fields `None` — the v3 pricing rule
+        // (collision ⇒ exact, no probing, no refinement) — keep its
+        // recorded fingerprint, and save back as the current version.
+        let p = esh_asm::parse_proc(
+            "proc p\nentry:\nmov r12, rbx\nadd r12, 5\nlea rdi, [r12+0x3]\nxor rax, rdi",
+        )
+        .unwrap();
+        let sketch = crate::prefilter::PrefilterConfig {
+            ambiguity_window: None,
+            probe_vectors: None,
+            refine_top_k: None,
+            ..crate::prefilter::PrefilterConfig::default()
+        };
+        let mut engine = SimilarityEngine::new(EngineConfig {
+            threads: 1,
+            sketch: Some(sketch),
+            ..EngineConfig::default()
+        });
+        engine.add_target("t0", &p);
+        let recorded_fp = engine.config().fingerprint();
+        let path = temp_path("v3-forward");
+        engine.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Rewrite as a faithful v3 document: drop the null knob fields
+        // the v4 writer emits and stamp the old version number.
+        let v3 = text
+            .replace(
+                &format!("\"format_version\":{SNAPSHOT_FORMAT_VERSION}"),
+                "\"format_version\":3",
+            )
+            .replace(",\"ambiguity_window\":null", "")
+            .replace("\"ambiguity_window\":null,", "")
+            .replace(",\"probe_vectors\":null", "")
+            .replace("\"probe_vectors\":null,", "")
+            .replace(",\"refine_top_k\":null", "")
+            .replace("\"refine_top_k\":null,", "");
+        assert!(
+            !v3.contains("ambiguity_window") && !v3.contains("refine_top_k"),
+            "v3 doc must not mention the staged-pricing knobs"
+        );
+        std::fs::write(&path, &v3).unwrap();
+
+        let restored = SimilarityEngine::load(&path).expect("v3 snapshot must load");
+        let cfg = restored.config().sketch.as_ref().expect("sketch tier survives");
+        assert!(
+            cfg.ambiguity_window.is_none()
+                && cfg.probe_vectors.is_none()
+                && cfg.refine_top_k.is_none(),
+            "absent knobs must parse as the v3 pricing rule"
+        );
+        assert_eq!(
+            restored.config().fingerprint(),
+            recorded_fp,
+            "absent knobs must not move the fingerprint"
+        );
+        let scores = restored.query(&p);
+        assert_eq!(scores.scores.len(), 1);
         restored.save(&path).unwrap();
         let resaved = std::fs::read_to_string(&path).unwrap();
         assert!(resaved.contains(&format!("\"format_version\":{SNAPSHOT_FORMAT_VERSION}")));

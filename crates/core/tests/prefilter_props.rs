@@ -8,7 +8,10 @@
 //! random strands, not the curated corpus.
 
 use esh_asm::{parse_proc, Procedure};
-use esh_core::prefilter::{compute_sketch, PrefilterConfig, SketchIndex};
+use esh_core::prefilter::{
+    bounds_decision, compute_probe_sketch, compute_sketch, PrefilterConfig, SketchDecision,
+    SketchIndex,
+};
 use esh_core::{vcp_pair, EngineConfig, SimilarityEngine, VcpConfig};
 use esh_ivl::{lift, Proc};
 use esh_verifier::VerifierSession;
@@ -173,6 +176,88 @@ proptest! {
                 prop_assert_eq!(x.s_log.to_bits(), y.s_log.to_bits());
                 prop_assert_eq!(x.s_vcp.to_bits(), y.s_vcp.to_bits());
             }
+        }
+    }
+
+    /// The staged (v4) decision rule, probe path included, upholds the
+    /// same guarantee as the base rule: a pair is only ever pruned when
+    /// its exact VCP is below `exact_fallback_margin` in both directions.
+    /// Replays the engine's pricing ladder — base bounds, then probe
+    /// bounds for ambiguous pairs — and verifies every pruned outcome
+    /// against the exact verifier.
+    #[test]
+    fn staged_probing_never_prunes_an_at_or_above_margin_pair(
+        q in arb_strand(),
+        t in arb_strand(),
+    ) {
+        let cfg = PrefilterConfig::default();
+        let margin = cfg.exact_fallback_margin;
+        let sq = compute_sketch(&q, &cfg);
+        let st = compute_sketch(&t, &cfg);
+        let pruned = match bounds_decision(
+            sq.containment_in(&st),
+            st.containment_in(&sq),
+            margin,
+            cfg.probe_window(),
+        ) {
+            SketchDecision::Prune => true,
+            SketchDecision::Exact => false,
+            SketchDecision::Probe => {
+                // Ambiguous: the engine re-sketches on the probe battery
+                // and re-applies the margin to the refined bounds. Only a
+                // pair whose probed bounds BOTH fall below the margin is
+                // pruned; at/above-margin probe evidence escalates.
+                let pq = compute_probe_sketch(&q, &cfg);
+                let pt = compute_probe_sketch(&t, &cfg);
+                pq.containment_in(&pt) < margin && pt.containment_in(&pq) < margin
+            }
+        };
+        if pruned {
+            let mut session = VerifierSession::new();
+            let exact = vcp_pair(&mut session, &q, &t, &permissive_vcp());
+            prop_assert!(
+                exact.q_in_t < margin && exact.t_in_q < margin,
+                "staged rule pruned a pair with exact VCP ({}, {}) at margin {margin}",
+                exact.q_in_t, exact.t_in_q
+            );
+        }
+    }
+
+    /// Refine-top-K restores exact pairwise evidence for the served
+    /// window: with the default config (prune + probe + refine, and
+    /// `refine_top_k` ≥ these corpus sizes, so the window is the whole
+    /// ranking) every target's S-VCP is bit-identical to the exhaustive
+    /// engine's. S-VCP is the observable — it is a pure sum of per-class
+    /// VCP maxima, free of the H0 normalizer, which refine shifts equally
+    /// for every target without changing pairwise evidence.
+    #[test]
+    fn refined_window_svcp_is_bitwise_identical_to_exhaustive(
+        targets in prop::collection::vec(arb_procedure(), 1..4),
+        query in arb_procedure(),
+    ) {
+        let base = EngineConfig {
+            vcp: permissive_vcp(),
+            threads: 1,
+            ..EngineConfig::default()
+        };
+        let mut on = SimilarityEngine::new(base.clone());
+        let mut off = SimilarityEngine::new(EngineConfig { sketch: None, ..base });
+        for (i, t) in targets.iter().enumerate() {
+            on.add_target(format!("t{i}"), t);
+            off.add_target(format!("t{i}"), t);
+        }
+        let a = on.query(&query);
+        let b = off.query(&query);
+        prop_assert!(
+            on.prefilter_stats().refine_passes >= 1,
+            "refine pass did not run — the property would be vacuous"
+        );
+        prop_assert_eq!(a.scores.len(), b.scores.len());
+        for (x, y) in a.scores.iter().zip(&b.scores) {
+            prop_assert_eq!(
+                x.s_vcp.to_bits(), y.s_vcp.to_bits(),
+                "refined S-VCP diverged from exhaustive for target {:?}", x.target
+            );
         }
     }
 }

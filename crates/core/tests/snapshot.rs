@@ -65,7 +65,12 @@ fn warm_query_hits_cache_with_zero_solver_calls() {
     let stats = engine.cache_stats();
     assert_eq!(stats.hits, 0, "first query must not hit");
     assert!(stats.misses > 0, "first query must populate the cache");
-    assert_eq!(stats.entries as u64, stats.misses);
+    // Refine-top-K re-pricings insert entries without touching the
+    // hit/miss counters; they are tracked by `refined_pairs` instead.
+    assert_eq!(
+        stats.entries as u64,
+        stats.misses + engine.prefilter_stats().refined_pairs
+    );
 
     engine.reset_cache_counters();
     let warm = engine.query(&query);

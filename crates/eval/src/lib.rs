@@ -10,7 +10,9 @@
 
 pub mod cluster;
 pub mod experiments;
+pub mod rankcmp;
 pub mod render;
 mod roc;
 
+pub use rankcmp::{compare_rankings, kendall_tau, topk_agreement, RankComparison};
 pub use roc::{croc_auc, false_positives, roc_auc, CROC_ALPHA};

@@ -199,6 +199,22 @@ impl ServerStats {
             "esh_prefilter_exact_fallbacks_total {}\n",
             prefilter.exact_fallbacks
         ));
+        out.push_str(&format!(
+            "esh_prefilter_ambiguous_probes_total {}\n",
+            prefilter.ambiguous_probes
+        ));
+        out.push_str(&format!(
+            "esh_prefilter_probe_escalations_total {}\n",
+            prefilter.probe_escalations
+        ));
+        out.push_str(&format!(
+            "esh_prefilter_refined_pairs_total {}\n",
+            prefilter.refined_pairs
+        ));
+        out.push_str(&format!(
+            "esh_prefilter_refine_passes_total {}\n",
+            prefilter.refine_passes
+        ));
         out
     }
 }
@@ -334,12 +350,20 @@ mod tests {
                 pairs_pruned: 41,
                 sketch_collisions: 7,
                 exact_fallbacks: 3,
+                ambiguous_probes: 11,
+                probe_escalations: 5,
+                refined_pairs: 13,
+                refine_passes: 2,
             },
             0,
         );
         assert!(text.contains("esh_prefilter_pairs_pruned_total 41\n"));
         assert!(text.contains("esh_prefilter_sketch_collisions_total 7\n"));
         assert!(text.contains("esh_prefilter_exact_fallbacks_total 3\n"));
+        assert!(text.contains("esh_prefilter_ambiguous_probes_total 11\n"));
+        assert!(text.contains("esh_prefilter_probe_escalations_total 5\n"));
+        assert!(text.contains("esh_prefilter_refined_pairs_total 13\n"));
+        assert!(text.contains("esh_prefilter_refine_passes_total 2\n"));
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! `esh bench-prefilter`: pruned vs exhaustive engine comparison.
 //!
 //! Builds the cross-compiler corpus twice — once with the semantic-sketch
-//! prefilter tier enabled (the default [`EngineConfig`]) and once with it
-//! absent entirely — runs the same CVE queries through both, and compares:
+//! prefilter *prune tier* enabled (the default [`EngineConfig`] with
+//! refine-top-K disabled, so the numbers isolate the sketch margin) and
+//! once with the tier absent entirely — runs the same CVE queries through
+//! both, and compares:
 //!
 //! * **wall time** per mode (corpus build + all queries),
 //! * **SAT queries** and **verifier calls** (VCP-cache misses count
@@ -31,7 +33,8 @@ struct ModeRun {
     query_ms: u128,
     /// SAT queries issued across every query.
     sat_queries: u64,
-    /// `vcp_pair` invocations (VCP-cache misses).
+    /// `vcp_pair` invocations: VCP-cache misses plus refine-top-K
+    /// re-pricings (refine's lookups bypass the cache counters).
     verifier_calls: u64,
     /// Per-query ranked `(name, ges bits)` lists, self-match excluded.
     rankings: Vec<Vec<(String, u64)>>,
@@ -41,7 +44,16 @@ struct ModeRun {
 
 fn run_mode(corpus: &Corpus, queries: &[usize], sketch: bool) -> ModeRun {
     let config = if sketch {
-        EngineConfig::default()
+        // The *prune tier* in isolation: refine-top-K is disabled so the
+        // measured SAT savings are the sketch margin's alone. The staged
+        // pipeline with window refinement is bench-rankquality's subject —
+        // this bench's depressed top-10 agreement is exactly the depth
+        // sacrifice that bench exists to measure the recovery of.
+        let mut config = EngineConfig::default();
+        if let Some(sketch) = &mut config.sketch {
+            sketch.refine_top_k = None;
+        }
+        config
     } else {
         EngineConfig {
             sketch: None,
@@ -69,13 +81,14 @@ fn run_mode(corpus: &Corpus, queries: &[usize], sketch: bool) -> ModeRun {
                 .collect()
         })
         .collect();
+    let prefilter = engine.prefilter_stats();
     ModeRun {
         build_ms,
         query_ms: t1.elapsed().as_millis(),
         sat_queries: engine.solver_stats().sat_queries,
-        verifier_calls: engine.cache_stats().misses,
+        verifier_calls: engine.cache_stats().misses + prefilter.refined_pairs,
         rankings,
-        prefilter: engine.prefilter_stats(),
+        prefilter,
     }
 }
 
@@ -121,22 +134,24 @@ pub fn run(smoke: bool) -> Result<(), String> {
     eprintln!("bench-prefilter: prefiltered pass...");
     let on = run_mode(&corpus, &queries, true);
 
-    // Rank agreement between the two modes.
+    // Rank agreement between the two modes — reported per query, not just
+    // in aggregate, so a depth regression localizes to the query that
+    // caused it instead of hiding inside the mean.
     let mut top1_identical = true;
-    let mut agree = 0usize;
-    let mut slots = 0usize;
+    let mut per_query: Vec<f64> = Vec::with_capacity(on.rankings.len());
     for (a, b) in on.rankings.iter().zip(&off.rankings) {
         if a.first().map(|e| &e.0) != b.first().map(|e| &e.0) {
             top1_identical = false;
         }
-        slots += a.len().max(b.len());
-        agree += a
-            .iter()
-            .zip(b)
-            .filter(|(x, y)| x.0 == y.0)
-            .count();
+        let slots = a.len().max(b.len());
+        let agree = a.iter().zip(b).filter(|(x, y)| x.0 == y.0).count();
+        per_query.push(agree as f64 / slots.max(1) as f64);
     }
-    let topn_agreement = agree as f64 / slots.max(1) as f64;
+    let topn_agreement =
+        per_query.iter().sum::<f64>() / per_query.len().max(1) as f64;
+    let topn_agreement_min = per_query.iter().copied().fold(f64::INFINITY, f64::min);
+    let per_query_json: Vec<String> = per_query.iter().map(|x| format!("{x:.4}")).collect();
+    let per_query_json = format!("[{}]", per_query_json.join(", "));
     let sat_reduction = if off.sat_queries > 0 {
         1.0 - on.sat_queries as f64 / off.sat_queries as f64
     } else {
@@ -149,13 +164,14 @@ pub fn run(smoke: bool) -> Result<(), String> {
     };
     eprintln!(
         "bench-prefilter: SAT {} -> {} ({:.1}% fewer), verifier calls {} -> {}, \
-         top-1 identical: {top1_identical}, top-{TOP_N} agreement {:.1}%",
+         top-1 identical: {top1_identical}, top-{TOP_N} agreement mean {:.1}% min {:.1}%",
         off.sat_queries,
         on.sat_queries,
         sat_reduction * 100.0,
         off.verifier_calls,
         on.verifier_calls,
         topn_agreement * 100.0,
+        topn_agreement_min * 100.0,
     );
 
     let json = format!(
@@ -163,6 +179,8 @@ pub fn run(smoke: bool) -> Result<(), String> {
          \"corpus_procs\": {procs},\n  \"queries\": {nq},\n  \
          \"top1_identical\": {top1_identical},\n  \
          \"top{TOP_N}_agreement\": {topn_agreement:.4},\n  \
+         \"top{TOP_N}_agreement_min\": {topn_agreement_min:.4},\n  \
+         \"top{TOP_N}_agreement_per_query\": {per_query_json},\n  \
          \"exhaustive\": {{ \"build_ms\": {ob}, \"query_ms\": {oq}, \
          \"sat_queries\": {os}, \"verifier_calls\": {oc} }},\n  \
          \"prefiltered\": {{ \"build_ms\": {nb}, \"query_ms\": {nq2}, \

@@ -12,6 +12,7 @@
 //!           [--queue N] [--deadline-ms N] [--threads N]
 //! esh bench-serve [--smoke]
 //! esh bench-prefilter [--smoke]
+//! esh bench-rankquality [--smoke]
 //! esh stats <corpus.json>
 //! esh pair <corpus.json> <query-substring> <target-substring>
 //! ```
@@ -29,7 +30,10 @@
 //! machine-readable response schema from either path. `bench-serve`
 //! load-tests the daemon over loopback and writes `BENCH_serve.json`;
 //! `bench-prefilter` compares the sketch-prefiltered engine against the
-//! exhaustive one and writes `BENCH_prefilter.json`.
+//! exhaustive one and writes `BENCH_prefilter.json`; `bench-rankquality`
+//! scores the pruned ranking against the exhaustive one (top-K agreement,
+//! Kendall tau, ROC/CROC — see `docs/RANK_QUALITY.md`) and writes
+//! `BENCH_rankquality.json`.
 //!
 //! `query --index ... --no-prefilter` disables the semantic-sketch tier
 //! for that one query — the escape hatch when a sketch-estimated pair
@@ -52,6 +56,7 @@ fn usage() -> ExitCode {
          \x20         [--queue N] [--deadline-ms N] [--threads N]\n  \
          esh bench-serve [--smoke]\n  \
          esh bench-prefilter [--smoke]\n  \
+         esh bench-rankquality [--smoke]\n  \
          esh stats <corpus.json>\n  \
          esh pair <corpus.json> <query-substring> <target-substring>"
     );
@@ -80,6 +85,7 @@ fn main() -> ExitCode {
         Some("serve") => serve(&args[1..]),
         Some("bench-serve") => bench_serve(&args[1..]),
         Some("bench-prefilter") => bench_prefilter(&args[1..]),
+        Some("bench-rankquality") => bench_rankquality(&args[1..]),
         Some("stats") => stats(&args[1..]),
         Some("pair") => pair(&args[1..]),
         _ => return usage(),
@@ -413,6 +419,15 @@ fn bench_prefilter(args: &[String]) -> Result<(), String> {
         _ => return Err("bench-prefilter takes [--smoke]".into()),
     };
     esh::bench_prefilter::run(smoke)
+}
+
+fn bench_rankquality(args: &[String]) -> Result<(), String> {
+    let smoke = match args {
+        [] => false,
+        [flag] if flag == "--smoke" => true,
+        _ => return Err("bench-rankquality takes [--smoke]".into()),
+    };
+    esh::bench_rankquality::run(smoke)
 }
 
 fn stats(args: &[String]) -> Result<(), String> {

@@ -33,6 +33,7 @@
 //! ```
 
 pub mod bench_prefilter;
+pub mod bench_rankquality;
 
 pub use esh_asm as asm;
 pub use esh_baselines as baselines;
