@@ -160,6 +160,26 @@ struct QueryStrand {
     count: u64,
 }
 
+/// Per-strand artifacts memoized across one batch of queries (keyed by
+/// structural hash): both are pure functions of the lifted strand.
+#[derive(Debug, Clone)]
+struct PreparedStrand {
+    signature: Signature,
+    sketch: Option<SemanticSketch>,
+}
+
+/// One query in a [`SimilarityEngine::query_batch`] call: the procedure
+/// to score plus its own cancellation token. Tokens are per-item so one
+/// expired deadline abandons only its own query — the rest of the batch
+/// keeps running.
+#[derive(Debug)]
+pub struct BatchQuery<'a> {
+    /// The procedure to score against the corpus.
+    pub proc_: &'a Procedure,
+    /// Cancellation/deadline handle for this item alone.
+    pub cancel: CancelToken,
+}
+
 /// The score of one target for one query.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TargetScore {
@@ -586,7 +606,17 @@ impl SimilarityEngine {
         out
     }
 
-    fn prepare_query(&self, proc_: &Procedure) -> Vec<QueryStrand> {
+    /// Decomposes, lifts, and dedups one query procedure into canonical
+    /// strand order, with a cross-query strand memo. Signatures and
+    /// sketches are pure functions of the lifted strand, so a strand
+    /// shared by several batch items — or already indexed as a corpus
+    /// class, the common case when queries come from the served corpus —
+    /// is prepared exactly once per batch instead of once per occurrence.
+    fn prepare_query_memo(
+        &self,
+        proc_: &Procedure,
+        memo: &mut HashMap<u64, PreparedStrand>,
+    ) -> Vec<QueryStrand> {
         let mut by_hash: HashMap<u64, QueryStrand> = HashMap::new();
         for strand in self.decompose(proc_) {
             let lifted = lift_strand(&strand);
@@ -595,20 +625,29 @@ impl SimilarityEngine {
                 continue;
             }
             let h = structural_hash(&lifted);
-            by_hash
-                .entry(h)
-                .or_insert_with(|| QueryStrand {
-                    signature: semantic_signature(&lifted),
-                    sketch: self
-                        .config
-                        .active_sketch()
-                        .map(|cfg| compute_sketch(&lifted, cfg)),
+            if let Some(qs) = by_hash.get_mut(&h) {
+                qs.count += 1;
+                continue;
+            }
+            let prep = match memo.get(&h) {
+                Some(p) => p.clone(),
+                None => {
+                    let p = self.prepare_strand(h, &lifted);
+                    memo.insert(h, p.clone());
+                    p
+                }
+            };
+            by_hash.insert(
+                h,
+                QueryStrand {
+                    signature: prep.signature,
+                    sketch: prep.sketch,
                     proc_: lifted,
                     vars,
                     hash: h,
-                    count: 0,
-                })
-                .count += 1;
+                    count: 1,
+                },
+            );
         }
         // Canonical order: HashMap iteration is seeded per instance, and
         // the GES sum runs over query strands — float addition must happen
@@ -617,6 +656,26 @@ impl SimilarityEngine {
         let mut strands: Vec<QueryStrand> = by_hash.into_values().collect();
         strands.sort_by_key(|s| s.hash);
         strands
+    }
+
+    /// Signature + sketch for one query strand. When the strand is
+    /// already a corpus class (equal structural hash — the same identity
+    /// the dedup and cache layers rely on), the class's stored artifacts
+    /// are reused instead of recomputed; both are pure functions of the
+    /// lifted strand, so the values are identical either way.
+    fn prepare_strand(&self, h: u64, lifted: &Proc) -> PreparedStrand {
+        let class = self.class_by_hash.get(&h).map(|&i| &self.classes[i]);
+        let signature = match class {
+            Some(c) => c.signature.clone(),
+            None => semantic_signature(lifted),
+        };
+        let sketch = self.config.active_sketch().map(|cfg| {
+            match class.and_then(|c| c.sketch.as_ref()) {
+                Some(s) => s.clone(),
+                None => compute_sketch(lifted, cfg),
+            }
+        });
+        PreparedStrand { signature, sketch }
     }
 
     /// Returns the banded LSH index over the corpus sketches, building it
@@ -650,15 +709,47 @@ impl SimilarityEngine {
     /// is dropped at query end instead of returned to the session pool.
     const SESSION_TERM_CAP: usize = 2_000_000;
 
-    /// Computes the VCP matrix `query strand × corpus class` in parallel.
+    /// Checks a verifier session out of the engine-owned pool so its term
+    /// pool, verdict cache, and incremental solver stay warm across
+    /// queries — not just across one query's tiles.
+    fn checkout_session(&self) -> VerifierSession {
+        self.sessions
+            .lock()
+            .expect("session pool poisoned")
+            .pop()
+            .unwrap_or_else(|| VerifierSession::with_config(self.config.equiv))
+    }
+
+    /// Returns a session for later queries unless its term pool outgrew
+    /// the cap — past that point the memory cost outweighs what the warm
+    /// caches save.
+    fn return_session(&self, session: VerifierSession) {
+        if session.pool().len() <= Self::SESSION_TERM_CAP {
+            self.sessions
+                .lock()
+                .expect("session pool poisoned")
+                .push(session);
+        }
+    }
+
+    /// Computes the VCP matrices `query strand × corpus class` for a whole
+    /// batch of prepared queries in one shared pass.
     ///
-    /// Work is distributed dynamically: the `(query, class-range)` tile
-    /// space is consumed through an atomic cursor, so workers that land on
-    /// cheap tiles (size-ratio or prefilter rejections, cache hits)
-    /// immediately steal more instead of idling behind a static split.
-    /// Results for pairs that reach the verifier are memoized in the
-    /// cross-query [`VcpCache`].
-    fn vcp_matrix(&self, query: &[QueryStrand], cancel: &CancelToken) -> Vec<Vec<VcpPair>> {
+    /// Work is distributed dynamically: the flattened `(batch item, query
+    /// strand, class-range)` tile space is consumed through one atomic
+    /// cursor, so workers that land on cheap tiles (size-ratio or
+    /// prefilter rejections, cache hits) immediately steal more instead of
+    /// idling behind a static split — and tiles of different batch items
+    /// interleave freely. Results for pairs that reach the verifier are
+    /// memoized in the cross-query [`VcpCache`]. Cancellation stays
+    /// per-item: a cancelled item's remaining tiles are skipped while the
+    /// rest of the batch keeps computing; its partial matrix is discarded
+    /// by the caller.
+    fn vcp_matrix_batch(
+        &self,
+        queries: &[Option<Vec<QueryStrand>>],
+        cancels: &[&CancelToken],
+    ) -> Vec<Vec<Vec<VcpPair>>> {
         let threads = if self.config.threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -666,51 +757,72 @@ impl SimilarityEngine {
         } else {
             self.config.threads
         };
-        let nq = query.len();
         let nc = self.classes.len();
-        let mut matrix = vec![vec![VcpPair::default(); nc]; nq];
-        if nq == 0 || nc == 0 {
-            return matrix;
-        }
+        let mut matrices: Vec<Vec<Vec<VcpPair>>> = queries
+            .iter()
+            .map(|q| vec![vec![VcpPair::default(); nc]; q.as_ref().map_or(0, |q| q.len())])
+            .collect();
         let tiles_per_query = nc.div_ceil(Self::VCP_TILE);
-        let total_tiles = nq * tiles_per_query;
+        // Tile-space offsets per batch item: item `b` owns the global
+        // tiles `[offsets[b], offsets[b + 1])`. Cancelled-at-prepare items
+        // (`None`) own zero tiles.
+        let mut offsets = Vec::with_capacity(queries.len() + 1);
+        offsets.push(0usize);
+        for q in queries {
+            let nq = q.as_ref().map_or(0, |q| q.len());
+            offsets.push(offsets.last().unwrap() + nq * tiles_per_query);
+        }
+        let total_tiles = *offsets.last().unwrap();
+        if total_tiles == 0 || nc == 0 {
+            return matrices;
+        }
+        let queries_ref = &queries;
+        let offsets = &offsets;
         let cursor = AtomicUsize::new(0);
         let vcp_fp = self.config.vcp.fingerprint();
         let workers = threads.max(1).min(total_tiles);
         // Sketch tier context, resolved once before the workers spawn: the
         // LSH index over corpus sketches, one candidate mask per query
-        // strand (mask[ci] = class ci shares a band → exact verify), and
-        // shared caches of probe sketches — ambiguous pairs re-sketch per
-        // *strand*, not per pair, so each side is probed at most once no
-        // matter how many ambiguous pairs it participates in.
+        // strand of every item (mask[ci] = class ci shares a band → exact
+        // verify), and one batch-wide cache of probe sketches keyed by
+        // structural hash — ambiguous pairs re-sketch per *strand*, not
+        // per pair, so each side is probed at most once per batch no
+        // matter how many ambiguous pairs (or batch items) it
+        // participates in.
         struct SketchCtx {
             index: Arc<SketchIndex>,
-            masks: Vec<Option<Vec<bool>>>,
+            masks: Vec<Vec<Option<Vec<bool>>>>,
             margin: f64,
             window: f64,
             cfg: PrefilterConfig,
-            query_probes: Mutex<HashMap<usize, Arc<SemanticSketch>>>,
-            class_probes: Mutex<HashMap<usize, Arc<SemanticSketch>>>,
+            probes: Mutex<HashMap<u64, Arc<SemanticSketch>>>,
         }
         impl SketchCtx {
-            /// The cached probe sketch at `key`, computing it under the
-            /// cache lock on first use (serializing duplicate computes is
-            /// cheaper than racing the concrete evaluation).
+            /// The cached probe sketch for the strand hashed `key`,
+            /// computing it under the cache lock on first use (serializing
+            /// duplicate computes is cheaper than racing the concrete
+            /// evaluation).
             fn probed(
-                cache: &Mutex<HashMap<usize, Arc<SemanticSketch>>>,
-                key: usize,
+                &self,
+                key: u64,
                 compute: impl FnOnce() -> SemanticSketch,
             ) -> Arc<SemanticSketch> {
-                let mut map = cache.lock().expect("probe cache poisoned");
+                let mut map = self.probes.lock().expect("probe cache poisoned");
                 map.entry(key)
                     .or_insert_with(|| Arc::new(compute()))
                     .clone()
             }
         }
         let sketch_ctx: Option<SketchCtx> = self.ensure_sketch_index().map(|index| {
-            let masks = query
+            let masks = queries
                 .iter()
-                .map(|q| q.sketch.as_ref().map(|s| index.candidates(s)))
+                .map(|q| {
+                    q.as_ref().map_or_else(Vec::new, |q| {
+                        q.iter()
+                            .map(|s| s.sketch.as_ref().map(|s| index.candidates(s)))
+                            .collect()
+                    })
+                })
                 .collect();
             let cfg = self
                 .config
@@ -723,47 +835,44 @@ impl SimilarityEngine {
                 margin: cfg.exact_fallback_margin,
                 window: cfg.probe_window(),
                 cfg,
-                query_probes: Mutex::new(HashMap::new()),
-                class_probes: Mutex::new(HashMap::new()),
+                probes: Mutex::new(HashMap::new()),
             }
         });
         let sketch_ctx = &sketch_ctx;
-        let tiles: Vec<(usize, usize, Vec<VcpPair>)> = std::thread::scope(|scope| {
+        let tiles: Vec<(usize, usize, usize, Vec<VcpPair>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let cursor = &cursor;
                     let config = &self.config;
                     let classes = &self.classes;
                     let cache = &self.cache;
-                    let sessions = &self.sessions;
                     let solver = &self.solver;
                     let prefilter_stats = &self.prefilter_stats;
                     scope.spawn(move || {
-                        // Check a session out of the engine-owned pool so
-                        // its term pool, verdict cache, and incremental
-                        // solver stay warm across queries, not just
-                        // across this query's tiles.
-                        let mut session = sessions
-                            .lock()
-                            .expect("session pool poisoned")
-                            .pop()
-                            .unwrap_or_else(|| VerifierSession::with_config(config.equiv));
+                        let mut session = self.checkout_session();
                         let perf0 = session.stats().solver;
-                        let mut out: Vec<(usize, usize, Vec<VcpPair>)> = Vec::new();
+                        let mut out: Vec<(usize, usize, usize, Vec<VcpPair>)> = Vec::new();
                         loop {
-                            // Poll cancellation between tiles: a timed-out
-                            // or abandoned query stops issuing verifier
-                            // work within one tile's latency.
-                            if cancel.is_cancelled() {
-                                break;
-                            }
                             let tile = cursor.fetch_add(1, Ordering::Relaxed);
                             if tile >= total_tiles {
                                 break;
                             }
-                            let qi = tile / tiles_per_query;
-                            let start = (tile % tiles_per_query) * Self::VCP_TILE;
+                            // Decode (item, strand, class-range) from the
+                            // flat tile id.
+                            let b = offsets.partition_point(|&o| o <= tile) - 1;
+                            // Poll cancellation between tiles: a timed-out
+                            // or abandoned item stops issuing verifier
+                            // work within one tile's latency while the
+                            // rest of the batch keeps going.
+                            if cancels[b].is_cancelled() {
+                                continue;
+                            }
+                            let local = tile - offsets[b];
+                            let qi = local / tiles_per_query;
+                            let start = (local % tiles_per_query) * Self::VCP_TILE;
                             let end = (start + Self::VCP_TILE).min(nc);
+                            let query: &[QueryStrand] =
+                                queries_ref[b].as_ref().expect("tiles only for live items");
                             let q = &query[qi];
                             let mut row = vec![VcpPair::default(); end - start];
                             for (k, class) in classes[start..end].iter().enumerate() {
@@ -803,7 +912,7 @@ impl SimilarityEngine {
                                 // same-source pair has bound 1.0 and always
                                 // verifies either way).
                                 if let Some(ctx) = sketch_ctx {
-                                    if let (Some(mask), Some(qs)) = (&ctx.masks[qi], &q.sketch) {
+                                    if let (Some(mask), Some(qs)) = (&ctx.masks[b][qi], &q.sketch) {
                                         let ci = start + k;
                                         let collided = mask[ci];
                                         if collided {
@@ -822,21 +931,12 @@ impl SimilarityEngine {
                                                 }
                                                 SketchDecision::Probe => {
                                                     prefilter_stats.record_probe();
-                                                    let pq = SketchCtx::probed(
-                                                        &ctx.query_probes,
-                                                        qi,
-                                                        || compute_probe_sketch(&q.proc_, &ctx.cfg),
-                                                    );
-                                                    let pt = SketchCtx::probed(
-                                                        &ctx.class_probes,
-                                                        ci,
-                                                        || {
-                                                            compute_probe_sketch(
-                                                                &class.proc_,
-                                                                &ctx.cfg,
-                                                            )
-                                                        },
-                                                    );
+                                                    let pq = ctx.probed(q.hash, || {
+                                                        compute_probe_sketch(&q.proc_, &ctx.cfg)
+                                                    });
+                                                    let pt = ctx.probed(class.hash, || {
+                                                        compute_probe_sketch(&class.proc_, &ctx.cfg)
+                                                    });
                                                     let r_q = pq.containment_in(&pt);
                                                     let r_t = pt.containment_in(&pq);
                                                     if r_q < ctx.margin && r_t < ctx.margin {
@@ -868,18 +968,10 @@ impl SimilarityEngine {
                                     }
                                 };
                             }
-                            out.push((qi, start, row));
+                            out.push((b, qi, start, row));
                         }
                         solver.add(&session.stats().solver.delta_since(&perf0));
-                        // Return the session for later queries unless its
-                        // term pool outgrew the cap — past that point the
-                        // memory cost outweighs what the warm caches save.
-                        if session.pool().len() <= Self::SESSION_TERM_CAP {
-                            sessions
-                                .lock()
-                                .expect("session pool poisoned")
-                                .push(session);
-                        }
+                        self.return_session(session);
                         out
                     })
                 })
@@ -889,10 +981,10 @@ impl SimilarityEngine {
                 .flat_map(|h| h.join().expect("worker panicked"))
                 .collect()
         });
-        for (qi, start, row) in tiles {
-            matrix[qi][start..start + row.len()].copy_from_slice(&row);
+        for (b, qi, start, row) in tiles {
+            matrices[b][qi][start..start + row.len()].copy_from_slice(&row);
         }
-        matrix
+        matrices
     }
 
     /// Scores every target against `proc_`.
@@ -907,23 +999,99 @@ impl SimilarityEngine {
     /// between tiles, stop issuing verifier calls, and the partial matrix
     /// is discarded. Completed pairs stay memoized in the cross-query
     /// cache, so a retried query resumes from where the deadline struck.
+    ///
+    /// Implemented as a batch of one: single queries and batched queries
+    /// run the exact same code path, which is what makes the serving
+    /// layer's batched responses byte-identical to one-shot `esh query`.
     pub fn query_cancellable(
         &self,
         proc_: &Procedure,
         cancel: &CancelToken,
     ) -> Result<QueryScores, QueryCancelled> {
-        let query = self.prepare_query(proc_);
-        let matrix = self.vcp_matrix(&query, cancel);
-        if cancel.is_cancelled() {
-            return Err(QueryCancelled);
+        self.query_batch(&[BatchQuery {
+            proc_,
+            cancel: cancel.clone(),
+        }])
+        .pop()
+        .expect("one batch item, one result")
+    }
+
+    /// Scores a whole batch of queries in one shared engine pass — the
+    /// serving layer's coalescing entry point.
+    ///
+    /// Per-item work is amortized across the batch everywhere the result
+    /// cannot tell: strand classes are prepared once per distinct strand
+    /// (signatures and sketches are pure functions of the lifted strand),
+    /// the VCP matrices compute in a single work-stealing pass over the
+    /// flattened `(item, strand, class-range)` tile space, probe-sketch
+    /// rounds are computed once per strand per batch, and the refine pass
+    /// checks out one verifier session for the whole batch. Every item's
+    /// scores are still built from its own matrix with its own frozen H0,
+    /// so each result is byte-identical to what a sequential
+    /// [`query`](Self::query) of that procedure would return — the serve
+    /// byte-identity contract extends to batched execution.
+    ///
+    /// Cancellation is per item: an item whose token fires returns
+    /// `Err(QueryCancelled)` without disturbing its neighbours.
+    pub fn query_batch(&self, items: &[BatchQuery<'_>]) -> Vec<Result<QueryScores, QueryCancelled>> {
+        let mut prep_memo: HashMap<u64, PreparedStrand> = HashMap::new();
+        let prepared: Vec<Option<Vec<QueryStrand>>> = items
+            .iter()
+            .map(|it| {
+                (!it.cancel.is_cancelled())
+                    .then(|| self.prepare_query_memo(it.proc_, &mut prep_memo))
+            })
+            .collect();
+        let cancels: Vec<&CancelToken> = items.iter().map(|it| &it.cancel).collect();
+        let matrices = self.vcp_matrix_batch(&prepared, &cancels);
+        // Refine resources shared across the batch: one verifier session,
+        // one probe-sketch cache (probe sketches are pure per strand, so
+        // sharing them across items cannot change any item's result).
+        let refine_enabled = self
+            .config
+            .active_sketch()
+            .is_some_and(|cfg| cfg.effective_refine_top_k() > 0)
+            && !self.targets.is_empty()
+            && self.ensure_sketch_index().is_some();
+        let mut refine_session = refine_enabled.then(|| {
+            let s = self.checkout_session();
+            let perf0 = s.stats().solver;
+            (s, perf0)
+        });
+        let mut probes: HashMap<u64, SemanticSketch> = HashMap::new();
+        let mut results = Vec::with_capacity(items.len());
+        for (i, it) in items.iter().enumerate() {
+            let (Some(query), matrix) = (&prepared[i], &matrices[i]) else {
+                results.push(Err(QueryCancelled));
+                continue;
+            };
+            if it.cancel.is_cancelled() {
+                results.push(Err(QueryCancelled));
+                continue;
+            }
+            let mut scores = self.score_targets(query, matrix);
+            let refined = match &mut refine_session {
+                Some((session, _)) => self.refine_served_window(
+                    query,
+                    matrix,
+                    &mut scores,
+                    &it.cancel,
+                    session,
+                    &mut probes,
+                ),
+                None => Ok(()),
+            };
+            results.push(refined.map(|()| QueryScores {
+                scores,
+                query_strands: query.len(),
+                query_strand_occurrences: query.iter().map(|q| q.count as usize).sum(),
+            }));
         }
-        let mut scores = self.score_targets(&query, &matrix);
-        self.refine_served_window(&query, &matrix, &mut scores, cancel)?;
-        Ok(QueryScores {
-            scores,
-            query_strands: query.len(),
-            query_strand_occurrences: query.iter().map(|q| q.count as usize).sum(),
-        })
+        if let Some((session, perf0)) = refine_session {
+            self.solver.add(&session.stats().solver.delta_since(&perf0));
+            self.return_session(session);
+        }
+        results
     }
 
     /// H0 per query strand: corpus-wide mean over every strand occurrence
@@ -1062,6 +1230,8 @@ impl SimilarityEngine {
         matrix: &[Vec<VcpPair>],
         scores: &mut [TargetScore],
         cancel: &CancelToken,
+        session: &mut VerifierSession,
+        probes: &mut HashMap<u64, SemanticSketch>,
     ) -> Result<(), QueryCancelled> {
         let Some(cfg) = self.config.active_sketch().cloned() else {
             return Ok(());
@@ -1078,22 +1248,14 @@ impl SimilarityEngine {
         // cache-state-independent.
         let h0 = self.h0_accumulators(query, matrix);
         let vcp_fp = self.config.vcp.fingerprint();
-        let mut session = self
-            .sessions
-            .lock()
-            .expect("session pool poisoned")
-            .pop()
-            .unwrap_or_else(|| VerifierSession::with_config(self.config.equiv));
-        let perf0 = session.stats().solver;
         let mut refined_targets = vec![false; self.targets.len()];
         let mut refined_pairs = 0u64;
         // Probe sketches (base battery + probe rounds) for refine's
-        // bounds, cached per strand: a few extra concrete-eval rounds per
+        // bounds, cached per strand (by structural hash, shared across a
+        // whole batch of queries): a few extra concrete-eval rounds per
         // side buy the tightest available upper bound, and every
         // tightened bound is another chance to dominance-skip an exact
         // verification.
-        let mut probe_q: HashMap<usize, SemanticSketch> = HashMap::new();
-        let mut probe_c: HashMap<usize, SemanticSketch> = HashMap::new();
         self.prefilter_stats.record_refine_pass();
         let outcome = 'refine: loop {
             // The served window under the current scores — the same order
@@ -1159,12 +1321,14 @@ impl SimilarityEngine {
                             *m = m.max(v.t_in_q);
                         } else {
                             let (c_q, c_t) = if q.sketch.is_some() {
-                                let pq = probe_q
-                                    .entry(qi)
+                                probes
+                                    .entry(q.hash)
                                     .or_insert_with(|| compute_probe_sketch(&q.proc_, &cfg));
-                                let pt = probe_c
-                                    .entry(ci)
+                                probes
+                                    .entry(class.hash)
                                     .or_insert_with(|| compute_probe_sketch(&class.proc_, &cfg));
+                                let pq = &probes[&q.hash];
+                                let pt = &probes[&class.hash];
                                 (pq.containment_in(pt), pt.containment_in(pq))
                             } else {
                                 // No sketch to bound with: always verify.
@@ -1207,7 +1371,7 @@ impl SimilarityEngine {
                         Some(v) => v,
                         None => {
                             let v = vcp_pair(
-                                &mut session,
+                                session,
                                 &q.proc_,
                                 &class.proc_,
                                 &self.config.vcp,
@@ -1228,13 +1392,6 @@ impl SimilarityEngine {
             }
         };
         self.prefilter_stats.record_refined_pairs(refined_pairs);
-        self.solver.add(&session.stats().solver.delta_since(&perf0));
-        if session.pool().len() <= Self::SESSION_TERM_CAP {
-            self.sessions
-                .lock()
-                .expect("session pool poisoned")
-                .push(session);
-        }
         outcome
     }
 
@@ -1265,12 +1422,7 @@ impl SimilarityEngine {
             return None;
         }
         let vcp_fp = self.config.vcp.fingerprint();
-        let mut session = self
-            .sessions
-            .lock()
-            .expect("session pool poisoned")
-            .pop()
-            .unwrap_or_else(|| VerifierSession::with_config(self.config.equiv));
+        let mut session = self.checkout_session();
         let perf0 = session.stats().solver;
         let mut samples = Vec::with_capacity(sample_pairs);
         let mut seen = std::collections::HashSet::new();
@@ -1334,12 +1486,7 @@ impl SimilarityEngine {
             samples.push(MarginSample { bound, exact });
         }
         self.solver.add(&session.stats().solver.delta_since(&perf0));
-        if session.pool().len() <= Self::SESSION_TERM_CAP {
-            self.sessions
-                .lock()
-                .expect("session pool poisoned")
-                .push(session);
-        }
+        self.return_session(session);
         if samples.is_empty() {
             return None;
         }

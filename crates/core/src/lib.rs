@@ -73,8 +73,8 @@ mod vcp;
 
 pub use cache::{CacheStats, VcpCache, VcpCacheEntry, VcpKey};
 pub use engine::{
-    CancelToken, EngineConfig, Granularity, QueryCancelled, QueryScores, SimilarityEngine,
-    TargetId, TargetScore,
+    BatchQuery, CancelToken, EngineConfig, Granularity, QueryCancelled, QueryScores,
+    SimilarityEngine, TargetId, TargetScore,
 };
 pub use prefilter::{
     bounds_decision, calibrated_margin, compute_probe_sketch, compute_sketch, MarginCalibration,

@@ -1,21 +1,29 @@
 //! `esh bench-serve`: a loopback load generator for the daemon.
 //!
-//! Four phases, each exercising one acceptance property:
+//! Five phases, each exercising one acceptance property:
 //!
-//! 1. **Correctness under load** — concurrent clients fire the same
-//!    queries the offline engine answered; every response must carry
-//!    rankings *byte-identical* (f64 bit patterns included) to the
+//! 1. **Correctness under load** — concurrent one-shot clients fire the
+//!    same queries the offline engine answered; every response must
+//!    carry rankings *byte-identical* (f64 bit patterns included) to the
 //!    offline baseline.
-//! 2. **Admission control** — a burst against a one-worker,
+//! 2. **Sustained pipelined load** — persistent connections at 4× and
+//!    16× the phase-1 concurrency, run once with coalescing disabled
+//!    (`batch_max = 1`) and once batched, on identically warmed servers.
+//!    Every batched response must stay byte-identical to the offline
+//!    baseline, and in full mode the batched 16× run must deliver ≥ 2×
+//!    the unbatched throughput.
+//! 3. **Admission control** — a burst against a one-worker,
 //!    one-slot-queue server must produce typed `Overloaded` rejections,
 //!    never hangs or silent drops.
-//! 3. **Deadlines** — a zero-budget request must come back
+//! 4. **Deadlines** — a zero-budget request must come back
 //!    `DeadlineExceeded` without touching the verifier.
-//! 4. **Observability & drain** — `/healthz` and `/metrics` answer over
+//! 5. **Observability & drain** — `/healthz` and `/metrics` answer over
 //!    HTTP, and a wire `@shutdown` drains the daemon cleanly.
 //!
 //! Results land in `BENCH_serve.json` at the repo root. `--smoke`
-//! shrinks the client counts for CI.
+//! shrinks the client counts for CI but keeps a short sustained phase
+//! (batching enabled) so the byte-identity gate covers batched execution
+//! on every CI run.
 
 use std::time::{Duration, Instant};
 
@@ -23,7 +31,7 @@ use esh_core::{EngineConfig, SimilarityEngine, TargetId};
 use esh_corpus::{Corpus, CorpusConfig};
 
 use crate::protocol::{
-    http_get, ranked_matches, remote_query, Outcome, QueryRequest, RankedMatch,
+    http_get, ranked_matches, remote_query, Outcome, PipelinedClient, QueryRequest, RankedMatch,
 };
 use crate::server::{ServeConfig, Server};
 
@@ -69,6 +77,198 @@ fn identical(a: &[RankedMatch], b: &[RankedMatch]) -> bool {
                 && x.s_log.to_bits() == y.s_log.to_bits()
                 && x.s_vcp.to_bits() == y.s_vcp.to_bits()
         })
+}
+
+/// One sustained-load run: fixed client count, fixed batching mode.
+struct Sustained {
+    label: &'static str,
+    clients: usize,
+    batch_max: usize,
+    batch_window_ms: u64,
+    requests: usize,
+    throughput_rps: f64,
+    p50_ms: u64,
+    p99_ms: u64,
+    max_ms: u64,
+    batches: u64,
+    coalesced: u64,
+    occupancy_hwm: u64,
+    avg_occupancy: f64,
+}
+
+impl Sustained {
+    fn json(&self) -> String {
+        format!(
+            "{{ \"phase\": \"{label}\", \"clients\": {clients}, \
+             \"batch_max\": {bmax}, \"batch_window_ms\": {bwin}, \
+             \"requests\": {req}, \"identical_to_offline\": true, \
+             \"throughput_rps\": {rps:.1}, \"p50_ms\": {p50}, \
+             \"p99_ms\": {p99}, \"max_ms\": {max}, \
+             \"batches\": {batches}, \"avg_batch_occupancy\": {avg:.2}, \
+             \"batch_occupancy_high_water\": {hwm}, \
+             \"coalesced\": {coal} }}",
+            label = self.label,
+            clients = self.clients,
+            bmax = self.batch_max,
+            bwin = self.batch_window_ms,
+            req = self.requests,
+            rps = self.throughput_rps,
+            p50 = self.p50_ms,
+            p99 = self.p99_ms,
+            max = self.max_ms,
+            batches = self.batches,
+            avg = self.avg_occupancy,
+            hwm = self.occupancy_hwm,
+            coal = self.coalesced,
+        )
+    }
+}
+
+/// Drives one sustained run: `clients` persistent pipelined connections,
+/// each keeping up to `queries.len()` requests in flight, every response
+/// checked byte-identical against the offline baseline. The server is
+/// warmed with one pass over the query set first, so batched and
+/// unbatched runs compare steady-state serving rather than first-touch
+/// verifier cost.
+#[allow(clippy::too_many_arguments)]
+fn sustained_phase(
+    corpus: &Corpus,
+    queries: &[String],
+    baselines: &[Vec<RankedMatch>],
+    top_n: usize,
+    label: &'static str,
+    clients: usize,
+    reps: usize,
+    batch_max: usize,
+    batch_window_ms: u64,
+) -> Result<Sustained, String> {
+    let request_for = |qi: usize| QueryRequest {
+        query: queries[qi].clone(),
+        top_n: Some(top_n as u64),
+        // Generous explicit budget: at high unbatched concurrency the
+        // tail request legitimately queues for several seconds, and this
+        // phase measures throughput, not deadline enforcement.
+        deadline_ms: Some(600_000),
+    };
+    let server = Server::start(
+        engine_over(corpus, 1),
+        corpus.clone(),
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: clients,
+            queue_capacity: clients.max(8),
+            batch_max,
+            batch_window_ms,
+            ..ServeConfig::default()
+        },
+    )
+    .map_err(|e| format!("starting sustained server ({label}): {e}"))?;
+    let addr = server.local_addr().to_string();
+
+    let mut warm = PipelinedClient::connect(&addr, CLIENT_TIMEOUT)
+        .map_err(|e| format!("sustained {label} warmup connect: {e}"))?;
+    for qi in 0..queries.len() {
+        let resp = warm
+            .query(&request_for(qi))
+            .map_err(|e| format!("sustained {label} warmup query {qi}: {e}"))?;
+        if resp.outcome != Outcome::Ok {
+            return Err(format!(
+                "sustained {label} warmup query {qi}: {:?}",
+                resp.outcome
+            ));
+        }
+    }
+    drop(warm);
+
+    let per_client = reps * queries.len();
+    let t0 = Instant::now();
+    std::thread::scope(|scope| -> Result<(), String> {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let (addr, baselines, request_for) = (&addr, baselines, &request_for);
+                scope.spawn(move || -> Result<(), String> {
+                    let mut client = PipelinedClient::connect(addr, CLIENT_TIMEOUT)
+                        .map_err(|e| format!("sustained client {c} connect: {e}"))?;
+                    // Offset the cycle per client so different names are
+                    // in flight concurrently — coalescing has to earn its
+                    // keep on a mixed stream, not a single hot query.
+                    let pick = |i: usize| (c + i) % baselines.len();
+                    let window = baselines.len().min(per_client);
+                    for i in 0..window {
+                        client
+                            .send(&request_for(pick(i)))
+                            .map_err(|e| format!("sustained client {c} send {i}: {e}"))?;
+                    }
+                    for i in 0..per_client {
+                        let resp = client
+                            .recv()
+                            .map_err(|e| format!("sustained client {c} recv {i}: {e}"))?;
+                        if resp.outcome != Outcome::Ok {
+                            return Err(format!(
+                                "sustained client {c} response {i}: {:?} ({:?})",
+                                resp.outcome, resp.error
+                            ));
+                        }
+                        if !identical(&resp.matches, &baselines[pick(i)]) {
+                            return Err(format!(
+                                "sustained client {c} response {i}: rankings diverged \
+                                 from the offline baseline"
+                            ));
+                        }
+                        let next = i + window;
+                        if next < per_client {
+                            client
+                                .send(&request_for(pick(next)))
+                                .map_err(|e| format!("sustained client {c} send {next}: {e}"))?;
+                        }
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("sustained client panicked")?;
+        }
+        Ok(())
+    })?;
+    let elapsed = t0.elapsed();
+    let requests = clients * per_client;
+
+    let ack = remote_query(&addr, &QueryRequest::new("@shutdown"), CLIENT_TIMEOUT)
+        .map_err(|e| format!("sustained {label} @shutdown: {e}"))?;
+    if ack.outcome != Outcome::ShuttingDown {
+        return Err(format!(
+            "sustained {label} @shutdown acknowledged with {:?}",
+            ack.outcome
+        ));
+    }
+    let stats = server.join();
+    let expected_ok = (requests + queries.len()) as u64; // + warmup
+    if stats.ok != expected_ok {
+        return Err(format!(
+            "sustained {label} answered {} ok, expected {expected_ok}",
+            stats.ok
+        ));
+    }
+    Ok(Sustained {
+        label,
+        clients,
+        batch_max,
+        batch_window_ms,
+        requests,
+        throughput_rps: requests as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_ms: stats.p50_ms,
+        p99_ms: stats.p99_ms,
+        max_ms: stats.max_ms,
+        batches: stats.batches,
+        coalesced: stats.coalesced_queries,
+        occupancy_hwm: stats.batch_occupancy_hwm,
+        avg_occupancy: if stats.batches == 0 {
+            0.0
+        } else {
+            stats.batched_queries as f64 / stats.batches as f64
+        },
+    })
 }
 
 /// Runs the full bench and writes `BENCH_serve.json`. `smoke` shrinks
@@ -163,7 +363,7 @@ pub fn run(smoke: bool) -> Result<(), String> {
     })?;
     let load_elapsed = load_start.elapsed();
 
-    // Phase 4a (same server, still warm): observability probes.
+    // Phase 5a (same server, still warm): observability probes.
     let (status, body) = http_get(&addr, "/healthz", CLIENT_TIMEOUT)
         .map_err(|e| format!("healthz probe: {e}"))?;
     if status != 200 || body.trim() != "ok" {
@@ -175,7 +375,7 @@ pub fn run(smoke: bool) -> Result<(), String> {
         return Err(format!("metrics returned {status} without request counters"));
     }
 
-    // Phase 4b: graceful drain over the wire.
+    // Phase 5b: graceful drain over the wire.
     let ack = remote_query(&addr, &QueryRequest::new("@shutdown"), CLIENT_TIMEOUT)
         .map_err(|e| format!("@shutdown request: {e}"))?;
     if ack.outcome != Outcome::ShuttingDown {
@@ -198,11 +398,63 @@ pub fn run(smoke: bool) -> Result<(), String> {
         .unwrap_or(0.0);
     eprintln!(
         "bench-serve: load ok ({total_requests} requests, {throughput:.1} req/s, \
-         p50 {}ms p99 {}ms)",
-        load_stats.p50_ms, load_stats.p99_ms
+         p50 {}ms p99 {}ms max {}ms)",
+        load_stats.p50_ms, load_stats.p99_ms, load_stats.max_ms
     );
 
-    // Phase 2: admission control. One worker pinned by a stalled
+    // Phase 2: sustained pipelined load, unbatched vs batched. Each run
+    // is a fresh warmed server; the batched 16× run carries the ≥2×
+    // throughput gate (full mode only — smoke keeps the byte-identity
+    // gate but is too short for stable throughput ratios).
+    let batched_max = 16;
+    let batched_window_ms = 3;
+    let sustained_runs: &[(&'static str, usize, usize)] = if smoke {
+        &[("16x", 16, 1)]
+    } else {
+        &[("4x", 16, 2), ("16x", 64, 2)]
+    };
+    let mut sustained: Vec<Sustained> = Vec::new();
+    let mut speedup_16x = 0.0f64;
+    for &(label, sustained_clients, reps) in sustained_runs {
+        eprintln!(
+            "bench-serve: sustained {label} ({sustained_clients} pipelined clients, \
+             unbatched then batched)..."
+        );
+        let unbatched = sustained_phase(
+            &corpus, &queries, &baselines, top_n, label, sustained_clients, reps, 1, 0,
+        )?;
+        let batched = sustained_phase(
+            &corpus,
+            &queries,
+            &baselines,
+            top_n,
+            label,
+            sustained_clients,
+            reps,
+            batched_max,
+            batched_window_ms,
+        )?;
+        let speedup = batched.throughput_rps / unbatched.throughput_rps.max(1e-9);
+        eprintln!(
+            "bench-serve: sustained {label} ok (unbatched {:.1} req/s, batched {:.1} req/s, \
+             {speedup:.2}x, avg occupancy {:.1}, coalesced {})",
+            unbatched.throughput_rps, batched.throughput_rps, batched.avg_occupancy,
+            batched.coalesced
+        );
+        if label == "16x" {
+            speedup_16x = speedup;
+        }
+        sustained.push(unbatched);
+        sustained.push(batched);
+    }
+    if !smoke && speedup_16x < 2.0 {
+        return Err(format!(
+            "sustained 16x batched throughput is only {speedup_16x:.2}x the unbatched \
+             baseline, need >= 2x"
+        ));
+    }
+
+    // Phase 3: admission control. One worker pinned by a stalled
     // connection (it sends nothing, so the worker blocks until the read
     // timeout), one queue slot filled the same way; every further
     // request must be rejected as Overloaded.
@@ -251,7 +503,7 @@ pub fn run(smoke: bool) -> Result<(), String> {
     }
     eprintln!("bench-serve: overload ok ({overloaded}/{burst} rejected)");
 
-    // Phase 3: deadlines. A zero-budget request expires in the queue.
+    // Phase 4: deadlines. A zero-budget request expires in the queue.
     eprintln!("bench-serve: deadline phase...");
     let server = Server::start(
         engine_over(&corpus, 1),
@@ -287,14 +539,21 @@ pub fn run(smoke: bool) -> Result<(), String> {
     }
     eprintln!("bench-serve: deadline ok");
 
+    let sustained_json = sustained
+        .iter()
+        .map(|s| format!("    {}", s.json()))
+        .collect::<Vec<_>>()
+        .join(",\n");
     let json = format!(
         "{{\n  \"bench\": \"serve\",\n  \"mode\": \"{mode}\",\n  \
          \"corpus_procs\": {procs},\n  \"queries\": {nq},\n  \
          \"clients\": {clients},\n  \"requests\": {total_requests},\n  \
          \"identical_to_offline\": true,\n  \
          \"throughput_rps\": {throughput:.1},\n  \
-         \"p50_ms\": {p50},\n  \"p99_ms\": {p99},\n  \
+         \"p50_ms\": {p50},\n  \"p99_ms\": {p99},\n  \"max_ms\": {max},\n  \
          \"queue_depth_high_water\": {hwm},\n  \
+         \"sustained\": [\n{sustained_json}\n  ],\n  \
+         \"sustained_speedup_16x\": {speedup_16x:.2},\n  \
          \"overload_burst\": {burst},\n  \"overloaded\": {overloaded},\n  \
          \"deadline_exceeded\": {dl},\n  \
          \"serve_vcp_cache_hit_rate\": {hit_rate:.4},\n  \
@@ -304,7 +563,9 @@ pub fn run(smoke: bool) -> Result<(), String> {
         nq = queries.len(),
         p50 = load_stats.p50_ms,
         p99 = load_stats.p99_ms,
+        max = load_stats.max_ms,
         hwm = load_stats.queue_depth_hwm,
+        speedup_16x = speedup_16x,
         dl = deadline_stats.deadline_exceeded,
         elapsed = t0.elapsed().as_millis(),
     );

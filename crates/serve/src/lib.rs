@@ -4,19 +4,23 @@
 //!
 //! A long-running query daemon over the similarity engine: load a corpus
 //! (and optionally a snapshot index) once, then answer many queries
-//! concurrently from a fixed worker pool behind a *bounded* admission
-//! queue. The paper frames Esh as a search engine over binaries (§1);
-//! this crate supplies the missing operational half — admission control,
-//! per-request deadlines, live metrics and graceful drain — using only
-//! `std::net`, because the build environment is offline.
+//! concurrently behind a *bounded* admission queue. The paper frames Esh
+//! as a search engine over binaries (§1); this crate supplies the
+//! missing operational half — admission control, per-request deadlines,
+//! live metrics and graceful drain — using only `std::net`, because the
+//! build environment is offline.
 //!
-//! The wire protocol is newline-delimited JSON, one request per
-//! connection ([`protocol`]), with a minimal HTTP/1.1 shim on the same
-//! port for `GET /healthz` and `GET /metrics` ([`server`]). Load and
-//! latency are observable via [`metrics`]; `esh bench-serve`
-//! ([`bench`]) drives a loopback load test whose acceptance property is
-//! that concurrent responses are *byte-identical* to offline `esh
-//! query` rankings.
+//! The wire protocol is newline-delimited JSON over *pipelined*
+//! connections — any number of requests per socket, responses in
+//! request order ([`protocol`]) — with a minimal HTTP/1.1 shim on the
+//! same port for `GET /healthz` and `GET /metrics` ([`server`]).
+//! Between admission and the engine sits a coalescing tier that collects
+//! concurrent requests for a bounded window and scores each batch in one
+//! shared `query_batch` pass. Load, latency and batch occupancy are
+//! observable via [`metrics`]; `esh bench-serve` ([`bench`]) drives a
+//! loopback load test whose acceptance property is that concurrent —
+//! and batched — responses are *byte-identical* to offline `esh query`
+//! rankings.
 //!
 //! ## Quickstart
 //!
@@ -59,7 +63,7 @@ pub mod server;
 
 pub use metrics::{ServerStats, StatsSnapshot};
 pub use protocol::{
-    decode_line, encode_line, http_get, ranked_matches, remote_query, Outcome, QueryRequest,
-    QueryResponse, RankedMatch,
+    decode_line, encode_line, http_get, ranked_matches, remote_query, Outcome, PipelinedClient,
+    QueryRequest, QueryResponse, RankedMatch,
 };
 pub use server::{ServeConfig, Server};

@@ -1,5 +1,6 @@
-//! Live server metrics: outcome counters, queue-depth high-water mark
-//! and a fixed-bucket latency histogram.
+//! Live server metrics: outcome counters, queue-depth high-water mark,
+//! batch-coalescing counters, a fixed-bucket latency histogram and an
+//! exact max-latency gauge.
 //!
 //! Everything is lock-free atomics so the hot path (workers recording an
 //! outcome per request) never contends with scrapes of `/metrics`. The
@@ -42,6 +43,13 @@ pub struct ServerStats {
     shutting_down: AtomicU64,
     http: AtomicU64,
     queue_depth_hwm: AtomicU64,
+    /// Exact maximum observed latency — the histogram's quantiles round
+    /// up to bucket bounds, which hides the true tail.
+    max_ms: AtomicU64,
+    batches: AtomicU64,
+    batched_queries: AtomicU64,
+    coalesced_queries: AtomicU64,
+    batch_occupancy_hwm: AtomicU64,
     buckets: [AtomicU64; LATENCY_BUCKETS_MS.len() + 1],
 }
 
@@ -63,6 +71,11 @@ impl ServerStats {
             shutting_down: AtomicU64::new(0),
             http: AtomicU64::new(0),
             queue_depth_hwm: AtomicU64::new(0),
+            max_ms: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_queries: AtomicU64::new(0),
+            coalesced_queries: AtomicU64::new(0),
+            batch_occupancy_hwm: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -85,13 +98,26 @@ impl ServerStats {
         self.http.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Adds one admission-to-response latency to the histogram.
+    /// Adds one admission-to-response latency to the histogram and
+    /// raises the exact max gauge.
     pub fn record_latency_ms(&self, ms: u64) {
         let idx = LATENCY_BUCKETS_MS
             .iter()
             .position(|&bound| ms <= bound)
             .unwrap_or(LATENCY_BUCKETS_MS.len());
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.max_ms.fetch_max(ms, Ordering::Relaxed);
+    }
+
+    /// Counts one executed batch of `size` member requests that
+    /// collapsed to `unique` distinct engine queries.
+    pub fn record_batch(&self, size: usize, unique: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_queries.fetch_add(size as u64, Ordering::Relaxed);
+        self.coalesced_queries
+            .fetch_add(size.saturating_sub(unique) as u64, Ordering::Relaxed);
+        self.batch_occupancy_hwm
+            .fetch_max(size as u64, Ordering::Relaxed);
     }
 
     /// Raises the queue-depth high-water mark to `depth` if it is a new
@@ -119,6 +145,11 @@ impl ServerStats {
             queue_depth_hwm: self.queue_depth_hwm.load(Ordering::Relaxed),
             p50_ms: quantile(&buckets, 0.50),
             p99_ms: quantile(&buckets, 0.99),
+            max_ms: self.max_ms.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_queries: self.batched_queries.load(Ordering::Relaxed),
+            coalesced_queries: self.coalesced_queries.load(Ordering::Relaxed),
+            batch_occupancy_hwm: self.batch_occupancy_hwm.load(Ordering::Relaxed),
         }
     }
 
@@ -131,6 +162,7 @@ impl ServerStats {
         solver: &SolverPerf,
         prefilter: &PrefilterStatsSnapshot,
         queue_depth: usize,
+        pending_depth: usize,
     ) -> String {
         let s = self.snapshot();
         let mut out = String::new();
@@ -154,6 +186,18 @@ impl ServerStats {
         out.push_str(&format!(
             "esh_request_latency_ms{{quantile=\"0.99\"}} {}\n",
             s.p99_ms
+        ));
+        out.push_str(&format!("esh_request_latency_ms_max {}\n", s.max_ms));
+        out.push_str(&format!("esh_batch_queue_depth {pending_depth}\n"));
+        out.push_str(&format!("esh_batches_total {}\n", s.batches));
+        out.push_str(&format!("esh_batched_queries_total {}\n", s.batched_queries));
+        out.push_str(&format!(
+            "esh_coalesced_queries_total {}\n",
+            s.coalesced_queries
+        ));
+        out.push_str(&format!(
+            "esh_batch_occupancy_high_water {}\n",
+            s.batch_occupancy_hwm
         ));
         // Full cumulative histogram. The `+Inf` bucket is rendered as its
         // own series (not folded into the last finite bound) so overflow
@@ -243,6 +287,17 @@ pub struct StatsSnapshot {
     pub p50_ms: u64,
     /// 99th-percentile latency (bucket upper bound).
     pub p99_ms: u64,
+    /// Exact maximum latency observed (not a bucket bound).
+    pub max_ms: u64,
+    /// Engine batches executed by the coalescing tier.
+    pub batches: u64,
+    /// Requests that went through a batch (sum of batch sizes).
+    pub batched_queries: u64,
+    /// Requests that shared another member's engine pass (same corpus
+    /// procedure in the same batch).
+    pub coalesced_queries: u64,
+    /// Largest batch ever executed.
+    pub batch_occupancy_hwm: u64,
 }
 
 impl StatsSnapshot {
@@ -330,6 +385,7 @@ mod tests {
             &SolverPerf::default(),
             &PrefilterStatsSnapshot::default(),
             0,
+            0,
         );
         assert!(text.contains("esh_request_latency_ms_bucket{le=\"5\"} 1\n"));
         assert!(text.contains("esh_request_latency_ms_bucket{le=\"2000\"} 2\n"));
@@ -356,6 +412,7 @@ mod tests {
                 refine_passes: 2,
             },
             0,
+            0,
         );
         assert!(text.contains("esh_prefilter_pairs_pruned_total 41\n"));
         assert!(text.contains("esh_prefilter_sketch_collisions_total 7\n"));
@@ -364,6 +421,47 @@ mod tests {
         assert!(text.contains("esh_prefilter_probe_escalations_total 5\n"));
         assert!(text.contains("esh_prefilter_refined_pairs_total 13\n"));
         assert!(text.contains("esh_prefilter_refine_passes_total 2\n"));
+    }
+
+    #[test]
+    fn max_latency_gauge_is_exact_not_a_bucket_bound() {
+        let stats = ServerStats::new();
+        stats.record_latency_ms(3);
+        stats.record_latency_ms(437); // p-quantiles would report 500
+        let s = stats.snapshot();
+        assert_eq!(s.max_ms, 437);
+        assert_eq!(s.p99_ms, 500, "bucket quantile rounds up; max must not");
+        stats.record_latency_ms(12);
+        assert_eq!(stats.snapshot().max_ms, 437, "max is monotone");
+    }
+
+    #[test]
+    fn batch_counters_accumulate_and_render() {
+        let stats = ServerStats::new();
+        stats.record_batch(6, 4); // 6 riders, 4 engine items → 2 coalesced
+        stats.record_batch(1, 1);
+        let s = stats.snapshot();
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.batched_queries, 7);
+        assert_eq!(s.coalesced_queries, 2);
+        assert_eq!(s.batch_occupancy_hwm, 6);
+        let text = stats.render(
+            &CacheStats {
+                hits: 0,
+                misses: 0,
+                entries: 0,
+            },
+            &SolverPerf::default(),
+            &PrefilterStatsSnapshot::default(),
+            0,
+            3,
+        );
+        assert!(text.contains("esh_batches_total 2\n"));
+        assert!(text.contains("esh_batched_queries_total 7\n"));
+        assert!(text.contains("esh_coalesced_queries_total 2\n"));
+        assert!(text.contains("esh_batch_occupancy_high_water 6\n"));
+        assert!(text.contains("esh_batch_queue_depth 3\n"));
+        assert!(text.contains("esh_request_latency_ms_max 0\n"));
     }
 
     #[test]

@@ -1,10 +1,15 @@
 //! The wire protocol: newline-delimited JSON over TCP.
 //!
-//! One connection carries one request and one response, each a single
-//! JSON object on its own line. The same [`QueryResponse`] schema backs
-//! `esh query --json` (offline) and the daemon (remote), so a client can
-//! switch between the two without re-parsing — the shared construction
-//! path is [`ranked_matches`].
+//! A connection is *pipelined*: it may carry any number of requests,
+//! each a single JSON object on its own line, and the daemon answers
+//! every request with one JSON line **in request order** — a client can
+//! write several requests before reading the first response
+//! ([`PipelinedClient`]), and the one-shot shape (one request, one
+//! response, close — [`remote_query`]) is just the single-request
+//! special case. The same [`QueryResponse`] schema backs `esh query
+//! --json` (offline) and the daemon (remote), so a client can switch
+//! between the two without re-parsing — the shared construction path is
+//! [`ranked_matches`].
 //!
 //! The daemon also answers plain `GET /healthz` and `GET /metrics` on the
 //! same port: the first line of a connection decides whether it is HTTP
@@ -149,11 +154,63 @@ pub fn decode_line<T: Deserialize>(line: &str) -> Result<T, String> {
     serde_json::from_str(line.trim()).map_err(|e| format!("invalid JSON line: {e}"))
 }
 
+/// A persistent pipelined connection to the daemon.
+///
+/// [`PipelinedClient::send`] may be called any number of times before
+/// the first [`PipelinedClient::recv`]; the daemon answers in request
+/// order, so the `n`-th `recv` always pairs with the `n`-th `send`.
+/// Keeping many requests in flight on one socket is what lets the
+/// daemon's coalescing tier batch them into shared engine passes.
+pub struct PipelinedClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl PipelinedClient {
+    /// Connects to the daemon; `timeout` bounds every future `recv`.
+    pub fn connect(addr: &str, timeout: Duration) -> std::io::Result<PipelinedClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        let writer = stream.try_clone()?;
+        Ok(PipelinedClient {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Writes one request line without waiting for its response.
+    pub fn send(&mut self, request: &QueryRequest) -> std::io::Result<()> {
+        self.writer.write_all(encode_line(request).as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Reads the next in-order response line.
+    pub fn recv(&mut self) -> std::io::Result<QueryResponse> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        decode_line(&line).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// [`PipelinedClient::send`] then [`PipelinedClient::recv`]: one
+    /// round trip on the persistent connection.
+    pub fn query(&mut self, request: &QueryRequest) -> std::io::Result<QueryResponse> {
+        self.send(request)?;
+        self.recv()
+    }
+}
+
 /// Sends one request to a running daemon and waits for the response.
 ///
-/// Opens a fresh connection (the protocol is one request per
-/// connection), writes the request line, and blocks — bounded by
-/// `timeout` — for the response line.
+/// Opens a fresh connection, writes the request line, and blocks —
+/// bounded by `timeout` — for the response line. The one-shot
+/// convenience shape; use [`PipelinedClient`] to keep several requests
+/// in flight on one socket.
 pub fn remote_query(
     addr: &str,
     request: &QueryRequest,

@@ -1,46 +1,78 @@
-//! The daemon: accept loop, bounded admission queue, worker pool and
-//! graceful drain.
+//! The daemon: accept loop, bounded admission, pipelined connection
+//! readers, a batch-coalescing tier and graceful drain.
 //!
-//! Thread shape: one acceptor plus `workers` query workers, all sharing
-//! one read-only [`SimilarityEngine`]. The acceptor admits connections
-//! into a bounded queue (capacity [`ServeConfig::queue_capacity`]) and
-//! rejects the overflow *immediately* with a typed
-//! [`Outcome::Overloaded`] response — backpressure is explicit, never a
-//! silently growing backlog. Workers pop admitted connections, classify
-//! the first line (HTTP probe vs JSON query), and answer.
+//! Thread shape: one acceptor, `workers` connection readers, and one
+//! batch executor, all sharing one read-only [`SimilarityEngine`]. The
+//! acceptor admits connections into a bounded queue (capacity
+//! [`ServeConfig::queue_capacity`]) and rejects the overflow
+//! *immediately* with a typed [`Outcome::Overloaded`] response —
+//! backpressure is explicit, never a silently growing backlog. A reader
+//! owns an admitted connection for its lifetime: the protocol is
+//! *pipelined*, so one socket may carry many newline-delimited requests
+//! and the reader keeps parsing while earlier requests are still being
+//! scored. Responses come back in request order per connection — a
+//! per-connection sequence number and reorder buffer ([`ConnWriter`])
+//! guarantee it — so one-shot clients (one request, one response, close)
+//! keep working unchanged.
+//!
+//! Between the readers and the engine sits the batching tier: parsed
+//! queries land in a pending queue, and the executor coalesces them for
+//! a bounded window ([`ServeConfig::batch_window_ms`], at most
+//! [`ServeConfig::batch_max`] requests) before submitting one
+//! [`SimilarityEngine::query_batch`] call. Requests naming the same
+//! corpus procedure collapse into a single engine item (their responses
+//! are built from the one shared score set, which batching keeps
+//! byte-identical to a sequential query), and distinct queries share the
+//! batch's strand preparation, probe-sketch rounds and verifier session.
 //!
 //! Deadlines are measured from *admission*, so queue wait counts against
-//! a request's budget; expired work is dropped before it reaches the
-//! verifier, and in-flight work is cancelled cooperatively between VCP
-//! tiles via [`CancelToken`].
+//! a request's budget; expired work is dropped at batch assembly before
+//! it reaches the verifier, and in-flight work is cancelled
+//! cooperatively between VCP tiles via [`CancelToken`]. Coalesced
+//! requests share one token whose deadline is the *latest* member's —
+//! a member with a tighter budget rides along rather than cancelling
+//! work its batch-mates still want.
 //!
 //! Shutdown: `std` exposes no signal-handler API, so the drain is driven
 //! by a control request on the wire (`{"query":"@shutdown"}`) or by
 //! [`Server::request_shutdown`] in-process. Either path sets the flag,
-//! wakes every worker, and self-connects once to unblock `accept`; the
-//! acceptor stops admitting, workers finish everything already in the
-//! queue, and [`Server::join`] returns the final counters.
+//! wakes every thread, and self-connects once to unblock `accept`; the
+//! acceptor stops admitting, readers finish every connection already
+//! admitted (requests received before the idle timeout are still
+//! answered), the executor drains the pending queue, and
+//! [`Server::join`] returns the final counters.
 
-use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, Write};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use esh_core::{CancelToken, SimilarityEngine, TargetId};
+use esh_core::{BatchQuery, CancelToken, SimilarityEngine, TargetId};
 use esh_corpus::Corpus;
 
 use crate::metrics::{ServerStats, StatsSnapshot};
 use crate::protocol::{encode_line, ranked_matches, Outcome, QueryRequest, QueryResponse};
+
+/// Readers poll their socket in chunks of this length so they can notice
+/// shutdown and account idle time without holding a long blocking read.
+const READ_CHUNK: Duration = Duration::from_millis(100);
+
+/// The pending (parsed-but-unscored) queue is bounded at
+/// `queue_capacity * PENDING_FACTOR`; a pipelined client that floods one
+/// connection gets typed `Overloaded` responses past the bound.
+const PENDING_FACTOR: usize = 8;
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Listen address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Query worker threads.
+    /// Connection reader threads — the maximum number of connections
+    /// served concurrently (a reader owns its connection for the whole
+    /// pipelined lifetime).
     pub workers: usize,
     /// Admission queue bound: connections beyond this are rejected with
     /// [`Outcome::Overloaded`].
@@ -49,9 +81,16 @@ pub struct ServeConfig {
     pub default_deadline_ms: u64,
     /// Match-list length when a request carries no `top_n`.
     pub default_top_n: usize,
-    /// How long a worker waits for a client's request line before giving
-    /// up on the connection, in milliseconds.
+    /// How long a reader tolerates a silent connection (no bytes, no
+    /// responses owed) before closing it, in milliseconds.
     pub read_timeout_ms: u64,
+    /// Most requests one engine batch may carry. `1` disables
+    /// coalescing entirely (every request is its own engine pass).
+    pub batch_max: usize,
+    /// How long the executor holds an open batch waiting for more
+    /// requests, in milliseconds, measured from the batch's first
+    /// member. `0` batches only what is already queued.
+    pub batch_window_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -63,17 +102,110 @@ impl Default for ServeConfig {
             default_deadline_ms: 10_000,
             default_top_n: 10,
             read_timeout_ms: 2_000,
+            batch_max: 8,
+            batch_window_ms: 2,
         }
     }
 }
 
-/// An admitted connection waiting for a worker.
+/// An admitted connection waiting for a reader.
 struct Job {
     stream: TcpStream,
     admitted: Instant,
 }
 
-/// State shared by the acceptor, the workers and the [`Server`] handle.
+/// The write half of one pipelined connection: responses are delivered
+/// by sequence number and written strictly in request order. Readers
+/// allocate a sequence at parse time; whoever finishes a response
+/// (reader for immediate outcomes, executor for scored ones) delivers it
+/// here, and the reorder buffer holds results that finished early.
+struct ConnWriter {
+    inner: Mutex<ConnInner>,
+    /// Sequences allocated but not yet written — the reader keeps the
+    /// connection alive while this is non-zero.
+    outstanding: AtomicUsize,
+}
+
+struct ConnInner {
+    stream: TcpStream,
+    /// Next sequence number to hand out.
+    alloc: u64,
+    /// Next sequence number the socket is owed.
+    next: u64,
+    /// Responses that finished ahead of an earlier request.
+    ready: BTreeMap<u64, String>,
+}
+
+impl ConnWriter {
+    fn new(stream: TcpStream) -> ConnWriter {
+        ConnWriter {
+            inner: Mutex::new(ConnInner {
+                stream,
+                alloc: 0,
+                next: 0,
+                ready: BTreeMap::new(),
+            }),
+            outstanding: AtomicUsize::new(0),
+        }
+    }
+
+    /// Reserves the next in-order response slot.
+    fn alloc_seq(&self) -> u64 {
+        let mut inner = self.inner.lock().expect("conn poisoned");
+        let seq = inner.alloc;
+        inner.alloc += 1;
+        self.outstanding.fetch_add(1, Ordering::SeqCst);
+        seq
+    }
+
+    /// Hands over the response for `seq`; writes it (and any buffered
+    /// successors) once every earlier sequence has been written.
+    fn deliver(&self, seq: u64, line: String) {
+        let mut inner = self.inner.lock().expect("conn poisoned");
+        inner.ready.insert(seq, line);
+        let mut wrote = false;
+        while let Some(line) = {
+            let next = inner.next;
+            inner.ready.remove(&next)
+        } {
+            // A vanished client only costs us the write; the engine work
+            // was shared with the rest of the batch anyway.
+            let _ = inner.stream.write_all(line.as_bytes());
+            inner.next += 1;
+            self.outstanding.fetch_sub(1, Ordering::SeqCst);
+            wrote = true;
+        }
+        if wrote {
+            let _ = inner.stream.flush();
+        }
+    }
+
+    /// Writes raw bytes (the HTTP shim) outside the sequence protocol.
+    fn write_raw(&self, payload: &str) {
+        let mut inner = self.inner.lock().expect("conn poisoned");
+        let _ = inner.stream.write_all(payload.as_bytes());
+        let _ = inner.stream.flush();
+    }
+
+    fn outstanding(&self) -> usize {
+        self.outstanding.load(Ordering::SeqCst)
+    }
+}
+
+/// One parsed query waiting for the batch executor.
+struct Pending {
+    conn: Arc<ConnWriter>,
+    seq: u64,
+    /// Resolved corpus index (also the self-filter exclusion).
+    qi: usize,
+    top_n: usize,
+    admitted: Instant,
+    deadline: Instant,
+    budget_ms: u64,
+}
+
+/// State shared by the acceptor, readers, executor and the [`Server`]
+/// handle.
 struct Shared {
     engine: SimilarityEngine,
     corpus: Corpus,
@@ -81,6 +213,11 @@ struct Shared {
     stats: ServerStats,
     queue: Mutex<VecDeque<Job>>,
     ready: Condvar,
+    pending: Mutex<VecDeque<Pending>>,
+    pending_ready: Condvar,
+    /// Connections currently owned by a reader — the executor must not
+    /// exit while one of these could still submit work.
+    active_conns: AtomicUsize,
     shutdown: AtomicBool,
     addr: SocketAddr,
 }
@@ -91,9 +228,17 @@ impl Shared {
             return; // already draining
         }
         self.ready.notify_all();
+        self.pending_ready.notify_all();
         // Unblock the acceptor's `accept()`; it re-checks the flag before
         // admitting, so this dummy connection is dropped on the floor.
         let _ = TcpStream::connect(self.addr);
+    }
+
+    fn pending_bound(&self) -> usize {
+        self.config
+            .queue_capacity
+            .saturating_mul(PENDING_FACTOR)
+            .max(1)
     }
 }
 
@@ -103,7 +248,8 @@ impl Shared {
 pub struct Server {
     shared: Arc<Shared>,
     acceptor: JoinHandle<()>,
-    workers: Vec<JoinHandle<()>>,
+    readers: Vec<JoinHandle<()>>,
+    executor: JoinHandle<()>,
 }
 
 impl Server {
@@ -125,7 +271,7 @@ impl Server {
         );
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let workers = config.workers.max(1);
+        let readers = config.workers.max(1);
         let shared = Arc::new(Shared {
             engine,
             corpus,
@@ -133,6 +279,9 @@ impl Server {
             stats: ServerStats::new(),
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            pending: Mutex::new(VecDeque::new()),
+            pending_ready: Condvar::new(),
+            active_conns: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             addr,
         });
@@ -141,17 +290,22 @@ impl Server {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || accept_loop(&shared, &listener))
         };
-        let workers = (0..workers)
+        let readers = (0..readers)
             .map(|_| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
+                std::thread::spawn(move || reader_loop(&shared))
             })
             .collect();
+        let executor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || executor_loop(&shared))
+        };
 
         Ok(Server {
             shared,
             acceptor,
-            workers,
+            readers,
+            executor,
         })
     }
 
@@ -181,9 +335,10 @@ impl Server {
     /// indefinitely — which is exactly what `esh serve` wants.
     pub fn join(self) -> StatsSnapshot {
         self.acceptor.join().expect("acceptor thread panicked");
-        for w in self.workers {
-            w.join().expect("worker thread panicked");
+        for r in self.readers {
+            r.join().expect("reader thread panicked");
         }
+        self.executor.join().expect("executor thread panicked");
         self.shared.stats.snapshot()
     }
 
@@ -216,12 +371,16 @@ fn accept_loop(shared: &Shared, listener: &TcpListener) {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn reader_loop(shared: &Shared) {
     loop {
         let job = {
             let mut queue = shared.queue.lock().expect("queue poisoned");
             loop {
                 if let Some(job) = queue.pop_front() {
+                    // Claimed under the queue lock, so the executor's exit
+                    // check (queue empty AND no active connections) can
+                    // never miss a connection in hand-off.
+                    shared.active_conns.fetch_add(1, Ordering::SeqCst);
                     break job;
                 }
                 // Drain before exit: only stop once the queue is empty.
@@ -231,139 +390,340 @@ fn worker_loop(shared: &Shared) {
                 queue = shared.ready.wait(queue).expect("queue poisoned");
             }
         };
-        handle(shared, job);
+        serve_connection(shared, job);
+        shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+        shared.pending_ready.notify_all(); // let the executor re-check exit
     }
 }
 
-/// Answers one admitted connection: reads the first line, dispatches to
-/// the HTTP shim or the query path.
-fn handle(shared: &Shared, job: Job) {
+/// Serves one admitted connection for its whole pipelined lifetime:
+/// reads newline-delimited requests, dispatches each, and keeps the
+/// socket open while responses are still owed. Returns when the client
+/// closes, the idle budget runs out, or the daemon drains.
+fn serve_connection(shared: &Shared, job: Job) {
     let Job { stream, admitted } = job;
-    let queue_ms = admitted.elapsed().as_millis() as u64;
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(
-        shared.config.read_timeout_ms.max(1),
-    )));
-    let Ok(reader) = stream.try_clone() else {
+    let _ = stream.set_read_timeout(Some(READ_CHUNK));
+    let Ok(mut read_half) = stream.try_clone() else {
         return;
     };
-    let mut line = String::new();
-    if BufReader::new(reader).read_line(&mut line).is_err() || line.trim().is_empty() {
-        return; // client vanished or sent nothing; nothing to answer
+    let conn = Arc::new(ConnWriter::new(stream));
+    let idle_limit = Duration::from_millis(shared.config.read_timeout_ms.max(1));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut idle = Duration::ZERO;
+    let mut first_request = true;
+    loop {
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let raw: Vec<u8> = buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            // The first request's deadline budget starts at admission
+            // (queue wait counts); later pipelined requests start their
+            // clock when their line arrives.
+            let request_admitted = if first_request { admitted } else { Instant::now() };
+            if first_request && (line.starts_with("GET ") || line.starts_with("HEAD ")) {
+                shared.stats.record_http();
+                respond_http(shared, &conn, &line);
+                return; // the HTTP shim is Connection: close
+            }
+            first_request = false;
+            if !process_request(shared, &conn, &line, request_admitted) {
+                return; // @shutdown acknowledged; stop reading
+            }
+        }
+        match read_half.read(&mut chunk) {
+            Ok(0) => return, // client closed; late deliveries fail silently
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                idle = Duration::ZERO;
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                idle += READ_CHUNK;
+                let owed = conn.outstanding() > 0;
+                if !owed && shared.shutdown.load(Ordering::SeqCst) {
+                    return; // draining and this connection is settled
+                }
+                if !owed && idle >= idle_limit {
+                    return; // silent too long with nothing outstanding
+                }
+            }
+            Err(_) => return,
+        }
     }
-    if line.starts_with("GET ") || line.starts_with("HEAD ") {
-        shared.stats.record_http();
-        respond_http(shared, stream, line.trim());
-    } else {
-        respond_query(shared, stream, line.trim(), admitted, queue_ms);
-    }
 }
 
-/// The minimal HTTP/1.1 shim: `/healthz` and `/metrics`, 404 otherwise.
-fn respond_http(shared: &Shared, stream: TcpStream, request_line: &str) {
-    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
-    let (status, body) = match path {
-        "/healthz" => ("200 OK", "ok\n".to_string()),
-        "/metrics" => ("200 OK", render_metrics(shared)),
-        _ => ("404 Not Found", "not found\n".to_string()),
-    };
-    write_http(stream, status, &body);
-}
-
-fn render_metrics(shared: &Shared) -> String {
-    let queue_depth = shared.queue.lock().expect("queue poisoned").len();
-    shared.stats.render(
-        &shared.engine.cache_stats(),
-        &shared.engine.solver_stats(),
-        &shared.engine.prefilter_stats(),
-        queue_depth,
-    )
-}
-
-fn write_http(mut stream: TcpStream, status: &str, body: &str) {
-    let _ = write!(
-        stream,
-        "HTTP/1.1 {status}\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
-    let _ = stream.flush();
-}
-
-/// The query path: parse, resolve, enforce the deadline, score, respond.
-fn respond_query(
+/// Dispatches one request line. Immediate outcomes (parse errors,
+/// unknown names, control requests, pending-queue overflow) are answered
+/// right here through the reorder buffer; real queries join the batch
+/// queue. Returns `false` when the connection should stop reading
+/// (an `@shutdown` acknowledgement).
+fn process_request(
     shared: &Shared,
-    stream: TcpStream,
+    conn: &Arc<ConnWriter>,
     line: &str,
     admitted: Instant,
-    queue_ms: u64,
-) {
-    let mut response = match serde_json::from_str::<QueryRequest>(line) {
-        Err(e) => QueryResponse::status(Outcome::BadRequest, Some(format!("bad request: {e}"))),
-        Ok(request) if request.query == "@shutdown" => {
-            shared.request_shutdown();
-            QueryResponse::status(Outcome::ShuttingDown, None)
+) -> bool {
+    let seq = conn.alloc_seq();
+    let request = match serde_json::from_str::<QueryRequest>(line) {
+        Err(e) => {
+            let response =
+                QueryResponse::status(Outcome::BadRequest, Some(format!("bad request: {e}")));
+            respond_now(shared, conn, seq, admitted, response);
+            return true;
         }
-        Ok(request) => answer(shared, &request, admitted),
+        Ok(request) => request,
     };
-    response.queue_ms = queue_ms;
-    response.latency_ms = admitted.elapsed().as_millis() as u64;
-    shared.stats.record_outcome(response.outcome);
-    shared.stats.record_latency_ms(response.latency_ms);
-    write_line(stream, &response);
-}
-
-/// Scores one resolved request against the shared engine.
-fn answer(shared: &Shared, request: &QueryRequest, admitted: Instant) -> QueryResponse {
+    if request.query == "@shutdown" {
+        shared.request_shutdown();
+        let response = QueryResponse::status(Outcome::ShuttingDown, None);
+        respond_now(shared, conn, seq, admitted, response);
+        return false;
+    }
     let Some(qi) = shared
         .corpus
         .procs
         .iter()
         .position(|p| p.display().contains(&request.query))
     else {
-        return QueryResponse::status(
+        let response = QueryResponse::status(
             Outcome::NotFound,
             Some(format!("no procedure matching `{}`", request.query)),
         );
+        respond_now(shared, conn, seq, admitted, response);
+        return true;
     };
-    let budget = request
+    let budget_ms = request
         .deadline_ms
         .unwrap_or(shared.config.default_deadline_ms);
-    let deadline = admitted + Duration::from_millis(budget);
-    if Instant::now() >= deadline {
-        return QueryResponse::status(
-            Outcome::DeadlineExceeded,
-            Some(format!("deadline of {budget}ms expired in the queue")),
-        );
+    let top_n = request
+        .top_n
+        .map_or(shared.config.default_top_n, |n| n as usize);
+    let mut pending = shared.pending.lock().expect("pending poisoned");
+    if pending.len() >= shared.pending_bound() {
+        drop(pending);
+        let response =
+            QueryResponse::status(Outcome::Overloaded, Some("batch queue full".to_string()));
+        respond_now(shared, conn, seq, admitted, response);
+        return true;
     }
-    let token = CancelToken::with_deadline(deadline);
-    match shared
-        .engine
-        .query_cancellable(&shared.corpus.procs[qi].proc_, &token)
-    {
-        Err(_) => QueryResponse::status(
-            Outcome::DeadlineExceeded,
-            Some(format!("deadline of {budget}ms expired during scoring")),
-        ),
-        Ok(scores) => {
-            let top_n = request
-                .top_n
-                .map_or(shared.config.default_top_n, |n| n as usize);
-            QueryResponse {
-                outcome: Outcome::Ok,
-                error: None,
-                query: Some(shared.corpus.procs[qi].display()),
-                matches: ranked_matches(&scores, Some(TargetId(qi)), top_n),
-                queue_ms: 0,
-                latency_ms: 0,
+    pending.push_back(Pending {
+        conn: Arc::clone(conn),
+        seq,
+        qi,
+        top_n,
+        admitted,
+        deadline: admitted + Duration::from_millis(budget_ms),
+        budget_ms,
+    });
+    drop(pending);
+    shared.pending_ready.notify_all();
+    true
+}
+
+/// Finalizes and delivers a response the reader produced itself (no
+/// engine work): stamps latency, records it, hands it to the reorder
+/// buffer.
+fn respond_now(
+    shared: &Shared,
+    conn: &ConnWriter,
+    seq: u64,
+    admitted: Instant,
+    mut response: QueryResponse,
+) {
+    response.latency_ms = admitted.elapsed().as_millis() as u64;
+    shared.stats.record_outcome(response.outcome);
+    shared.stats.record_latency_ms(response.latency_ms);
+    conn.deliver(seq, encode_line(&response));
+}
+
+/// The batching tier: pops the oldest pending request, holds the batch
+/// open for `batch_window_ms` (or until `batch_max`), then executes one
+/// shared engine pass. Exits only when the daemon is draining and no
+/// reader could still submit work.
+fn executor_loop(shared: &Shared) {
+    let window = Duration::from_millis(shared.config.batch_window_ms);
+    let batch_max = shared.config.batch_max.max(1);
+    loop {
+        let mut batch: Vec<Pending> = Vec::new();
+        {
+            let mut pending = shared.pending.lock().expect("pending poisoned");
+            loop {
+                if let Some(p) = pending.pop_front() {
+                    batch.push(p);
+                    break;
+                }
+                if shared.shutdown.load(Ordering::SeqCst)
+                    && shared.active_conns.load(Ordering::SeqCst) == 0
+                    && shared.queue.lock().expect("queue poisoned").is_empty()
+                {
+                    return;
+                }
+                let (guard, _) = shared
+                    .pending_ready
+                    .wait_timeout(pending, READ_CHUNK)
+                    .expect("pending poisoned");
+                pending = guard;
+            }
+            let opened = Instant::now();
+            while batch.len() < batch_max {
+                while batch.len() < batch_max {
+                    match pending.pop_front() {
+                        Some(p) => batch.push(p),
+                        None => break,
+                    }
+                }
+                if batch.len() >= batch_max {
+                    break;
+                }
+                let Some(remaining) = window.checked_sub(opened.elapsed()) else {
+                    break;
+                };
+                if remaining.is_zero() {
+                    break;
+                }
+                let (guard, _) = shared
+                    .pending_ready
+                    .wait_timeout(pending, remaining)
+                    .expect("pending poisoned");
+                pending = guard;
+                if pending.is_empty() && opened.elapsed() >= window {
+                    break;
+                }
+            }
+        }
+        execute_batch(shared, batch);
+    }
+}
+
+/// Runs one coalesced batch: expires dead requests, collapses members
+/// naming the same corpus procedure into a single engine item, submits
+/// one [`SimilarityEngine::query_batch`] pass, and fans the shared
+/// scores back out to every member.
+fn execute_batch(shared: &Shared, batch: Vec<Pending>) {
+    let started = Instant::now();
+    let mut live: Vec<Pending> = Vec::new();
+    for p in batch {
+        if started >= p.deadline {
+            let response = QueryResponse::status(
+                Outcome::DeadlineExceeded,
+                Some(format!("deadline of {}ms expired in the queue", p.budget_ms)),
+            );
+            finish(shared, &p, started, response);
+        } else {
+            live.push(p);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    // Group by corpus index, preserving first-seen order. The group's
+    // cancel deadline is its latest member's, so an impatient rider never
+    // cancels work a batch-mate still wants.
+    let mut groups: Vec<(usize, Vec<Pending>)> = Vec::new();
+    for p in live {
+        match groups.iter_mut().find(|(qi, _)| *qi == p.qi) {
+            Some((_, members)) => members.push(p),
+            None => groups.push((p.qi, vec![p])),
+        }
+    }
+    let size = groups.iter().map(|(_, m)| m.len()).sum::<usize>();
+    shared.stats.record_batch(size, groups.len());
+    let items: Vec<BatchQuery> = groups
+        .iter()
+        .map(|(qi, members)| {
+            let deadline = members
+                .iter()
+                .map(|p| p.deadline)
+                .max()
+                .expect("groups are non-empty");
+            BatchQuery {
+                proc_: &shared.corpus.procs[*qi].proc_,
+                cancel: CancelToken::with_deadline(deadline),
+            }
+        })
+        .collect();
+    let results = shared.engine.query_batch(&items);
+    for ((qi, members), result) in groups.into_iter().zip(results) {
+        match result {
+            Ok(scores) => {
+                for p in members {
+                    let response = QueryResponse {
+                        outcome: Outcome::Ok,
+                        error: None,
+                        query: Some(shared.corpus.procs[qi].display()),
+                        matches: ranked_matches(&scores, Some(TargetId(qi)), p.top_n),
+                        queue_ms: 0,
+                        latency_ms: 0,
+                    };
+                    finish(shared, &p, started, response);
+                }
+            }
+            Err(_) => {
+                for p in members {
+                    let response = QueryResponse::status(
+                        Outcome::DeadlineExceeded,
+                        Some(format!(
+                            "deadline of {}ms expired during scoring",
+                            p.budget_ms
+                        )),
+                    );
+                    finish(shared, &p, started, response);
+                }
             }
         }
     }
+}
+
+/// Finalizes one batched response: stamps queue wait and latency,
+/// records the outcome, delivers in request order.
+fn finish(shared: &Shared, p: &Pending, started: Instant, mut response: QueryResponse) {
+    response.queue_ms = started.saturating_duration_since(p.admitted).as_millis() as u64;
+    response.latency_ms = p.admitted.elapsed().as_millis() as u64;
+    shared.stats.record_outcome(response.outcome);
+    shared.stats.record_latency_ms(response.latency_ms);
+    p.conn.deliver(p.seq, encode_line(&response));
+}
+
+/// The minimal HTTP/1.1 shim: `/healthz` and `/metrics`, 404 otherwise.
+fn respond_http(shared: &Shared, conn: &ConnWriter, request_line: &str) {
+    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+    let (status, body) = match path {
+        "/healthz" => ("200 OK", "ok\n".to_string()),
+        "/metrics" => ("200 OK", render_metrics(shared)),
+        _ => ("404 Not Found", "not found\n".to_string()),
+    };
+    conn.write_raw(&http_payload(status, &body));
+}
+
+fn render_metrics(shared: &Shared) -> String {
+    let queue_depth = shared.queue.lock().expect("queue poisoned").len();
+    let pending_depth = shared.pending.lock().expect("pending poisoned").len();
+    shared.stats.render(
+        &shared.engine.cache_stats(),
+        &shared.engine.solver_stats(),
+        &shared.engine.prefilter_stats(),
+        queue_depth,
+        pending_depth,
+    )
+}
+
+fn http_payload(status: &str, body: &str) -> String {
+    format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
 }
 
 /// Admission-control rejection. Reads the first line briefly (bounded at
 /// 100ms so a slow client cannot stall the acceptor for long) only to
 /// answer in the dialect the client speaks: HTTP probes get a 503, JSON
 /// clients get a typed [`QueryResponse`].
-fn reject(shared: &Shared, stream: TcpStream, outcome: Outcome, detail: &str) {
+fn reject(shared: &Shared, mut stream: TcpStream, outcome: Outcome, detail: &str) {
     shared.stats.record_outcome(outcome);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let mut line = String::new();
@@ -371,16 +731,12 @@ fn reject(shared: &Shared, stream: TcpStream, outcome: Outcome, detail: &str) {
         let _ = BufReader::new(reader).read_line(&mut line);
     }
     if line.starts_with("GET ") || line.starts_with("HEAD ") {
-        write_http(stream, "503 Service Unavailable", &format!("{detail}\n"));
-    } else {
-        write_line(
-            stream,
-            &QueryResponse::status(outcome, Some(detail.to_string())),
+        let _ = stream.write_all(
+            http_payload("503 Service Unavailable", &format!("{detail}\n")).as_bytes(),
         );
+    } else {
+        let response = QueryResponse::status(outcome, Some(detail.to_string()));
+        let _ = stream.write_all(encode_line(&response).as_bytes());
     }
-}
-
-fn write_line(mut stream: TcpStream, response: &QueryResponse) {
-    let _ = stream.write_all(encode_line(response).as_bytes());
     let _ = stream.flush();
 }

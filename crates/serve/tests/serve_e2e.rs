@@ -11,7 +11,7 @@ use esh_core::{EngineConfig, SimilarityEngine, TargetId};
 use esh_corpus::{CompiledProc, Corpus, PatchTag};
 use esh_minic::demo;
 use esh_serve::protocol::{
-    http_get, ranked_matches, remote_query, Outcome, QueryRequest,
+    http_get, ranked_matches, remote_query, Outcome, PipelinedClient, QueryRequest,
 };
 use esh_serve::server::{ServeConfig, Server};
 
@@ -232,6 +232,163 @@ fn shutdown_drains_admitted_requests() {
     }
     let stats = server.join();
     assert_eq!(stats.ok, 2);
+}
+
+/// Starts a server whose coalescing window is wide enough that requests
+/// pipelined back-to-back land in one engine batch.
+fn start_batching(workers: usize, batch_max: usize, batch_window_ms: u64) -> (Server, String) {
+    let corpus = tiny_corpus();
+    let server = Server::start(
+        engine_over(&corpus),
+        corpus,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers,
+            queue_capacity: 8,
+            read_timeout_ms: 2_000,
+            batch_max,
+            batch_window_ms,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+#[test]
+fn pipelined_requests_answer_in_order_and_match_offline() {
+    let corpus = tiny_corpus();
+    let offline = engine_over(&corpus);
+    let expected: Vec<_> = (0..corpus.procs.len())
+        .map(|qi| {
+            ranked_matches(
+                &offline.query(&corpus.procs[qi].proc_),
+                Some(TargetId(qi)),
+                10,
+            )
+        })
+        .collect();
+
+    let (server, addr) = start_batching(1, 8, 50);
+    let mut client = PipelinedClient::connect(&addr, TIMEOUT).unwrap();
+    // Write the whole pipeline before reading anything: every corpus
+    // procedure twice, plus an unknown name in the middle. The window is
+    // wide, so these coalesce into shared batches — and must still come
+    // back in request order.
+    let names: Vec<String> = corpus.procs.iter().map(|p| p.display()).collect();
+    for name in names.iter().chain(names.iter()) {
+        client.send(&QueryRequest::new(name)).unwrap();
+    }
+    client.send(&QueryRequest::new("no-such-proc")).unwrap();
+    for (k, qi) in (0..names.len()).chain(0..names.len()).enumerate() {
+        let resp = client.recv().unwrap();
+        assert_eq!(resp.outcome, Outcome::Ok, "response {k}");
+        assert_eq!(resp.query.as_deref(), Some(names[qi].as_str()), "order {k}");
+        assert_eq!(resp.matches.len(), expected[qi].len());
+        for (got, want) in resp.matches.iter().zip(&expected[qi]) {
+            assert_eq!(got.name, want.name, "response {k}");
+            assert_eq!(got.ges.to_bits(), want.ges.to_bits(), "response {k}");
+            assert_eq!(got.s_log.to_bits(), want.s_log.to_bits(), "response {k}");
+            assert_eq!(got.s_vcp.to_bits(), want.s_vcp.to_bits(), "response {k}");
+        }
+    }
+    let resp = client.recv().unwrap();
+    assert_eq!(resp.outcome, Outcome::NotFound);
+    drop(client);
+    let stats = server.shutdown();
+    assert_eq!(stats.ok, 8);
+    assert_eq!(stats.not_found, 1);
+    assert!(stats.batches >= 1, "the coalescing tier never ran");
+    assert!(
+        stats.coalesced_queries >= 1,
+        "duplicate queries in one window should share an engine pass \
+         (occupancy high-water {})",
+        stats.batch_occupancy_hwm
+    );
+}
+
+#[test]
+fn deadline_expiry_interleaves_with_live_pipelined_requests() {
+    // A wide window forces all three requests into one batch: the
+    // zero-budget member must expire at batch assembly while its
+    // batch-mates complete, and order on the wire is preserved.
+    let (server, addr) = start_batching(1, 8, 100);
+    let mut client = PipelinedClient::connect(&addr, TIMEOUT).unwrap();
+    client.send(&QueryRequest::new("ftp_syst")).unwrap();
+    client
+        .send(&QueryRequest {
+            query: "saturating_sum [icc".into(),
+            top_n: None,
+            deadline_ms: Some(0),
+        })
+        .unwrap();
+    client.send(&QueryRequest::new("saturating_sum [clang")).unwrap();
+    let first = client.recv().unwrap();
+    let second = client.recv().unwrap();
+    let third = client.recv().unwrap();
+    assert_eq!(first.outcome, Outcome::Ok);
+    assert!(first.query.unwrap().contains("ftp_syst"), "order violated");
+    assert_eq!(second.outcome, Outcome::DeadlineExceeded);
+    assert!(second.error.unwrap().contains("expired in the queue"));
+    assert_eq!(third.outcome, Outcome::Ok);
+    assert!(third.query.unwrap().contains("clang"), "order violated");
+    drop(client);
+    let stats = server.shutdown();
+    assert_eq!(stats.ok, 2);
+    assert_eq!(stats.deadline_exceeded, 1);
+}
+
+#[test]
+fn tight_deadline_cancels_cooperatively_without_wedging_the_batch() {
+    // A 3ms budget expires either at batch assembly or mid-scoring
+    // (cooperative cancellation between VCP tiles) — both are legal, but
+    // the server must answer it *and* its unconstrained batch-mate, and
+    // a follow-up request on the same socket must still work.
+    let (server, addr) = start_batching(1, 8, 60);
+    let mut client = PipelinedClient::connect(&addr, TIMEOUT).unwrap();
+    client
+        .send(&QueryRequest {
+            query: "ftp_syst [icc".into(),
+            top_n: None,
+            deadline_ms: Some(3),
+        })
+        .unwrap();
+    client.send(&QueryRequest::new("saturating_sum [clang")).unwrap();
+    let tight = client.recv().unwrap();
+    assert!(
+        matches!(tight.outcome, Outcome::Ok | Outcome::DeadlineExceeded),
+        "tight deadline produced {:?}",
+        tight.outcome
+    );
+    let mate = client.recv().unwrap();
+    assert_eq!(mate.outcome, Outcome::Ok, "batch-mate must survive");
+    let retry = client.query(&QueryRequest::new("ftp_syst [icc")).unwrap();
+    assert_eq!(retry.outcome, Outcome::Ok, "connection stays usable");
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_a_batch_in_flight() {
+    // Requests pipelined into a still-open coalescing window, then an
+    // immediate drain: every admitted request must be answered before
+    // join returns, and the responses stay in order.
+    let (server, addr) = start_batching(2, 8, 150);
+    let mut a = PipelinedClient::connect(&addr, TIMEOUT).unwrap();
+    let mut b = PipelinedClient::connect(&addr, TIMEOUT).unwrap();
+    a.send(&QueryRequest::new("ftp_syst")).unwrap();
+    a.send(&QueryRequest::new("saturating_sum [icc")).unwrap();
+    b.send(&QueryRequest::new("saturating_sum [clang")).unwrap();
+    std::thread::sleep(Duration::from_millis(50)); // inside the window
+    server.request_shutdown();
+    for resp in [a.recv().unwrap(), a.recv().unwrap(), b.recv().unwrap()] {
+        assert_eq!(resp.outcome, Outcome::Ok, "in-flight batch was dropped");
+    }
+    drop(a);
+    drop(b);
+    let stats = server.join();
+    assert_eq!(stats.ok, 3);
 }
 
 #[test]

@@ -10,6 +10,7 @@
 //! esh query --remote <addr> <query-substring> [top_n] [--json]
 //! esh serve --index <index.esh> <corpus.json> [--addr A] [--workers N]
 //!           [--queue N] [--deadline-ms N] [--threads N]
+//!           [--batch-max N] [--batch-window-ms N]
 //! esh bench-serve [--smoke]
 //! esh bench-prefilter [--smoke]
 //! esh bench-rankquality [--smoke]
@@ -24,8 +25,10 @@
 //! into the snapshot so repeat queries skip the verifier almost entirely.
 //!
 //! `serve` turns the same engine into a long-running daemon: snapshot
-//! loaded once, queries answered concurrently over newline-delimited
-//! JSON with bounded admission, per-request deadlines and `/metrics`.
+//! loaded once, queries answered concurrently over pipelined
+//! newline-delimited JSON with bounded admission, per-request deadlines,
+//! batch coalescing (`--batch-max` / `--batch-window-ms`) and
+//! `/metrics`.
 //! `query --remote` is the matching client; `--json` prints the shared
 //! machine-readable response schema from either path. `bench-serve`
 //! load-tests the daemon over loopback and writes `BENCH_serve.json`;
@@ -54,6 +57,7 @@ fn usage() -> ExitCode {
          esh query --remote <addr> <query-substring> [top_n] [--json]\n  \
          esh serve --index <index.esh> <corpus.json> [--addr A] [--workers N]\n  \
          \x20         [--queue N] [--deadline-ms N] [--threads N]\n  \
+         \x20         [--batch-max N] [--batch-window-ms N]\n  \
          esh bench-serve [--smoke]\n  \
          esh bench-prefilter [--smoke]\n  \
          esh bench-rankquality [--smoke]\n  \
@@ -347,6 +351,16 @@ fn serve(args: &[String]) -> Result<(), String> {
                 config.queue_capacity =
                     value("--queue")?.parse().map_err(|e| format!("--queue: {e}"))?
             }
+            "--batch-max" => {
+                config.batch_max = value("--batch-max")?
+                    .parse()
+                    .map_err(|e| format!("--batch-max: {e}"))?
+            }
+            "--batch-window-ms" => {
+                config.batch_window_ms = value("--batch-window-ms")?
+                    .parse()
+                    .map_err(|e| format!("--batch-window-ms: {e}"))?
+            }
             "--deadline-ms" => {
                 config.default_deadline_ms = value("--deadline-ms")?
                     .parse()
@@ -381,8 +395,13 @@ fn serve(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("binding {}: {e}", config.addr))?;
     let addr = server.local_addr();
     eprintln!(
-        "esh serve: listening on {addr} ({} workers, queue {}, default deadline {}ms)",
-        config.workers, config.queue_capacity, config.default_deadline_ms
+        "esh serve: listening on {addr} ({} workers, queue {}, default deadline {}ms, \
+         batch {}x{}ms)",
+        config.workers,
+        config.queue_capacity,
+        config.default_deadline_ms,
+        config.batch_max,
+        config.batch_window_ms
     );
     eprintln!("esh serve: GET /healthz and /metrics on the same port");
     eprintln!("esh serve: send {{\"query\":\"@shutdown\"}} to drain and exit");
