@@ -24,11 +24,15 @@ use esh_strands::{
 use esh_verifier::VerifierSession;
 use serde::{Deserialize, Serialize};
 
-use crate::cache::{CacheStats, VcpCache};
+use crate::cache::{CacheStats, VcpCache, VcpCacheEntry};
 use crate::prefilter::{
     bounds_decision, calibrated_margin, compute_probe_sketch, compute_sketch, MarginCalibration,
     MarginSample, PrefilterConfig, PrefilterStats, PrefilterStatsSnapshot, SemanticSketch,
     SketchDecision, SketchIndex,
+};
+use crate::shard::{
+    ClassExport, CorpusExport, LazyClassMeta, LazyShards, ShardSource, ShardSpec, ShardStats,
+    ShardTouch, TargetExport,
 };
 use crate::stats::{ges, les, likelihood, H0Accumulator, ScoringMode};
 use crate::vcp::{size_ratio_ok, vcp_pair, VcpConfig, VcpPair};
@@ -362,6 +366,10 @@ pub struct SimilarityEngine {
     /// persisted sketches just rebuild them) and dropped whenever the
     /// corpus changes.
     sketch_index: Mutex<Option<Arc<SketchIndex>>>,
+    /// Lazy backing store when the engine was opened from a sharded (v5)
+    /// index: class procedures and per-segment cache entries load on
+    /// first use. `None` for fully resident engines.
+    shards: Option<LazyShards>,
 }
 
 /// Engine-lifetime SAT counters aggregated across worker sessions.
@@ -423,6 +431,7 @@ impl SimilarityEngine {
             solver: SolverCounters::default(),
             prefilter_stats: PrefilterStats::default(),
             sketch_index: Mutex::new(None),
+            shards: None,
         }
     }
 
@@ -473,13 +482,180 @@ impl SimilarityEngine {
         &self.cache
     }
 
+    /// Every memoized VCP-cache entry, sorted by key — what
+    /// `save_with_cache` persists and the sharded-index writer segments.
+    pub fn cache_entries(&self) -> Vec<VcpCacheEntry> {
+        self.cache.entries()
+    }
 
-    pub(crate) fn classes_for_snapshot(&self) -> &[StrandClass] {
-        &self.classes
+    /// Classes as they should be serialized. On a lazily-backed engine
+    /// this **materializes** every shard first: a placeholder procedure
+    /// must never reach disk.
+    pub(crate) fn classes_for_snapshot(&self) -> Vec<StrandClass> {
+        self.classes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let mut c = c.clone();
+                if self.shards.is_some() {
+                    c.proc_ = self.class_proc(i).clone();
+                }
+                c
+            })
+            .collect()
     }
 
     pub(crate) fn targets_for_snapshot(&self) -> &[TargetRecord] {
         &self.targets
+    }
+
+    /// The lifted procedure of class `ci`, pulling its shard into memory
+    /// on first use when the engine is lazily backed.
+    fn class_proc(&self, ci: usize) -> &Proc {
+        match &self.shards {
+            Some(lazy) if ci < lazy.class_limit() => lazy.proc(ci, &self.cache),
+            _ => &self.classes[ci].proc_,
+        }
+    }
+
+    /// Loads class `ci`'s shard (bringing its persisted cache segment
+    /// with it) and returns the shard index, or `None` when the class is
+    /// resident. Must run before the first counted cache lookup touching
+    /// `ci` — the load-before-lookup invariant that keeps sharded
+    /// hit/miss counters identical to a fully resident engine's.
+    fn ensure_class_shard(&self, ci: usize) -> Option<usize> {
+        match &self.shards {
+            Some(lazy) if ci < lazy.class_limit() => {
+                let shard = lazy.shard_of_class(ci);
+                lazy.ensure_loaded(shard, &self.cache);
+                Some(shard)
+            }
+            _ => None,
+        }
+    }
+
+    /// Shard counters: total/loaded shard counts and query fan-out. All
+    /// zero for fully resident engines.
+    pub fn shard_stats(&self) -> ShardStats {
+        self.shards.as_ref().map_or_else(ShardStats::default, |l| l.stats())
+    }
+
+    /// Dumps the whole corpus — config, materialized classes, targets,
+    /// sorted cache entries — for the sharded-index writer. On a lazily
+    /// backed engine this loads every shard.
+    pub fn export_corpus(&self) -> CorpusExport {
+        CorpusExport {
+            config: self.config.clone(),
+            classes: self
+                .classes
+                .iter()
+                .enumerate()
+                .map(|(i, c)| ClassExport {
+                    name: c.proc_.name.clone(),
+                    proc_: self.class_proc(i).clone(),
+                    signature: c.signature.clone(),
+                    vars: c.vars,
+                    hash: c.hash,
+                    corpus_count: c.corpus_count,
+                    sketch: c.sketch.clone(),
+                })
+                .collect(),
+            targets: self
+                .targets
+                .iter()
+                .map(|t| TargetExport {
+                    name: t.name.clone(),
+                    strands: t.strands.clone(),
+                    basic_blocks: t.basic_blocks,
+                })
+                .collect(),
+            cache: self.cache.entries(),
+        }
+    }
+
+    /// Builds an engine over a lazily-loaded sharded backing store: class
+    /// pricing metadata and targets are resident, procedures and
+    /// per-segment cache entries come from `source` on demand.
+    /// `eager_cache` holds entries that belong to no shard (defensive;
+    /// normally empty) — they are resident from the start.
+    ///
+    /// Validates that `specs` tile both index spaces contiguously from
+    /// zero, that class hashes are unique, and that target strand
+    /// references are in range.
+    pub fn from_lazy_parts(
+        config: EngineConfig,
+        classes: Vec<LazyClassMeta>,
+        targets: Vec<TargetExport>,
+        specs: Vec<ShardSpec>,
+        source: Box<dyn ShardSource>,
+        eager_cache: Vec<VcpCacheEntry>,
+    ) -> Result<SimilarityEngine, String> {
+        let mut class_cursor = 0usize;
+        let mut target_cursor = 0usize;
+        for (i, s) in specs.iter().enumerate() {
+            if s.class_start != class_cursor || s.target_start != target_cursor {
+                return Err(format!("shard {i} does not tile contiguously"));
+            }
+            if s.class_end < s.class_start || s.target_end < s.target_start {
+                return Err(format!("shard {i} has an inverted range"));
+            }
+            class_cursor = s.class_end;
+            target_cursor = s.target_end;
+        }
+        if class_cursor != classes.len() || target_cursor != targets.len() {
+            return Err(format!(
+                "shards cover {class_cursor} classes / {target_cursor} targets, \
+                 index has {} / {}",
+                classes.len(),
+                targets.len()
+            ));
+        }
+        let mut class_by_hash = HashMap::with_capacity(classes.len());
+        for (i, c) in classes.iter().enumerate() {
+            if class_by_hash.insert(c.hash, i).is_some() {
+                return Err("duplicate strand-class hashes".into());
+            }
+        }
+        for t in &targets {
+            if t.strands.iter().any(|&(ci, _)| ci >= classes.len()) {
+                return Err(format!("target `{}` references a class out of range", t.name));
+            }
+        }
+        let classes = classes
+            .into_iter()
+            .map(|c| StrandClass {
+                // Placeholder body; every code path that needs the real
+                // procedure goes through `class_proc`. The name is kept so
+                // diagnostics (`common_classes`) stay useful without a
+                // shard load.
+                proc_: Proc::new(c.name),
+                signature: c.signature,
+                vars: c.vars,
+                hash: c.hash,
+                corpus_count: c.corpus_count,
+                sketch: c.sketch,
+            })
+            .collect();
+        let targets = targets
+            .into_iter()
+            .map(|t| TargetRecord {
+                name: t.name,
+                strands: t.strands,
+                basic_blocks: t.basic_blocks,
+            })
+            .collect();
+        Ok(SimilarityEngine {
+            config,
+            classes,
+            class_by_hash,
+            targets,
+            cache: VcpCache::from_entries(&eager_cache),
+            sessions: Mutex::new(Vec::new()),
+            solver: SolverCounters::default(),
+            prefilter_stats: PrefilterStats::default(),
+            sketch_index: Mutex::new(None),
+            shards: Some(LazyShards::new(specs, source)),
+        })
     }
 
     pub(crate) fn from_snapshot_parts(
@@ -499,6 +675,7 @@ impl SimilarityEngine {
             solver: SolverCounters::default(),
             prefilter_stats: PrefilterStats::default(),
             sketch_index: Mutex::new(None),
+            shards: None,
         }
     }
 
@@ -690,9 +867,14 @@ impl SimilarityEngine {
             let sketches = self
                 .classes
                 .iter()
-                .map(|c| match &c.sketch {
+                .enumerate()
+                .map(|(i, c)| match &c.sketch {
                     Some(s) => s.clone(),
-                    None => compute_sketch(&c.proc_, cfg),
+                    // Missing sketches (pre-v3 snapshots, or a sharded
+                    // index written without the tier) rebuild from the
+                    // real procedure — on a lazily backed engine this
+                    // loads the class's shard.
+                    None => compute_sketch(self.class_proc(i), cfg),
                 })
                 .collect();
             *slot = Some(Arc::new(SketchIndex::build(sketches, cfg)));
@@ -745,10 +927,20 @@ impl SimilarityEngine {
     /// per-item: a cancelled item's remaining tiles are skipped while the
     /// rest of the batch keeps computing; its partial matrix is discarded
     /// by the caller.
+    /// On a lazily backed engine the same pass is the **fan-out** step:
+    /// the flat tile space already spans every shard's class range, a
+    /// pair that survives pricing pulls its shard (procedures + cache
+    /// segment) into memory via [`ensure_class_shard`]
+    /// (Self::ensure_class_shard), and `touched` records which `(item,
+    /// shard)` pairs were consulted. The final row copy-back below is the
+    /// merge step — because shards partition the class index space in
+    /// order, it concatenates per-shard submatrices into exactly the
+    /// matrix a resident engine computes, bit for bit.
     fn vcp_matrix_batch(
         &self,
         queries: &[Option<Vec<QueryStrand>>],
         cancels: &[&CancelToken],
+        touched: &ShardTouch,
     ) -> Vec<Vec<Vec<VcpPair>>> {
         let threads = if self.config.threads == 0 {
             std::thread::available_parallelism()
@@ -935,7 +1127,15 @@ impl SimilarityEngine {
                                                         compute_probe_sketch(&q.proc_, &ctx.cfg)
                                                     });
                                                     let pt = ctx.probed(class.hash, || {
-                                                        compute_probe_sketch(&class.proc_, &ctx.cfg)
+                                                        if let Some(s) =
+                                                            self.ensure_class_shard(ci)
+                                                        {
+                                                            touched.mark(b, s);
+                                                        }
+                                                        compute_probe_sketch(
+                                                            self.class_proc(ci),
+                                                            &ctx.cfg,
+                                                        )
                                                     });
                                                     let r_q = pq.containment_in(&pt);
                                                     let r_t = pt.containment_in(&pq);
@@ -953,6 +1153,13 @@ impl SimilarityEngine {
                                         }
                                     }
                                 }
+                                // The pair survived pricing: load its
+                                // shard *before* the counted lookup so the
+                                // persisted cache segment can answer it
+                                // (load-before-lookup invariant).
+                                if let Some(s) = self.ensure_class_shard(start + k) {
+                                    touched.mark(b, s);
+                                }
                                 let key = (q.hash, class.hash, vcp_fp);
                                 row[k] = match cache.get(&key) {
                                     Some(v) => v,
@@ -960,7 +1167,7 @@ impl SimilarityEngine {
                                         let v = vcp_pair(
                                             &mut session,
                                             &q.proc_,
-                                            &class.proc_,
+                                            self.class_proc(start + k),
                                             &config.vcp,
                                         );
                                         cache.insert(key, v);
@@ -1043,7 +1250,13 @@ impl SimilarityEngine {
             })
             .collect();
         let cancels: Vec<&CancelToken> = items.iter().map(|it| &it.cancel).collect();
-        let matrices = self.vcp_matrix_batch(&prepared, &cancels);
+        // Fan-out bookkeeping for lazily backed engines: which shards
+        // each item consulted, across the matrix pass *and* refine.
+        let touched = ShardTouch::new(
+            items.len(),
+            self.shards.as_ref().map_or(0, |l| l.shard_count()),
+        );
+        let matrices = self.vcp_matrix_batch(&prepared, &cancels, &touched);
         // Refine resources shared across the batch: one verifier session,
         // one probe-sketch cache (probe sketches are pure per strand, so
         // sharing them across items cannot change any item's result).
@@ -1078,6 +1291,8 @@ impl SimilarityEngine {
                     &it.cancel,
                     session,
                     &mut probes,
+                    i,
+                    &touched,
                 ),
                 None => Ok(()),
             };
@@ -1090,6 +1305,9 @@ impl SimilarityEngine {
         if let Some((session, perf0)) = refine_session {
             self.solver.add(&session.stats().solver.delta_since(&perf0));
             self.return_session(session);
+        }
+        if let Some(lazy) = &self.shards {
+            lazy.add_fanout(touched.count());
         }
         results
     }
@@ -1224,6 +1442,7 @@ impl SimilarityEngine {
     /// Terminates because the refined-target set grows monotonically and
     /// is bounded by the corpus. No-op when the sketch tier or
     /// [`PrefilterConfig::refine_top_k`] is off.
+    #[allow(clippy::too_many_arguments)]
     fn refine_served_window(
         &self,
         query: &[QueryStrand],
@@ -1232,6 +1451,8 @@ impl SimilarityEngine {
         cancel: &CancelToken,
         session: &mut VerifierSession,
         probes: &mut HashMap<u64, SemanticSketch>,
+        item: usize,
+        touched: &ShardTouch,
     ) -> Result<(), QueryCancelled> {
         let Some(cfg) = self.config.active_sketch().cloned() else {
             return Ok(());
@@ -1311,6 +1532,13 @@ impl SimilarityEngine {
                                 continue;
                             }
                         }
+                        // The window scan must see the persisted cache
+                        // segment of every class it peeks, so the shard
+                        // loads first (load-before-lookup) — and counts
+                        // toward this item's fan-out.
+                        if let Some(s) = self.ensure_class_shard(ci) {
+                            touched.mark(item, s);
+                        }
                         let key = (q.hash, class.hash, vcp_fp);
                         // `peek`, not `get`: this scan separates known from
                         // pruned cells and must not distort the miss
@@ -1326,7 +1554,9 @@ impl SimilarityEngine {
                                     .or_insert_with(|| compute_probe_sketch(&q.proc_, &cfg));
                                 probes
                                     .entry(class.hash)
-                                    .or_insert_with(|| compute_probe_sketch(&class.proc_, &cfg));
+                                    .or_insert_with(|| {
+                                        compute_probe_sketch(self.class_proc(ci), &cfg)
+                                    });
                                 let pq = &probes[&q.hash];
                                 let pt = &probes[&class.hash];
                                 (pq.containment_in(pt), pt.containment_in(pq))
@@ -1373,7 +1603,7 @@ impl SimilarityEngine {
                             let v = vcp_pair(
                                 session,
                                 &q.proc_,
-                                &class.proc_,
+                                self.class_proc(ci),
                                 &self.config.vcp,
                             );
                             self.cache.insert(key, v);
@@ -1456,7 +1686,7 @@ impl SimilarityEngine {
             for i in [a, b] {
                 sketches.entry(i).or_insert_with(|| match &self.classes[i].sketch {
                     Some(s) => s.clone(),
-                    None => compute_sketch(&self.classes[i].proc_, &cfg),
+                    None => compute_sketch(self.class_proc(i), &cfg),
                 });
             }
             let bound = sketches[&a]
@@ -1472,11 +1702,20 @@ impl SimilarityEngine {
             let exact = if bound <= max_pruned_vcp {
                 bound
             } else {
+                // Load-before-lookup (see `ensure_class_shard`): the
+                // segment owning `qb.hash`'s entry must be resident
+                // before the counted `get`.
+                self.ensure_class_shard(b);
                 let key = (qa.hash, qb.hash, vcp_fp);
                 let v = match self.cache.get(&key) {
                     Some(v) => v,
                     None => {
-                        let v = vcp_pair(&mut session, &qa.proc_, &qb.proc_, &self.config.vcp);
+                        let v = vcp_pair(
+                            &mut session,
+                            self.class_proc(a),
+                            self.class_proc(b),
+                            &self.config.vcp,
+                        );
                         self.cache.insert(key, v);
                         v
                     }

@@ -67,6 +67,7 @@
 mod cache;
 mod engine;
 pub mod prefilter;
+mod shard;
 pub mod snapshot;
 mod stats;
 mod vcp;
@@ -82,6 +83,10 @@ pub use prefilter::{
     SketchDecision, SketchIndex,
 };
 pub use esh_solver::SolverPerf;
+pub use shard::{
+    ClassExport, CorpusExport, LazyClassMeta, ShardPayload, ShardSource, ShardSpec, ShardStats,
+    TargetExport,
+};
 pub use snapshot::{ConfigMismatchKind, SnapshotError, SNAPSHOT_FORMAT_VERSION};
 pub use stats::{ges, les, likelihood, H0Accumulator, ScoringMode, SIGMOID_K, SIGMOID_MIDPOINT};
 pub use vcp::{size_ratio_ok, vcp_pair, VcpConfig, VcpPair};

@@ -1,0 +1,261 @@
+//! Lazy target-segment shards behind the engine — the scale tier's
+//! in-memory half.
+//!
+//! A sharded index (see `esh-index`) splits the corpus into contiguous
+//! **target segments**. Because strand classes are created in target
+//! insertion order, each segment also owns a contiguous range of class
+//! indices: the classes first introduced by its targets. Everything a
+//! query needs to *price* a pair — structural hash, variable count,
+//! semantic signature, sketch, corpus count — stays eagerly loaded, while
+//! the heavyweight per-class payload (the lifted IVL procedure and the
+//! segment's slice of the persisted VCP cache) lives behind a
+//! [`ShardSource`] and is pulled in only when some pair of that segment
+//! survives pricing and actually needs the verifier or its memoized
+//! result.
+//!
+//! Invariants the engine relies on (and the v5 round-trip proptest pins):
+//!
+//! * **Load-before-lookup.** A shard's persisted cache entries are
+//!   inserted (counter-neutrally) the moment the shard loads, and the
+//!   engine always loads a class's shard *before* the first counted
+//!   cache lookup touching that class — so hit/miss counters are
+//!   identical to an engine that had every entry resident from the start.
+//! * **Merge = concatenation.** Shards partition the class index space in
+//!   order, so the fanned-out VCP matrix is the unsharded matrix: every
+//!   float sum (H0, GES, S-VCP) runs in the same order and produces the
+//!   same bits.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use esh_ivl::Proc;
+use esh_strands::Signature;
+
+use crate::cache::{VcpCache, VcpCacheEntry};
+use crate::engine::EngineConfig;
+use crate::prefilter::SemanticSketch;
+
+/// The contiguous target and class ranges one shard owns. Ranges are
+/// half-open (`start..end`); consecutive shards tile both index spaces
+/// without gaps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// First class index owned by this shard.
+    pub class_start: usize,
+    /// One past the last class index owned by this shard.
+    pub class_end: usize,
+    /// First target index owned by this shard.
+    pub target_start: usize,
+    /// One past the last target index owned by this shard.
+    pub target_end: usize,
+}
+
+/// What a [`ShardSource`] hands back for one shard: the lifted procedures
+/// of its class range (in class-index order) and the persisted VCP-cache
+/// entries whose class hash belongs to this segment.
+#[derive(Debug)]
+pub struct ShardPayload {
+    /// Lifted procedures for `class_start..class_end`, in order.
+    pub procs: Vec<Proc>,
+    /// Persisted cache entries keyed into this segment.
+    pub cache: Vec<VcpCacheEntry>,
+}
+
+/// Backing store for lazily-loaded shards (the on-disk v5 format in
+/// `esh-index`, or an in-memory stand-in for tests).
+pub trait ShardSource: Send + Sync + fmt::Debug {
+    /// Loads shard `shard`'s payload. Called at most once per shard per
+    /// engine; errors are fatal to the query that needed the shard.
+    fn load_shard(&self, shard: usize) -> Result<ShardPayload, String>;
+}
+
+/// Point-in-time shard counters for an engine (all zero when the engine
+/// is fully resident, i.e. not backed by a sharded index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Number of shards behind the engine.
+    pub shards_total: u64,
+    /// Shards whose payload has been pulled into memory.
+    pub shards_loaded: u64,
+    /// Total (query, shard) consultations: for each query (or batch
+    /// item), every distinct shard whose payload the query needed —
+    /// surviving pricing into a cache lookup, a probe sketch, or a
+    /// refine-window scan.
+    pub fanout_total: u64,
+}
+
+/// The engine's view of a sharded backing store: specs, one lazily
+/// initialized slot per shard, and the gauges `/metrics` exports.
+#[derive(Debug)]
+pub(crate) struct LazyShards {
+    specs: Vec<ShardSpec>,
+    source: Box<dyn ShardSource>,
+    slots: Vec<OnceLock<Vec<Proc>>>,
+    loaded: AtomicU64,
+    fanout: AtomicU64,
+}
+
+impl LazyShards {
+    pub(crate) fn new(specs: Vec<ShardSpec>, source: Box<dyn ShardSource>) -> LazyShards {
+        let slots = (0..specs.len()).map(|_| OnceLock::new()).collect();
+        LazyShards {
+            specs,
+            source,
+            slots,
+            loaded: AtomicU64::new(0),
+            fanout: AtomicU64::new(0),
+        }
+    }
+
+    /// One past the highest class index any shard owns. Classes at or
+    /// beyond this (added after the snapshot was opened) are resident in
+    /// the engine itself.
+    pub(crate) fn class_limit(&self) -> usize {
+        self.specs.last().map_or(0, |s| s.class_end)
+    }
+
+    pub(crate) fn shard_count(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// The shard owning class `ci` (callers guarantee `ci <
+    /// class_limit()`).
+    pub(crate) fn shard_of_class(&self, ci: usize) -> usize {
+        self.specs.partition_point(|s| s.class_end <= ci)
+    }
+
+    /// Loads shard `shard` if it is not resident yet, inserting its
+    /// persisted cache entries counter-neutrally.
+    pub(crate) fn ensure_loaded(&self, shard: usize, cache: &VcpCache) {
+        self.slots[shard].get_or_init(|| {
+            let payload = self
+                .source
+                .load_shard(shard)
+                .unwrap_or_else(|e| panic!("shard {shard} failed to load: {e}"));
+            for e in &payload.cache {
+                cache.insert((e.query_hash, e.class_hash, e.vcp_fingerprint), e.pair);
+            }
+            self.loaded.fetch_add(1, Ordering::Relaxed);
+            payload.procs
+        });
+    }
+
+    /// The lifted procedure of class `ci`, loading its shard on first
+    /// use.
+    pub(crate) fn proc(&self, ci: usize, cache: &VcpCache) -> &Proc {
+        let shard = self.shard_of_class(ci);
+        self.ensure_loaded(shard, cache);
+        let procs = self.slots[shard].get().expect("shard just ensured");
+        &procs[ci - self.specs[shard].class_start]
+    }
+
+    pub(crate) fn add_fanout(&self, n: u64) {
+        self.fanout.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn stats(&self) -> ShardStats {
+        ShardStats {
+            shards_total: self.specs.len() as u64,
+            shards_loaded: self.loaded.load(Ordering::Relaxed),
+            fanout_total: self.fanout.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Per-batch fan-out bookkeeping: one flag per `(batch item, shard)`
+/// pair, set when that item's pricing survives into the shard's payload
+/// (cache lookup, probe sketch, or refine scan). Counted once per pair at
+/// batch end, whatever order the work-stealing workers touched it in.
+#[derive(Debug)]
+pub(crate) struct ShardTouch {
+    flags: Vec<std::sync::atomic::AtomicBool>,
+    nshards: usize,
+}
+
+impl ShardTouch {
+    pub(crate) fn new(items: usize, nshards: usize) -> ShardTouch {
+        ShardTouch {
+            flags: (0..items * nshards)
+                .map(|_| std::sync::atomic::AtomicBool::new(false))
+                .collect(),
+            nshards,
+        }
+    }
+
+    pub(crate) fn mark(&self, item: usize, shard: usize) {
+        if self.nshards != 0 {
+            self.flags[item * self.nshards + shard].store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Distinct `(item, shard)` pairs touched.
+    pub(crate) fn count(&self) -> u64 {
+        self.flags
+            .iter()
+            .filter(|f| f.load(Ordering::Relaxed))
+            .count() as u64
+    }
+}
+
+/// One strand class, fully materialized — the unit `esh-index` writes.
+#[derive(Debug, Clone)]
+pub struct ClassExport {
+    /// Display name (the lifted procedure's diagnostic name).
+    pub name: String,
+    /// The lifted IVL procedure (the shard-resident payload).
+    pub proc_: Proc,
+    /// Semantic signature (eager pricing metadata).
+    pub signature: Signature,
+    /// Variable count of the lifted strand.
+    pub vars: usize,
+    /// Structural hash — the dedup and cache key.
+    pub hash: u64,
+    /// Total occurrences across the corpus (drives H0).
+    pub corpus_count: u64,
+    /// Semantic sketch, when the engine's sketch tier was on.
+    pub sketch: Option<SemanticSketch>,
+}
+
+/// Pricing metadata of one strand class **without** its procedure — what
+/// a sharded index keeps eagerly resident.
+#[derive(Debug, Clone)]
+pub struct LazyClassMeta {
+    /// Display name.
+    pub name: String,
+    /// Semantic signature.
+    pub signature: Signature,
+    /// Variable count.
+    pub vars: usize,
+    /// Structural hash.
+    pub hash: u64,
+    /// Corpus-wide occurrence count.
+    pub corpus_count: u64,
+    /// Semantic sketch, if persisted.
+    pub sketch: Option<SemanticSketch>,
+}
+
+/// One target record, as persisted.
+#[derive(Debug, Clone)]
+pub struct TargetExport {
+    /// Target name.
+    pub name: String,
+    /// `(class index, occurrences in this target)`, in class order.
+    pub strands: Vec<(usize, u64)>,
+    /// Basic-block count of the original procedure.
+    pub basic_blocks: usize,
+}
+
+/// A full dump of an engine's corpus state — the exchange format between
+/// the engine and the `esh-index` writer.
+#[derive(Debug, Clone)]
+pub struct CorpusExport {
+    /// Engine configuration (fingerprint-relevant knobs included).
+    pub config: EngineConfig,
+    /// Every strand class, materialized, in class-index order.
+    pub classes: Vec<ClassExport>,
+    /// Every target, in insertion order.
+    pub targets: Vec<TargetExport>,
+    /// Every memoized VCP-cache entry, sorted by key.
+    pub cache: Vec<VcpCacheEntry>,
+}

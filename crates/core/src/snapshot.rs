@@ -227,7 +227,7 @@ impl SimilarityEngine {
             format_version: SNAPSHOT_FORMAT_VERSION,
             config_fingerprint: self.config().fingerprint(),
             config: self.config().clone(),
-            classes: self.classes_for_snapshot().to_vec(),
+            classes: self.classes_for_snapshot(),
             targets: self.targets_for_snapshot().to_vec(),
             cache,
         };

@@ -14,6 +14,8 @@
 //! originate from the same source function, regardless of toolchain or
 //! patch (§5.3 treats patched variants as targets to find).
 
+pub mod scale;
+
 use esh_asm::Procedure;
 use esh_cc::{Compiler, OptLevel, Toolchain};
 use esh_minic::patch::{apply_patch, PatchLevel};
@@ -150,6 +152,28 @@ pub fn cve_aliases() -> Vec<(&'static str, &'static str)> {
     ]
 }
 
+/// One source procedure awaiting compilation: `(package, func, cve,
+/// patch, function, opt level)`.
+type SourceSpec = (String, String, Option<String>, PatchTag, Function, OptLevel);
+
+/// Compiles every source with one toolchain, in source order.
+fn compile_toolchain(tc: Toolchain, sources: &[SourceSpec]) -> Vec<CompiledProc> {
+    sources
+        .iter()
+        .map(|(package, func, cve, patch, f, opt)| {
+            let cc = Compiler::with_opt(tc.vendor, tc.version, *opt);
+            CompiledProc {
+                package: package.clone(),
+                func: func.clone(),
+                cve: cve.clone(),
+                toolchain: format!("{} {}", tc.vendor, tc.version),
+                patch: *patch,
+                proc_: cc.compile_function(f),
+            }
+        })
+        .collect()
+}
+
 /// The built test-bed.
 #[derive(Debug, Clone, Serialize, Deserialize, Default)]
 pub struct Corpus {
@@ -161,8 +185,7 @@ impl Corpus {
     /// Builds a corpus per `config`.
     pub fn build(config: &CorpusConfig) -> Corpus {
         let mut procs = Vec::new();
-        let mut sources: Vec<(String, String, Option<String>, PatchTag, Function, OptLevel)> =
-            Vec::new();
+        let mut sources: Vec<SourceSpec> = Vec::new();
 
         for (cve, package, f) in cve_packages() {
             // OpenSSL defaults to -O3, the rest to -O2 (§5.2).
@@ -232,18 +255,26 @@ impl Corpus {
             ));
         }
 
-        for tc in &config.toolchains {
-            for (package, func, cve, patch, f, opt) in &sources {
-                let cc = Compiler::with_opt(tc.vendor, tc.version, *opt);
-                procs.push(CompiledProc {
-                    package: package.clone(),
-                    func: func.clone(),
-                    cve: cve.clone(),
-                    toolchain: format!("{} {}", tc.vendor, tc.version),
-                    patch: *patch,
-                    proc_: cc.compile_function(f),
-                });
-            }
+        // Toolchains compile independently, so fan them out across
+        // scoped threads; splicing the per-toolchain batches back in
+        // toolchain order keeps the proc order identical to the old
+        // sequential loop (pinned by `corpus_is_deterministic`).
+        let batches: Vec<Vec<CompiledProc>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = config
+                .toolchains
+                .iter()
+                .map(|tc| {
+                    let sources = &sources;
+                    scope.spawn(move || compile_toolchain(*tc, sources))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("toolchain compile thread panicked"))
+                .collect()
+        });
+        for batch in batches {
+            procs.extend(batch);
         }
         Corpus { procs }
     }

@@ -1,0 +1,852 @@
+#![warn(missing_docs)]
+
+//! # esh-index — the scale tier's on-disk format (v5)
+//!
+//! JSON snapshots (format v2–v4, `esh-core::snapshot`) serialize every
+//! strand class **including its lifted IVL procedure** into one document;
+//! loading a 10k-procedure corpus means parsing hundreds of megabytes of
+//! JSON before the first query can run. This crate replaces that with a
+//! compact binary, **segment-sharded** layout that loads the pricing
+//! metadata eagerly and everything else lazily:
+//!
+//! ```text
+//! index.eshx/
+//!   manifest.json    — format version, config + fingerprint, shard table
+//!   core.bin         — per-class pricing metadata (hash, vars, corpus
+//!                      count, signature, sketch, name) + target records
+//!                      + residual cache entries; fixed little-endian
+//!                      layout, loaded at open
+//!   shard-0000.bin   — one per target segment: the segment's lifted
+//!   shard-0001.bin     procedures behind a per-class offset table, plus
+//!   ...                the VCP-cache entries keyed into the segment
+//! ```
+//!
+//! **Sharding rule.** Targets are split into contiguous segments of
+//! `targets_per_shard`. Strand classes are created in target insertion
+//! order, so each segment owns the contiguous class-index range its
+//! targets introduced (computed as a cumulative maximum over the
+//! segment's class references). A persisted VCP-cache entry lives in the
+//! shard owning the class its `class_hash` names; entries naming no
+//! class (possible only in hand-edited files) fall back to the eagerly
+//! loaded residual section of `core.bin`.
+//!
+//! **Lazy-load contract.** [`open_sharded`] returns a
+//! [`SimilarityEngine`] whose shards load on first use, through the
+//! engine's load-before-lookup rule: a shard's procedures and cache
+//! segment are pulled in before the first counted cache lookup that
+//! touches the segment. Ranked responses and cache hit/miss counters are
+//! therefore byte-identical to the same corpus loaded from JSON — pinned
+//! by this crate's round-trip proptest.
+//!
+//! **Migration.** [`migrate_json`] reads any JSON snapshot the engine
+//! accepts (formats v2–v4) and writes the sharded layout — the additive
+//! upgrade path.
+//!
+//! Checksums (FNV-1a over each file) are recorded in the manifest and
+//! verified when the file is read: `core.bin` at open, each shard at its
+//! first (lazy) load.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use esh_core::{
+    CorpusExport, EngineConfig, LazyClassMeta, ShardPayload, ShardSource, ShardSpec,
+    SimilarityEngine, SnapshotError, TargetExport, VcpCacheEntry, VcpPair,
+};
+use esh_ivl::Proc;
+use esh_strands::Signature;
+use serde::{Deserialize, Serialize};
+
+mod wire;
+
+use wire::{checksum, Reader, Writer};
+
+/// Format version of the sharded directory layout. Versions 2–4 are the
+/// JSON snapshot lineage (`esh-core::SNAPSHOT_FORMAT_VERSION`); version 5
+/// is this binary format.
+pub const SHARDED_FORMAT_VERSION: u32 = 5;
+
+/// Manifest file name inside an index directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// Core (eager) file name inside an index directory.
+pub const CORE_FILE: &str = "core.bin";
+
+const CORE_MAGIC: &[u8; 8] = b"ESHXCOR1";
+const SHARD_MAGIC: &[u8; 8] = b"ESHXSHD1";
+
+/// Why a sharded index failed to write or open.
+#[derive(Debug)]
+pub enum IndexError {
+    /// Filesystem error.
+    Io {
+        /// File or directory being touched.
+        path: PathBuf,
+        /// Underlying error.
+        source: std::io::Error,
+    },
+    /// A file is not well-formed (bad magic, truncation, checksum
+    /// mismatch, invalid shard table…).
+    Format {
+        /// File that failed to parse or verify.
+        path: PathBuf,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// The manifest was written by a format version this build does not
+    /// read.
+    VersionMismatch {
+        /// Manifest that was rejected.
+        path: PathBuf,
+        /// Version recorded in the manifest.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
+    /// The manifest's recorded config fingerprint disagrees with the one
+    /// recomputed from its embedded configuration — the file was edited
+    /// or corrupted.
+    ConfigMismatch {
+        /// Manifest that was rejected.
+        path: PathBuf,
+        /// Fingerprint recorded in the manifest.
+        found: u64,
+        /// Fingerprint recomputed from the embedded config.
+        expected: u64,
+    },
+    /// A JSON snapshot error surfaced during [`migrate_json`].
+    Snapshot(SnapshotError),
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::Io { path, source } => {
+                write!(f, "sharded index {}: i/o: {source}", path.display())
+            }
+            IndexError::Format { path, detail } => {
+                write!(f, "sharded index {}: malformed: {detail}", path.display())
+            }
+            IndexError::VersionMismatch { path, found, expected } => write!(
+                f,
+                "sharded index {}: format version {found} is not supported \
+                 (this build reads version {expected}); rebuild the index",
+                path.display()
+            ),
+            IndexError::ConfigMismatch { path, found, expected } => write!(
+                f,
+                "sharded index {}: recorded config fingerprint {found:#018x} \
+                 does not match {expected:#018x} recomputed from the embedded \
+                 configuration — the manifest was edited or corrupted",
+                path.display()
+            ),
+            IndexError::Snapshot(e) => write!(f, "migrating json snapshot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IndexError::Io { source, .. } => Some(source),
+            IndexError::Snapshot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SnapshotError> for IndexError {
+    fn from(e: SnapshotError) -> IndexError {
+        IndexError::Snapshot(e)
+    }
+}
+
+/// One shard's row in the manifest table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ShardManifest {
+    file: String,
+    class_start: u64,
+    class_end: u64,
+    target_start: u64,
+    target_end: u64,
+    bytes: u64,
+    checksum: u64,
+}
+
+/// The manifest document (`manifest.json`).
+#[derive(Debug, Serialize, Deserialize)]
+struct Manifest {
+    format_version: u32,
+    config_fingerprint: u64,
+    config: EngineConfig,
+    class_count: u64,
+    target_count: u64,
+    core_file: String,
+    core_bytes: u64,
+    core_checksum: u64,
+    shards: Vec<ShardManifest>,
+}
+
+/// What [`write_sharded`] produced — sizes for benches and logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteSummary {
+    /// Number of shard files written.
+    pub shards: usize,
+    /// Bytes in `core.bin`.
+    pub core_bytes: u64,
+    /// Total bytes across all shard files.
+    pub shard_bytes: u64,
+    /// Classes persisted.
+    pub classes: usize,
+    /// Targets persisted.
+    pub targets: usize,
+    /// VCP-cache entries persisted (segmented + residual).
+    pub cache_entries: usize,
+}
+
+impl WriteSummary {
+    /// Total on-disk bytes (manifest excluded).
+    pub fn total_bytes(&self) -> u64 {
+        self.core_bytes + self.shard_bytes
+    }
+}
+
+/// True when `path` looks like a sharded index directory (used by the
+/// CLI to dispatch between JSON snapshots and v5 directories).
+pub fn is_sharded_index(path: impl AsRef<Path>) -> bool {
+    path.as_ref().join(MANIFEST_FILE).is_file()
+}
+
+fn io_err(path: &Path) -> impl FnOnce(std::io::Error) -> IndexError + '_ {
+    move |source| IndexError::Io { path: path.to_path_buf(), source }
+}
+
+fn format_err(path: &Path, detail: impl Into<String>) -> IndexError {
+    IndexError::Format { path: path.to_path_buf(), detail: detail.into() }
+}
+
+fn shard_file_name(i: usize) -> String {
+    format!("shard-{i:04}.bin")
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn encode_signature(w: &mut Writer, s: &Signature) {
+    w.u32(s.rounds.len() as u32);
+    for round in &s.rounds {
+        w.u64s(round);
+    }
+}
+
+fn decode_signature(r: &mut Reader<'_>) -> Result<Signature, String> {
+    let n = r.u32()? as usize;
+    let mut rounds = Vec::with_capacity(n);
+    for _ in 0..n {
+        rounds.push(r.u64s()?);
+    }
+    Ok(Signature { rounds })
+}
+
+fn encode_cache_entry(w: &mut Writer, e: &VcpCacheEntry) {
+    w.u64(e.query_hash);
+    w.u64(e.class_hash);
+    w.u64(e.vcp_fingerprint);
+    w.f64(e.pair.q_in_t);
+    w.f64(e.pair.t_in_q);
+}
+
+fn decode_cache_entry(r: &mut Reader<'_>) -> Result<VcpCacheEntry, String> {
+    Ok(VcpCacheEntry {
+        query_hash: r.u64()?,
+        class_hash: r.u64()?,
+        vcp_fingerprint: r.u64()?,
+        pair: VcpPair { q_in_t: r.f64()?, t_in_q: r.f64()? },
+    })
+}
+
+fn encode_core(
+    export: &CorpusExport,
+    residual: &[VcpCacheEntry],
+) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.raw(CORE_MAGIC);
+    w.u64(export.classes.len() as u64);
+    w.u64(export.targets.len() as u64);
+    for c in &export.classes {
+        w.str(&c.name);
+        w.u64(c.hash);
+        w.u64(c.vars as u64);
+        w.u64(c.corpus_count);
+        encode_signature(&mut w, &c.signature);
+        match &c.sketch {
+            Some(s) => {
+                w.u8(1);
+                w.u64s(&s.digests);
+                w.u64s(&s.minhash);
+            }
+            None => w.u8(0),
+        }
+    }
+    for t in &export.targets {
+        w.str(&t.name);
+        w.u64(t.basic_blocks as u64);
+        w.u32(t.strands.len() as u32);
+        for &(ci, n) in &t.strands {
+            w.u64(ci as u64);
+            w.u64(n);
+        }
+    }
+    w.u32(residual.len() as u32);
+    for e in residual {
+        encode_cache_entry(&mut w, e);
+    }
+    w.into_bytes()
+}
+
+struct CoreParts {
+    classes: Vec<LazyClassMeta>,
+    targets: Vec<TargetExport>,
+    residual: Vec<VcpCacheEntry>,
+}
+
+fn decode_core(bytes: &[u8]) -> Result<CoreParts, String> {
+    let mut r = Reader::new(bytes);
+    if r.raw(8)? != CORE_MAGIC {
+        return Err("bad core.bin magic".into());
+    }
+    let nclasses = r.u64()? as usize;
+    let ntargets = r.u64()? as usize;
+    let mut classes = Vec::with_capacity(nclasses);
+    for _ in 0..nclasses {
+        let name = r.str()?;
+        let hash = r.u64()?;
+        let vars = r.u64()? as usize;
+        let corpus_count = r.u64()?;
+        let signature = decode_signature(&mut r)?;
+        let sketch = match r.u8()? {
+            0 => None,
+            1 => Some(esh_core::SemanticSketch { digests: r.u64s()?, minhash: r.u64s()? }),
+            k => return Err(format!("bad sketch flag {k}")),
+        };
+        classes.push(LazyClassMeta { name, signature, vars, hash, corpus_count, sketch });
+    }
+    let mut targets = Vec::with_capacity(ntargets);
+    for _ in 0..ntargets {
+        let name = r.str()?;
+        let basic_blocks = r.u64()? as usize;
+        let nstrands = r.u32()? as usize;
+        let mut strands = Vec::with_capacity(nstrands);
+        for _ in 0..nstrands {
+            strands.push((r.u64()? as usize, r.u64()?));
+        }
+        targets.push(TargetExport { name, strands, basic_blocks });
+    }
+    let nresidual = r.u32()? as usize;
+    let mut residual = Vec::with_capacity(nresidual);
+    for _ in 0..nresidual {
+        residual.push(decode_cache_entry(&mut r)?);
+    }
+    if !r.at_end() {
+        return Err(format!("{} trailing bytes after core document", bytes.len() - r.pos()));
+    }
+    Ok(CoreParts { classes, targets, residual })
+}
+
+fn encode_shard(
+    index: usize,
+    spec: &ShardSpec,
+    procs: &[&Proc],
+    cache: &[VcpCacheEntry],
+) -> Result<Vec<u8>, IndexError> {
+    let mut blobs = Writer::new();
+    let mut table: Vec<(u64, u64)> = Vec::with_capacity(procs.len());
+    for p in procs {
+        let blob = serde_json::to_string(p).map_err(|e| IndexError::Format {
+            path: PathBuf::from(shard_file_name(index)),
+            detail: format!("serializing procedure `{}`: {e}", p.name),
+        })?;
+        table.push((blobs.len() as u64, blob.len() as u64));
+        blobs.raw(blob.as_bytes());
+    }
+    let mut w = Writer::new();
+    w.raw(SHARD_MAGIC);
+    w.u64(index as u64);
+    w.u64(spec.class_start as u64);
+    w.u64(procs.len() as u64);
+    for (off, len) in &table {
+        w.u64(*off);
+        w.u64(*len);
+    }
+    w.u64(blobs.len() as u64);
+    w.raw(&blobs.into_bytes());
+    w.u64(cache.len() as u64);
+    for e in cache {
+        encode_cache_entry(&mut w, e);
+    }
+    Ok(w.into_bytes())
+}
+
+fn decode_shard(bytes: &[u8], expect_index: usize, expect_start: usize) -> Result<ShardPayload, String> {
+    let mut r = Reader::new(bytes);
+    if r.raw(8)? != SHARD_MAGIC {
+        return Err("bad shard magic".into());
+    }
+    let index = r.u64()? as usize;
+    let class_start = r.u64()? as usize;
+    if index != expect_index || class_start != expect_start {
+        return Err(format!(
+            "shard identity mismatch: file says shard {index} @ class {class_start}, \
+             manifest says shard {expect_index} @ class {expect_start}"
+        ));
+    }
+    let nprocs = r.u64()? as usize;
+    let mut table = Vec::with_capacity(nprocs);
+    for _ in 0..nprocs {
+        table.push((r.u64()? as usize, r.u64()? as usize));
+    }
+    let blob_len = r.u64()? as usize;
+    let blobs = r.raw(blob_len)?;
+    let mut procs = Vec::with_capacity(nprocs);
+    for (i, &(off, len)) in table.iter().enumerate() {
+        let end = off.checked_add(len).filter(|&e| e <= blob_len).ok_or_else(|| {
+            format!("blob table entry {i} out of range ({off}+{len} > {blob_len})")
+        })?;
+        let text = std::str::from_utf8(&blobs[off..end])
+            .map_err(|e| format!("procedure blob {i} is not utf-8: {e}"))?;
+        let p: Proc = serde_json::from_str(text)
+            .map_err(|e| format!("parsing procedure blob {i}: {e}"))?;
+        procs.push(p);
+    }
+    let ncache = r.u64()? as usize;
+    let mut cache = Vec::with_capacity(ncache);
+    for _ in 0..ncache {
+        cache.push(decode_cache_entry(&mut r).map_err(|e| format!("cache segment: {e}"))?);
+    }
+    if !r.at_end() {
+        return Err(format!("{} trailing bytes after shard document", bytes.len() - r.pos()));
+    }
+    Ok(ShardPayload { procs, cache })
+}
+
+// ---------------------------------------------------------------------
+// Partitioning
+// ---------------------------------------------------------------------
+
+/// Splits targets into contiguous segments of at most `targets_per_shard`
+/// and derives each segment's class range as the cumulative maximum of
+/// class references — exactly the classes its targets introduced, because
+/// classes are created in target insertion order. The last shard is
+/// extended to cover any remaining classes (defensive; unreachable
+/// through `add_target`).
+fn partition(export: &CorpusExport, targets_per_shard: usize) -> Vec<ShardSpec> {
+    let per = targets_per_shard.max(1);
+    let mut specs = Vec::new();
+    let mut class_cursor = 0usize;
+    let mut t = 0usize;
+    while t < export.targets.len() {
+        let target_end = (t + per).min(export.targets.len());
+        let mut class_end = class_cursor;
+        for target in &export.targets[t..target_end] {
+            for &(ci, _) in &target.strands {
+                class_end = class_end.max(ci + 1);
+            }
+        }
+        if target_end == export.targets.len() {
+            class_end = class_end.max(export.classes.len());
+        }
+        specs.push(ShardSpec {
+            class_start: class_cursor,
+            class_end,
+            target_start: t,
+            target_end,
+        });
+        class_cursor = class_end;
+        t = target_end;
+    }
+    specs
+}
+
+// ---------------------------------------------------------------------
+// Write
+// ---------------------------------------------------------------------
+
+/// Writes `engine`'s corpus as a sharded v5 index into directory `dir`
+/// (created if missing; existing index files are overwritten), with at
+/// most `targets_per_shard` targets per shard.
+pub fn write_sharded(
+    engine: &SimilarityEngine,
+    dir: impl AsRef<Path>,
+    targets_per_shard: usize,
+) -> Result<WriteSummary, IndexError> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir).map_err(io_err(dir))?;
+    let export = engine.export_corpus();
+    let specs = partition(&export, targets_per_shard);
+
+    // Assign each cache entry to the shard owning its class hash;
+    // unknown hashes go to the eagerly loaded residual section.
+    let shard_of_class = |ci: usize| specs.partition_point(|s| s.class_end <= ci);
+    let class_of_hash: std::collections::HashMap<u64, usize> = export
+        .classes
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.hash, i))
+        .collect();
+    let mut segmented: Vec<Vec<VcpCacheEntry>> = vec![Vec::new(); specs.len()];
+    let mut residual: Vec<VcpCacheEntry> = Vec::new();
+    for e in &export.cache {
+        match class_of_hash.get(&e.class_hash) {
+            Some(&ci) => segmented[shard_of_class(ci)].push(*e),
+            None => residual.push(*e),
+        }
+    }
+
+    let core_bytes = encode_core(&export, &residual);
+    let core_path = dir.join(CORE_FILE);
+    std::fs::write(&core_path, &core_bytes).map_err(io_err(&core_path))?;
+
+    let mut shard_manifests = Vec::with_capacity(specs.len());
+    let mut shard_total = 0u64;
+    for (i, spec) in specs.iter().enumerate() {
+        let procs: Vec<&Proc> = export.classes[spec.class_start..spec.class_end]
+            .iter()
+            .map(|c| &c.proc_)
+            .collect();
+        let bytes = encode_shard(i, spec, &procs, &segmented[i])?;
+        let file = shard_file_name(i);
+        let path = dir.join(&file);
+        std::fs::write(&path, &bytes).map_err(io_err(&path))?;
+        shard_total += bytes.len() as u64;
+        shard_manifests.push(ShardManifest {
+            file,
+            class_start: spec.class_start as u64,
+            class_end: spec.class_end as u64,
+            target_start: spec.target_start as u64,
+            target_end: spec.target_end as u64,
+            bytes: bytes.len() as u64,
+            checksum: checksum(&bytes),
+        });
+    }
+
+    let manifest = Manifest {
+        format_version: SHARDED_FORMAT_VERSION,
+        config_fingerprint: export.config.fingerprint(),
+        config: export.config.clone(),
+        class_count: export.classes.len() as u64,
+        target_count: export.targets.len() as u64,
+        core_file: CORE_FILE.to_string(),
+        core_bytes: core_bytes.len() as u64,
+        core_checksum: checksum(&core_bytes),
+        shards: shard_manifests,
+    };
+    let manifest_path = dir.join(MANIFEST_FILE);
+    let json = serde_json::to_string(&manifest)
+        .map_err(|e| format_err(&manifest_path, format!("serializing manifest: {e}")))?;
+    std::fs::write(&manifest_path, json).map_err(io_err(&manifest_path))?;
+
+    Ok(WriteSummary {
+        shards: specs.len(),
+        core_bytes: core_bytes.len() as u64,
+        shard_bytes: shard_total,
+        classes: export.classes.len(),
+        targets: export.targets.len(),
+        cache_entries: export.cache.len(),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Open
+// ---------------------------------------------------------------------
+
+/// Lazily loads shard files on demand, verifying each file's checksum
+/// against the manifest at its first load.
+#[derive(Debug)]
+struct FileShardSource {
+    dir: PathBuf,
+    shards: Vec<ShardManifest>,
+}
+
+impl ShardSource for FileShardSource {
+    fn load_shard(&self, shard: usize) -> Result<ShardPayload, String> {
+        let m = &self.shards[shard];
+        let path = self.dir.join(&m.file);
+        let bytes = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        if bytes.len() as u64 != m.bytes || checksum(&bytes) != m.checksum {
+            return Err(format!(
+                "{}: checksum mismatch — the file was modified after the \
+                 manifest was written",
+                path.display()
+            ));
+        }
+        decode_shard(&bytes, shard, m.class_start as usize)
+            .map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// Opens a sharded v5 index directory as a lazily backed
+/// [`SimilarityEngine`]: the manifest and `core.bin` load now, shard
+/// files load on first use. Ranked responses are byte-identical to the
+/// same corpus loaded from a JSON snapshot.
+pub fn open_sharded(dir: impl AsRef<Path>) -> Result<SimilarityEngine, IndexError> {
+    let dir = dir.as_ref();
+    let manifest_path = dir.join(MANIFEST_FILE);
+    let text = std::fs::read_to_string(&manifest_path).map_err(io_err(&manifest_path))?;
+    let manifest: Manifest = serde_json::from_str(&text)
+        .map_err(|e| format_err(&manifest_path, e.to_string()))?;
+    if manifest.format_version != SHARDED_FORMAT_VERSION {
+        return Err(IndexError::VersionMismatch {
+            path: manifest_path,
+            found: manifest.format_version,
+            expected: SHARDED_FORMAT_VERSION,
+        });
+    }
+    let recomputed = manifest.config.fingerprint();
+    if manifest.config_fingerprint != recomputed {
+        return Err(IndexError::ConfigMismatch {
+            path: manifest_path,
+            found: manifest.config_fingerprint,
+            expected: recomputed,
+        });
+    }
+
+    let core_path = dir.join(&manifest.core_file);
+    let core_bytes = std::fs::read(&core_path).map_err(io_err(&core_path))?;
+    if core_bytes.len() as u64 != manifest.core_bytes
+        || checksum(&core_bytes) != manifest.core_checksum
+    {
+        return Err(format_err(
+            &core_path,
+            "checksum mismatch — the file was modified after the manifest was written",
+        ));
+    }
+    let parts = decode_core(&core_bytes).map_err(|e| format_err(&core_path, e))?;
+    if parts.classes.len() as u64 != manifest.class_count
+        || parts.targets.len() as u64 != manifest.target_count
+    {
+        return Err(format_err(
+            &core_path,
+            format!(
+                "core document has {} classes / {} targets, manifest says {} / {}",
+                parts.classes.len(),
+                parts.targets.len(),
+                manifest.class_count,
+                manifest.target_count
+            ),
+        ));
+    }
+
+    let specs: Vec<ShardSpec> = manifest
+        .shards
+        .iter()
+        .map(|m| ShardSpec {
+            class_start: m.class_start as usize,
+            class_end: m.class_end as usize,
+            target_start: m.target_start as usize,
+            target_end: m.target_end as usize,
+        })
+        .collect();
+    let source = FileShardSource { dir: dir.to_path_buf(), shards: manifest.shards };
+    SimilarityEngine::from_lazy_parts(
+        manifest.config,
+        parts.classes,
+        parts.targets,
+        specs,
+        Box::new(source),
+        parts.residual,
+    )
+    .map_err(|e| format_err(&manifest_path, e))
+}
+
+/// Migrates a JSON snapshot (any readable format, v2–v4) to a sharded v5
+/// index directory. The JSON file is left untouched.
+pub fn migrate_json(
+    json_path: impl AsRef<Path>,
+    dir: impl AsRef<Path>,
+    targets_per_shard: usize,
+) -> Result<WriteSummary, IndexError> {
+    let engine = SimilarityEngine::load(json_path.as_ref())?;
+    write_sharded(&engine, dir, targets_per_shard)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esh_cc::{Compiler, Vendor, VendorVersion};
+    use esh_minic::demo;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("esh-index-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&p).ok();
+        p
+    }
+
+    fn small_engine() -> SimilarityEngine {
+        let gcc = Compiler::new(Vendor::Gcc, VendorVersion::new(4, 9));
+        let mut engine = SimilarityEngine::new(EngineConfig {
+            threads: 2,
+            ..EngineConfig::default()
+        });
+        for (name, f) in demo::cve_functions() {
+            engine.add_target(name, &gcc.compile_function(&f));
+        }
+        engine
+    }
+
+    #[test]
+    fn partition_tiles_classes_and_targets_contiguously() {
+        let engine = small_engine();
+        let export = engine.export_corpus();
+        for per in [1, 2, 3, 100] {
+            let specs = partition(&export, per);
+            let mut c = 0;
+            let mut t = 0;
+            for s in &specs {
+                assert_eq!(s.class_start, c);
+                assert_eq!(s.target_start, t);
+                assert!(s.class_end >= s.class_start);
+                assert!(s.target_end > s.target_start);
+                c = s.class_end;
+                t = s.target_end;
+            }
+            assert_eq!(c, export.classes.len(), "per={per}");
+            assert_eq!(t, export.targets.len(), "per={per}");
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_corpus_shape_and_scores() {
+        let engine = small_engine();
+        let dir = temp_dir("roundtrip");
+        let summary = write_sharded(&engine, &dir, 2).unwrap();
+        assert!(summary.shards >= 2);
+        assert!(is_sharded_index(&dir));
+        let lazy = open_sharded(&dir).unwrap();
+        assert_eq!(lazy.target_count(), engine.target_count());
+        assert_eq!(lazy.class_count(), engine.class_count());
+        let q = Compiler::new(Vendor::Clang, VendorVersion::new(3, 5))
+            .compile_function(&demo::heartbleed_like());
+        let a = engine.query(&q);
+        let b = lazy.query(&q);
+        for (x, y) in a.scores.iter().zip(&b.scores) {
+            assert_eq!(x.ges.to_bits(), y.ges.to_bits(), "{}", x.name);
+            assert_eq!(x.s_log.to_bits(), y.s_log.to_bits(), "{}", x.name);
+            assert_eq!(x.s_vcp.to_bits(), y.s_vcp.to_bits(), "{}", x.name);
+        }
+        let stats = lazy.shard_stats();
+        assert_eq!(stats.shards_total, summary.shards as u64);
+        assert!(stats.fanout_total > 0, "query consulted no shards: {stats:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tampered_shard_fails_at_lazy_load_not_at_open() {
+        let engine = small_engine();
+        let dir = temp_dir("tamper-shard");
+        write_sharded(&engine, &dir, 1).unwrap();
+        // Flip one byte of the last shard: open() must still succeed
+        // (the file is lazy), the load must fail loudly.
+        let manifest: Manifest =
+            serde_json::from_str(&std::fs::read_to_string(dir.join(MANIFEST_FILE)).unwrap())
+                .unwrap();
+        let victim = dir.join(&manifest.shards.last().unwrap().file);
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&victim, &bytes).unwrap();
+        let lazy = open_sharded(&dir).expect("open is lazy; tamper undetected until load");
+        let source = FileShardSource {
+            dir: dir.clone(),
+            shards: manifest.shards.clone(),
+        };
+        let err = source.load_shard(manifest.shards.len() - 1).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
+        drop(lazy);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tampered_manifest_fingerprint_is_rejected_at_open() {
+        let engine = small_engine();
+        let dir = temp_dir("tamper-manifest");
+        write_sharded(&engine, &dir, 2).unwrap();
+        let path = dir.join(MANIFEST_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let needle = format!("\"config_fingerprint\":{}", engine.config().fingerprint());
+        assert!(text.contains(&needle), "manifest shape changed");
+        std::fs::write(&path, text.replace(&needle, "\"config_fingerprint\":1")).unwrap();
+        match open_sharded(&dir) {
+            Err(IndexError::ConfigMismatch { found: 1, .. }) => {}
+            other => panic!("expected ConfigMismatch, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_version_is_rejected_at_open() {
+        let engine = small_engine();
+        let dir = temp_dir("version");
+        write_sharded(&engine, &dir, 2).unwrap();
+        let path = dir.join(MANIFEST_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(
+            &path,
+            text.replace(
+                &format!("\"format_version\":{SHARDED_FORMAT_VERSION}"),
+                "\"format_version\":9",
+            ),
+        )
+        .unwrap();
+        match open_sharded(&dir) {
+            Err(IndexError::VersionMismatch { found: 9, expected, .. }) => {
+                assert_eq!(expected, SHARDED_FORMAT_VERSION);
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn saving_a_lazy_engine_materializes_procedures() {
+        // A lazily backed engine must never serialize placeholder
+        // procedures: a JSON snapshot written from it has to load into an
+        // engine that scores identically.
+        let engine = small_engine();
+        let dir = temp_dir("materialize");
+        write_sharded(&engine, &dir, 2).unwrap();
+        let lazy = open_sharded(&dir).unwrap();
+        let json = dir.join("resaved.esh");
+        lazy.save(&json).unwrap();
+        let resaved = SimilarityEngine::load(&json).unwrap();
+        let q = Compiler::new(Vendor::Icc, VendorVersion::new(15, 0))
+            .compile_function(&demo::venom_like());
+        let a = engine.query(&q);
+        let b = resaved.query(&q);
+        for (x, y) in a.scores.iter().zip(&b.scores) {
+            assert_eq!(x.ges.to_bits(), y.ges.to_bits(), "{}", x.name);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn migrate_json_round_trips_scores() {
+        let engine = small_engine();
+        let dir = temp_dir("migrate");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("old.esh");
+        engine.save_with_cache(&json).unwrap();
+        let out = dir.join("new.eshx");
+        let summary = migrate_json(&json, &out, 3).unwrap();
+        assert_eq!(summary.targets, engine.target_count());
+        let lazy = open_sharded(&out).unwrap();
+        let q = Compiler::new(Vendor::Clang, VendorVersion::new(3, 4))
+            .compile_function(&demo::ws_snmp_like());
+        let a = engine.query(&q);
+        let b = lazy.query(&q);
+        for (x, y) in a.scores.iter().zip(&b.scores) {
+            assert_eq!(x.ges.to_bits(), y.ges.to_bits(), "{}", x.name);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

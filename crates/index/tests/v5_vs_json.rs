@@ -1,0 +1,145 @@
+//! The scale tier's load-bearing pin: an engine opened from a sharded
+//! v5 index is **indistinguishable** from the same corpus loaded from a
+//! JSON snapshot — not just same ranked names, but byte-identical scores
+//! AND identical VCP-cache hit/miss counters, whatever the query
+//! sequence and whatever the shard granularity.
+//!
+//! The counter half is the subtle one. A lazily backed engine inserts
+//! each shard's persisted cache segment at shard-load time; if any
+//! counted lookup could run before the owning shard's segment was
+//! resident, a persisted entry would be re-counted as a miss and the
+//! counters would drift. The engine's load-before-lookup rule is exactly
+//! what this property exercises, across shard sizes 1..4 and arbitrary
+//! query subsets with repetition.
+
+use esh_asm::Procedure;
+use esh_cc::{Compiler, Vendor, VendorVersion};
+use esh_core::{EngineConfig, QueryScores, SimilarityEngine};
+use esh_minic::demo;
+use proptest::prelude::*;
+
+fn corpus_and_queries() -> (Vec<(String, Procedure)>, Vec<Procedure>) {
+    let gcc = Compiler::new(Vendor::Gcc, VendorVersion::new(4, 9));
+    let clang = Compiler::new(Vendor::Clang, VendorVersion::new(3, 5));
+    let funcs = demo::cve_functions();
+    let corpus = funcs
+        .iter()
+        .map(|(name, f)| (format!("t-{name}"), clang.compile_function(f)))
+        .collect();
+    let queries = funcs
+        .iter()
+        .take(4)
+        .map(|(_, f)| gcc.compile_function(f))
+        .collect();
+    (corpus, queries)
+}
+
+fn build_engine(corpus: &[(String, Procedure)]) -> SimilarityEngine {
+    let mut engine = SimilarityEngine::new(EngineConfig {
+        threads: 2,
+        ..EngineConfig::default()
+    });
+    for (name, p) in corpus {
+        engine.add_target(name.clone(), p);
+    }
+    engine
+}
+
+fn assert_scores_identical(a: &QueryScores, b: &QueryScores, what: &str) {
+    assert_eq!(a.scores.len(), b.scores.len(), "{what}: score rows");
+    for (x, y) in a.scores.iter().zip(&b.scores) {
+        assert_eq!(x.target, y.target, "{what}: target order");
+        assert_eq!(x.ges.to_bits(), y.ges.to_bits(), "{what}: GES {}", x.name);
+        assert_eq!(x.s_log.to_bits(), y.s_log.to_bits(), "{what}: S-LOG {}", x.name);
+        assert_eq!(x.s_vcp.to_bits(), y.s_vcp.to_bits(), "{what}: S-VCP {}", x.name);
+    }
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("esh-v5-prop-{tag}-{}", std::process::id()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For any shard granularity and any query sequence (with repeats —
+    /// repeats are what make cache hits happen), the v5-loaded engine's
+    /// ranked responses are byte-identical to the JSON-loaded engine's,
+    /// and so are the hit/miss counters after every single query.
+    #[test]
+    fn sharded_engine_matches_json_engine_bitwise_with_identical_counters(
+        targets_per_shard in 1usize..5,
+        picks in prop::collection::vec(0usize..4, 1..6),
+    ) {
+        let (corpus, queries) = corpus_and_queries();
+        let built = build_engine(&corpus);
+
+        let dir = scratch(&format!("{targets_per_shard}-{}", picks.len()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let json_path = dir.join("corpus.esh");
+        let eshx_path = dir.join("corpus.eshx");
+        // Persist WITH the (empty-but-structured) cache through both
+        // formats, from the same built engine.
+        built.save_with_cache(&json_path).unwrap();
+        esh_index::write_sharded(&built, &eshx_path, targets_per_shard).unwrap();
+        drop(built);
+
+        let from_json = SimilarityEngine::load(&json_path).unwrap();
+        let from_v5 = esh_index::open_sharded(&eshx_path).unwrap();
+
+        for (step, &i) in picks.iter().enumerate() {
+            let a = from_json.query(&queries[i]);
+            let b = from_v5.query(&queries[i]);
+            assert_scores_identical(&a, &b, &format!("step {step} query {i}"));
+            let ca = from_json.cache_stats();
+            let cb = from_v5.cache_stats();
+            prop_assert_eq!(
+                (ca.hits, ca.misses),
+                (cb.hits, cb.misses),
+                "counters diverged after step {} (query {}, shard size {})",
+                step, i, targets_per_shard
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Warmed caches survive the v5 round trip with the counter contract
+    /// intact: queries answered from persisted cache segments count as
+    /// hits on the lazy engine exactly as they do on the resident one.
+    #[test]
+    fn persisted_cache_segments_replay_as_hits(
+        targets_per_shard in 1usize..4,
+    ) {
+        let (corpus, queries) = corpus_and_queries();
+        let warmed = build_engine(&corpus);
+        // Warm the cache, then persist it into both formats.
+        for q in &queries {
+            warmed.query(q);
+        }
+        let dir = scratch(&format!("warm-{targets_per_shard}"));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let json_path = dir.join("warm.esh");
+        let eshx_path = dir.join("warm.eshx");
+        warmed.save_with_cache(&json_path).unwrap();
+        esh_index::write_sharded(&warmed, &eshx_path, targets_per_shard).unwrap();
+        drop(warmed);
+
+        let from_json = SimilarityEngine::load(&json_path).unwrap();
+        let from_v5 = esh_index::open_sharded(&eshx_path).unwrap();
+        for (i, q) in queries.iter().enumerate() {
+            let a = from_json.query(q);
+            let b = from_v5.query(q);
+            assert_scores_identical(&a, &b, &format!("warm query {i}"));
+        }
+        let ca = from_json.cache_stats();
+        let cb = from_v5.cache_stats();
+        prop_assert_eq!((ca.hits, ca.misses), (cb.hits, cb.misses));
+        prop_assert!(
+            ca.hits > 0,
+            "warmed cache produced no hits at all — the fixture is too weak"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

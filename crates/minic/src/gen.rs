@@ -479,6 +479,41 @@ pub fn generate_module(seed: u64, name: impl Into<String>, count: usize) -> crat
     module
 }
 
+/// Derives the generation knobs for scale-tier source `index`: the
+/// defaults perturbed deterministically so a 10k-procedure corpus spans
+/// small leaf helpers through branchy, call-heavy bodies instead of 10k
+/// near-identical functions.
+fn scale_config(index: u64) -> GenConfig {
+    GenConfig {
+        scalar_params: 1 + (index % 3) as usize,
+        pointer_params: (index % 2) as usize,
+        stmt_budget: 6 + (index % 5) as usize * 4,
+        max_expr_depth: 2 + (index % 3) as usize,
+        branch_prob: 0.10 + 0.08 * (index % 4) as f64,
+        call_prob: 0.05 + 0.07 * (index % 3) as f64,
+    }
+}
+
+/// Generates the `index`-th scale-tier source function for `seed`.
+///
+/// Unlike [`generate_module`], which threads one RNG through the whole
+/// module, every index re-seeds its own RNG from `(seed, index)` — so a
+/// corpus generator can produce any window of the source stream without
+/// materializing (or even generating) the functions before it. Shapes
+/// round-robin and the [`GenConfig`] knobs vary with the index, giving
+/// structural diversity across a 10k-function corpus.
+pub fn generate_scale_source(seed: u64, index: u64) -> Function {
+    // splitmix64 over (seed, index) decorrelates per-index streams.
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let mut rng = StdRng::seed_from_u64(z);
+    let shape = Shape::ALL[(index % Shape::ALL.len() as u64) as usize];
+    let config = scale_config(index);
+    generate_function(&mut rng, format!("gen_{seed:x}_{index}"), shape, &config)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -536,6 +571,26 @@ mod tests {
         }
         // But they are not identical.
         assert_ne!(fam[0].body, fam[1].body);
+    }
+
+    #[test]
+    fn scale_sources_are_deterministic_independent_and_valid() {
+        for index in 0..48 {
+            let f = generate_scale_source(0xC0FFEE, index);
+            assert_eq!(f, generate_scale_source(0xC0FFEE, index), "index {index}");
+            let errs = validate_function(&f);
+            assert!(errs.is_empty(), "index {index} invalid: {errs:?}\n{f}");
+        }
+        // Index-addressable: the same index yields the same function no
+        // matter which window it is generated in — and names are unique.
+        let names: std::collections::HashSet<String> =
+            (0..48).map(|i| generate_scale_source(0xC0FFEE, i).name).collect();
+        assert_eq!(names.len(), 48);
+        assert_ne!(
+            generate_scale_source(1, 7),
+            generate_scale_source(2, 7),
+            "seed must matter"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use esh_core::{CacheStats, PrefilterStatsSnapshot};
+use esh_core::{CacheStats, PrefilterStatsSnapshot, ShardStats};
 use esh_solver::SolverPerf;
 
 use crate::protocol::Outcome;
@@ -154,13 +154,14 @@ impl ServerStats {
     }
 
     /// Renders the Prometheus-style `/metrics` payload, folding in the
-    /// engine's VCP-cache, SAT-solver and sketch-prefilter counters so one
-    /// scrape shows the whole serving stack.
+    /// engine's VCP-cache, SAT-solver, sketch-prefilter and lazy-shard
+    /// counters so one scrape shows the whole serving stack.
     pub fn render(
         &self,
         cache: &CacheStats,
         solver: &SolverPerf,
         prefilter: &PrefilterStatsSnapshot,
+        shards: &ShardStats,
         queue_depth: usize,
         pending_depth: usize,
     ) -> String {
@@ -258,6 +259,16 @@ impl ServerStats {
         out.push_str(&format!(
             "esh_prefilter_refine_passes_total {}\n",
             prefilter.refine_passes
+        ));
+        // Scale tier: shard residency (gauges) and query fan-out
+        // (counter). A fully resident engine (JSON snapshot) reports
+        // 0/0/0; a lazy v5 index reports loaded < total until queries
+        // have touched every segment.
+        out.push_str(&format!("esh_shards_total {}\n", shards.shards_total));
+        out.push_str(&format!("esh_shards_loaded {}\n", shards.shards_loaded));
+        out.push_str(&format!(
+            "esh_shard_fanout_total {}\n",
+            shards.fanout_total
         ));
         out
     }
@@ -384,6 +395,7 @@ mod tests {
             },
             &SolverPerf::default(),
             &PrefilterStatsSnapshot::default(),
+            &ShardStats::default(),
             0,
             0,
         );
@@ -411,6 +423,7 @@ mod tests {
                 refined_pairs: 13,
                 refine_passes: 2,
             },
+            &ShardStats::default(),
             0,
             0,
         );
@@ -453,6 +466,7 @@ mod tests {
             },
             &SolverPerf::default(),
             &PrefilterStatsSnapshot::default(),
+            &ShardStats::default(),
             0,
             3,
         );

@@ -707,6 +707,7 @@ fn render_metrics(shared: &Shared) -> String {
         &shared.engine.cache_stats(),
         &shared.engine.solver_stats(),
         &shared.engine.prefilter_stats(),
+        &shared.engine.shard_stats(),
         queue_depth,
         pending_depth,
     )

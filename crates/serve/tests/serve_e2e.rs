@@ -401,3 +401,93 @@ fn wire_shutdown_acknowledges_and_drains() {
     assert_eq!(stats.ok, 1);
     assert_eq!(stats.shutting_down, 1);
 }
+
+#[test]
+fn serving_from_a_sharded_index_is_lazy_and_identical() {
+    // The scale tier's contract, observed end to end: a daemon whose
+    // engine came from a sharded v5 index answers byte-identically to a
+    // fully resident engine, while loading only the shards a query's
+    // candidate classes live in — one shard per target here, so lazy
+    // loading is visible as `esh_shards_loaded < esh_shards_total` in
+    // /metrics after a query.
+    let clang = Compiler::new(Vendor::Clang, VendorVersion::new(3, 5));
+    let icc = Compiler::new(Vendor::Icc, VendorVersion::new(15, 0));
+    let gcc = Compiler::new(Vendor::Gcc, VendorVersion::new(4, 9));
+    let mut procs = Vec::new();
+    for f in [
+        demo::saturating_sum(),
+        demo::wget_like(),
+        demo::heartbleed_like(),
+        demo::venom_like(),
+        demo::ws_snmp_like(),
+        demo::shellshock_like(),
+    ] {
+        for (toolchain, cc) in [("clang 3.5", &clang), ("icc 15.0", &icc), ("gcc 4.9", &gcc)] {
+            procs.push(CompiledProc {
+                package: "lazy-e2e".into(),
+                func: f.name.clone(),
+                cve: None,
+                toolchain: (*toolchain).into(),
+                patch: PatchTag::Original,
+                proc_: cc.compile_function(&f),
+            });
+        }
+    }
+    let corpus = Corpus { procs };
+    let resident = engine_over(&corpus);
+
+    let dir = std::env::temp_dir().join(format!("esh-serve-lazy-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let summary = esh_index::write_sharded(&resident, &dir, 1).expect("write sharded");
+    assert_eq!(summary.shards, corpus.procs.len(), "one target per shard");
+    let lazy = esh_index::open_sharded(&dir).expect("open sharded");
+    let mut lazy = lazy;
+    lazy.set_threads(1);
+
+    let needle = corpus.procs[0].display();
+    let expected = ranked_matches(&resident.query(&corpus.procs[0].proc_), Some(TargetId(0)), 10);
+
+    let server = Server::start(
+        lazy,
+        corpus,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_capacity: 8,
+            read_timeout_ms: 2_000,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+
+    let resp = remote_query(&addr, &QueryRequest::new(&needle), TIMEOUT).unwrap();
+    assert_eq!(resp.outcome, Outcome::Ok);
+    assert_eq!(resp.matches.len(), expected.len());
+    for (got, want) in resp.matches.iter().zip(&expected) {
+        assert_eq!(got.name, want.name);
+        assert_eq!(got.ges.to_bits(), want.ges.to_bits(), "{}", want.name);
+        assert_eq!(got.s_log.to_bits(), want.s_log.to_bits(), "{}", want.name);
+        assert_eq!(got.s_vcp.to_bits(), want.s_vcp.to_bits(), "{}", want.name);
+    }
+
+    let (status, body) = http_get(&addr, "/metrics", TIMEOUT).unwrap();
+    assert_eq!(status, 200);
+    let metric = |name: &str| -> u64 {
+        body.lines()
+            .find_map(|l| l.strip_prefix(name).and_then(|v| v.trim().parse().ok()))
+            .unwrap_or_else(|| panic!("metric {name} missing:\n{body}"))
+    };
+    let total = metric("esh_shards_total");
+    let loaded = metric("esh_shards_loaded");
+    let fanout = metric("esh_shard_fanout_total");
+    assert_eq!(total, summary.shards as u64);
+    assert!(loaded > 0, "the query touched no shards at all?");
+    assert!(
+        loaded < total,
+        "serving one query loaded every shard ({loaded}/{total}) — lazy loading is broken"
+    );
+    assert!(fanout > 0 && fanout <= loaded, "fanout {fanout} vs loaded {loaded}");
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,280 @@
+//! `esh bench-scale`: the scale tier measured end to end.
+//!
+//! For each corpus size (1k/5k/10k procedures; `--smoke` keeps 1k only)
+//! the bench streams the seeded synthetic corpus
+//! ([`esh_corpus::scale::stream_scale_corpus`]) straight into an engine,
+//! persists it both ways — JSON snapshot (format v4) and sharded binary
+//! index (format v5) — then measures what the scale tier exists to
+//! improve:
+//!
+//! * **build throughput** — procedures ingested per second (streamed
+//!   generation + compilation + decompose/lift/dedup/sketch),
+//! * **cold-load time** — `SimilarityEngine::load` (parse the whole JSON
+//!   document) vs [`esh_index::open_sharded`] (manifest + `core.bin`
+//!   only; procedure bodies stay on disk until a query needs them),
+//! * **query latency** — ranked queries against the lazily loaded
+//!   engine, with the shard residency after the queries reported to show
+//!   how little of the index a query actually touches.
+//!
+//! The bench *gates* on the sharded cold-load beating the JSON load at
+//! every size, and on a byte-identity check: the ranked output of a
+//! sharded engine must equal the JSON-loaded engine's bit for bit on the
+//! cross-compiler paper corpus (371 procedures; `--smoke` uses the small
+//! 28-procedure matrix). Results land in `BENCH_scale.json`.
+
+use std::time::Instant;
+
+use esh_core::SimilarityEngine;
+use esh_corpus::scale::{scale_matrix, stream_scale_corpus, ScaleConfig};
+use esh_corpus::{Corpus, CorpusConfig};
+
+/// Generation seed for the synthetic corpus (fixed: the bench is a
+/// regression harness, not a fuzzer).
+const SEED: u64 = 0x5CA1E;
+
+/// Targets per shard for the persisted v5 indexes.
+const TARGETS_PER_SHARD: usize = 64;
+
+/// Ranked queries issued against each lazily loaded index.
+const QUERIES_PER_SIZE: usize = 2;
+
+/// One corpus size's measurements.
+struct SizeRun {
+    procs: usize,
+    build_ms: u128,
+    json_bytes: u64,
+    json_load_ms: u128,
+    sharded_bytes: u64,
+    sharded_load_ms: u128,
+    query_ms: Vec<u128>,
+    shards_total: u64,
+    shards_loaded: u64,
+}
+
+impl SizeRun {
+    fn throughput(&self) -> f64 {
+        self.procs as f64 / (self.build_ms.max(1) as f64 / 1000.0)
+    }
+
+    fn speedup(&self) -> f64 {
+        self.json_load_ms as f64 / self.sharded_load_ms.max(1) as f64
+    }
+}
+
+fn scratch_dir() -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("esh-bench-scale-{}", std::process::id()))
+}
+
+fn measure_size(procs: usize) -> Result<SizeRun, String> {
+    let dir = scratch_dir();
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let json_path = dir.join(format!("scale-{procs}.esh"));
+    let eshx_path = dir.join(format!("scale-{procs}.eshx"));
+
+    eprintln!("bench-scale: [{procs}] streaming corpus into engine...");
+    let config = ScaleConfig::new(procs, SEED);
+    let t0 = Instant::now();
+    let mut engine = SimilarityEngine::new(esh_core::EngineConfig::default());
+    let emitted = stream_scale_corpus(&config, |p| {
+        engine.add_target(p.display(), &p.proc_);
+    });
+    let build_ms = t0.elapsed().as_millis();
+    assert_eq!(emitted, procs);
+
+    engine.save(&json_path).map_err(|e| e.to_string())?;
+    let json_bytes = std::fs::metadata(&json_path).map_err(|e| e.to_string())?.len();
+    let summary =
+        esh_index::write_sharded(&engine, &eshx_path, TARGETS_PER_SHARD).map_err(|e| e.to_string())?;
+    drop(engine);
+
+    eprintln!(
+        "bench-scale: [{procs}] built in {build_ms}ms ({:.0} procs/s); json {json_bytes}B, \
+         sharded {}B across {} shards",
+        procs as f64 / (build_ms.max(1) as f64 / 1000.0),
+        summary.total_bytes(),
+        summary.shards,
+    );
+
+    let t1 = Instant::now();
+    let json_engine = SimilarityEngine::load(&json_path).map_err(|e| e.to_string())?;
+    let json_load_ms = t1.elapsed().as_millis();
+    drop(json_engine);
+
+    let t2 = Instant::now();
+    let lazy = esh_index::open_sharded(&eshx_path).map_err(|e| e.to_string())?;
+    let sharded_load_ms = t2.elapsed().as_millis();
+    eprintln!(
+        "bench-scale: [{procs}] cold load: json {json_load_ms}ms, sharded {sharded_load_ms}ms"
+    );
+
+    // Ranked queries against the lazy engine: distinct sources compiled
+    // with one matrix toolchain — each has an exact self-match in the
+    // corpus, so the queries exercise the full pipeline including VCP.
+    let tc = scale_matrix()[7]; // gcc 4.9 -O2
+    let cc = esh_cc::Compiler::with_opt(tc.vendor, tc.version, tc.opt);
+    let mut query_ms = Vec::with_capacity(QUERIES_PER_SIZE);
+    for k in 0..QUERIES_PER_SIZE as u64 {
+        let f = esh_minic::gen::generate_scale_source(SEED, k);
+        let q = cc.compile_function(&f);
+        let tq = Instant::now();
+        let scores = lazy.query(&q);
+        query_ms.push(tq.elapsed().as_millis());
+        assert_eq!(scores.scores.len(), procs);
+    }
+    let stats = lazy.shard_stats();
+    eprintln!(
+        "bench-scale: [{procs}] queries {query_ms:?}ms; shards loaded {}/{} (fanout {})",
+        stats.shards_loaded, stats.shards_total, stats.fanout_total,
+    );
+    drop(lazy);
+    std::fs::remove_file(&json_path).ok();
+    std::fs::remove_dir_all(&eshx_path).ok();
+
+    Ok(SizeRun {
+        procs,
+        build_ms,
+        json_bytes,
+        json_load_ms,
+        sharded_bytes: summary.total_bytes(),
+        sharded_load_ms,
+        query_ms,
+        shards_total: stats.shards_total,
+        shards_loaded: stats.shards_loaded,
+    })
+}
+
+/// Byte-identity on the cross-compiler matrix: a sharded engine's ranked
+/// output must equal the JSON-loaded engine's, bit for bit, scores and
+/// order alike. Returns `(corpus procs, queries checked)`.
+fn check_identity(smoke: bool) -> Result<(usize, usize), String> {
+    let corpus_config = if smoke { CorpusConfig::small() } else { CorpusConfig::default() };
+    let corpus = Corpus::build(&corpus_config);
+    eprintln!(
+        "bench-scale: identity check on the {}-procedure compiler matrix...",
+        corpus.procs.len()
+    );
+    let mut engine = SimilarityEngine::new(esh_core::EngineConfig::default());
+    for p in &corpus.procs {
+        engine.add_target(p.display(), &p.proc_);
+    }
+    let dir = scratch_dir();
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let json_path = dir.join("identity.esh");
+    let eshx_path = dir.join("identity.eshx");
+    engine.save(&json_path).map_err(|e| e.to_string())?;
+    esh_index::write_sharded(&engine, &eshx_path, 32).map_err(|e| e.to_string())?;
+    drop(engine);
+    let from_json = SimilarityEngine::load(&json_path).map_err(|e| e.to_string())?;
+    let from_shards = esh_index::open_sharded(&eshx_path).map_err(|e| e.to_string())?;
+
+    let queries: Vec<usize> = corpus
+        .procs
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.cve.is_some())
+        .map(|(i, _)| i)
+        .step_by(7)
+        .take(3)
+        .collect();
+    for &qi in &queries {
+        let a = from_json.query(&corpus.procs[qi].proc_);
+        let b = from_shards.query(&corpus.procs[qi].proc_);
+        let ra = a.ranked();
+        let rb = b.ranked();
+        if ra.len() != rb.len() {
+            return Err(format!("identity: ranked lengths differ on query {qi}"));
+        }
+        for (x, y) in ra.iter().zip(&rb) {
+            if x.name != y.name
+                || x.ges.to_bits() != y.ges.to_bits()
+                || x.s_log.to_bits() != y.s_log.to_bits()
+                || x.s_vcp.to_bits() != y.s_vcp.to_bits()
+            {
+                return Err(format!(
+                    "identity: sharded ranking diverges on query {qi} at `{}` vs `{}`",
+                    x.name, y.name
+                ));
+            }
+        }
+    }
+    // The counter contract too: both engines saw the same queries, so
+    // their hit/miss counters must agree exactly.
+    let ca = from_json.cache_stats();
+    let cb = from_shards.cache_stats();
+    if (ca.hits, ca.misses) != (cb.hits, cb.misses) {
+        return Err(format!(
+            "identity: cache counters diverge — json {}h/{}m, sharded {}h/{}m",
+            ca.hits, ca.misses, cb.hits, cb.misses
+        ));
+    }
+    std::fs::remove_file(&json_path).ok();
+    std::fs::remove_dir_all(&eshx_path).ok();
+    Ok((corpus.procs.len(), queries.len()))
+}
+
+/// Runs the scale bench and writes `BENCH_scale.json`. `smoke` keeps the
+/// 1k size and the small identity matrix for CI. Returns an error when
+/// the sharded cold-load fails to beat the JSON load at any size, or
+/// when the identity check finds any divergence.
+pub fn run(smoke: bool) -> Result<(), String> {
+    let t0 = Instant::now();
+    let sizes: &[usize] = if smoke { &[1000] } else { &[1000, 5000, 10_000] };
+    let mut runs = Vec::with_capacity(sizes.len());
+    for &n in sizes {
+        runs.push(measure_size(n)?);
+    }
+    let (identity_procs, identity_queries) = check_identity(smoke)?;
+    std::fs::remove_dir_all(scratch_dir()).ok();
+
+    for r in &runs {
+        if r.sharded_load_ms >= r.json_load_ms {
+            return Err(format!(
+                "cold-load gate failed at {} procs: sharded {}ms is not faster than json {}ms",
+                r.procs, r.sharded_load_ms, r.json_load_ms
+            ));
+        }
+    }
+
+    let size_entries: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            let q: Vec<String> = r.query_ms.iter().map(|m| m.to_string()).collect();
+            format!(
+                "    {{ \"procs\": {}, \"build_ms\": {}, \
+                 \"build_throughput_procs_per_s\": {:.1}, \"json_bytes\": {}, \
+                 \"json_load_ms\": {}, \"sharded_bytes\": {}, \"sharded_load_ms\": {}, \
+                 \"cold_load_speedup\": {:.2}, \"query_ms\": [{}], \
+                 \"shards_total\": {}, \"shards_loaded_after_queries\": {} }}",
+                r.procs,
+                r.build_ms,
+                r.throughput(),
+                r.json_bytes,
+                r.json_load_ms,
+                r.sharded_bytes,
+                r.sharded_load_ms,
+                r.speedup(),
+                q.join(", "),
+                r.shards_total,
+                r.shards_loaded,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"scale\",\n  \"mode\": \"{mode}\",\n  \"seed\": {SEED},\n  \
+         \"matrix_configs\": {matrix},\n  \"targets_per_shard\": {TARGETS_PER_SHARD},\n  \
+         \"sizes\": [\n{sizes}\n  ],\n  \
+         \"identity\": {{ \"corpus_procs\": {ip}, \"queries\": {iq}, \"identical\": true }},\n  \
+         \"elapsed_ms\": {elapsed}\n}}\n",
+        mode = if smoke { "smoke" } else { "full" },
+        matrix = scale_matrix().len(),
+        sizes = size_entries.join(",\n"),
+        ip = identity_procs,
+        iq = identity_queries,
+        elapsed = t0.elapsed().as_millis(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_scale.json");
+    std::fs::write(path, &json).map_err(|e| e.to_string())?;
+    eprintln!("bench-scale: wrote {path}");
+    print!("{json}");
+    Ok(())
+}

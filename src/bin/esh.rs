@@ -3,17 +3,20 @@
 //!
 //! ```text
 //! esh build-corpus [smoke|default|paper] <corpus.json>
+//! esh corpus gen --procs N [--seed S] [--out corpus.json]
 //! esh search <corpus.json> <query-substring> [top_n]
-//! esh index build <corpus.json> <index.esh>
-//! esh query --index <index.esh> <corpus.json> <query-substring> [top_n] [--json]
-//!           [--no-prefilter]
+//! esh index build <corpus.json> <index.esh | index.eshx> [targets-per-shard]
+//! esh index migrate <index.esh> <index.eshx> [targets-per-shard]
+//! esh query --index <index.esh | index.eshx> <corpus.json> <query-substring>
+//!           [top_n] [--json] [--no-prefilter]
 //! esh query --remote <addr> <query-substring> [top_n] [--json]
-//! esh serve --index <index.esh> <corpus.json> [--addr A] [--workers N]
+//! esh serve --index <index.esh | index.eshx> <corpus.json> [--addr A] [--workers N]
 //!           [--queue N] [--deadline-ms N] [--threads N]
 //!           [--batch-max N] [--batch-window-ms N]
 //! esh bench-serve [--smoke]
 //! esh bench-prefilter [--smoke]
 //! esh bench-rankquality [--smoke]
+//! esh bench-scale [--smoke]
 //! esh stats <corpus.json>
 //! esh pair <corpus.json> <query-substring> <target-substring>
 //! ```
@@ -42,6 +45,16 @@
 //! for that one query — the escape hatch when a sketch-estimated pair
 //! must be re-checked exactly; output is byte-identical to an engine
 //! built without the tier.
+//!
+//! The **scale tier**: `corpus gen` streams a seeded synthetic corpus
+//! (10k+ procedures across the 21-configuration compiler matrix) without
+//! materializing it in memory; an index path ending in `.eshx` selects
+//! the sharded binary format (v5) whose shards load lazily at query
+//! time; `index migrate` upgrades an existing JSON snapshot in place;
+//! `bench-scale` measures build throughput, cold-load time and query
+//! latency at 1k/5k/10k and writes `BENCH_scale.json`. Sharded indexes
+//! are immutable at query time: `query --index` skips the cache
+//! write-back that JSON snapshots receive.
 
 use esh::prelude::*;
 use esh_eval::experiments::Scale;
@@ -50,17 +63,20 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  esh build-corpus [smoke|default|paper] <corpus.json>\n  \
+         esh corpus gen --procs N [--seed S] [--out corpus.json]\n  \
          esh search <corpus.json> <query-substring> [top_n]\n  \
-         esh index build <corpus.json> <index.esh>\n  \
-         esh query --index <index.esh> <corpus.json> <query-substring> [top_n] [--json]\n  \
-         \x20         [--no-prefilter]\n  \
+         esh index build <corpus.json> <index.esh | index.eshx> [targets-per-shard]\n  \
+         esh index migrate <index.esh> <index.eshx> [targets-per-shard]\n  \
+         esh query --index <index.esh | index.eshx> <corpus.json> <query-substring>\n  \
+         \x20         [top_n] [--json] [--no-prefilter]\n  \
          esh query --remote <addr> <query-substring> [top_n] [--json]\n  \
-         esh serve --index <index.esh> <corpus.json> [--addr A] [--workers N]\n  \
+         esh serve --index <index.esh | index.eshx> <corpus.json> [--addr A] [--workers N]\n  \
          \x20         [--queue N] [--deadline-ms N] [--threads N]\n  \
          \x20         [--batch-max N] [--batch-window-ms N]\n  \
          esh bench-serve [--smoke]\n  \
          esh bench-prefilter [--smoke]\n  \
          esh bench-rankquality [--smoke]\n  \
+         esh bench-scale [--smoke]\n  \
          esh stats <corpus.json>\n  \
          esh pair <corpus.json> <query-substring> <target-substring>"
     );
@@ -83,6 +99,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("build-corpus") => build_corpus(&args[1..]),
+        Some("corpus") => corpus_cmd(&args[1..]),
         Some("search") => search(&args[1..]),
         Some("index") => index(&args[1..]),
         Some("query") => query(&args[1..]),
@@ -90,6 +107,7 @@ fn main() -> ExitCode {
         Some("bench-serve") => bench_serve(&args[1..]),
         Some("bench-prefilter") => bench_prefilter(&args[1..]),
         Some("bench-rankquality") => bench_rankquality(&args[1..]),
+        Some("bench-scale") => bench_scale(&args[1..]),
         Some("stats") => stats(&args[1..]),
         Some("pair") => pair(&args[1..]),
         _ => return usage(),
@@ -162,23 +180,143 @@ fn engine_over_corpus(corpus: &Corpus) -> SimilarityEngine {
     engine
 }
 
-fn index(args: &[String]) -> Result<(), String> {
-    let [sub, corpus_path, index_path] = args else {
-        return Err("index takes: build <corpus.json> <index.esh>".into());
-    };
-    if sub != "build" {
-        return Err(format!("unknown index subcommand `{sub}` (expected `build`)"));
+/// Default shard granularity when the CLI does not specify one.
+const DEFAULT_TARGETS_PER_SHARD: usize = 64;
+
+/// True when `path` names (or will name) a sharded v5 index: an existing
+/// directory with a manifest, or a fresh path with the `.eshx` extension.
+fn wants_sharded(path: &str) -> bool {
+    esh::index::is_sharded_index(path) || path.ends_with(".eshx")
+}
+
+fn parse_shard_size(arg: Option<&String>) -> Result<usize, String> {
+    match arg {
+        None => Ok(DEFAULT_TARGETS_PER_SHARD),
+        Some(n) => n
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("bad targets-per-shard `{n}`")),
     }
-    let corpus = load(corpus_path)?;
-    eprintln!("indexing {} procedures...", corpus.procs.len());
-    let engine = engine_over_corpus(&corpus);
-    engine.save(index_path).map_err(|e| e.to_string())?;
+}
+
+fn report_sharded(path: &str, summary: &esh::index::WriteSummary) {
     println!(
-        "wrote index: {} targets, {} strand classes, format v{}, config {:#018x}",
-        engine.target_count(),
-        engine.class_count(),
-        esh::core::SNAPSHOT_FORMAT_VERSION,
-        engine.config().fingerprint(),
+        "wrote sharded index {path}: {} targets, {} classes, {} shards, \
+         {}B core + {}B shards, format v{}",
+        summary.targets,
+        summary.classes,
+        summary.shards,
+        summary.core_bytes,
+        summary.shard_bytes,
+        esh::index::SHARDED_FORMAT_VERSION,
+    );
+}
+
+fn index(args: &[String]) -> Result<(), String> {
+    match args {
+        [sub, corpus_path, index_path, rest @ ..] if sub == "build" && rest.len() <= 1 => {
+            let corpus = load(corpus_path)?;
+            eprintln!("indexing {} procedures...", corpus.procs.len());
+            let engine = engine_over_corpus(&corpus);
+            if wants_sharded(index_path) {
+                let per_shard = parse_shard_size(rest.first())?;
+                let summary = esh::index::write_sharded(&engine, index_path, per_shard)
+                    .map_err(|e| e.to_string())?;
+                report_sharded(index_path, &summary);
+            } else {
+                if !rest.is_empty() {
+                    return Err("targets-per-shard only applies to .eshx outputs".into());
+                }
+                engine.save(index_path).map_err(|e| e.to_string())?;
+                println!(
+                    "wrote index: {} targets, {} strand classes, format v{}, config {:#018x}",
+                    engine.target_count(),
+                    engine.class_count(),
+                    esh::core::SNAPSHOT_FORMAT_VERSION,
+                    engine.config().fingerprint(),
+                );
+            }
+            Ok(())
+        }
+        [sub, json_path, eshx_path, rest @ ..] if sub == "migrate" && rest.len() <= 1 => {
+            let per_shard = parse_shard_size(rest.first())?;
+            let summary = esh::index::migrate_json(json_path, eshx_path, per_shard)
+                .map_err(|e| e.to_string())?;
+            report_sharded(eshx_path, &summary);
+            Ok(())
+        }
+        _ => Err("index takes: build <corpus.json> <index.esh | index.eshx> \
+                  [targets-per-shard], or migrate <index.esh> <index.eshx> \
+                  [targets-per-shard]"
+            .into()),
+    }
+}
+
+/// Streams the scale-tier corpus to disk as a `Corpus`-compatible JSON
+/// document (`{"procs":[...]}`) without materializing it: each compiled
+/// procedure is serialized and written as it is emitted.
+fn corpus_cmd(args: &[String]) -> Result<(), String> {
+    use std::io::Write as _;
+    let mut rest = args.iter();
+    if rest.next().map(String::as_str) != Some("gen") {
+        return Err("corpus takes: gen --procs N [--seed S] [--out corpus.json]".into());
+    }
+    let mut procs = None;
+    let mut seed = 0xe5e5u64;
+    let mut out = None;
+    while let Some(arg) = rest.next() {
+        let mut value = |name: &str| {
+            rest.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--procs" => {
+                procs = Some(value("--procs")?.parse::<usize>().map_err(|e| format!("--procs: {e}"))?)
+            }
+            "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--out" => out = Some(value("--out")?.to_string()),
+            extra => return Err(format!("unexpected argument `{extra}`")),
+        }
+    }
+    let procs = procs.ok_or("corpus gen needs --procs N")?;
+    let config = esh::corpus::scale::ScaleConfig::new(procs, seed);
+    let sink: Box<dyn std::io::Write> = match &out {
+        Some(path) => Box::new(std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?),
+        None => Box::new(std::io::stdout().lock()),
+    };
+    let mut w = std::io::BufWriter::new(sink);
+    let mut failure = None;
+    w.write_all(b"{\"procs\":[").map_err(|e| e.to_string())?;
+    let mut first = true;
+    let emitted = esh::corpus::scale::stream_scale_corpus(&config, |p| {
+        if failure.is_some() {
+            return;
+        }
+        let record = match serde_json::to_string(&p) {
+            Ok(r) => r,
+            Err(e) => {
+                failure = Some(format!("serializing {}: {e}", p.display()));
+                return;
+            }
+        };
+        let sep = if first { "" } else { "," };
+        first = false;
+        if let Err(e) = write!(w, "{sep}{record}") {
+            failure = Some(e.to_string());
+        }
+    });
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    w.write_all(b"]}").map_err(|e| e.to_string())?;
+    w.flush().map_err(|e| e.to_string())?;
+    eprintln!(
+        "generated {emitted} procedures (seed {seed:#x}, {} sources x {} toolchain configs){}",
+        config.source_count(),
+        esh::corpus::scale::scale_matrix().len(),
+        out.map(|p| format!(" -> {p}")).unwrap_or_default(),
     );
     Ok(())
 }
@@ -229,6 +367,20 @@ fn print_matches(matches: &[esh::serve::RankedMatch]) {
     }
 }
 
+/// Opens an index either way: sharded v5 directories load lazily,
+/// anything else is a JSON snapshot. Returns `(engine, sharded)` — a
+/// sharded index is immutable at query time, so callers must skip the
+/// warmed-cache write-back for it.
+fn open_index(index_path: &str) -> Result<(SimilarityEngine, bool), String> {
+    if esh::index::is_sharded_index(index_path) {
+        let engine = esh::index::open_sharded(index_path).map_err(|e| e.to_string())?;
+        Ok((engine, true))
+    } else {
+        let engine = SimilarityEngine::load(index_path).map_err(|e| e.to_string())?;
+        Ok((engine, false))
+    }
+}
+
 fn query_index(
     index_path: &str,
     corpus_path: &str,
@@ -241,7 +393,7 @@ fn query_index(
     let qi =
         find_proc(&corpus, needle).ok_or_else(|| format!("no procedure matching `{needle}`"))?;
     eprintln!("query: {}", corpus.procs[qi].display());
-    let mut engine = SimilarityEngine::load(index_path).map_err(|e| e.to_string())?;
+    let (mut engine, sharded) = open_index(index_path)?;
     // The escape hatch: answer this one query with the exhaustive engine.
     // The index's own configuration is restored before the snapshot is
     // written back, so the stored fingerprint is untouched.
@@ -289,11 +441,14 @@ fn query_index(
         );
     }
     // Persist the warmed cache: the next identical query skips the
-    // verifier entirely.
-    if no_prefilter && saved_sketch.is_some_and(|s| s.enabled) {
-        engine.set_prefilter_enabled(true);
+    // verifier entirely. Sharded indexes are immutable at query time —
+    // their persisted cache segments are the ones written at build.
+    if !sharded {
+        if no_prefilter && saved_sketch.is_some_and(|s| s.enabled) {
+            engine.set_prefilter_enabled(true);
+        }
+        engine.save_with_cache(index_path).map_err(|e| e.to_string())?;
     }
-    engine.save_with_cache(index_path).map_err(|e| e.to_string())?;
     Ok(())
 }
 
@@ -377,7 +532,7 @@ fn serve(args: &[String]) -> Result<(), String> {
     let corpus_path = corpus_path.ok_or("serve needs <corpus.json>")?;
 
     let corpus = load(&corpus_path)?;
-    let mut engine = SimilarityEngine::load(&index_path).map_err(|e| e.to_string())?;
+    let (mut engine, _sharded) = open_index(&index_path)?;
     if engine.target_count() != corpus.procs.len() {
         return Err(format!(
             "index {} has {} targets but {} has {} procedures — rebuild with `esh index build`",
@@ -447,6 +602,15 @@ fn bench_rankquality(args: &[String]) -> Result<(), String> {
         _ => return Err("bench-rankquality takes [--smoke]".into()),
     };
     esh::bench_rankquality::run(smoke)
+}
+
+fn bench_scale(args: &[String]) -> Result<(), String> {
+    let smoke = match args {
+        [] => false,
+        [flag] if flag == "--smoke" => true,
+        _ => return Err("bench-scale takes [--smoke]".into()),
+    };
+    esh::bench_scale::run(smoke)
 }
 
 fn stats(args: &[String]) -> Result<(), String> {

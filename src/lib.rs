@@ -34,6 +34,7 @@
 
 pub mod bench_prefilter;
 pub mod bench_rankquality;
+pub mod bench_scale;
 
 pub use esh_asm as asm;
 pub use esh_baselines as baselines;
@@ -41,6 +42,7 @@ pub use esh_cc as cc;
 pub use esh_core as core;
 pub use esh_corpus as corpus;
 pub use esh_eval as eval;
+pub use esh_index as index;
 pub use esh_ivl as ivl;
 pub use esh_minic as minic;
 pub use esh_serve as serve;
