@@ -31,8 +31,8 @@ use crate::prefilter::{
     SketchDecision, SketchIndex,
 };
 use crate::shard::{
-    ClassExport, CorpusExport, LazyClassMeta, LazyShards, ShardSource, ShardSpec, ShardStats,
-    ShardTouch, TargetExport,
+    ClassExport, CorpusExport, LazyClassMeta, LazyShards, ShardBandSummary, ShardError,
+    ShardProcRef, ShardSource, ShardSpec, ShardStats, ShardTouch, TargetExport,
 };
 use crate::stats::{ges, les, likelihood, H0Accumulator, ScoringMode};
 use crate::vcp::{size_ratio_ok, vcp_pair, VcpConfig, VcpPair};
@@ -327,6 +327,62 @@ impl fmt::Display for QueryCancelled {
 
 impl std::error::Error for QueryCancelled {}
 
+/// Why a query failed: abandoned via its [`CancelToken`], or a
+/// lazily-backed shard it needed could not be loaded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query's cancel token fired (deadline passed or cancelled
+    /// explicitly) before scoring finished.
+    Cancelled,
+    /// A backing shard is corrupted or unreadable; the error names the
+    /// shard (and, for file-backed indexes, its path). Other shards keep
+    /// serving — only queries touching this shard fail.
+    Corrupted(ShardError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Cancelled => QueryCancelled.fmt(f),
+            QueryError::Corrupted(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<QueryCancelled> for QueryError {
+    fn from(_: QueryCancelled) -> QueryError {
+        QueryError::Cancelled
+    }
+}
+
+impl From<ShardError> for QueryError {
+    fn from(e: ShardError) -> QueryError {
+        QueryError::Corrupted(e)
+    }
+}
+
+/// A borrowed-or-pinned reference to a class procedure: resident classes
+/// borrow straight from the engine, shard-backed classes pin their
+/// shard's payload (keeping it alive across evictions). Dereferences to
+/// [`Proc`].
+enum ClassProcRef<'a> {
+    Resident(&'a Proc),
+    Shared(ShardProcRef),
+}
+
+impl std::ops::Deref for ClassProcRef<'_> {
+    type Target = Proc;
+
+    fn deref(&self) -> &Proc {
+        match self {
+            ClassProcRef::Resident(p) => p,
+            ClassProcRef::Shared(r) => r,
+        }
+    }
+}
+
 /// The similarity engine. Add targets once, query many times.
 ///
 /// The corpus can be persisted with [`SimilarityEngine::save`] /
@@ -510,11 +566,20 @@ impl SimilarityEngine {
     }
 
     /// The lifted procedure of class `ci`, pulling its shard into memory
-    /// on first use when the engine is lazily backed.
-    fn class_proc(&self, ci: usize) -> &Proc {
+    /// (again, if evicted) on demand when the engine is lazily backed.
+    ///
+    /// Panics when the backing shard is corrupted — cold paths (snapshot
+    /// export, sketch builds, calibration) have no error channel. The
+    /// query hot path runs the fallible [`Self::ensure_class_shard`]
+    /// before any cell touches the shard, so corruption surfaces there as
+    /// a typed [`QueryError`] first.
+    fn class_proc(&self, ci: usize) -> ClassProcRef<'_> {
         match &self.shards {
-            Some(lazy) if ci < lazy.class_limit() => lazy.proc(ci, &self.cache),
-            _ => &self.classes[ci].proc_,
+            Some(lazy) if ci < lazy.class_limit() => ClassProcRef::Shared(
+                lazy.proc_ref(ci, &self.cache)
+                    .unwrap_or_else(|e| panic!("{e}")),
+            ),
+            _ => ClassProcRef::Resident(&self.classes[ci].proc_),
         }
     }
 
@@ -522,15 +587,55 @@ impl SimilarityEngine {
     /// with it) and returns the shard index, or `None` when the class is
     /// resident. Must run before the first counted cache lookup touching
     /// `ci` — the load-before-lookup invariant that keeps sharded
-    /// hit/miss counters identical to a fully resident engine's.
-    fn ensure_class_shard(&self, ci: usize) -> Option<usize> {
+    /// hit/miss counters identical to a fully resident engine's. (The
+    /// invariant survives eviction: a reload re-inserts the same segment
+    /// idempotently before the next counted lookup.)
+    fn ensure_class_shard(&self, ci: usize) -> Result<Option<usize>, ShardError> {
         match &self.shards {
             Some(lazy) if ci < lazy.class_limit() => {
                 let shard = lazy.shard_of_class(ci);
-                lazy.ensure_loaded(shard, &self.cache);
-                Some(shard)
+                lazy.ensure_loaded(shard, &self.cache)?;
+                Ok(Some(shard))
             }
-            _ => None,
+            _ => Ok(None),
+        }
+    }
+
+    /// Sets the resident-bytes budget for lazily-loaded shards (0 =
+    /// unbounded): least-recently-used shards are evicted — and reloaded
+    /// on the next touch — to keep resident payload bytes at or under
+    /// the budget. No effect on fully resident engines.
+    pub fn set_shard_budget(&self, bytes: u64) {
+        if let Some(lazy) = &self.shards {
+            lazy.set_budget(bytes);
+        }
+    }
+
+    /// Installs per-shard band summaries enabling whole-shard pruning at
+    /// query time (see [`ShardBandSummary`]). `summaries` must have one
+    /// entry per shard.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the engine is not shard-backed or the length does not
+    /// match the shard count.
+    pub fn set_shard_band_summaries(
+        &mut self,
+        summaries: Vec<ShardBandSummary>,
+    ) -> Result<(), String> {
+        match &mut self.shards {
+            Some(lazy) => {
+                if summaries.len() != lazy.shard_count() {
+                    return Err(format!(
+                        "{} band summaries for {} shards",
+                        summaries.len(),
+                        lazy.shard_count()
+                    ));
+                }
+                lazy.summaries = Some(summaries);
+                Ok(())
+            }
+            None => Err("engine is not backed by a sharded index".into()),
         }
     }
 
@@ -874,7 +979,7 @@ impl SimilarityEngine {
                     // index written without the tier) rebuild from the
                     // real procedure — on a lazily backed engine this
                     // loads the class's shard.
-                    None => compute_sketch(self.class_proc(i), cfg),
+                    None => compute_sketch(&self.class_proc(i), cfg),
                 })
                 .collect();
             *slot = Some(Arc::new(SketchIndex::build(sketches, cfg)));
@@ -941,7 +1046,7 @@ impl SimilarityEngine {
         queries: &[Option<Vec<QueryStrand>>],
         cancels: &[&CancelToken],
         touched: &ShardTouch,
-    ) -> Vec<Vec<Vec<VcpPair>>> {
+    ) -> (Vec<Vec<Vec<VcpPair>>>, Vec<Option<ShardError>>) {
         let threads = if self.config.threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -965,8 +1070,14 @@ impl SimilarityEngine {
             offsets.push(offsets.last().unwrap() + nq * tiles_per_query);
         }
         let total_tiles = *offsets.last().unwrap();
+        // Per-item shard-failure latch: the first corrupted-shard error an
+        // item hits is kept, the item's remaining tiles are skipped, and
+        // the caller fails that item alone — neighbours keep computing.
+        let shard_errors: Vec<std::sync::OnceLock<ShardError>> =
+            (0..queries.len()).map(|_| std::sync::OnceLock::new()).collect();
         if total_tiles == 0 || nc == 0 {
-            return matrices;
+            let errors = shard_errors.into_iter().map(|l| l.into_inner()).collect();
+            return (matrices, errors);
         }
         let queries_ref = &queries;
         let offsets = &offsets;
@@ -993,16 +1104,23 @@ impl SimilarityEngine {
             /// The cached probe sketch for the strand hashed `key`,
             /// computing it under the cache lock on first use (serializing
             /// duplicate computes is cheaper than racing the concrete
-            /// evaluation).
+            /// evaluation). `compute` is fallible so a corrupted shard on
+            /// the class side surfaces instead of panicking — and runs
+            /// only on a cache miss, preserving shard-load laziness.
             fn probed(
                 &self,
                 key: u64,
-                compute: impl FnOnce() -> SemanticSketch,
-            ) -> Arc<SemanticSketch> {
+                compute: impl FnOnce() -> Result<SemanticSketch, ShardError>,
+            ) -> Result<Arc<SemanticSketch>, ShardError> {
                 let mut map = self.probes.lock().expect("probe cache poisoned");
-                map.entry(key)
-                    .or_insert_with(|| Arc::new(compute()))
-                    .clone()
+                match map.get(&key) {
+                    Some(s) => Ok(s.clone()),
+                    None => {
+                        let s = Arc::new(compute()?);
+                        map.insert(key, s.clone());
+                        Ok(s)
+                    }
+                }
             }
         }
         let sketch_ctx: Option<SketchCtx> = self.ensure_sketch_index().map(|index| {
@@ -1031,6 +1149,69 @@ impl SimilarityEngine {
             }
         });
         let sketch_ctx = &sketch_ctx;
+        // Whole-shard pruning (sub-linear fan-out): when the index shipped
+        // per-shard band summaries, decide per `(item, shard)` — before
+        // any per-cell work — whether every cell of the shard is provably
+        // sketch-pruned ([`ShardBandSummary::can_skip`]). Skipped cells
+        // stay at `VcpPair::default()`, exactly the value the per-cell
+        // Prune path leaves, so matrices, H0 and scores are byte-identical
+        // to the full fan-out; only the pricing CPU (and the prefilter
+        // observability counters) are saved. The proof needs every strand
+        // of the item sketched and `margin > window`; anything else keeps
+        // the full fan-out.
+        let shard_skip: Option<(Vec<u32>, Vec<Vec<bool>>)> =
+            self.shards.as_ref().and_then(|lazy| {
+                let summaries = lazy.summaries.as_ref()?;
+                let ctx = sketch_ctx.as_ref()?;
+                if ctx.margin <= ctx.window {
+                    return None;
+                }
+                let limit = lazy.class_limit();
+                let class_shard: Vec<u32> =
+                    (0..limit).map(|ci| lazy.shard_of_class(ci) as u32).collect();
+                let skip: Vec<Vec<bool>> = queries
+                    .iter()
+                    .map(|q| {
+                        let all_sketched = q
+                            .as_ref()
+                            .is_some_and(|q| q.iter().all(|s| s.sketch.is_some()));
+                        if !all_sketched {
+                            return vec![false; summaries.len()];
+                        }
+                        let strands = q.as_ref().expect("checked above");
+                        let keys: Vec<Vec<u64>> = strands
+                            .iter()
+                            .map(|s| {
+                                s.sketch
+                                    .as_ref()
+                                    .expect("checked above")
+                                    .band_keys(ctx.cfg.bands, ctx.cfg.rows)
+                            })
+                            .collect();
+                        summaries
+                            .iter()
+                            .map(|sum| {
+                                strands.iter().zip(&keys).all(|(s, k)| {
+                                    sum.can_skip(
+                                        s.sketch.as_ref().expect("checked above"),
+                                        k,
+                                        ctx.margin,
+                                        ctx.window,
+                                    )
+                                })
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let pruned: u64 = skip
+                    .iter()
+                    .map(|row| row.iter().filter(|&&s| s).count() as u64)
+                    .sum();
+                lazy.add_pruned(pruned);
+                Some((class_shard, skip))
+            });
+        let shard_skip = &shard_skip;
+        let shard_errors_ref = &shard_errors;
         let tiles: Vec<(usize, usize, usize, Vec<VcpPair>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
@@ -1052,11 +1233,12 @@ impl SimilarityEngine {
                             // Decode (item, strand, class-range) from the
                             // flat tile id.
                             let b = offsets.partition_point(|&o| o <= tile) - 1;
-                            // Poll cancellation between tiles: a timed-out
-                            // or abandoned item stops issuing verifier
-                            // work within one tile's latency while the
-                            // rest of the batch keeps going.
-                            if cancels[b].is_cancelled() {
+                            // Poll cancellation (and the shard-failure
+                            // latch) between tiles: a timed-out, abandoned
+                            // or corruption-failed item stops issuing
+                            // verifier work within one tile's latency
+                            // while the rest of the batch keeps going.
+                            if cancels[b].is_cancelled() || shard_errors_ref[b].get().is_some() {
                                 continue;
                             }
                             let local = tile - offsets[b];
@@ -1068,6 +1250,17 @@ impl SimilarityEngine {
                             let q = &query[qi];
                             let mut row = vec![VcpPair::default(); end - start];
                             for (k, class) in classes[start..end].iter().enumerate() {
+                                let ci = start + k;
+                                // Whole-shard prune: provably equivalent to
+                                // the per-cell Prune below, decided without
+                                // touching the class.
+                                if let Some((class_shard, skip)) = shard_skip {
+                                    if ci < class_shard.len()
+                                        && skip[b][class_shard[ci] as usize]
+                                    {
+                                        continue;
+                                    }
+                                }
                                 if !size_ratio_ok(&config.vcp, q.vars, class.vars) {
                                     continue;
                                 }
@@ -1105,7 +1298,6 @@ impl SimilarityEngine {
                                 // verifies either way).
                                 if let Some(ctx) = sketch_ctx {
                                     if let (Some(mask), Some(qs)) = (&ctx.masks[b][qi], &q.sketch) {
-                                        let ci = start + k;
                                         let collided = mask[ci];
                                         if collided {
                                             prefilter_stats.record_collision();
@@ -1123,20 +1315,33 @@ impl SimilarityEngine {
                                                 }
                                                 SketchDecision::Probe => {
                                                     prefilter_stats.record_probe();
-                                                    let pq = ctx.probed(q.hash, || {
-                                                        compute_probe_sketch(&q.proc_, &ctx.cfg)
-                                                    });
-                                                    let pt = ctx.probed(class.hash, || {
-                                                        if let Some(s) =
-                                                            self.ensure_class_shard(ci)
-                                                        {
-                                                            touched.mark(b, s);
+                                                    let pair = ctx
+                                                        .probed(q.hash, || {
+                                                            Ok(compute_probe_sketch(
+                                                                &q.proc_, &ctx.cfg,
+                                                            ))
+                                                        })
+                                                        .and_then(|pq| {
+                                                            let pt = ctx.probed(class.hash, || {
+                                                                if let Some(s) =
+                                                                    self.ensure_class_shard(ci)?
+                                                                {
+                                                                    touched.mark(b, s);
+                                                                }
+                                                                Ok(compute_probe_sketch(
+                                                                    &self.class_proc(ci),
+                                                                    &ctx.cfg,
+                                                                ))
+                                                            })?;
+                                                            Ok((pq, pt))
+                                                        });
+                                                    let (pq, pt) = match pair {
+                                                        Ok(p) => p,
+                                                        Err(e) => {
+                                                            let _ = shard_errors_ref[b].set(e);
+                                                            continue;
                                                         }
-                                                        compute_probe_sketch(
-                                                            self.class_proc(ci),
-                                                            &ctx.cfg,
-                                                        )
-                                                    });
+                                                    };
                                                     let r_q = pq.containment_in(&pt);
                                                     let r_t = pt.containment_in(&pq);
                                                     if r_q < ctx.margin && r_t < ctx.margin {
@@ -1157,8 +1362,13 @@ impl SimilarityEngine {
                                 // shard *before* the counted lookup so the
                                 // persisted cache segment can answer it
                                 // (load-before-lookup invariant).
-                                if let Some(s) = self.ensure_class_shard(start + k) {
-                                    touched.mark(b, s);
+                                match self.ensure_class_shard(ci) {
+                                    Ok(Some(s)) => touched.mark(b, s),
+                                    Ok(None) => {}
+                                    Err(e) => {
+                                        let _ = shard_errors_ref[b].set(e);
+                                        continue;
+                                    }
                                 }
                                 let key = (q.hash, class.hash, vcp_fp);
                                 row[k] = match cache.get(&key) {
@@ -1167,7 +1377,7 @@ impl SimilarityEngine {
                                         let v = vcp_pair(
                                             &mut session,
                                             &q.proc_,
-                                            self.class_proc(start + k),
+                                            &self.class_proc(ci),
                                             &config.vcp,
                                         );
                                         cache.insert(key, v);
@@ -1191,13 +1401,18 @@ impl SimilarityEngine {
         for (b, qi, start, row) in tiles {
             matrices[b][qi][start..start + row.len()].copy_from_slice(&row);
         }
-        matrices
+        let errors = shard_errors.into_iter().map(|l| l.into_inner()).collect();
+        (matrices, errors)
     }
 
     /// Scores every target against `proc_`.
+    ///
+    /// Panics on a corrupted backing shard; serving layers use
+    /// [`SimilarityEngine::query_batch`] to get the typed
+    /// [`QueryError::Corrupted`] instead.
     pub fn query(&self, proc_: &Procedure) -> QueryScores {
         self.query_cancellable(proc_, &CancelToken::new())
-            .expect("query with a never-firing token cannot be cancelled")
+            .unwrap_or_else(|e| panic!("uncancellable query failed: {e}"))
     }
 
     /// Like [`SimilarityEngine::query`], but abandons the computation as
@@ -1214,7 +1429,7 @@ impl SimilarityEngine {
         &self,
         proc_: &Procedure,
         cancel: &CancelToken,
-    ) -> Result<QueryScores, QueryCancelled> {
+    ) -> Result<QueryScores, QueryError> {
         self.query_batch(&[BatchQuery {
             proc_,
             cancel: cancel.clone(),
@@ -1238,9 +1453,12 @@ impl SimilarityEngine {
     /// [`query`](Self::query) of that procedure would return — the serve
     /// byte-identity contract extends to batched execution.
     ///
-    /// Cancellation is per item: an item whose token fires returns
-    /// `Err(QueryCancelled)` without disturbing its neighbours.
-    pub fn query_batch(&self, items: &[BatchQuery<'_>]) -> Vec<Result<QueryScores, QueryCancelled>> {
+    /// Failure is per item: an item whose token fires returns
+    /// `Err(QueryError::Cancelled)`, and an item that touched a corrupted
+    /// shard returns `Err(QueryError::Corrupted)` naming the shard —
+    /// without disturbing its neighbours (queries that avoid the bad
+    /// shard keep serving).
+    pub fn query_batch(&self, items: &[BatchQuery<'_>]) -> Vec<Result<QueryScores, QueryError>> {
         let mut prep_memo: HashMap<u64, PreparedStrand> = HashMap::new();
         let prepared: Vec<Option<Vec<QueryStrand>>> = items
             .iter()
@@ -1256,7 +1474,7 @@ impl SimilarityEngine {
             items.len(),
             self.shards.as_ref().map_or(0, |l| l.shard_count()),
         );
-        let matrices = self.vcp_matrix_batch(&prepared, &cancels, &touched);
+        let (matrices, shard_errors) = self.vcp_matrix_batch(&prepared, &cancels, &touched);
         // Refine resources shared across the batch: one verifier session,
         // one probe-sketch cache (probe sketches are pure per strand, so
         // sharing them across items cannot change any item's result).
@@ -1275,11 +1493,15 @@ impl SimilarityEngine {
         let mut results = Vec::with_capacity(items.len());
         for (i, it) in items.iter().enumerate() {
             let (Some(query), matrix) = (&prepared[i], &matrices[i]) else {
-                results.push(Err(QueryCancelled));
+                results.push(Err(QueryError::Cancelled));
                 continue;
             };
+            if let Some(e) = &shard_errors[i] {
+                results.push(Err(QueryError::Corrupted(e.clone())));
+                continue;
+            }
             if it.cancel.is_cancelled() {
-                results.push(Err(QueryCancelled));
+                results.push(Err(QueryError::Cancelled));
                 continue;
             }
             let mut scores = self.score_targets(query, matrix);
@@ -1453,7 +1675,7 @@ impl SimilarityEngine {
         probes: &mut HashMap<u64, SemanticSketch>,
         item: usize,
         touched: &ShardTouch,
-    ) -> Result<(), QueryCancelled> {
+    ) -> Result<(), QueryError> {
         let Some(cfg) = self.config.active_sketch().cloned() else {
             return Ok(());
         };
@@ -1507,7 +1729,7 @@ impl SimilarityEngine {
             for ti in pending {
                 refined_targets[ti] = true;
                 if cancel.is_cancelled() {
-                    break 'refine Err(QueryCancelled);
+                    break 'refine Err(QueryError::Cancelled);
                 }
                 let strands = &self.targets[ti].strands;
                 // Exact maxima this target already has: per query strand
@@ -1536,8 +1758,10 @@ impl SimilarityEngine {
                         // segment of every class it peeks, so the shard
                         // loads first (load-before-lookup) — and counts
                         // toward this item's fan-out.
-                        if let Some(s) = self.ensure_class_shard(ci) {
-                            touched.mark(item, s);
+                        match self.ensure_class_shard(ci) {
+                            Ok(Some(s)) => touched.mark(item, s),
+                            Ok(None) => {}
+                            Err(e) => break 'refine Err(QueryError::Corrupted(e)),
                         }
                         let key = (q.hash, class.hash, vcp_fp);
                         // `peek`, not `get`: this scan separates known from
@@ -1555,7 +1779,7 @@ impl SimilarityEngine {
                                 probes
                                     .entry(class.hash)
                                     .or_insert_with(|| {
-                                        compute_probe_sketch(self.class_proc(ci), &cfg)
+                                        compute_probe_sketch(&self.class_proc(ci), &cfg)
                                     });
                                 let pq = &probes[&q.hash];
                                 let pt = &probes[&class.hash];
@@ -1585,7 +1809,7 @@ impl SimilarityEngine {
                         continue;
                     }
                     if cancel.is_cancelled() {
-                        break 'refine Err(QueryCancelled);
+                        break 'refine Err(QueryError::Cancelled);
                     }
                     let q = &query[qi];
                     let class = &self.classes[ci];
@@ -1603,7 +1827,7 @@ impl SimilarityEngine {
                             let v = vcp_pair(
                                 session,
                                 &q.proc_,
-                                self.class_proc(ci),
+                                &self.class_proc(ci),
                                 &self.config.vcp,
                             );
                             self.cache.insert(key, v);
@@ -1686,7 +1910,7 @@ impl SimilarityEngine {
             for i in [a, b] {
                 sketches.entry(i).or_insert_with(|| match &self.classes[i].sketch {
                     Some(s) => s.clone(),
-                    None => compute_sketch(self.class_proc(i), &cfg),
+                    None => compute_sketch(&self.class_proc(i), &cfg),
                 });
             }
             let bound = sketches[&a]
@@ -1704,16 +1928,17 @@ impl SimilarityEngine {
             } else {
                 // Load-before-lookup (see `ensure_class_shard`): the
                 // segment owning `qb.hash`'s entry must be resident
-                // before the counted `get`.
-                self.ensure_class_shard(b);
+                // before the counted `get`. Calibration is a cold offline
+                // path with no error channel, so corruption panics here.
+                self.ensure_class_shard(b).unwrap_or_else(|e| panic!("{e}"));
                 let key = (qa.hash, qb.hash, vcp_fp);
                 let v = match self.cache.get(&key) {
                     Some(v) => v,
                     None => {
                         let v = vcp_pair(
                             &mut session,
-                            self.class_proc(a),
-                            self.class_proc(b),
+                            &self.class_proc(a),
+                            &self.class_proc(b),
                             &self.config.vcp,
                         );
                         self.cache.insert(key, v);
@@ -1887,14 +2112,14 @@ mod tests {
         cancel.cancel();
         assert!(matches!(
             engine.query_cancellable(&q, &cancel),
-            Err(QueryCancelled)
+            Err(QueryError::Cancelled)
         ));
 
         // An expired deadline behaves identically.
         let expired = CancelToken::with_deadline(Instant::now());
         assert!(matches!(
             engine.query_cancellable(&q, &expired),
-            Err(QueryCancelled)
+            Err(QueryError::Cancelled)
         ));
 
         // The engine is untouched: a live token still completes and ranks.

@@ -74,7 +74,7 @@ mod vcp;
 
 pub use cache::{CacheStats, VcpCache, VcpCacheEntry, VcpKey};
 pub use engine::{
-    BatchQuery, CancelToken, EngineConfig, Granularity, QueryCancelled, QueryScores,
+    BatchQuery, CancelToken, EngineConfig, Granularity, QueryCancelled, QueryError, QueryScores,
     SimilarityEngine, TargetId, TargetScore,
 };
 pub use prefilter::{
@@ -84,8 +84,8 @@ pub use prefilter::{
 };
 pub use esh_solver::SolverPerf;
 pub use shard::{
-    ClassExport, CorpusExport, LazyClassMeta, ShardPayload, ShardSource, ShardSpec, ShardStats,
-    TargetExport,
+    Bloom, ClassExport, CorpusExport, LazyClassMeta, ShardBandSummary, ShardError, ShardPayload,
+    ShardSource, ShardSpec, ShardStats, TargetExport,
 };
 pub use snapshot::{ConfigMismatchKind, SnapshotError, SNAPSHOT_FORMAT_VERSION};
 pub use stats::{ges, les, likelihood, H0Accumulator, ScoringMode, SIGMOID_K, SIGMOID_MIDPOINT};

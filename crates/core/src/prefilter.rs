@@ -171,6 +171,29 @@ impl PrefilterConfig {
     pub fn effective_refine_top_k(&self) -> usize {
         self.refine_top_k.unwrap_or(0)
     }
+
+    /// The pure-LSH profile the 100k scale tier indexes under: only pairs
+    /// that collide on an LSH band are verified exactly; every
+    /// non-candidate pair is pruned outright, however high its
+    /// containment bound (the margin sits above any reachable bound, and
+    /// probing is off). Recall rests entirely on the banded minhash —
+    /// the classic sub-linear trade — which is also what makes
+    /// whole-shard band pruning effective: a shard none of whose classes
+    /// shares a band with the query provably contributes nothing, so the
+    /// fan-out skips it without loading it (see `ShardBandSummary`).
+    /// The refine-top-K pass stays on to re-price the served window
+    /// exactly.
+    pub fn lsh_only() -> PrefilterConfig {
+        PrefilterConfig {
+            // Containment bounds never exceed 1.0, so no non-candidate
+            // pair can reach this margin: bounds-based exact fallbacks
+            // and probing are off, band collisions alone escalate.
+            exact_fallback_margin: 2.0,
+            ambiguity_window: None,
+            probe_vectors: None,
+            ..PrefilterConfig::default()
+        }
+    }
 }
 
 /// What the sketch tier decided for a non-candidate pair from its base

@@ -20,17 +20,26 @@
 //!   engine always loads a class's shard *before* the first counted
 //!   cache lookup touching that class — so hit/miss counters are
 //!   identical to an engine that had every entry resident from the start.
+//!   Re-inserting the same segment after an eviction/reload cycle is
+//!   idempotent (same keys, same deterministic values), so the rule
+//!   survives memory-bounded serving unchanged.
 //! * **Merge = concatenation.** Shards partition the class index space in
 //!   order, so the fanned-out VCP matrix is the unsharded matrix: every
 //!   float sum (H0, GES, S-VCP) runs in the same order and produces the
 //!   same bits.
+//! * **Pruning may only skip certain misses.** A shard may be skipped for
+//!   a query item only when the band summary proves every one of its
+//!   cells would have been sketch-pruned anyway (see
+//!   [`ShardBandSummary::can_skip`]) — the skipped cells stay at
+//!   `VcpPair::default()` exactly as the priced path would have left
+//!   them.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, RwLock};
 
 use esh_ivl::Proc;
-use esh_strands::Signature;
+use esh_strands::{stable_mix, Signature, STABLE_HASH_SEED};
 
 use crate::cache::{VcpCache, VcpCacheEntry};
 use crate::engine::EngineConfig;
@@ -60,14 +69,46 @@ pub struct ShardPayload {
     pub procs: Vec<Proc>,
     /// Persisted cache entries keyed into this segment.
     pub cache: Vec<VcpCacheEntry>,
+    /// Backing-store size of this shard in bytes (its on-disk file size
+    /// for the v5 format) — the unit the eviction budget accounts in.
+    pub bytes: u64,
 }
+
+/// A shard failed to load or decode. `detail` carries the source's
+/// description, including the backing file path for on-disk sources.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardError {
+    /// Index of the shard that failed.
+    pub shard: usize,
+    /// Human-readable cause, path included for file-backed sources.
+    pub detail: String,
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard {} corrupted or unreadable: {}", self.shard, self.detail)
+    }
+}
+
+impl std::error::Error for ShardError {}
 
 /// Backing store for lazily-loaded shards (the on-disk v5 format in
 /// `esh-index`, or an in-memory stand-in for tests).
 pub trait ShardSource: Send + Sync + fmt::Debug {
-    /// Loads shard `shard`'s payload. Called at most once per shard per
-    /// engine; errors are fatal to the query that needed the shard.
+    /// Loads shard `shard`'s payload. Under a memory budget a shard may
+    /// be evicted and loaded again later, so this must be repeatable;
+    /// errors fail the query that needed the shard (other shards keep
+    /// serving).
     fn load_shard(&self, shard: usize) -> Result<ShardPayload, String>;
+
+    /// Expected payload size of `shard` in bytes, when the source knows
+    /// it without loading (the v5 manifest records per-shard file sizes).
+    /// Used to make room *before* a load so the resident peak stays
+    /// within budget.
+    fn shard_bytes(&self, shard: usize) -> Option<u64> {
+        let _ = shard;
+        None
+    }
 }
 
 /// Point-in-time shard counters for an engine (all zero when the engine
@@ -76,35 +117,299 @@ pub trait ShardSource: Send + Sync + fmt::Debug {
 pub struct ShardStats {
     /// Number of shards behind the engine.
     pub shards_total: u64,
-    /// Shards whose payload has been pulled into memory.
+    /// Shards currently resident in memory (loads minus evictions).
     pub shards_loaded: u64,
     /// Total (query, shard) consultations: for each query (or batch
     /// item), every distinct shard whose payload the query needed —
     /// surviving pricing into a cache lookup, a probe sketch, or a
     /// refine-window scan.
     pub fanout_total: u64,
+    /// Shards evicted to stay under the memory budget (cumulative).
+    pub evicted_total: u64,
+    /// Bytes of shard payload currently resident.
+    pub resident_bytes: u64,
+    /// High-water mark of `resident_bytes`.
+    pub resident_bytes_peak: u64,
+    /// `(query item, shard)` pairs skipped entirely by band-summary
+    /// pruning (cumulative).
+    pub pruned_total: u64,
 }
 
-/// The engine's view of a sharded backing store: specs, one lazily
-/// initialized slot per shard, and the gauges `/metrics` exports.
+/// A compact Bloom filter over 64-bit keys, used for shard band
+/// summaries. No false negatives: [`Bloom::may_contain`] returning
+/// `false` proves the key was never inserted.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bloom {
+    /// The bit array, 64 bits per word.
+    pub bits: Vec<u64>,
+}
+
+/// Bloom probe count. With ~12 bits per key (see [`Bloom::with_capacity`])
+/// four probes put the false-positive rate near 0.5% — a false positive
+/// only costs a missed prune, never correctness.
+const BLOOM_PROBES: u64 = 4;
+
+impl Bloom {
+    /// An empty filter sized for `keys` insertions at ~12 bits per key
+    /// (minimum one word). An empty `Bloom::default()` contains nothing.
+    pub fn with_capacity(keys: usize) -> Bloom {
+        let words = (keys * 12).div_ceil(64).max(1);
+        Bloom {
+            bits: vec![0u64; words],
+        }
+    }
+
+    fn probes(&self, key: u64) -> impl Iterator<Item = (usize, u64)> {
+        let nbits = self.bits.len() as u64 * 64;
+        let h1 = stable_mix(STABLE_HASH_SEED ^ 0xb10f_11a5, key);
+        let h2 = stable_mix(STABLE_HASH_SEED ^ 0x5eed_b055, key) | 1;
+        (0..BLOOM_PROBES).map(move |i| {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % nbits;
+            ((bit / 64) as usize, 1u64 << (bit % 64))
+        })
+    }
+
+    /// Inserts `key`.
+    pub fn insert(&mut self, key: u64) {
+        if self.bits.is_empty() {
+            self.bits = vec![0u64; 1];
+        }
+        for (word, mask) in self.probes(key) {
+            self.bits[word] |= mask;
+        }
+    }
+
+    /// True when `key` *may* have been inserted; `false` is definitive.
+    pub fn may_contain(&self, key: u64) -> bool {
+        if self.bits.is_empty() {
+            return false;
+        }
+        self.probes(key).all(|(word, mask)| self.bits[word] & mask != 0)
+    }
+}
+
+/// Per-shard sketch-band summary: Bloom filters over every member
+/// class's sketch digests and LSH band keys, plus the two scalars the
+/// class-side containment bound needs, written by
+/// `esh-index::write_sharded` and consulted at query time to skip whole
+/// shards before fan-out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardBandSummary {
+    /// Bloom over the sketch digests of every class in the shard.
+    pub digests: Bloom,
+    /// Bloom over the LSH band keys of every class in the shard.
+    pub bands: Bloom,
+    /// True when *every* class in the shard had a persisted sketch at
+    /// write time. When false the summary is incomplete and the shard is
+    /// never skipped.
+    pub complete: bool,
+    /// Smallest digest count over member classes with a non-empty digest
+    /// list (`u64::MAX` when every member is empty) — the denominator of
+    /// the class-side containment bound.
+    pub min_digests: u64,
+    /// Largest multiplicity of a single digest value *within one* member
+    /// class — the multiplier of the class-side containment bound.
+    pub max_mult: u64,
+}
+
+impl Default for ShardBandSummary {
+    fn default() -> ShardBandSummary {
+        ShardBandSummary {
+            digests: Bloom::default(),
+            bands: Bloom::default(),
+            complete: false,
+            min_digests: u64::MAX,
+            max_mult: 0,
+        }
+    }
+}
+
+impl ShardBandSummary {
+    /// Builds a summary over `sketches` (one per class in the shard,
+    /// `None` for classes without a persisted sketch) with LSH geometry
+    /// `bands × rows`.
+    pub fn build<'a>(
+        sketches: impl Iterator<Item = Option<&'a SemanticSketch>>,
+        bands: usize,
+        rows: usize,
+    ) -> ShardBandSummary {
+        let sketches: Vec<_> = sketches.collect();
+        let complete = sketches.iter().all(|s| s.is_some());
+        let present: Vec<&SemanticSketch> = sketches.into_iter().flatten().collect();
+        let digest_keys: usize = present.iter().map(|s| s.digests.len()).sum();
+        let mut summary = ShardBandSummary {
+            digests: Bloom::with_capacity(digest_keys),
+            bands: Bloom::with_capacity(present.len() * bands),
+            complete,
+            ..ShardBandSummary::default()
+        };
+        for s in present {
+            for &d in &s.digests {
+                summary.digests.insert(d);
+            }
+            for k in s.band_keys(bands, rows) {
+                summary.bands.insert(k);
+            }
+            if !s.digests.is_empty() {
+                summary.min_digests = summary.min_digests.min(s.digests.len() as u64);
+                // Digests are sorted, so multiplicity is run length.
+                let (mut run, mut mult) = (1u64, 1u64);
+                for w in s.digests.windows(2) {
+                    if w[0] == w[1] {
+                        run += 1;
+                        mult = mult.max(run);
+                    } else {
+                        run = 1;
+                    }
+                }
+                summary.max_mult = summary.max_mult.max(mult);
+            }
+        }
+        summary
+    }
+
+    /// Whether every cell pairing `sketch` with this shard's classes is
+    /// guaranteed to be sketch-pruned, so the shard can be skipped for
+    /// this strand without touching it.
+    ///
+    /// The proof mirrors the staged pricing ladder (`bounds_decision`,
+    /// which prunes a cell when both containment bounds fall below
+    /// `margin - window`) by *counting* possibly-shared digests instead
+    /// of demanding zero intersection. For any member class `t` and the
+    /// query strand `q`:
+    ///
+    /// * query-side: every digest entry of `q` matched inside `t` has a
+    ///   value the digest Bloom contains (no false negatives), so
+    ///   `c_q = matched/|q| <= hits/|q|` where `hits` counts `q`'s
+    ///   entries (with multiplicity) the Bloom may contain;
+    /// * class-side: every entry of `t` matched inside `q` has a value
+    ///   that is both a distinct Bloom-positive digest of `q` and repeats
+    ///   at most [`ShardBandSummary::max_mult`] times within `t`, so
+    ///   `c_t = matched/|t| <= distinct_hits * max_mult / min_digests`
+    ///   (classes with no digests have `c_t = 0` by definition).
+    ///
+    /// Both bounds below the threshold proves every cell prices to
+    /// `Prune`. Under the pre-probe rule (`window == 0`) *collided* cells
+    /// skip pricing and go straight to the exact path, so the band Bloom
+    /// must additionally prove no class shares an LSH band with the
+    /// query.
+    ///
+    /// Bloom false positives only ever answer "may collide", which keeps
+    /// the shard in the fan-out — pruning is conservative by
+    /// construction.
+    pub fn can_skip(
+        &self,
+        sketch: &SemanticSketch,
+        band_keys: &[u64],
+        margin: f64,
+        window: f64,
+    ) -> bool {
+        if !self.complete {
+            return false;
+        }
+        let threshold = margin - window;
+        if threshold <= 0.0 {
+            return false;
+        }
+        let ds = &sketch.digests;
+        let (mut hits, mut distinct_hits) = (0u64, 0u64);
+        let mut i = 0;
+        while i < ds.len() {
+            let mut j = i + 1;
+            while j < ds.len() && ds[j] == ds[i] {
+                j += 1;
+            }
+            if self.digests.may_contain(ds[i]) {
+                hits += (j - i) as u64;
+                distinct_hits += 1;
+            }
+            i = j;
+        }
+        let c_q = if ds.is_empty() {
+            0.0
+        } else {
+            hits as f64 / ds.len() as f64
+        };
+        let c_t = if self.min_digests == u64::MAX {
+            0.0
+        } else {
+            ((distinct_hits * self.max_mult) as f64 / self.min_digests as f64).min(1.0)
+        };
+        if c_q.max(c_t) >= threshold {
+            return false;
+        }
+        window > 0.0 || band_keys.iter().all(|k| !self.bands.may_contain(*k))
+    }
+}
+
+/// One shard's resident payload. Handed out as an `Arc` so eviction can
+/// drop the slot while in-flight readers keep their procedures alive;
+/// the memory is returned when the last reference goes away.
+#[derive(Debug)]
+pub(crate) struct ShardResident {
+    procs: Vec<Proc>,
+    class_start: usize,
+    bytes: u64,
+}
+
+/// A checked-out reference to one shard-resident procedure. Dereferences
+/// to [`Proc`]; holding it pins the shard's payload (not its slot) in
+/// memory across evictions.
+#[derive(Debug)]
+pub(crate) struct ShardProcRef {
+    resident: Arc<ShardResident>,
+    idx: usize,
+}
+
+impl std::ops::Deref for ShardProcRef {
+    type Target = Proc;
+
+    fn deref(&self) -> &Proc {
+        &self.resident.procs[self.idx]
+    }
+}
+
+/// The engine's view of a sharded backing store: specs, one slot per
+/// shard (evictable under a byte budget), optional band summaries for
+/// pruning, and the gauges `/metrics` exports.
 #[derive(Debug)]
 pub(crate) struct LazyShards {
     specs: Vec<ShardSpec>,
     source: Box<dyn ShardSource>,
-    slots: Vec<OnceLock<Vec<Proc>>>,
+    slots: Vec<RwLock<Option<Arc<ShardResident>>>>,
+    /// Per-shard band summaries (pruning disabled while `None`).
+    pub(crate) summaries: Option<Vec<ShardBandSummary>>,
+    /// Resident-bytes budget; 0 means unbounded.
+    budget: AtomicU64,
+    /// Monotonic LRU clock; `stamps[i]` is shard `i`'s last touch.
+    clock: AtomicU64,
+    stamps: Vec<AtomicU64>,
     loaded: AtomicU64,
+    resident: AtomicU64,
+    resident_peak: AtomicU64,
+    evicted: AtomicU64,
     fanout: AtomicU64,
+    pruned: AtomicU64,
 }
 
 impl LazyShards {
     pub(crate) fn new(specs: Vec<ShardSpec>, source: Box<dyn ShardSource>) -> LazyShards {
-        let slots = (0..specs.len()).map(|_| OnceLock::new()).collect();
+        let slots = (0..specs.len()).map(|_| RwLock::new(None)).collect();
+        let stamps = (0..specs.len()).map(|_| AtomicU64::new(0)).collect();
         LazyShards {
             specs,
             source,
             slots,
+            summaries: None,
+            budget: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
+            stamps,
             loaded: AtomicU64::new(0),
+            resident: AtomicU64::new(0),
+            resident_peak: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
             fanout: AtomicU64::new(0),
+            pruned: AtomicU64::new(0),
         }
     }
 
@@ -125,33 +430,162 @@ impl LazyShards {
         self.specs.partition_point(|s| s.class_end <= ci)
     }
 
-    /// Loads shard `shard` if it is not resident yet, inserting its
-    /// persisted cache entries counter-neutrally.
-    pub(crate) fn ensure_loaded(&self, shard: usize, cache: &VcpCache) {
-        self.slots[shard].get_or_init(|| {
-            let payload = self
-                .source
-                .load_shard(shard)
-                .unwrap_or_else(|e| panic!("shard {shard} failed to load: {e}"));
-            for e in &payload.cache {
-                cache.insert((e.query_hash, e.class_hash, e.vcp_fingerprint), e.pair);
-            }
-            self.loaded.fetch_add(1, Ordering::Relaxed);
-            payload.procs
-        });
+    /// Sets the resident-bytes budget (0 = unbounded) and immediately
+    /// evicts down to it.
+    pub(crate) fn set_budget(&self, bytes: u64) {
+        self.budget.store(bytes, Ordering::Relaxed);
+        if bytes > 0 {
+            self.evict_to(bytes, usize::MAX);
+        }
     }
 
-    /// The lifted procedure of class `ci`, loading its shard on first
-    /// use.
-    pub(crate) fn proc(&self, ci: usize, cache: &VcpCache) -> &Proc {
+    /// Loads shard `shard` if it is not resident, inserting its persisted
+    /// cache entries counter-neutrally (load-before-lookup), and returns
+    /// a handle pinning the payload. Under a budget, the source's size
+    /// hint is *reserved* against the budget (evicting to make room)
+    /// before the load begins — concurrent loaders race on the shared
+    /// `resident` counter itself, so the sum of reservations, and with it
+    /// the resident peak, stays within budget whenever the hints are
+    /// accurate and eviction can make room.
+    pub(crate) fn ensure_loaded(
+        &self,
+        shard: usize,
+        cache: &VcpCache,
+    ) -> Result<Arc<ShardResident>, ShardError> {
+        self.stamps[shard].store(
+            self.clock.fetch_add(1, Ordering::Relaxed) + 1,
+            Ordering::Relaxed,
+        );
+        if let Some(r) = self
+            .slots[shard]
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+        {
+            return Ok(Arc::clone(r));
+        }
+        let mut slot = self.slots[shard].write().unwrap_or_else(|e| e.into_inner());
+        if let Some(r) = slot.as_ref() {
+            return Ok(Arc::clone(r));
+        }
+        let budget = self.budget.load(Ordering::Relaxed);
+        let reserved = if budget > 0 {
+            let hint = self.source.shard_bytes(shard).unwrap_or(0);
+            loop {
+                let cur = self.resident.load(Ordering::Relaxed);
+                if cur + hint <= budget {
+                    if self
+                        .resident
+                        .compare_exchange(cur, cur + hint, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        self.resident_peak.fetch_max(cur + hint, Ordering::Relaxed);
+                        break;
+                    }
+                } else if !self.evict_to(budget.saturating_sub(hint), shard) {
+                    // Nothing evictable (every other resident shard is
+                    // pinned by an in-flight load): the working set does
+                    // not fit, proceed over budget rather than deadlock.
+                    let now = self.resident.fetch_add(hint, Ordering::Relaxed) + hint;
+                    self.resident_peak.fetch_max(now, Ordering::Relaxed);
+                    break;
+                }
+            }
+            hint
+        } else {
+            0
+        };
+        let payload = match self.source.load_shard(shard) {
+            Ok(p) => p,
+            Err(detail) => {
+                self.resident.fetch_sub(reserved, Ordering::Relaxed);
+                return Err(ShardError { shard, detail });
+            }
+        };
+        for e in &payload.cache {
+            cache.insert((e.query_hash, e.class_hash, e.vcp_fingerprint), e.pair);
+        }
+        let resident = Arc::new(ShardResident {
+            procs: payload.procs,
+            class_start: self.specs[shard].class_start,
+            bytes: payload.bytes,
+        });
+        self.loaded.fetch_add(1, Ordering::Relaxed);
+        // Settle the reservation against the actual payload size.
+        if payload.bytes >= reserved {
+            let grow = payload.bytes - reserved;
+            let now = self.resident.fetch_add(grow, Ordering::Relaxed) + grow;
+            self.resident_peak.fetch_max(now, Ordering::Relaxed);
+        } else {
+            self.resident.fetch_sub(reserved - payload.bytes, Ordering::Relaxed);
+        }
+        *slot = Some(Arc::clone(&resident));
+        drop(slot);
+        if budget > 0 {
+            // The size hint may have undershot; settle back to budget.
+            self.evict_to(budget, shard);
+        }
+        Ok(resident)
+    }
+
+    /// Evicts least-recently-touched resident shards until
+    /// `resident_bytes <= target`, never touching `except` (the shard the
+    /// caller is serving) or any slot another thread holds locked.
+    /// Dropping the slot's `Arc` is the "background unmap": the payload
+    /// is freed as soon as the last in-flight reader lets go. Returns
+    /// whether at least one shard was evicted by this call.
+    fn evict_to(&self, target: u64, except: usize) -> bool {
+        let mut banned = vec![false; self.slots.len()];
+        if except < banned.len() {
+            banned[except] = true;
+        }
+        let mut any = false;
+        while self.resident.load(Ordering::Relaxed) > target {
+            let mut victim: Option<(u64, usize)> = None;
+            for (i, slot) in self.slots.iter().enumerate() {
+                if banned[i] {
+                    continue;
+                }
+                let occupied = matches!(slot.try_read(), Ok(g) if g.is_some());
+                if !occupied {
+                    continue;
+                }
+                let stamp = self.stamps[i].load(Ordering::Relaxed);
+                if victim.is_none_or(|(s, _)| stamp < s) {
+                    victim = Some((stamp, i));
+                }
+            }
+            let Some((_, i)) = victim else { break };
+            if let Ok(mut g) = self.slots[i].try_write() {
+                if let Some(r) = g.take() {
+                    self.resident.fetch_sub(r.bytes, Ordering::Relaxed);
+                    self.loaded.fetch_sub(1, Ordering::Relaxed);
+                    self.evicted.fetch_add(1, Ordering::Relaxed);
+                    any = true;
+                }
+            }
+            banned[i] = true;
+        }
+        any
+    }
+
+    /// A pinned reference to the lifted procedure of class `ci`, loading
+    /// its shard (again, if evicted) on demand.
+    pub(crate) fn proc_ref(&self, ci: usize, cache: &VcpCache) -> Result<ShardProcRef, ShardError> {
         let shard = self.shard_of_class(ci);
-        self.ensure_loaded(shard, cache);
-        let procs = self.slots[shard].get().expect("shard just ensured");
-        &procs[ci - self.specs[shard].class_start]
+        let resident = self.ensure_loaded(shard, cache)?;
+        Ok(ShardProcRef {
+            idx: ci - resident.class_start,
+            resident,
+        })
     }
 
     pub(crate) fn add_fanout(&self, n: u64) {
         self.fanout.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_pruned(&self, n: u64) {
+        self.pruned.fetch_add(n, Ordering::Relaxed);
     }
 
     pub(crate) fn stats(&self) -> ShardStats {
@@ -159,6 +593,10 @@ impl LazyShards {
             shards_total: self.specs.len() as u64,
             shards_loaded: self.loaded.load(Ordering::Relaxed),
             fanout_total: self.fanout.load(Ordering::Relaxed),
+            evicted_total: self.evicted.load(Ordering::Relaxed),
+            resident_bytes: self.resident.load(Ordering::Relaxed),
+            resident_bytes_peak: self.resident_peak.load(Ordering::Relaxed),
+            pruned_total: self.pruned.load(Ordering::Relaxed),
         }
     }
 }
@@ -258,4 +696,140 @@ pub struct CorpusExport {
     pub targets: Vec<TargetExport>,
     /// Every memoized VCP-cache entry, sorted by key.
     pub cache: Vec<VcpCacheEntry>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bloom_has_no_false_negatives_and_empty_contains_nothing() {
+        let mut b = Bloom::with_capacity(100);
+        let keys: Vec<u64> = (0..100u64).map(|i| stable_mix(7, i)).collect();
+        for &k in &keys {
+            b.insert(k);
+        }
+        assert!(keys.iter().all(|&k| b.may_contain(k)));
+        assert!(!Bloom::default().may_contain(42));
+        // With ~12 bits/key the filter must reject the vast majority of
+        // absent keys.
+        let misses = (1000..3000u64)
+            .map(|i| stable_mix(13, i))
+            .filter(|&k| !b.may_contain(k))
+            .count();
+        assert!(misses > 1900, "false-positive rate too high: {misses}/2000 rejected");
+    }
+
+    #[test]
+    fn incomplete_summary_never_skips() {
+        let s = SemanticSketch {
+            digests: vec![1, 2, 3],
+            minhash: vec![9; 16],
+        };
+        let summary = ShardBandSummary::build([Some(&s), None].into_iter(), 4, 4);
+        assert!(!summary.complete);
+        let other = SemanticSketch {
+            digests: vec![777],
+            minhash: vec![5; 16],
+        };
+        assert!(!summary.can_skip(&other, &other.band_keys(4, 4), 0.7, 0.2));
+    }
+
+    #[test]
+    fn summary_skips_disjoint_sketches_and_keeps_overlapping_ones() {
+        let member = SemanticSketch {
+            digests: vec![10, 20, 30],
+            minhash: vec![3; 16],
+        };
+        let summary = ShardBandSummary::build([Some(&member)].into_iter(), 4, 4);
+        assert!(summary.complete);
+        assert_eq!(summary.min_digests, 3);
+        assert_eq!(summary.max_mult, 1);
+
+        let disjoint = SemanticSketch {
+            digests: vec![100, 200],
+            minhash: vec![4; 16],
+        };
+        // window > 0: digest disjointness is what proves the prune.
+        assert!(summary.can_skip(&disjoint, &disjoint.band_keys(4, 4), 0.7, 0.2));
+        // window == 0: identical minhash rows collide on every band, so
+        // the shard must stay in the fan-out for the member itself.
+        assert!(!summary.can_skip(&member, &member.band_keys(4, 4), 0.7, 0.0));
+        // Sharing two of three digests pushes the class-side bound to
+        // 2/3 >= 0.5, which keeps the shard (window > 0).
+        let overlapping = SemanticSketch {
+            digests: vec![20, 30, 999],
+            minhash: vec![4; 16],
+        };
+        assert!(!summary.can_skip(&overlapping, &overlapping.band_keys(4, 4), 0.7, 0.2));
+    }
+
+    #[test]
+    fn counting_rule_skips_small_overlap_but_respects_tiny_classes() {
+        // One ten-digest class: a single shared digest gives bounds
+        // c_q <= 1/5 and c_t <= 1/10, both under 0.7 - 0.2.
+        let wide = SemanticSketch {
+            digests: (0..10).map(|i| 100 + i).collect(),
+            minhash: vec![3; 16],
+        };
+        let summary = ShardBandSummary::build([Some(&wide)].into_iter(), 4, 4);
+        let query = SemanticSketch {
+            digests: vec![100, 900, 901, 902, 903],
+            minhash: vec![4; 16],
+        };
+        assert!(summary.can_skip(&query, &query.band_keys(4, 4), 0.7, 0.2));
+
+        // Adding a two-digest member drops min_digests to 2: the same
+        // single shared digest now allows c_t = 1/2, at the threshold —
+        // the shard must stay.
+        let tiny = SemanticSketch {
+            digests: vec![100, 101],
+            minhash: vec![5; 16],
+        };
+        let summary = ShardBandSummary::build([Some(&wide), Some(&tiny)].into_iter(), 4, 4);
+        assert_eq!(summary.min_digests, 2);
+        assert!(!summary.can_skip(&query, &query.band_keys(4, 4), 0.7, 0.2));
+    }
+
+    #[test]
+    fn repeated_digests_raise_the_class_side_bound() {
+        // max_mult = 3: one Bloom-positive distinct digest can match
+        // three entries of a member class, so c_t <= 3/4 blocks the skip
+        // even though the query-side bound 1/6 is tiny.
+        let repeated = SemanticSketch {
+            digests: vec![7, 7, 7, 8],
+            minhash: vec![6; 16],
+        };
+        let summary = ShardBandSummary::build([Some(&repeated)].into_iter(), 4, 4);
+        assert_eq!(summary.max_mult, 3);
+        let query = SemanticSketch {
+            digests: vec![7, 900, 901, 902, 903, 904],
+            minhash: vec![4; 16],
+        };
+        assert!(!summary.can_skip(&query, &query.band_keys(4, 4), 0.7, 0.2));
+    }
+
+    #[test]
+    fn pre_probe_skip_needs_band_disjointness_and_bounded_containment() {
+        // Pure-LSH profile (margin past any containment bound, no
+        // window): only band disjointness decides, because non-collided
+        // cells always price under the margin.
+        let member = SemanticSketch {
+            digests: vec![10, 20, 30],
+            minhash: vec![3; 16],
+        };
+        let summary = ShardBandSummary::build([Some(&member)].into_iter(), 4, 4);
+        let contained = SemanticSketch {
+            digests: vec![10, 20, 30],
+            minhash: vec![9; 16],
+        };
+        // Full digest overlap (c_q = c_t = 1) but disjoint bands: under
+        // margin 2.0 every non-collided cell still prices to Prune.
+        assert!(summary.can_skip(&contained, &contained.band_keys(4, 4), 2.0, 0.0));
+        // At margin 0.7 the containment bound blocks the same skip: a
+        // non-collided cell could price Exact.
+        assert!(!summary.can_skip(&contained, &contained.band_keys(4, 4), 0.7, 0.0));
+        // Band collision blocks the skip whatever the margin.
+        assert!(!summary.can_skip(&member, &member.band_keys(4, 4), 2.0, 0.0));
+    }
 }

@@ -156,6 +156,45 @@ pub fn cve_aliases() -> Vec<(&'static str, &'static str)> {
 /// patch, function, opt level)`.
 type SourceSpec = (String, String, Option<String>, PatchTag, Function, OptLevel);
 
+/// Runs `job(i)` for every index in `0..n` across at most `threads`
+/// scoped worker threads (an atomic index dispenser — no work splitting
+/// up front), returning the results in index order. Result order is
+/// independent of `threads`, which is what keeps `--threads` a pure
+/// throughput knob: corpus proc order, and everything downstream of it,
+/// stays byte-identical.
+pub(crate) fn pooled<T: Send>(
+    n: usize,
+    threads: usize,
+    job: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let workers = threads.max(1).min(n.max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = job(i);
+                *slots[i].lock().expect("pool slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("pool slot poisoned")
+                .expect("every pool index ran")
+        })
+        .collect()
+}
+
 /// Compiles every source with one toolchain, in source order.
 fn compile_toolchain(tc: Toolchain, sources: &[SourceSpec]) -> Vec<CompiledProc> {
     sources
@@ -182,8 +221,15 @@ pub struct Corpus {
 }
 
 impl Corpus {
-    /// Builds a corpus per `config`.
+    /// Builds a corpus per `config` with one compile thread per
+    /// toolchain (the historical default).
     pub fn build(config: &CorpusConfig) -> Corpus {
+        Corpus::build_with_threads(config, config.toolchains.len())
+    }
+
+    /// Builds a corpus per `config` using at most `threads` compile
+    /// threads. The result is byte-identical for every thread count.
+    pub fn build_with_threads(config: &CorpusConfig, threads: usize) -> Corpus {
         let mut procs = Vec::new();
         let mut sources: Vec<SourceSpec> = Vec::new();
 
@@ -255,23 +301,12 @@ impl Corpus {
             ));
         }
 
-        // Toolchains compile independently, so fan them out across
-        // scoped threads; splicing the per-toolchain batches back in
-        // toolchain order keeps the proc order identical to the old
+        // Toolchains compile independently, so fan them out across a
+        // bounded worker pool; splicing the per-toolchain batches back
+        // in toolchain order keeps the proc order identical to the old
         // sequential loop (pinned by `corpus_is_deterministic`).
-        let batches: Vec<Vec<CompiledProc>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = config
-                .toolchains
-                .iter()
-                .map(|tc| {
-                    let sources = &sources;
-                    scope.spawn(move || compile_toolchain(*tc, sources))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("toolchain compile thread panicked"))
-                .collect()
+        let batches = pooled(config.toolchains.len(), threads, |i| {
+            compile_toolchain(config.toolchains[i], &sources)
         });
         for batch in batches {
             procs.extend(batch);
@@ -419,6 +454,29 @@ mod tests {
         for (x, y) in a.procs.iter().zip(&b.procs) {
             assert_eq!(x.proc_, y.proc_);
         }
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_corpus() {
+        let full = Corpus::build(&CorpusConfig::small());
+        for threads in [1, 2, 7, 64] {
+            let c = Corpus::build_with_threads(&CorpusConfig::small(), threads);
+            assert_eq!(c.procs.len(), full.procs.len(), "threads={threads}");
+            for (x, y) in full.procs.iter().zip(&c.procs) {
+                assert_eq!(x.proc_, y.proc_, "threads={threads}");
+                assert_eq!(x.toolchain, y.toolchain, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_preserves_index_order_at_any_width() {
+        let n = 23;
+        for threads in [1, 3, 8, 100] {
+            let out = pooled(n, threads, |i| i * i);
+            assert_eq!(out, (0..n).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+        }
+        assert!(pooled(0, 4, |i| i).is_empty());
     }
 
     #[test]

@@ -66,14 +66,25 @@ impl ScaleConfig {
 
 /// Streams the scale corpus for `config`, calling `emit` once per
 /// compiled procedure in the deterministic source-major order. Returns
-/// the number of procedures emitted (== `config.procs`).
-///
-/// Memory stays bounded by one chunk ([`SCALE_CHUNK`] sources × the
-/// 21-configuration matrix) regardless of `config.procs`; each chunk's
-/// compilations run in parallel, one scoped thread per toolchain
-/// configuration.
+/// the number of procedures emitted (== `config.procs`). Compiles with
+/// one thread per toolchain configuration (the historical default).
 pub fn stream_scale_corpus(
     config: &ScaleConfig,
+    emit: impl FnMut(CompiledProc),
+) -> usize {
+    stream_scale_corpus_with_threads(config, scale_matrix().len(), emit)
+}
+
+/// [`stream_scale_corpus`] with at most `threads` compile threads per
+/// chunk. The emitted stream is byte-identical for every thread count —
+/// per-chunk results splice back in matrix order regardless of which
+/// worker compiled them.
+///
+/// Memory stays bounded by one chunk ([`SCALE_CHUNK`] sources × the
+/// 21-configuration matrix) regardless of `config.procs`.
+pub fn stream_scale_corpus_with_threads(
+    config: &ScaleConfig,
+    threads: usize,
     mut emit: impl FnMut(CompiledProc),
 ) -> usize {
     let matrix = scale_matrix();
@@ -85,24 +96,14 @@ pub fn stream_scale_corpus(
             .collect();
         next_source += SCALE_CHUNK as u64;
 
-        // One thread per toolchain configuration compiles the whole
-        // chunk; joining in matrix order keeps the result deterministic.
-        let compiled: Vec<Vec<esh_asm::Procedure>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = matrix
-                .iter()
-                .map(|tc| {
-                    let sources = &sources;
-                    scope.spawn(move || {
-                        let cc = Compiler::with_opt(tc.vendor, tc.version, tc.opt);
-                        sources.iter().map(|f| cc.compile_function(f)).collect()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("scale compile thread panicked"))
-                .collect()
-        });
+        // The worker pool hands out matrix indices; collecting in
+        // matrix order keeps the result deterministic.
+        let compiled: Vec<Vec<esh_asm::Procedure>> =
+            crate::pooled(matrix.len(), threads, |c| {
+                let tc = &matrix[c];
+                let cc = Compiler::with_opt(tc.vendor, tc.version, tc.opt);
+                sources.iter().map(|f| cc.compile_function(f)).collect()
+            });
 
         'chunk: for (s, source) in sources.iter().enumerate() {
             for (c, tc) in matrix.iter().enumerate() {
@@ -173,6 +174,22 @@ mod tests {
         });
         assert_eq!(toolchains.len(), 21);
         assert_eq!(funcs.len(), 3, "63 procs = 3 sources x 21 configs");
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_stream() {
+        let config = ScaleConfig::new(47, 123);
+        let mut full = Vec::new();
+        stream_scale_corpus(&config, |p| full.push(p));
+        for threads in [1, 4, 64] {
+            let mut got = Vec::new();
+            stream_scale_corpus_with_threads(&config, threads, |p| got.push(p));
+            assert_eq!(got.len(), full.len(), "threads={threads}");
+            for (x, y) in full.iter().zip(&got) {
+                assert_eq!(x.proc_, y.proc_, "threads={threads}");
+                assert_eq!(x.toolchain, y.toolchain, "threads={threads}");
+            }
+        }
     }
 
     #[test]

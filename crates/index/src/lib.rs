@@ -50,15 +50,19 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 use esh_core::{
-    CorpusExport, EngineConfig, LazyClassMeta, ShardPayload, ShardSource, ShardSpec,
-    SimilarityEngine, SnapshotError, TargetExport, VcpCacheEntry, VcpPair,
+    Bloom, CorpusExport, EngineConfig, LazyClassMeta, ShardBandSummary, ShardPayload, ShardSource,
+    ShardSpec, SimilarityEngine, SnapshotError, TargetExport, VcpCacheEntry, VcpPair,
 };
 use esh_ivl::Proc;
 use esh_strands::Signature;
 use serde::{Deserialize, Serialize};
 
+mod mmap;
 mod wire;
 
+pub use mmap::Mmap;
+
+use mmap::read_file;
 use wire::{checksum, Reader, Writer};
 
 /// Format version of the sharded directory layout. Versions 2–4 are the
@@ -72,8 +76,12 @@ pub const MANIFEST_FILE: &str = "manifest.json";
 /// Core (eager) file name inside an index directory.
 pub const CORE_FILE: &str = "core.bin";
 
+/// Sketch-band prune sidecar file name inside an index directory.
+pub const PRUNE_FILE: &str = "prune.bin";
+
 const CORE_MAGIC: &[u8; 8] = b"ESHXCOR1";
 const SHARD_MAGIC: &[u8; 8] = b"ESHXSHD1";
+const PRUNE_MAGIC: &[u8; 8] = b"ESHXPRN1";
 
 /// Why a sharded index failed to write or open.
 #[derive(Debug)]
@@ -185,6 +193,14 @@ struct Manifest {
     core_bytes: u64,
     core_checksum: u64,
     shards: Vec<ShardManifest>,
+    // Sketch-band prune sidecar (v5 additive extension). Absent in
+    // indexes written before the sidecar existed, or when the sketch
+    // tier was disabled at write time — both open fine, with pruning
+    // simply unavailable. The vendored serde maps a missing field to
+    // `None`, so older manifests stay readable.
+    prune_file: Option<String>,
+    prune_bytes: Option<u64>,
+    prune_checksum: Option<u64>,
 }
 
 /// What [`write_sharded`] produced — sizes for benches and logs.
@@ -427,7 +443,52 @@ fn decode_shard(bytes: &[u8], expect_index: usize, expect_start: usize) -> Resul
     if !r.at_end() {
         return Err(format!("{} trailing bytes after shard document", bytes.len() - r.pos()));
     }
-    Ok(ShardPayload { procs, cache })
+    Ok(ShardPayload { procs, cache, bytes: bytes.len() as u64 })
+}
+
+fn encode_prune(summaries: &[ShardBandSummary]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.raw(PRUNE_MAGIC);
+    w.u32(summaries.len() as u32);
+    for s in summaries {
+        w.u8(s.complete as u8);
+        w.u64(s.min_digests);
+        w.u64(s.max_mult);
+        w.u64s(&s.digests.bits);
+        w.u64s(&s.bands.bits);
+    }
+    w.into_bytes()
+}
+
+fn decode_prune(bytes: &[u8]) -> Result<Vec<ShardBandSummary>, String> {
+    let mut r = Reader::new(bytes);
+    if r.raw(8)? != PRUNE_MAGIC {
+        return Err("bad prune.bin magic".into());
+    }
+    let n = r.u32()? as usize;
+    let mut summaries = Vec::with_capacity(n);
+    for i in 0..n {
+        let complete = match r.u8()? {
+            0 => false,
+            1 => true,
+            k => return Err(format!("summary {i}: bad complete flag {k}")),
+        };
+        let min_digests = r.u64()?;
+        let max_mult = r.u64()?;
+        let digests = Bloom { bits: r.u64s()? };
+        let bands = Bloom { bits: r.u64s()? };
+        summaries.push(ShardBandSummary {
+            digests,
+            bands,
+            complete,
+            min_digests,
+            max_mult,
+        });
+    }
+    if !r.at_end() {
+        return Err(format!("{} trailing bytes after prune document", bytes.len() - r.pos()));
+    }
+    Ok(summaries)
 }
 
 // ---------------------------------------------------------------------
@@ -530,6 +591,32 @@ pub fn write_sharded(
         });
     }
 
+    // Sketch-band prune sidecar: one Bloom summary per shard over its
+    // member classes' sketch digests and LSH band keys. Written only
+    // when the sketch tier is on — without sketches every summary would
+    // be incomplete and pruning could never trigger.
+    let prune = match &export.config.sketch {
+        Some(sketch_cfg) if sketch_cfg.enabled => {
+            let summaries: Vec<ShardBandSummary> = specs
+                .iter()
+                .map(|spec| {
+                    ShardBandSummary::build(
+                        export.classes[spec.class_start..spec.class_end]
+                            .iter()
+                            .map(|c| c.sketch.as_ref()),
+                        sketch_cfg.bands,
+                        sketch_cfg.rows,
+                    )
+                })
+                .collect();
+            let bytes = encode_prune(&summaries);
+            let path = dir.join(PRUNE_FILE);
+            std::fs::write(&path, &bytes).map_err(io_err(&path))?;
+            Some((bytes.len() as u64, checksum(&bytes)))
+        }
+        _ => None,
+    };
+
     let manifest = Manifest {
         format_version: SHARDED_FORMAT_VERSION,
         config_fingerprint: export.config.fingerprint(),
@@ -540,6 +627,9 @@ pub fn write_sharded(
         core_bytes: core_bytes.len() as u64,
         core_checksum: checksum(&core_bytes),
         shards: shard_manifests,
+        prune_file: prune.map(|_| PRUNE_FILE.to_string()),
+        prune_bytes: prune.map(|(b, _)| b),
+        prune_checksum: prune.map(|(_, c)| c),
     };
     let manifest_path = dir.join(MANIFEST_FILE);
     let json = serde_json::to_string(&manifest)
@@ -560,37 +650,53 @@ pub fn write_sharded(
 // Open
 // ---------------------------------------------------------------------
 
-/// Lazily loads shard files on demand, verifying each file's checksum
-/// against the manifest at its first load.
-#[derive(Debug)]
-struct FileShardSource {
-    dir: PathBuf,
-    shards: Vec<ShardManifest>,
+/// How [`open_sharded_with`] maps and prices an index directory. The
+/// defaults are the fast path; the flags exist so benches and CI can
+/// pin down each mechanism's contribution (and fall back when a
+/// platform has no `mmap`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EshxOpenOptions {
+    /// Map index files with `mmap` (zero-copy, evictable by unmapping)
+    /// instead of reading them into owned buffers. Platforms without
+    /// `mmap` silently use the owned fallback.
+    pub mmap: bool,
+    /// Load the per-shard sketch-band summaries (when the sidecar is
+    /// present) so queries can skip whole shards with zero sketch
+    /// collisions before fan-out.
+    pub prune: bool,
 }
 
-impl ShardSource for FileShardSource {
-    fn load_shard(&self, shard: usize) -> Result<ShardPayload, String> {
-        let m = &self.shards[shard];
-        let path = self.dir.join(&m.file);
-        let bytes = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
-        if bytes.len() as u64 != m.bytes || checksum(&bytes) != m.checksum {
-            return Err(format!(
-                "{}: checksum mismatch — the file was modified after the \
-                 manifest was written",
-                path.display()
-            ));
-        }
-        decode_shard(&bytes, shard, m.class_start as usize)
-            .map_err(|e| format!("{}: {e}", path.display()))
+impl Default for EshxOpenOptions {
+    fn default() -> EshxOpenOptions {
+        EshxOpenOptions { mmap: true, prune: true }
     }
 }
 
-/// Opens a sharded v5 index directory as a lazily backed
-/// [`SimilarityEngine`]: the manifest and `core.bin` load now, shard
-/// files load on first use. Ranked responses are byte-identical to the
-/// same corpus loaded from a JSON snapshot.
-pub fn open_sharded(dir: impl AsRef<Path>) -> Result<SimilarityEngine, IndexError> {
-    let dir = dir.as_ref();
+/// What [`read_manifest`] reports about an index directory without
+/// touching `core.bin`, any shard file, or the prune sidecar.
+#[derive(Debug, Clone)]
+pub struct ManifestSummary {
+    /// Engine configuration the index was built with.
+    pub config: EngineConfig,
+    /// Strand classes persisted.
+    pub class_count: u64,
+    /// Targets persisted.
+    pub target_count: u64,
+    /// Number of shard files.
+    pub shards: usize,
+    /// Total bytes across all shard files.
+    pub shard_bytes: u64,
+    /// Bytes in `core.bin`.
+    pub core_bytes: u64,
+    /// Size of the largest single shard file.
+    pub largest_shard_bytes: u64,
+    /// Whether a sketch-band prune sidecar is recorded.
+    pub has_prune: bool,
+}
+
+/// Reads and validates `manifest.json` (version + config fingerprint)
+/// without opening any other file in the directory.
+fn load_manifest(dir: &Path) -> Result<Manifest, IndexError> {
     let manifest_path = dir.join(MANIFEST_FILE);
     let text = std::fs::read_to_string(&manifest_path).map_err(io_err(&manifest_path))?;
     let manifest: Manifest = serde_json::from_str(&text)
@@ -610,9 +716,83 @@ pub fn open_sharded(dir: impl AsRef<Path>) -> Result<SimilarityEngine, IndexErro
             expected: recomputed,
         });
     }
+    Ok(manifest)
+}
+
+/// Reads an index directory's manifest alone — no `core.bin` read, no
+/// checksum pass over data files — for callers that only need the
+/// index's shape (CLI status lines, bench sizing, admission checks).
+pub fn read_manifest(dir: impl AsRef<Path>) -> Result<ManifestSummary, IndexError> {
+    let manifest = load_manifest(dir.as_ref())?;
+    Ok(ManifestSummary {
+        class_count: manifest.class_count,
+        target_count: manifest.target_count,
+        shards: manifest.shards.len(),
+        shard_bytes: manifest.shards.iter().map(|s| s.bytes).sum(),
+        core_bytes: manifest.core_bytes,
+        largest_shard_bytes: manifest.shards.iter().map(|s| s.bytes).max().unwrap_or(0),
+        has_prune: manifest.prune_file.is_some(),
+        config: manifest.config,
+    })
+}
+
+/// Lazily loads shard files on demand, verifying each file's checksum
+/// against the manifest at its first load. With `mmap` set the file is
+/// mapped, checksummed and decoded straight out of the mapping, and the
+/// mapping is dropped before returning — the decoded payload is the
+/// only copy that stays resident.
+#[derive(Debug)]
+struct FileShardSource {
+    dir: PathBuf,
+    shards: Vec<ShardManifest>,
+    mmap: bool,
+}
+
+impl ShardSource for FileShardSource {
+    fn load_shard(&self, shard: usize) -> Result<ShardPayload, String> {
+        let m = &self.shards[shard];
+        let path = self.dir.join(&m.file);
+        let bytes = read_file(&path, self.mmap).map_err(|e| format!("{}: {e}", path.display()))?;
+        if bytes.len() as u64 != m.bytes || checksum(&bytes) != m.checksum {
+            return Err(format!(
+                "{}: checksum mismatch — the file was modified after the \
+                 manifest was written",
+                path.display()
+            ));
+        }
+        decode_shard(&bytes, shard, m.class_start as usize)
+            .map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    fn shard_bytes(&self, shard: usize) -> Option<u64> {
+        Some(self.shards[shard].bytes)
+    }
+}
+
+/// Opens a sharded v5 index directory as a lazily backed
+/// [`SimilarityEngine`] with default options (mmap on, pruning on).
+/// Ranked responses are byte-identical to the same corpus loaded from a
+/// JSON snapshot.
+pub fn open_sharded(dir: impl AsRef<Path>) -> Result<SimilarityEngine, IndexError> {
+    open_sharded_with(dir, EshxOpenOptions::default())
+}
+
+/// Opens a sharded v5 index directory as a lazily backed
+/// [`SimilarityEngine`]: the manifest and `core.bin` load now, shard
+/// files load on first use, each checksum-verified at that first touch.
+/// Pruning and mmap are both behaviour-preserving: rankings, H0 and VCP
+/// cache counters are byte-identical across every option combination
+/// (pinned by this crate's round-trip proptests).
+pub fn open_sharded_with(
+    dir: impl AsRef<Path>,
+    options: EshxOpenOptions,
+) -> Result<SimilarityEngine, IndexError> {
+    let dir = dir.as_ref();
+    let manifest_path = dir.join(MANIFEST_FILE);
+    let manifest = load_manifest(dir)?;
 
     let core_path = dir.join(&manifest.core_file);
-    let core_bytes = std::fs::read(&core_path).map_err(io_err(&core_path))?;
+    let core_bytes = read_file(&core_path, options.mmap).map_err(io_err(&core_path))?;
     if core_bytes.len() as u64 != manifest.core_bytes
         || checksum(&core_bytes) != manifest.core_checksum
     {
@@ -647,8 +827,24 @@ pub fn open_sharded(dir: impl AsRef<Path>) -> Result<SimilarityEngine, IndexErro
             target_end: m.target_end as usize,
         })
         .collect();
-    let source = FileShardSource { dir: dir.to_path_buf(), shards: manifest.shards };
-    SimilarityEngine::from_lazy_parts(
+    let prune = match (&manifest.prune_file, manifest.prune_bytes, manifest.prune_checksum) {
+        (Some(file), Some(nbytes), Some(sum)) if options.prune => {
+            let path = dir.join(file);
+            let bytes = read_file(&path, options.mmap).map_err(io_err(&path))?;
+            if bytes.len() as u64 != nbytes || checksum(&bytes) != sum {
+                return Err(format_err(
+                    &path,
+                    "checksum mismatch — the file was modified after the manifest was written",
+                ));
+            }
+            Some(decode_prune(&bytes).map_err(|e| format_err(&path, e))?)
+        }
+        _ => None,
+    };
+
+    let source =
+        FileShardSource { dir: dir.to_path_buf(), shards: manifest.shards, mmap: options.mmap };
+    let mut engine = SimilarityEngine::from_lazy_parts(
         manifest.config,
         parts.classes,
         parts.targets,
@@ -656,7 +852,13 @@ pub fn open_sharded(dir: impl AsRef<Path>) -> Result<SimilarityEngine, IndexErro
         Box::new(source),
         parts.residual,
     )
-    .map_err(|e| format_err(&manifest_path, e))
+    .map_err(|e| format_err(&manifest_path, e))?;
+    if let Some(summaries) = prune {
+        engine
+            .set_shard_band_summaries(summaries)
+            .map_err(|e| format_err(&manifest_path, e))?;
+    }
+    Ok(engine)
 }
 
 /// Migrates a JSON snapshot (any readable format, v2–v4) to a sharded v5
@@ -759,6 +961,7 @@ mod tests {
         let source = FileShardSource {
             dir: dir.clone(),
             shards: manifest.shards.clone(),
+            mmap: true,
         };
         let err = source.load_shard(manifest.shards.len() - 1).unwrap_err();
         assert!(err.contains("checksum mismatch"), "{err}");
@@ -825,6 +1028,85 @@ mod tests {
         let b = resaved.query(&q);
         for (x, y) in a.scores.iter().zip(&b.scores) {
             assert_eq!(x.ges.to_bits(), y.ges.to_bits(), "{}", x.name);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_manifest_touches_no_data_file() {
+        let engine = small_engine();
+        let dir = temp_dir("manifest-only");
+        let summary = write_sharded(&engine, &dir, 2).unwrap();
+        // Removing every data file must not bother read_manifest — it
+        // reads manifest.json alone.
+        std::fs::remove_file(dir.join(CORE_FILE)).unwrap();
+        for i in 0..summary.shards {
+            std::fs::remove_file(dir.join(shard_file_name(i))).unwrap();
+        }
+        std::fs::remove_file(dir.join(PRUNE_FILE)).ok();
+        let m = read_manifest(&dir).unwrap();
+        assert_eq!(m.target_count as usize, engine.target_count());
+        assert_eq!(m.class_count as usize, engine.class_count());
+        assert_eq!(m.shards, summary.shards);
+        assert_eq!(m.shard_bytes, summary.shard_bytes);
+        assert_eq!(m.core_bytes, summary.core_bytes);
+        assert!(m.largest_shard_bytes > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prune_sidecar_round_trips_and_is_optional() {
+        let engine = small_engine();
+        let dir = temp_dir("prune-sidecar");
+        write_sharded(&engine, &dir, 1).unwrap();
+        assert!(read_manifest(&dir).unwrap().has_prune);
+        let bytes = std::fs::read(dir.join(PRUNE_FILE)).unwrap();
+        let summaries = decode_prune(&bytes).unwrap();
+        assert_eq!(summaries.len(), read_manifest(&dir).unwrap().shards);
+        // Opening with pruning disabled must still work, as must a
+        // manifest with the sidecar fields absent (pre-sidecar index).
+        let q = Compiler::new(Vendor::Clang, VendorVersion::new(3, 5))
+            .compile_function(&demo::heartbleed_like());
+        let with = open_sharded_with(&dir, EshxOpenOptions::default()).unwrap();
+        let without =
+            open_sharded_with(&dir, EshxOpenOptions { prune: false, ..Default::default() })
+                .unwrap();
+        let a = with.query(&q);
+        let b = without.query(&q);
+        for (x, y) in a.scores.iter().zip(&b.scores) {
+            assert_eq!(x.ges.to_bits(), y.ges.to_bits(), "{}", x.name);
+        }
+        let path = dir.join(MANIFEST_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let stripped = text
+            .replace("\"prune_file\":\"prune.bin\"", "\"prune_file\":null")
+            .replace(",\"prune_bytes\"", ",\"ignored_bytes\"")
+            .replace(",\"prune_checksum\"", ",\"ignored_checksum\"");
+        std::fs::write(&path, stripped).unwrap();
+        let legacy = open_sharded(&dir).unwrap();
+        let c = legacy.query(&q);
+        for (x, y) in a.scores.iter().zip(&c.scores) {
+            assert_eq!(x.ges.to_bits(), y.ges.to_bits(), "{}", x.name);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fallback_open_matches_mmap_open() {
+        let engine = small_engine();
+        let dir = temp_dir("no-mmap");
+        write_sharded(&engine, &dir, 2).unwrap();
+        let mapped = open_sharded_with(&dir, EshxOpenOptions::default()).unwrap();
+        let owned =
+            open_sharded_with(&dir, EshxOpenOptions { mmap: false, ..Default::default() }).unwrap();
+        let q = Compiler::new(Vendor::Icc, VendorVersion::new(15, 0))
+            .compile_function(&demo::venom_like());
+        let a = mapped.query(&q);
+        let b = owned.query(&q);
+        for (x, y) in a.scores.iter().zip(&b.scores) {
+            assert_eq!(x.ges.to_bits(), y.ges.to_bits(), "{}", x.name);
+            assert_eq!(x.s_log.to_bits(), y.s_log.to_bits(), "{}", x.name);
+            assert_eq!(x.s_vcp.to_bits(), y.s_vcp.to_bits(), "{}", x.name);
         }
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -1,0 +1,196 @@
+//! Read-only memory mapping for index files.
+//!
+//! The scale tier's shard files are large and read-mostly; mapping them
+//! lets the wire [`Reader`](crate::wire) borrow directly from the page
+//! cache instead of copying every shard into an owned buffer first, and
+//! lets eviction return memory by simply unmapping. The build vendors no
+//! `libc` crate, so the two syscalls involved are declared directly; the
+//! constants are the Linux/BSD values for the only configuration this
+//! wrapper compiles on (`cfg(unix)`). Every other platform reports
+//! [`std::io::ErrorKind::Unsupported`] and callers fall back to
+//! `std::fs::read`.
+
+use std::fmt;
+use std::io;
+use std::ops::Deref;
+use std::path::Path;
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// A read-only, privately mapped view of an entire file. Dereferences to
+/// `[u8]`; the mapping is released when the value is dropped.
+pub struct Mmap {
+    ptr: *const u8,
+    len: usize,
+}
+
+// The mapping is created PROT_READ + MAP_PRIVATE and never remapped, so
+// its bytes are immutable for the wrapper's whole lifetime; sharing
+// shared references across threads is safe.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps `path` read-only. A zero-length file produces an empty view
+    /// without creating a mapping (Linux rejects `len == 0`).
+    #[cfg(unix)]
+    pub fn map(path: &Path) -> io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+
+        let file = std::fs::File::open(path)?;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len).map_err(|_| {
+            io::Error::new(io::ErrorKind::OutOfMemory, "file exceeds the address space")
+        })?;
+        if len == 0 {
+            return Ok(Mmap { ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(), len: 0 });
+        }
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as usize == usize::MAX {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap { ptr: ptr as *const u8, len })
+    }
+
+    /// Mapping is unavailable on this platform; callers fall back to
+    /// reading the file into an owned buffer.
+    #[cfg(not(unix))]
+    pub fn map(_path: &Path) -> io::Result<Mmap> {
+        Err(io::Error::new(io::ErrorKind::Unsupported, "mmap is not available on this platform"))
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        if self.len == 0 {
+            &[]
+        } else {
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if self.len > 0 {
+            unsafe { sys::munmap(self.ptr as *mut _, self.len) };
+        }
+    }
+}
+
+impl fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len).finish()
+    }
+}
+
+/// Bytes of an index file: a zero-copy mapping when the platform and the
+/// open options allow it, an owned buffer otherwise. Both deref to
+/// `[u8]`, so checksum verification and decoding are shared.
+#[derive(Debug)]
+pub(crate) enum FileBytes {
+    /// Memory-mapped view.
+    Mapped(Mmap),
+    /// Owned read-into-buffer fallback.
+    Owned(Vec<u8>),
+}
+
+impl Deref for FileBytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match self {
+            FileBytes::Mapped(m) => m,
+            FileBytes::Owned(v) => v,
+        }
+    }
+}
+
+/// Reads `path` as a mapping when `mmap` is set (falling back to an
+/// owned read where the platform has no mmap), as an owned buffer
+/// otherwise.
+pub(crate) fn read_file(path: &Path, mmap: bool) -> io::Result<FileBytes> {
+    if mmap {
+        match Mmap::map(path) {
+            Ok(m) => return Ok(FileBytes::Mapped(m)),
+            Err(e) if e.kind() == io::ErrorKind::Unsupported => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(FileBytes::Owned(std::fs::read(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_file(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!("esh-mmap-{name}-{}", std::process::id()));
+        std::fs::write(&p, bytes).unwrap();
+        p
+    }
+
+    #[test]
+    fn mapping_sees_the_file_bytes() {
+        let p = temp_file("basic", b"strand bytes");
+        let m = Mmap::map(&p).unwrap();
+        assert_eq!(&*m, b"strand bytes");
+        drop(m);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn zero_length_file_maps_to_empty_slice() {
+        let p = temp_file("empty", b"");
+        let m = Mmap::map(&p).unwrap();
+        assert!(m.is_empty());
+        drop(m);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn owned_fallback_matches_mapping() {
+        let p = temp_file("fallback", b"same bytes either way");
+        let mapped = read_file(&p, true).unwrap();
+        let owned = read_file(&p, false).unwrap();
+        assert_eq!(&*mapped, &*owned);
+        assert!(matches!(owned, FileBytes::Owned(_)));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let p = std::env::temp_dir().join("esh-mmap-definitely-missing");
+        assert!(Mmap::map(&p).is_err());
+    }
+}

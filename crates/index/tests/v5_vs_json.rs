@@ -15,6 +15,7 @@
 use esh_asm::Procedure;
 use esh_cc::{Compiler, Vendor, VendorVersion};
 use esh_core::{EngineConfig, QueryScores, SimilarityEngine};
+use esh_index::EshxOpenOptions;
 use esh_minic::demo;
 use proptest::prelude::*;
 
@@ -142,4 +143,173 @@ proptest! {
         );
         std::fs::remove_dir_all(&dir).ok();
     }
+
+    /// Sketch-band shard pruning may only skip work that contributes
+    /// nothing: for any shard granularity and query sequence, the pruned
+    /// engine's rankings, H0 statistics (already folded into the scores)
+    /// and VCP cache counters are byte-identical to the unpruned
+    /// engine's after every step.
+    #[test]
+    fn pruned_fanout_is_bitwise_identical_to_full_fanout(
+        targets_per_shard in 1usize..5,
+        picks in prop::collection::vec(0usize..4, 1..6),
+    ) {
+        let (corpus, queries) = corpus_and_queries();
+        let built = build_engine(&corpus);
+        let dir = scratch(&format!("prune-{targets_per_shard}-{}", picks.len()));
+        std::fs::remove_dir_all(&dir).ok();
+        esh_index::write_sharded(&built, &dir, targets_per_shard).unwrap();
+        drop(built);
+
+        let full = esh_index::open_sharded_with(
+            &dir,
+            EshxOpenOptions { prune: false, ..Default::default() },
+        )
+        .unwrap();
+        let pruned = esh_index::open_sharded(&dir).unwrap();
+
+        for (step, &i) in picks.iter().enumerate() {
+            let a = full.query(&queries[i]);
+            let b = pruned.query(&queries[i]);
+            assert_scores_identical(&a, &b, &format!("prune step {step} query {i}"));
+            let ca = full.cache_stats();
+            let cb = pruned.cache_stats();
+            prop_assert_eq!(
+                (ca.hits, ca.misses),
+                (cb.hits, cb.misses),
+                "cache counters diverged after step {} (query {}, shard size {})",
+                step, i, targets_per_shard
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A memory-bounded engine (budget ≈ two shards) answers any query
+    /// sequence bitwise-identically to an unbounded engine, with cache
+    /// counters unchanged — eviction plus reload must be invisible to
+    /// everything except the residency gauges.
+    #[test]
+    fn two_shard_budget_matches_unbounded_engine_bitwise(
+        targets_per_shard in 1usize..4,
+        picks in prop::collection::vec(0usize..4, 1..8),
+    ) {
+        let (corpus, queries) = corpus_and_queries();
+        let built = build_engine(&corpus);
+        let dir = scratch(&format!("budget-{targets_per_shard}-{}", picks.len()));
+        std::fs::remove_dir_all(&dir).ok();
+        esh_index::write_sharded(&built, &dir, targets_per_shard).unwrap();
+        drop(built);
+
+        let budget = esh_index::read_manifest(&dir).unwrap().largest_shard_bytes * 2;
+        let unbounded = esh_index::open_sharded(&dir).unwrap();
+        let budgeted = esh_index::open_sharded(&dir).unwrap();
+        budgeted.set_shard_budget(budget);
+
+        for (step, &i) in picks.iter().enumerate() {
+            let a = unbounded.query(&queries[i]);
+            let b = budgeted.query(&queries[i]);
+            assert_scores_identical(&a, &b, &format!("budget step {step} query {i}"));
+            let ca = unbounded.cache_stats();
+            let cb = budgeted.cache_stats();
+            prop_assert_eq!(
+                (ca.hits, ca.misses),
+                (cb.hits, cb.misses),
+                "cache counters diverged after step {} (query {}, shard size {})",
+                step, i, targets_per_shard
+            );
+            let s = budgeted.shard_stats();
+            prop_assert!(
+                s.resident_bytes <= budget,
+                "settled residency {} exceeds budget {} after step {}",
+                s.resident_bytes, budget, step
+            );
+            prop_assert!(
+                s.resident_bytes_peak <= budget,
+                "peak residency {} exceeds budget {} after step {}",
+                s.resident_bytes_peak, budget, step
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Under the scale tier's pure-LSH profile
+/// ([`esh_core::PrefilterConfig::lsh_only`]) with one target per shard,
+/// shards none of whose classes band-collide with the query are provably
+/// silent — at least one shard must actually be skipped, the pruned
+/// counter must say so, and every score must stay byte-identical to an
+/// engine opened with pruning disabled.
+#[test]
+fn pruning_skips_shards_under_the_lsh_profile_with_identical_scores() {
+    use esh_core::PrefilterConfig;
+    let (corpus, queries) = corpus_and_queries();
+    let mut built = SimilarityEngine::new(EngineConfig {
+        threads: 2,
+        sketch: Some(PrefilterConfig::lsh_only()),
+        ..EngineConfig::default()
+    });
+    for (name, p) in &corpus {
+        built.add_target(name.clone(), p);
+    }
+    let dir = scratch("prune-gate");
+    std::fs::remove_dir_all(&dir).ok();
+    esh_index::write_sharded(&built, &dir, 1).unwrap();
+    drop(built);
+
+    let full = esh_index::open_sharded_with(
+        &dir,
+        EshxOpenOptions {
+            prune: false,
+            ..EshxOpenOptions::default()
+        },
+    )
+    .unwrap();
+    let pruned = esh_index::open_sharded(&dir).unwrap();
+    for (i, q) in queries.iter().enumerate() {
+        let a = full.query(q);
+        let b = pruned.query(q);
+        assert_scores_identical(&a, &b, &format!("lsh-profile query {i}"));
+    }
+    assert_eq!(full.shard_stats().pruned_total, 0, "prune:false must not skip");
+    let stats = pruned.shard_stats();
+    assert!(stats.shards_total >= 4, "fixture too small: {stats:?}");
+    assert!(
+        stats.pruned_total > 0,
+        "no shard was ever pruned across {} queries: {stats:?}",
+        queries.len()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Tight budget (one shard) across queries touching several shards:
+/// evictions must actually happen, the loaded gauge must stay consistent
+/// (loads − evictions), and scores must still match the JSON engine.
+#[test]
+fn tight_budget_evicts_and_still_scores_correctly() {
+    let (corpus, queries) = corpus_and_queries();
+    let built = build_engine(&corpus);
+    let dir = scratch("evict-gate");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let json_path = dir.join("ref.esh");
+    built.save_with_cache(&json_path).unwrap();
+    esh_index::write_sharded(&built, dir.join("idx.eshx"), 1).unwrap();
+    drop(built);
+
+    let manifest = esh_index::read_manifest(dir.join("idx.eshx")).unwrap();
+    let budget = manifest.largest_shard_bytes;
+    let reference = SimilarityEngine::load(&json_path).unwrap();
+    let budgeted = esh_index::open_sharded(dir.join("idx.eshx")).unwrap();
+    budgeted.set_shard_budget(budget);
+
+    for (i, q) in queries.iter().enumerate() {
+        let a = reference.query(q);
+        let b = budgeted.query(q);
+        assert_scores_identical(&a, &b, &format!("tight-budget query {i}"));
+    }
+    let s = budgeted.shard_stats();
+    assert!(s.evicted_total > 0, "a one-shard budget never evicted: {s:?}");
+    assert!(s.resident_bytes <= budget, "settled above budget: {s:?}");
+    assert!(s.shards_loaded < s.shards_total, "loaded gauge ignores evictions: {s:?}");
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -41,6 +41,7 @@ pub struct ServerStats {
     not_found: AtomicU64,
     bad_request: AtomicU64,
     shutting_down: AtomicU64,
+    internal: AtomicU64,
     http: AtomicU64,
     queue_depth_hwm: AtomicU64,
     /// Exact maximum observed latency — the histogram's quantiles round
@@ -69,6 +70,7 @@ impl ServerStats {
             not_found: AtomicU64::new(0),
             bad_request: AtomicU64::new(0),
             shutting_down: AtomicU64::new(0),
+            internal: AtomicU64::new(0),
             http: AtomicU64::new(0),
             queue_depth_hwm: AtomicU64::new(0),
             max_ms: AtomicU64::new(0),
@@ -89,6 +91,7 @@ impl ServerStats {
             Outcome::NotFound => &self.not_found,
             Outcome::BadRequest => &self.bad_request,
             Outcome::ShuttingDown => &self.shutting_down,
+            Outcome::Internal => &self.internal,
         };
         counter.fetch_add(1, Ordering::Relaxed);
     }
@@ -141,6 +144,7 @@ impl ServerStats {
             not_found: self.not_found.load(Ordering::Relaxed),
             bad_request: self.bad_request.load(Ordering::Relaxed),
             shutting_down: self.shutting_down.load(Ordering::Relaxed),
+            internal: self.internal.load(Ordering::Relaxed),
             http: self.http.load(Ordering::Relaxed),
             queue_depth_hwm: self.queue_depth_hwm.load(Ordering::Relaxed),
             p50_ms: quantile(&buckets, 0.50),
@@ -174,6 +178,7 @@ impl ServerStats {
             ("not_found", s.not_found),
             ("bad_request", s.bad_request),
             ("shutting_down", s.shutting_down),
+            ("internal", s.internal),
         ] {
             out.push_str(&format!("esh_requests_total{{outcome=\"{label}\"}} {v}\n"));
         }
@@ -262,13 +267,31 @@ impl ServerStats {
         ));
         // Scale tier: shard residency (gauges) and query fan-out
         // (counter). A fully resident engine (JSON snapshot) reports
-        // 0/0/0; a lazy v5 index reports loaded < total until queries
-        // have touched every segment.
+        // all-zero; a lazy v5 index reports loaded < total until queries
+        // have touched every segment, evictions and resident bytes only
+        // move under a `--shard-budget-mb` cap, and the pruned counter
+        // only under a sketch-band prune sidecar.
         out.push_str(&format!("esh_shards_total {}\n", shards.shards_total));
         out.push_str(&format!("esh_shards_loaded {}\n", shards.shards_loaded));
         out.push_str(&format!(
             "esh_shard_fanout_total {}\n",
             shards.fanout_total
+        ));
+        out.push_str(&format!(
+            "esh_shards_evicted_total {}\n",
+            shards.evicted_total
+        ));
+        out.push_str(&format!(
+            "esh_shards_resident_bytes {}\n",
+            shards.resident_bytes
+        ));
+        out.push_str(&format!(
+            "esh_shards_resident_bytes_peak {}\n",
+            shards.resident_bytes_peak
+        ));
+        out.push_str(&format!(
+            "esh_shards_pruned_total {}\n",
+            shards.pruned_total
         ));
         out
     }
@@ -290,6 +313,8 @@ pub struct StatsSnapshot {
     pub bad_request: u64,
     /// `@shutdown` acknowledgements.
     pub shutting_down: u64,
+    /// Server-side faults (for example a corrupted index shard).
+    pub internal: u64,
     /// HTTP requests served by the metrics shim.
     pub http: u64,
     /// Deepest the admission queue ever got.
@@ -320,6 +345,7 @@ impl StatsSnapshot {
             + self.not_found
             + self.bad_request
             + self.shutting_down
+            + self.internal
     }
 }
 
@@ -434,6 +460,47 @@ mod tests {
         assert!(text.contains("esh_prefilter_probe_escalations_total 5\n"));
         assert!(text.contains("esh_prefilter_refined_pairs_total 13\n"));
         assert!(text.contains("esh_prefilter_refine_passes_total 2\n"));
+    }
+
+    #[test]
+    fn render_includes_shard_residency_gauges() {
+        let shards = ShardStats {
+            shards_total: 9,
+            shards_loaded: 4,
+            fanout_total: 31,
+            evicted_total: 5,
+            resident_bytes: 4096,
+            resident_bytes_peak: 8192,
+            pruned_total: 17,
+        };
+        let text = ServerStats::new().render(
+            &CacheStats {
+                hits: 0,
+                misses: 0,
+                entries: 0,
+            },
+            &SolverPerf::default(),
+            &PrefilterStatsSnapshot::default(),
+            &shards,
+            0,
+            0,
+        );
+        assert!(text.contains("esh_shards_total 9\n"));
+        assert!(text.contains("esh_shards_loaded 4\n"));
+        assert!(text.contains("esh_shard_fanout_total 31\n"));
+        assert!(text.contains("esh_shards_evicted_total 5\n"));
+        assert!(text.contains("esh_shards_resident_bytes 4096\n"));
+        assert!(text.contains("esh_shards_resident_bytes_peak 8192\n"));
+        assert!(text.contains("esh_shards_pruned_total 17\n"));
+    }
+
+    #[test]
+    fn internal_outcome_counts_and_renders() {
+        let stats = ServerStats::new();
+        stats.record_outcome(Outcome::Internal);
+        let s = stats.snapshot();
+        assert_eq!(s.internal, 1);
+        assert_eq!(s.total(), 1);
     }
 
     #[test]

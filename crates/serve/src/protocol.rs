@@ -65,6 +65,11 @@ pub enum Outcome {
     BadRequest,
     /// Acknowledges an `@shutdown` request; the daemon is draining.
     ShuttingDown,
+    /// The engine could not score the request because of a server-side
+    /// fault (for example a corrupted index shard). The request was
+    /// well-formed; retrying will not help until the operator fixes the
+    /// index.
+    Internal,
 }
 
 /// One ranked corpus target, scores exactly as the engine produced them

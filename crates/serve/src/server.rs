@@ -50,7 +50,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use esh_core::{BatchQuery, CancelToken, SimilarityEngine, TargetId};
+use esh_core::{BatchQuery, CancelToken, QueryError, SimilarityEngine, TargetId};
 use esh_corpus::Corpus;
 
 use crate::metrics::{ServerStats, StatsSnapshot};
@@ -91,6 +91,12 @@ pub struct ServeConfig {
     /// requests, in milliseconds, measured from the batch's first
     /// member. `0` batches only what is already queued.
     pub batch_window_ms: u64,
+    /// Memory budget for lazily loaded index shards, in mebibytes.
+    /// `None` (the default) never evicts; `Some(mb)` bounds resident
+    /// shard payload bytes, evicting least-recently-used shards under
+    /// the engine's load-before-lookup rule. Only meaningful when
+    /// serving a sharded `.eshx` index.
+    pub shard_budget_mb: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -104,6 +110,7 @@ impl Default for ServeConfig {
             read_timeout_ms: 2_000,
             batch_max: 8,
             batch_window_ms: 2,
+            shard_budget_mb: None,
         }
     }
 }
@@ -269,6 +276,9 @@ impl Server {
             corpus.procs.len(),
             "engine targets must mirror the corpus, in order"
         );
+        if let Some(mb) = config.shard_budget_mb {
+            engine.set_shard_budget(mb.saturating_mul(1024 * 1024));
+        }
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let readers = config.workers.max(1);
@@ -663,7 +673,7 @@ fn execute_batch(shared: &Shared, batch: Vec<Pending>) {
                     finish(shared, &p, started, response);
                 }
             }
-            Err(_) => {
+            Err(QueryError::Cancelled) => {
                 for p in members {
                     let response = QueryResponse::status(
                         Outcome::DeadlineExceeded,
@@ -672,6 +682,15 @@ fn execute_batch(shared: &Shared, batch: Vec<Pending>) {
                             p.budget_ms
                         )),
                     );
+                    finish(shared, &p, started, response);
+                }
+            }
+            Err(QueryError::Corrupted(e)) => {
+                // Only the members whose scoring touched the bad shard
+                // fail; batch-mates over healthy shards got Ok above.
+                for p in members {
+                    let response =
+                        QueryResponse::status(Outcome::Internal, Some(e.to_string()));
                     finish(shared, &p, started, response);
                 }
             }

@@ -491,3 +491,101 @@ fn serving_from_a_sharded_index_is_lazy_and_identical() {
     server.shutdown();
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn shard_budget_mb_caps_residency_while_serving_identically() {
+    use esh_corpus::scale::{stream_scale_corpus, ScaleConfig};
+    // A corpus whose shard payload comfortably exceeds 1MB (~420
+    // procedures × ~6.5KB each), served under `--shard-budget-mb 1`:
+    // the budget is genuinely binding once a dense query walks the
+    // corpus, so the daemon must evict shards mid-query — and still
+    // answer byte-identically to a fully resident engine, with peak
+    // residency never crossing the cap.
+    const BUDGET_MB: u64 = 1;
+    let config = ScaleConfig::new(420, 0x5e7e);
+    let mut resident = SimilarityEngine::new(EngineConfig {
+        threads: 1,
+        ..EngineConfig::default()
+    });
+    let mut procs = Vec::new();
+    stream_scale_corpus(&config, |p| {
+        resident.add_target(p.display(), &p.proc_);
+        procs.push(p);
+    });
+    let corpus = Corpus { procs };
+
+    let dir = std::env::temp_dir().join(format!("esh-serve-budget-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    esh_index::write_sharded(&resident, &dir, 1).expect("write sharded");
+    let manifest = esh_index::read_manifest(&dir).expect("manifest");
+    assert!(
+        manifest.shard_bytes > 2 * BUDGET_MB * 1024 * 1024,
+        "fixture too small to make a {BUDGET_MB}MB budget binding: {}B of shards",
+        manifest.shard_bytes
+    );
+    let mut lazy = esh_index::open_sharded(&dir).expect("open sharded");
+    lazy.set_threads(1);
+
+    // Two queries from distinct sources, baselines computed offline
+    // before the corpus moves into the server.
+    let picks = [0usize, 21];
+    let baselines: Vec<(String, Vec<esh_serve::protocol::RankedMatch>)> = picks
+        .iter()
+        .map(|&qi| {
+            (
+                corpus.procs[qi].display(),
+                ranked_matches(&resident.query(&corpus.procs[qi].proc_), Some(TargetId(qi)), 10),
+            )
+        })
+        .collect();
+
+    let server = Server::start(
+        lazy,
+        corpus,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_capacity: 8,
+            read_timeout_ms: 2_000,
+            shard_budget_mb: Some(BUDGET_MB),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+
+    for (needle, expected) in &baselines {
+        let resp = remote_query(&addr, &QueryRequest::new(needle), TIMEOUT).unwrap();
+        assert_eq!(resp.outcome, Outcome::Ok, "{needle}");
+        assert_eq!(resp.matches.len(), expected.len(), "{needle}");
+        for (got, want) in resp.matches.iter().zip(expected) {
+            assert_eq!(got.name, want.name, "{needle}");
+            assert_eq!(got.ges.to_bits(), want.ges.to_bits(), "{}", want.name);
+            assert_eq!(got.s_log.to_bits(), want.s_log.to_bits(), "{}", want.name);
+            assert_eq!(got.s_vcp.to_bits(), want.s_vcp.to_bits(), "{}", want.name);
+        }
+    }
+
+    let (status, body) = http_get(&addr, "/metrics", TIMEOUT).unwrap();
+    assert_eq!(status, 200);
+    let metric = |name: &str| -> u64 {
+        body.lines()
+            .find_map(|l| l.strip_prefix(name).and_then(|v| v.trim().parse().ok()))
+            .unwrap_or_else(|| panic!("metric {name} missing:\n{body}"))
+    };
+    let budget_bytes = BUDGET_MB * 1024 * 1024;
+    let evicted = metric("esh_shards_evicted_total");
+    let resident_bytes = metric("esh_shards_resident_bytes");
+    let peak = metric("esh_shards_resident_bytes_peak");
+    assert!(evicted > 0, "a binding budget never evicted a shard");
+    assert!(
+        resident_bytes <= budget_bytes,
+        "settled residency {resident_bytes}B exceeds the {budget_bytes}B budget"
+    );
+    assert!(
+        peak <= budget_bytes,
+        "peak residency {peak}B exceeds the {budget_bytes}B budget"
+    );
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! esh build-corpus [smoke|default|paper] <corpus.json>
-//! esh corpus gen --procs N [--seed S] [--out corpus.json]
+//! esh corpus gen --procs N [--seed S] [--out corpus.json] [--threads N]
 //! esh search <corpus.json> <query-substring> [top_n]
 //! esh index build <corpus.json> <index.esh | index.eshx> [targets-per-shard]
 //! esh index migrate <index.esh> <index.eshx> [targets-per-shard]
@@ -12,11 +12,11 @@
 //! esh query --remote <addr> <query-substring> [top_n] [--json]
 //! esh serve --index <index.esh | index.eshx> <corpus.json> [--addr A] [--workers N]
 //!           [--queue N] [--deadline-ms N] [--threads N]
-//!           [--batch-max N] [--batch-window-ms N]
+//!           [--batch-max N] [--batch-window-ms N] [--shard-budget-mb N]
 //! esh bench-serve [--smoke]
 //! esh bench-prefilter [--smoke]
 //! esh bench-rankquality [--smoke]
-//! esh bench-scale [--smoke]
+//! esh bench-scale [--smoke] [--threads N] [--no-mmap]
 //! esh stats <corpus.json>
 //! esh pair <corpus.json> <query-substring> <target-substring>
 //! ```
@@ -48,13 +48,17 @@
 //!
 //! The **scale tier**: `corpus gen` streams a seeded synthetic corpus
 //! (10k+ procedures across the 21-configuration compiler matrix) without
-//! materializing it in memory; an index path ending in `.eshx` selects
-//! the sharded binary format (v5) whose shards load lazily at query
-//! time; `index migrate` upgrades an existing JSON snapshot in place;
-//! `bench-scale` measures build throughput, cold-load time and query
-//! latency at 1k/5k/10k and writes `BENCH_scale.json`. Sharded indexes
-//! are immutable at query time: `query --index` skips the cache
-//! write-back that JSON snapshots receive.
+//! materializing it in memory (`--threads` caps the compile pool); an
+//! index path ending in `.eshx` selects the sharded binary format (v5)
+//! whose shards mmap lazily at query time, can be skipped wholesale by
+//! the sketch-band sidecar, and are evicted LRU under `serve
+//! --shard-budget-mb`; `index migrate` upgrades an existing JSON
+//! snapshot in place; `bench-scale` measures build throughput,
+//! cold-load time (mmap vs the `--no-mmap` buffered fallback), query
+//! latency, whole-shard pruning and budgeted eviction at 1k/5k/10k/100k
+//! and writes `BENCH_scale.json`. Sharded indexes are immutable at
+//! query time: `query --index` skips the cache write-back that JSON
+//! snapshots receive.
 
 use esh::prelude::*;
 use esh_eval::experiments::Scale;
@@ -63,7 +67,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  esh build-corpus [smoke|default|paper] <corpus.json>\n  \
-         esh corpus gen --procs N [--seed S] [--out corpus.json]\n  \
+         esh corpus gen --procs N [--seed S] [--out corpus.json] [--threads N]\n  \
          esh search <corpus.json> <query-substring> [top_n]\n  \
          esh index build <corpus.json> <index.esh | index.eshx> [targets-per-shard]\n  \
          esh index migrate <index.esh> <index.eshx> [targets-per-shard]\n  \
@@ -72,11 +76,11 @@ fn usage() -> ExitCode {
          esh query --remote <addr> <query-substring> [top_n] [--json]\n  \
          esh serve --index <index.esh | index.eshx> <corpus.json> [--addr A] [--workers N]\n  \
          \x20         [--queue N] [--deadline-ms N] [--threads N]\n  \
-         \x20         [--batch-max N] [--batch-window-ms N]\n  \
+         \x20         [--batch-max N] [--batch-window-ms N] [--shard-budget-mb N]\n  \
          esh bench-serve [--smoke]\n  \
          esh bench-prefilter [--smoke]\n  \
          esh bench-rankquality [--smoke]\n  \
-         esh bench-scale [--smoke]\n  \
+         esh bench-scale [--smoke] [--threads N] [--no-mmap]\n  \
          esh stats <corpus.json>\n  \
          esh pair <corpus.json> <query-substring> <target-substring>"
     );
@@ -260,11 +264,14 @@ fn corpus_cmd(args: &[String]) -> Result<(), String> {
     use std::io::Write as _;
     let mut rest = args.iter();
     if rest.next().map(String::as_str) != Some("gen") {
-        return Err("corpus takes: gen --procs N [--seed S] [--out corpus.json]".into());
+        return Err(
+            "corpus takes: gen --procs N [--seed S] [--out corpus.json] [--threads N]".into(),
+        );
     }
     let mut procs = None;
     let mut seed = 0xe5e5u64;
     let mut out = None;
+    let mut threads = 0usize;
     while let Some(arg) = rest.next() {
         let mut value = |name: &str| {
             rest.next()
@@ -277,10 +284,16 @@ fn corpus_cmd(args: &[String]) -> Result<(), String> {
             }
             "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--out" => out = Some(value("--out")?.to_string()),
+            "--threads" => {
+                threads = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
+            }
             extra => return Err(format!("unexpected argument `{extra}`")),
         }
     }
     let procs = procs.ok_or("corpus gen needs --procs N")?;
+    // `--threads 0` (the default) means one compile thread per matrix
+    // configuration; the emitted stream is byte-identical either way.
+    let threads = if threads == 0 { esh::corpus::scale::scale_matrix().len() } else { threads };
     let config = esh::corpus::scale::ScaleConfig::new(procs, seed);
     let sink: Box<dyn std::io::Write> = match &out {
         Some(path) => Box::new(std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?),
@@ -290,7 +303,7 @@ fn corpus_cmd(args: &[String]) -> Result<(), String> {
     let mut failure = None;
     w.write_all(b"{\"procs\":[").map_err(|e| e.to_string())?;
     let mut first = true;
-    let emitted = esh::corpus::scale::stream_scale_corpus(&config, |p| {
+    let emitted = esh::corpus::scale::stream_scale_corpus_with_threads(&config, threads, |p| {
         if failure.is_some() {
             return;
         }
@@ -524,6 +537,13 @@ fn serve(args: &[String]) -> Result<(), String> {
             "--threads" => {
                 threads = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
             }
+            "--shard-budget-mb" => {
+                config.shard_budget_mb = Some(
+                    value("--shard-budget-mb")?
+                        .parse()
+                        .map_err(|e| format!("--shard-budget-mb: {e}"))?,
+                )
+            }
             path if corpus_path.is_none() => corpus_path = Some(path.to_string()),
             extra => return Err(format!("unexpected argument `{extra}`")),
         }
@@ -605,12 +625,27 @@ fn bench_rankquality(args: &[String]) -> Result<(), String> {
 }
 
 fn bench_scale(args: &[String]) -> Result<(), String> {
-    let smoke = match args {
-        [] => false,
-        [flag] if flag == "--smoke" => true,
-        _ => return Err("bench-scale takes [--smoke]".into()),
-    };
-    esh::bench_scale::run(smoke)
+    let mut opts = esh::bench_scale::BenchScaleOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--no-mmap" => opts.mmap = false,
+            "--threads" => {
+                opts.threads = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            extra => {
+                return Err(format!(
+                    "bench-scale takes [--smoke] [--threads N] [--no-mmap], not `{extra}`"
+                ))
+            }
+        }
+    }
+    esh::bench_scale::run(&opts)
 }
 
 fn stats(args: &[String]) -> Result<(), String> {
