@@ -583,13 +583,32 @@ impl SimilarityEngine {
         }
     }
 
-    /// Loads class `ci`'s shard (bringing its persisted cache segment
+    /// Fallible twin of [`Self::class_proc`] for the query hot path:
+    /// under per-record demand decoding a corrupt record is only
+    /// discovered when its class is first decoded — which happens *here*,
+    /// at proc-need time, not at shard open — so the sites that feed the
+    /// verifier must surface the checksum error as a typed
+    /// [`QueryError::Corrupted`] instead of panicking.
+    fn class_proc_checked(&self, ci: usize) -> Result<ClassProcRef<'_>, ShardError> {
+        match &self.shards {
+            Some(lazy) if ci < lazy.class_limit() => {
+                Ok(ClassProcRef::Shared(lazy.proc_ref(ci, &self.cache)?))
+            }
+            _ => Ok(ClassProcRef::Resident(&self.classes[ci].proc_)),
+        }
+    }
+
+    /// Opens class `ci`'s shard (bringing its persisted cache segment
     /// with it) and returns the shard index, or `None` when the class is
     /// resident. Must run before the first counted cache lookup touching
-    /// `ci` — the load-before-lookup invariant that keeps sharded
+    /// `ci` — the open-before-lookup invariant that keeps sharded
     /// hit/miss counters identical to a fully resident engine's. (The
-    /// invariant survives eviction: a reload re-inserts the same segment
-    /// idempotently before the next counted lookup.)
+    /// invariant survives eviction: a reopen re-inserts the same segment
+    /// idempotently before the next counted lookup.) Procedure records
+    /// are *not* decoded here: that happens per class at proc-need time
+    /// via [`Self::class_proc_checked`], after the counted lookup — the
+    /// decode-before-lookup rule degenerates to decode-*on-miss*, which
+    /// is safe because a decode never touches a counter.
     fn ensure_class_shard(&self, ci: usize) -> Result<Option<usize>, ShardError> {
         match &self.shards {
             Some(lazy) if ci < lazy.class_limit() => {
@@ -608,6 +627,17 @@ impl SimilarityEngine {
     pub fn set_shard_budget(&self, bytes: u64) {
         if let Some(lazy) = &self.shards {
             lazy.set_budget(bytes);
+        }
+    }
+
+    /// Switches between per-record demand decoding (the default: a
+    /// touched shard decodes only the classes a query actually needs)
+    /// and whole-shard decoding (every record decodes at shard open —
+    /// the pre-demand-decode behavior, kept as a baseline and escape
+    /// hatch). No effect on fully resident engines.
+    pub fn set_shard_demand_decode(&mut self, demand: bool) {
+        if let Some(lazy) = &mut self.shards {
+            lazy.eager = !demand;
         }
     }
 
@@ -1211,6 +1241,89 @@ impl SimilarityEngine {
                 Some((class_shard, skip))
             });
         let shard_skip = &shard_skip;
+        // Demand-decode fan-out planner: before the tile workers start,
+        // sweep the (item, strand, class) space with the *cheap* pricing
+        // filters only — whole-shard prune, LSH candidate mask, size
+        // ratio, signature overlap — and pre-decode the surviving
+        // classes whose memoized verdict is not already cached, spread
+        // across the same worker pool the tiles use. Purely an
+        // optimization: the plan is conservative (a class it misses
+        // decodes on demand inside its tile; a class it over-includes
+        // wastes one decode), a decode never touches a VCP counter, and
+        // decode errors are swallowed here so the authoritative tile
+        // pass latches the typed corruption error for exactly the items
+        // that touch the bad record.
+        if let Some(lazy) = self.shards.as_ref().filter(|l| !l.eager) {
+            let limit = lazy.class_limit().min(nc);
+            let mut plan: Vec<(usize, Vec<u64>)> = Vec::new();
+            for ci in 0..limit {
+                let class = &self.classes[ci];
+                let mut hashes: Vec<u64> = Vec::new();
+                for (b, q) in queries_ref.iter().enumerate() {
+                    let Some(query) = q else { continue };
+                    if cancels[b].is_cancelled() {
+                        continue;
+                    }
+                    if let Some((class_shard, skip)) = shard_skip {
+                        if ci < class_shard.len() && skip[b][class_shard[ci] as usize] {
+                            continue;
+                        }
+                    }
+                    for (qi, qs) in query.iter().enumerate() {
+                        if !size_ratio_ok(&self.config.vcp, qs.vars, class.vars) {
+                            continue;
+                        }
+                        if self.config.prefilter {
+                            let fwd = qs.signature.overlap_bound(&class.signature);
+                            let bwd = class.signature.overlap_bound(&qs.signature);
+                            if fwd < self.config.prefilter_threshold
+                                && bwd < self.config.prefilter_threshold
+                            {
+                                continue;
+                            }
+                        }
+                        if let Some(ctx) = sketch_ctx {
+                            if let (Some(mask), Some(_)) = (&ctx.masks[b][qi], &qs.sketch) {
+                                if !mask[ci] {
+                                    continue;
+                                }
+                            }
+                        }
+                        if !hashes.contains(&qs.hash) {
+                            hashes.push(qs.hash);
+                        }
+                    }
+                }
+                if !hashes.is_empty() {
+                    plan.push((ci, hashes));
+                }
+            }
+            if !plan.is_empty() {
+                let plan = &plan;
+                let plan_cursor = AtomicUsize::new(0);
+                let decode_workers = workers.min(plan.len());
+                std::thread::scope(|scope| {
+                    for _ in 0..decode_workers {
+                        let plan_cursor = &plan_cursor;
+                        scope.spawn(move || loop {
+                            let i = plan_cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(&(ci, ref hashes)) = plan.get(i) else { break };
+                            let shard = lazy.shard_of_class(ci);
+                            if lazy.ensure_loaded(shard, &self.cache).is_err() {
+                                continue;
+                            }
+                            let ch = self.classes[ci].hash;
+                            if hashes
+                                .iter()
+                                .any(|&qh| self.cache.peek(&(qh, ch, vcp_fp)).is_none())
+                            {
+                                let _ = lazy.proc_ref(ci, &self.cache);
+                            }
+                        });
+                    }
+                });
+            }
+        }
         let shard_errors_ref = &shard_errors;
         let tiles: Vec<(usize, usize, usize, Vec<VcpPair>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
@@ -1328,9 +1441,10 @@ impl SimilarityEngine {
                                                                 {
                                                                     touched.mark(b, s);
                                                                 }
+                                                                let tp =
+                                                                    self.class_proc_checked(ci)?;
                                                                 Ok(compute_probe_sketch(
-                                                                    &self.class_proc(ci),
-                                                                    &ctx.cfg,
+                                                                    &tp, &ctx.cfg,
                                                                 ))
                                                             })?;
                                                             Ok((pq, pt))
@@ -1358,10 +1472,13 @@ impl SimilarityEngine {
                                         }
                                     }
                                 }
-                                // The pair survived pricing: load its
+                                // The pair survived pricing: open its
                                 // shard *before* the counted lookup so the
                                 // persisted cache segment can answer it
-                                // (load-before-lookup invariant).
+                                // (open-before-lookup invariant). The
+                                // class record itself is only decoded on a
+                                // miss — a cache hit never pays the
+                                // decode.
                                 match self.ensure_class_shard(ci) {
                                     Ok(Some(s)) => touched.mark(b, s),
                                     Ok(None) => {}
@@ -1374,10 +1491,17 @@ impl SimilarityEngine {
                                 row[k] = match cache.get(&key) {
                                     Some(v) => v,
                                     None => {
+                                        let tproc = match self.class_proc_checked(ci) {
+                                            Ok(p) => p,
+                                            Err(e) => {
+                                                let _ = shard_errors_ref[b].set(e);
+                                                continue;
+                                            }
+                                        };
                                         let v = vcp_pair(
                                             &mut session,
                                             &q.proc_,
-                                            &self.class_proc(ci),
+                                            &tproc,
                                             &config.vcp,
                                         );
                                         cache.insert(key, v);
@@ -1756,8 +1880,9 @@ impl SimilarityEngine {
                         }
                         // The window scan must see the persisted cache
                         // segment of every class it peeks, so the shard
-                        // loads first (load-before-lookup) — and counts
-                        // toward this item's fan-out.
+                        // opens first (open-before-lookup) — and counts
+                        // toward this item's fan-out. The record itself
+                        // stays undecoded unless the peek misses.
                         match self.ensure_class_shard(ci) {
                             Ok(Some(s)) => touched.mark(item, s),
                             Ok(None) => {}
@@ -1776,11 +1901,18 @@ impl SimilarityEngine {
                                 probes
                                     .entry(q.hash)
                                     .or_insert_with(|| compute_probe_sketch(&q.proc_, &cfg));
-                                probes
-                                    .entry(class.hash)
-                                    .or_insert_with(|| {
-                                        compute_probe_sketch(&self.class_proc(ci), &cfg)
-                                    });
+                                if let std::collections::hash_map::Entry::Vacant(slot) =
+                                    probes.entry(class.hash)
+                                {
+                                    // Fallible decode: under demand
+                                    // decoding this may be the first time
+                                    // the record's bytes are checksummed.
+                                    let pt = match self.class_proc_checked(ci) {
+                                        Ok(p) => compute_probe_sketch(&p, &cfg),
+                                        Err(e) => break 'refine Err(QueryError::Corrupted(e)),
+                                    };
+                                    slot.insert(pt);
+                                }
                                 let pq = &probes[&q.hash];
                                 let pt = &probes[&class.hash];
                                 (pq.containment_in(pt), pt.containment_in(pq))
@@ -1824,12 +1956,11 @@ impl SimilarityEngine {
                     let v = match self.cache.peek(&key) {
                         Some(v) => v,
                         None => {
-                            let v = vcp_pair(
-                                session,
-                                &q.proc_,
-                                &self.class_proc(ci),
-                                &self.config.vcp,
-                            );
+                            let tproc = match self.class_proc_checked(ci) {
+                                Ok(p) => p,
+                                Err(e) => break 'refine Err(QueryError::Corrupted(e)),
+                            };
+                            let v = vcp_pair(session, &q.proc_, &tproc, &self.config.vcp);
                             self.cache.insert(key, v);
                             refined_pairs += 1;
                             v

@@ -84,7 +84,7 @@ pub use prefilter::{
 };
 pub use esh_solver::SolverPerf;
 pub use shard::{
-    Bloom, ClassExport, CorpusExport, LazyClassMeta, ShardBandSummary, ShardError, ShardPayload,
+    Bloom, ClassExport, CorpusExport, LazyClassMeta, ShardBandSummary, ShardError, ShardRecords,
     ShardSource, ShardSpec, ShardStats, TargetExport,
 };
 pub use snapshot::{ConfigMismatchKind, SnapshotError, SNAPSHOT_FORMAT_VERSION};

@@ -11,18 +11,25 @@
 //! segment's slice of the persisted VCP cache) lives behind a
 //! [`ShardSource`] and is pulled in only when some pair of that segment
 //! survives pricing and actually needs the verifier or its memoized
-//! result.
+//! result. Residency is two-level: *opening* a shard decodes only its
+//! structural parts (offset table, cache segment) and keeps the record
+//! bytes raw behind a [`ShardRecords`] handle; each class record is
+//! checksummed and decoded individually, on first demand, into a
+//! per-class slot table.
 //!
-//! Invariants the engine relies on (and the v5 round-trip proptest pins):
+//! Invariants the engine relies on (and the round-trip proptests pin):
 //!
-//! * **Load-before-lookup.** A shard's persisted cache entries are
-//!   inserted (counter-neutrally) the moment the shard loads, and the
-//!   engine always loads a class's shard *before* the first counted
+//! * **Open-before-lookup.** A shard's persisted cache entries are
+//!   inserted (counter-neutrally) the moment the shard opens, and the
+//!   engine always opens a class's shard *before* the first counted
 //!   cache lookup touching that class — so hit/miss counters are
 //!   identical to an engine that had every entry resident from the start.
-//!   Re-inserting the same segment after an eviction/reload cycle is
-//!   idempotent (same keys, same deterministic values), so the rule
-//!   survives memory-bounded serving unchanged.
+//!   Procedure records then decode strictly later, on the first cell
+//!   that actually needs the verifier (a decode never touches a
+//!   counter), which is what makes per-record demand decoding invisible
+//!   to the counters. Re-inserting the same segment after an
+//!   eviction/reopen cycle is idempotent (same keys, same deterministic
+//!   values), so the rule survives memory-bounded serving unchanged.
 //! * **Merge = concatenation.** Shards partition the class index space in
 //!   order, so the fanned-out VCP matrix is the unsharded matrix: every
 //!   float sum (H0, GES, S-VCP) runs in the same order and produces the
@@ -60,18 +67,42 @@ pub struct ShardSpec {
     pub target_end: usize,
 }
 
-/// What a [`ShardSource`] hands back for one shard: the lifted procedures
-/// of its class range (in class-index order) and the persisted VCP-cache
-/// entries whose class hash belongs to this segment.
-#[derive(Debug)]
-pub struct ShardPayload {
-    /// Lifted procedures for `class_start..class_end`, in order.
-    pub procs: Vec<Proc>,
-    /// Persisted cache entries keyed into this segment.
-    pub cache: Vec<VcpCacheEntry>,
-    /// Backing-store size of this shard in bytes (its on-disk file size
-    /// for the v5 format) — the unit the eviction budget accounts in.
-    pub bytes: u64,
+/// An opened shard: the structural parts (offset table, persisted cache
+/// segment) are decoded eagerly, the per-class procedure records stay
+/// raw — typically borrowed straight out of an `Mmap` the handle keeps
+/// alive — until [`ShardRecords::decode_record`] is asked for one.
+///
+/// A handle is held resident for as long as its shard occupies a slot,
+/// so for file-backed sources the mapping outlives every query that
+/// decoded from it.
+pub trait ShardRecords: Send + Sync + fmt::Debug {
+    /// Number of class records in the shard (its spec's class range).
+    fn class_count(&self) -> usize;
+
+    /// Persisted VCP-cache entries keyed into this segment, decoded at
+    /// open so load-before-lookup can insert them before any counted
+    /// lookup touches the segment.
+    fn cache_entries(&self) -> &[VcpCacheEntry];
+
+    /// Bytes decoded eagerly at open (header, offset table, cache
+    /// segment) — accounted against the residency budget when the shard
+    /// is opened.
+    fn base_bytes(&self) -> u64;
+
+    /// Bytes the handle keeps mapped (or buffered) while resident — the
+    /// whole backing file for the on-disk format. Kernel-managed pages,
+    /// *not* accounted against the residency budget.
+    fn mapped_bytes(&self) -> u64;
+
+    /// Encoded size of record `i` — the unit one decoded slot accounts
+    /// against the residency budget.
+    fn record_bytes(&self, i: usize) -> u64;
+
+    /// Checksum-verifies and decodes record `i` (class `class_start +
+    /// i`) out of the raw bytes, leaving every neighbour record
+    /// untouched. Errors name the backing file and the class for
+    /// file-backed sources.
+    fn decode_record(&self, i: usize) -> Result<Proc, String>;
 }
 
 /// A shard failed to load or decode. `detail` carries the source's
@@ -92,19 +123,18 @@ impl fmt::Display for ShardError {
 
 impl std::error::Error for ShardError {}
 
-/// Backing store for lazily-loaded shards (the on-disk v5 format in
+/// Backing store for lazily-loaded shards (the on-disk format in
 /// `esh-index`, or an in-memory stand-in for tests).
 pub trait ShardSource: Send + Sync + fmt::Debug {
-    /// Loads shard `shard`'s payload. Under a memory budget a shard may
-    /// be evicted and loaded again later, so this must be repeatable;
-    /// errors fail the query that needed the shard (other shards keep
-    /// serving).
-    fn load_shard(&self, shard: usize) -> Result<ShardPayload, String>;
+    /// Opens shard `shard` for per-record demand decoding: structural
+    /// parts verified and decoded now, procedure records decoded on
+    /// first touch. Under a memory budget a shard may be evicted and
+    /// opened again later, so this must be repeatable; errors fail the
+    /// query that needed the shard (other shards keep serving).
+    fn open_shard(&self, shard: usize) -> Result<Box<dyn ShardRecords>, String>;
 
-    /// Expected payload size of `shard` in bytes, when the source knows
-    /// it without loading (the v5 manifest records per-shard file sizes).
-    /// Used to make room *before* a load so the resident peak stays
-    /// within budget.
+    /// Expected backing size of `shard` in bytes, when the source knows
+    /// it without opening (the manifest records per-shard file sizes).
     fn shard_bytes(&self, shard: usize) -> Option<u64> {
         let _ = shard;
         None
@@ -126,13 +156,27 @@ pub struct ShardStats {
     pub fanout_total: u64,
     /// Shards evicted to stay under the memory budget (cumulative).
     pub evicted_total: u64,
-    /// Bytes of shard payload currently resident.
+    /// Bytes of *decoded* shard payload currently resident (per-class
+    /// decoded records plus each open shard's structural base) — the
+    /// unit the eviction budget accounts in.
     pub resident_bytes: u64,
     /// High-water mark of `resident_bytes`.
     pub resident_bytes_peak: u64,
     /// `(query item, shard)` pairs skipped entirely by band-summary
     /// pruning (cumulative).
     pub pruned_total: u64,
+    /// Encoded bytes of the class records currently decoded (excludes
+    /// the structural base `resident_bytes` also carries).
+    pub decoded_bytes: u64,
+    /// Backing bytes kept mapped (or buffered) by currently-open shards.
+    /// Kernel-managed for mmap-backed sources; never budget-accounted.
+    pub mapped_bytes: u64,
+    /// Class records demand-decoded over the engine's lifetime
+    /// (re-decodes after an eviction count again).
+    pub classes_decoded_total: u64,
+    /// Currently-open shards with at least one decoded and at least one
+    /// still-raw record — direct evidence decode stayed sub-shard.
+    pub shards_partial: u64,
 }
 
 /// A compact Bloom filter over 64-bit keys, used for shard band
@@ -342,30 +386,53 @@ impl ShardBandSummary {
     }
 }
 
-/// One shard's resident payload. Handed out as an `Arc` so eviction can
-/// drop the slot while in-flight readers keep their procedures alive;
-/// the memory is returned when the last reference goes away.
+/// One open shard: the records handle (which keeps the backing mapping
+/// alive) plus a per-class slot table. Each slot is either **decoded**
+/// (`Some(Arc<Proc>)`) or still **raw** (`None` — the record's bytes sit
+/// undecoded behind the handle; an absent/corrupt record stays `None`
+/// and re-errors on every decode attempt). Handed out as an `Arc` so
+/// eviction can drop the shard's slot while in-flight readers keep their
+/// decoded procedures alive.
 #[derive(Debug)]
 pub(crate) struct ShardResident {
-    procs: Vec<Proc>,
+    records: Box<dyn ShardRecords>,
+    slots: Vec<RwLock<Option<Arc<Proc>>>>,
     class_start: usize,
-    bytes: u64,
+    /// Bytes this shard currently accounts against the budget (base +
+    /// decoded records). Zeroed by eviction; late decoders that add after
+    /// the zeroing hand their contribution straight back (see
+    /// `retired`).
+    accounted: AtomicU64,
+    /// Encoded bytes of currently-decoded records (the `decoded_bytes`
+    /// gauge's per-shard share).
+    decoded: AtomicU64,
+    /// Count of decoded slots (drives the partially-decoded gauge).
+    decoded_slots: AtomicU64,
+    /// Set once the shard was evicted: the slot no longer holds this
+    /// resident, so any decode that races past the eviction must not
+    /// leave bytes accounted.
+    retired: std::sync::atomic::AtomicBool,
 }
 
-/// A checked-out reference to one shard-resident procedure. Dereferences
-/// to [`Proc`]; holding it pins the shard's payload (not its slot) in
-/// memory across evictions.
+impl ShardResident {
+    fn decoded_slot_count(&self) -> u64 {
+        self.decoded_slots.load(Ordering::Relaxed)
+    }
+}
+
+/// A checked-out reference to one demand-decoded procedure. Dereferences
+/// to [`Proc`]; holding it pins the decoded record (not its shard slot)
+/// in memory across evictions.
 #[derive(Debug)]
 pub(crate) struct ShardProcRef {
-    resident: Arc<ShardResident>,
-    idx: usize,
+    proc_: Arc<Proc>,
 }
 
 impl std::ops::Deref for ShardProcRef {
     type Target = Proc;
 
     fn deref(&self) -> &Proc {
-        &self.resident.procs[self.idx]
+        &self.proc_
     }
 }
 
@@ -379,6 +446,10 @@ pub(crate) struct LazyShards {
     slots: Vec<RwLock<Option<Arc<ShardResident>>>>,
     /// Per-shard band summaries (pruning disabled while `None`).
     pub(crate) summaries: Option<Vec<ShardBandSummary>>,
+    /// Whole-decode compatibility mode: decode every record at open
+    /// (the pre-demand-decode behaviour, kept as the bench baseline and
+    /// the `--whole-decode` escape hatch).
+    pub(crate) eager: bool,
     /// Resident-bytes budget; 0 means unbounded.
     budget: AtomicU64,
     /// Monotonic LRU clock; `stamps[i]` is shard `i`'s last touch.
@@ -390,6 +461,9 @@ pub(crate) struct LazyShards {
     evicted: AtomicU64,
     fanout: AtomicU64,
     pruned: AtomicU64,
+    decoded: AtomicU64,
+    mapped: AtomicU64,
+    classes_decoded: AtomicU64,
 }
 
 impl LazyShards {
@@ -401,6 +475,7 @@ impl LazyShards {
             source,
             slots,
             summaries: None,
+            eager: false,
             budget: AtomicU64::new(0),
             clock: AtomicU64::new(0),
             stamps,
@@ -410,6 +485,9 @@ impl LazyShards {
             evicted: AtomicU64::new(0),
             fanout: AtomicU64::new(0),
             pruned: AtomicU64::new(0),
+            decoded: AtomicU64::new(0),
+            mapped: AtomicU64::new(0),
+            classes_decoded: AtomicU64::new(0),
         }
     }
 
@@ -439,14 +517,47 @@ impl LazyShards {
         }
     }
 
-    /// Loads shard `shard` if it is not resident, inserting its persisted
-    /// cache entries counter-neutrally (load-before-lookup), and returns
-    /// a handle pinning the payload. Under a budget, the source's size
-    /// hint is *reserved* against the budget (evicting to make room)
-    /// before the load begins — concurrent loaders race on the shared
-    /// `resident` counter itself, so the sum of reservations, and with it
-    /// the resident peak, stays within budget whenever the hints are
-    /// accurate and eviction can make room.
+    /// Reserves `need` bytes against the budget on behalf of `shard`,
+    /// evicting least-recently-used *other* shards to make room.
+    /// Concurrent reservers race on the shared `resident` counter itself,
+    /// so the sum of reservations — and with it the resident peak — stays
+    /// within budget whenever eviction can make room; when nothing is
+    /// evictable the reservation proceeds over budget rather than
+    /// deadlock.
+    fn reserve(&self, need: u64, shard: usize) {
+        let budget = self.budget.load(Ordering::Relaxed);
+        if budget == 0 {
+            let now = self.resident.fetch_add(need, Ordering::Relaxed) + need;
+            self.resident_peak.fetch_max(now, Ordering::Relaxed);
+            return;
+        }
+        loop {
+            let cur = self.resident.load(Ordering::Relaxed);
+            if cur + need <= budget {
+                if self
+                    .resident
+                    .compare_exchange(cur, cur + need, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    self.resident_peak.fetch_max(cur + need, Ordering::Relaxed);
+                    return;
+                }
+            } else if !self.evict_to(budget.saturating_sub(need), shard) {
+                let now = self.resident.fetch_add(need, Ordering::Relaxed) + need;
+                self.resident_peak.fetch_max(now, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+
+    /// Opens shard `shard` if it is not resident — structural parts
+    /// decoded and checksummed, every procedure record left raw —
+    /// inserting its persisted cache entries counter-neutrally
+    /// (load-before-lookup covers the cache segment, which is why opening
+    /// alone satisfies the invariant), and returns a handle pinning the
+    /// records. Only the structural base is budget-accounted here;
+    /// records account as they decode. In `eager` mode every record is
+    /// decoded before the handle is returned (the whole-decode baseline).
     pub(crate) fn ensure_loaded(
         &self,
         shard: usize,
@@ -468,72 +579,91 @@ impl LazyShards {
         if let Some(r) = slot.as_ref() {
             return Ok(Arc::clone(r));
         }
-        let budget = self.budget.load(Ordering::Relaxed);
-        let reserved = if budget > 0 {
-            let hint = self.source.shard_bytes(shard).unwrap_or(0);
-            loop {
-                let cur = self.resident.load(Ordering::Relaxed);
-                if cur + hint <= budget {
-                    if self
-                        .resident
-                        .compare_exchange(cur, cur + hint, Ordering::Relaxed, Ordering::Relaxed)
-                        .is_ok()
-                    {
-                        self.resident_peak.fetch_max(cur + hint, Ordering::Relaxed);
-                        break;
-                    }
-                } else if !self.evict_to(budget.saturating_sub(hint), shard) {
-                    // Nothing evictable (every other resident shard is
-                    // pinned by an in-flight load): the working set does
-                    // not fit, proceed over budget rather than deadlock.
-                    let now = self.resident.fetch_add(hint, Ordering::Relaxed) + hint;
-                    self.resident_peak.fetch_max(now, Ordering::Relaxed);
-                    break;
-                }
+        let records = self
+            .source
+            .open_shard(shard)
+            .map_err(|detail| ShardError { shard, detail })?;
+        for e in records.cache_entries() {
+            cache.insert((e.query_hash, e.class_hash, e.vcp_fingerprint), e.pair);
+        }
+        let base = records.base_bytes();
+        self.reserve(base, shard);
+        self.mapped.fetch_add(records.mapped_bytes(), Ordering::Relaxed);
+        let resident = Arc::new(ShardResident {
+            slots: (0..records.class_count()).map(|_| RwLock::new(None)).collect(),
+            records,
+            class_start: self.specs[shard].class_start,
+            accounted: AtomicU64::new(base),
+            decoded: AtomicU64::new(0),
+            decoded_slots: AtomicU64::new(0),
+            retired: std::sync::atomic::AtomicBool::new(false),
+        });
+        self.loaded.fetch_add(1, Ordering::Relaxed);
+        *slot = Some(Arc::clone(&resident));
+        drop(slot);
+        if self.eager {
+            for i in 0..resident.records.class_count() {
+                self.decode_slot(shard, &resident, i)?;
             }
-            hint
-        } else {
-            0
-        };
-        let payload = match self.source.load_shard(shard) {
-            Ok(p) => p,
+        }
+        Ok(resident)
+    }
+
+    /// Checksum-verifies and decodes record `idx` of an open shard if its
+    /// slot is still raw, accounting the record's encoded bytes against
+    /// the budget (evicting other shards as needed). A decode error is
+    /// returned — never latched — so a repaired file recovers on retry.
+    fn decode_slot(
+        &self,
+        shard: usize,
+        r: &Arc<ShardResident>,
+        idx: usize,
+    ) -> Result<Arc<Proc>, ShardError> {
+        if let Some(p) = r.slots[idx].read().unwrap_or_else(|e| e.into_inner()).as_ref() {
+            return Ok(Arc::clone(p));
+        }
+        let mut slot = r.slots[idx].write().unwrap_or_else(|e| e.into_inner());
+        if let Some(p) = slot.as_ref() {
+            return Ok(Arc::clone(p));
+        }
+        let need = r.records.record_bytes(idx);
+        self.reserve(need, shard);
+        let proc_ = match r.records.decode_record(idx) {
+            Ok(p) => Arc::new(p),
             Err(detail) => {
-                self.resident.fetch_sub(reserved, Ordering::Relaxed);
+                self.resident.fetch_sub(need, Ordering::Relaxed);
                 return Err(ShardError { shard, detail });
             }
         };
-        for e in &payload.cache {
-            cache.insert((e.query_hash, e.class_hash, e.vcp_fingerprint), e.pair);
+        // Globals first, then the per-shard counters an eviction hands
+        // back: an evictor can only ever subtract bytes whose global add
+        // already happened.
+        self.decoded.fetch_add(need, Ordering::Relaxed);
+        self.classes_decoded.fetch_add(1, Ordering::Relaxed);
+        r.accounted.fetch_add(need, Ordering::Relaxed);
+        r.decoded.fetch_add(need, Ordering::Relaxed);
+        r.decoded_slots.fetch_add(1, Ordering::Relaxed);
+        *slot = Some(Arc::clone(&proc_));
+        if r.retired.load(Ordering::Relaxed) {
+            // The shard was evicted while this record decoded: the
+            // eviction already handed back whatever `accounted`/`decoded`
+            // held when it ran, so return whatever this (and any other
+            // late) decode added after the zeroing.
+            let a = r.accounted.swap(0, Ordering::Relaxed);
+            let d = r.decoded.swap(0, Ordering::Relaxed);
+            self.resident.fetch_sub(a, Ordering::Relaxed);
+            self.decoded.fetch_sub(d, Ordering::Relaxed);
         }
-        let resident = Arc::new(ShardResident {
-            procs: payload.procs,
-            class_start: self.specs[shard].class_start,
-            bytes: payload.bytes,
-        });
-        self.loaded.fetch_add(1, Ordering::Relaxed);
-        // Settle the reservation against the actual payload size.
-        if payload.bytes >= reserved {
-            let grow = payload.bytes - reserved;
-            let now = self.resident.fetch_add(grow, Ordering::Relaxed) + grow;
-            self.resident_peak.fetch_max(now, Ordering::Relaxed);
-        } else {
-            self.resident.fetch_sub(reserved - payload.bytes, Ordering::Relaxed);
-        }
-        *slot = Some(Arc::clone(&resident));
-        drop(slot);
-        if budget > 0 {
-            // The size hint may have undershot; settle back to budget.
-            self.evict_to(budget, shard);
-        }
-        Ok(resident)
+        Ok(proc_)
     }
 
     /// Evicts least-recently-touched resident shards until
     /// `resident_bytes <= target`, never touching `except` (the shard the
     /// caller is serving) or any slot another thread holds locked.
-    /// Dropping the slot's `Arc` is the "background unmap": the payload
-    /// is freed as soon as the last in-flight reader lets go. Returns
-    /// whether at least one shard was evicted by this call.
+    /// Evicting a shard drops every decoded slot *and* unmaps its backing
+    /// bytes; in-flight readers holding `Arc<Proc>`s keep exactly those
+    /// decoded records alive until they let go. Returns whether at least
+    /// one shard was evicted by this call.
     fn evict_to(&self, target: u64, except: usize) -> bool {
         let mut banned = vec![false; self.slots.len()];
         if except < banned.len() {
@@ -558,7 +688,16 @@ impl LazyShards {
             let Some((_, i)) = victim else { break };
             if let Ok(mut g) = self.slots[i].try_write() {
                 if let Some(r) = g.take() {
-                    self.resident.fetch_sub(r.bytes, Ordering::Relaxed);
+                    // Mark first, then swap the counters out: a decode
+                    // racing past this point sees `retired` and hands its
+                    // own late contribution back itself.
+                    r.retired.store(true, Ordering::Relaxed);
+                    let a = r.accounted.swap(0, Ordering::Relaxed);
+                    let d = r.decoded.swap(0, Ordering::Relaxed);
+                    self.resident.fetch_sub(a, Ordering::Relaxed);
+                    self.decoded.fetch_sub(d, Ordering::Relaxed);
+                    self.mapped
+                        .fetch_sub(r.records.mapped_bytes(), Ordering::Relaxed);
                     self.loaded.fetch_sub(1, Ordering::Relaxed);
                     self.evicted.fetch_add(1, Ordering::Relaxed);
                     any = true;
@@ -569,15 +708,14 @@ impl LazyShards {
         any
     }
 
-    /// A pinned reference to the lifted procedure of class `ci`, loading
-    /// its shard (again, if evicted) on demand.
+    /// A pinned reference to the lifted procedure of class `ci`, opening
+    /// its shard (again, if evicted) and demand-decoding exactly that
+    /// record.
     pub(crate) fn proc_ref(&self, ci: usize, cache: &VcpCache) -> Result<ShardProcRef, ShardError> {
         let shard = self.shard_of_class(ci);
         let resident = self.ensure_loaded(shard, cache)?;
-        Ok(ShardProcRef {
-            idx: ci - resident.class_start,
-            resident,
-        })
+        let proc_ = self.decode_slot(shard, &resident, ci - resident.class_start)?;
+        Ok(ShardProcRef { proc_ })
     }
 
     pub(crate) fn add_fanout(&self, n: u64) {
@@ -589,6 +727,20 @@ impl LazyShards {
     }
 
     pub(crate) fn stats(&self) -> ShardStats {
+        // Partially-decoded shards are counted by scanning the open
+        // slots; `try_read` keeps the scan non-blocking (a slot mid-load
+        // is simply not counted this round).
+        let mut partial = 0u64;
+        for slot in &self.slots {
+            if let Ok(g) = slot.try_read() {
+                if let Some(r) = g.as_ref() {
+                    let d = r.decoded_slot_count() as usize;
+                    if d > 0 && d < r.records.class_count() {
+                        partial += 1;
+                    }
+                }
+            }
+        }
         ShardStats {
             shards_total: self.specs.len() as u64,
             shards_loaded: self.loaded.load(Ordering::Relaxed),
@@ -597,6 +749,10 @@ impl LazyShards {
             resident_bytes: self.resident.load(Ordering::Relaxed),
             resident_bytes_peak: self.resident_peak.load(Ordering::Relaxed),
             pruned_total: self.pruned.load(Ordering::Relaxed),
+            decoded_bytes: self.decoded.load(Ordering::Relaxed),
+            mapped_bytes: self.mapped.load(Ordering::Relaxed),
+            classes_decoded_total: self.classes_decoded.load(Ordering::Relaxed),
+            shards_partial: partial,
         }
     }
 }

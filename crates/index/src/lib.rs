@@ -1,6 +1,6 @@
 #![warn(missing_docs)]
 
-//! # esh-index — the scale tier's on-disk format (v5)
+//! # esh-index — the scale tier's on-disk format (v6)
 //!
 //! JSON snapshots (format v2–v4, `esh-core::snapshot`) serialize every
 //! strand class **including its lifted IVL procedure** into one document;
@@ -31,26 +31,37 @@
 //! loaded residual section of `core.bin`.
 //!
 //! **Lazy-load contract.** [`open_sharded`] returns a
-//! [`SimilarityEngine`] whose shards load on first use, through the
-//! engine's load-before-lookup rule: a shard's procedures and cache
-//! segment are pulled in before the first counted cache lookup that
-//! touches the segment. Ranked responses and cache hit/miss counters are
-//! therefore byte-identical to the same corpus loaded from JSON — pinned
-//! by this crate's round-trip proptest.
+//! [`SimilarityEngine`] whose shards *open* on first use, through the
+//! engine's open-before-lookup rule: a shard's structural parts —
+//! header, per-record offset table, VCP-cache segment — decode when the
+//! shard is first touched, before the first counted cache lookup into
+//! the segment, while the procedure records stay raw mapped bytes until
+//! a query's pricing actually demands one (v6 demand decoding). The
+//! mapping (or owned buffer) therefore lives for the shard's whole
+//! residency, not just the open call. Ranked responses and cache
+//! hit/miss counters are byte-identical to the same corpus loaded from
+//! JSON — pinned by this crate's round-trip proptests.
 //!
 //! **Migration.** [`migrate_json`] reads any JSON snapshot the engine
 //! accepts (formats v2–v4) and writes the sharded layout — the additive
 //! upgrade path.
 //!
-//! Checksums (FNV-1a over each file) are recorded in the manifest and
-//! verified when the file is read: `core.bin` at open, each shard at its
-//! first (lazy) load.
+//! **Checksums** (all FNV-1a) are layered to match decode granularity:
+//! the manifest records a whole-file `checksum` per file (tooling and
+//! full-verification passes), plus, per shard, a structural
+//! `meta_checksum` covering every byte *except* the record-blob region
+//! — verified when the shard opens — while the shard's offset table
+//! carries one checksum per procedure record, verified when that record
+//! is first decoded. `core.bin` and `prune.bin` are verified whole at
+//! open. A byte flip inside one record therefore fails only the queries
+//! that decode that record, with an error naming the file and the
+//! class.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
 
 use esh_core::{
-    Bloom, CorpusExport, EngineConfig, LazyClassMeta, ShardBandSummary, ShardPayload, ShardSource,
+    Bloom, CorpusExport, EngineConfig, LazyClassMeta, ShardBandSummary, ShardRecords, ShardSource,
     ShardSpec, SimilarityEngine, SnapshotError, TargetExport, VcpCacheEntry, VcpPair,
 };
 use esh_ivl::Proc;
@@ -62,13 +73,15 @@ mod wire;
 
 pub use mmap::Mmap;
 
-use mmap::read_file;
-use wire::{checksum, Reader, Writer};
+use mmap::{read_file, FileBytes};
+use wire::{checksum, checksum_parts, Reader, Writer};
 
 /// Format version of the sharded directory layout. Versions 2–4 are the
 /// JSON snapshot lineage (`esh-core::SNAPSHOT_FORMAT_VERSION`); version 5
-/// is this binary format.
-pub const SHARDED_FORMAT_VERSION: u32 = 5;
+/// introduced the binary layout (whole-shard decode), version 6 adds
+/// per-record checksums to the shard offset tables plus a structural
+/// `meta_checksum` per shard, enabling per-procedure demand decoding.
+pub const SHARDED_FORMAT_VERSION: u32 = 6;
 
 /// Manifest file name inside an index directory.
 pub const MANIFEST_FILE: &str = "manifest.json";
@@ -80,7 +93,7 @@ pub const CORE_FILE: &str = "core.bin";
 pub const PRUNE_FILE: &str = "prune.bin";
 
 const CORE_MAGIC: &[u8; 8] = b"ESHXCOR1";
-const SHARD_MAGIC: &[u8; 8] = b"ESHXSHD1";
+const SHARD_MAGIC: &[u8; 8] = b"ESHXSHD2";
 const PRUNE_MAGIC: &[u8; 8] = b"ESHXPRN1";
 
 /// Why a sharded index failed to write or open.
@@ -179,6 +192,14 @@ struct ShardManifest {
     target_end: u64,
     bytes: u64,
     checksum: u64,
+    // Structural checksum: FNV-1a over the file minus its record-blob
+    // region. Verified at shard *open*, so header, offset table and
+    // cache segment are trusted before any record decodes — the record
+    // blobs themselves are covered one by one by the per-record
+    // checksums in the offset table. `Option` only so a pre-v6 manifest
+    // parses far enough to be rejected with a version message instead
+    // of a field error.
+    meta_checksum: Option<u64>,
 }
 
 /// The manifest document (`manifest.json`).
@@ -228,7 +249,7 @@ impl WriteSummary {
 }
 
 /// True when `path` looks like a sharded index directory (used by the
-/// CLI to dispatch between JSON snapshots and v5 directories).
+/// CLI to dispatch between JSON snapshots and sharded directories).
 pub fn is_sharded_index(path: impl AsRef<Path>) -> bool {
     path.as_ref().join(MANIFEST_FILE).is_file()
 }
@@ -375,15 +396,15 @@ fn encode_shard(
     spec: &ShardSpec,
     procs: &[&Proc],
     cache: &[VcpCacheEntry],
-) -> Result<Vec<u8>, IndexError> {
+) -> Result<(Vec<u8>, u64), IndexError> {
     let mut blobs = Writer::new();
-    let mut table: Vec<(u64, u64)> = Vec::with_capacity(procs.len());
+    let mut table: Vec<(u64, u64, u64)> = Vec::with_capacity(procs.len());
     for p in procs {
         let blob = serde_json::to_string(p).map_err(|e| IndexError::Format {
             path: PathBuf::from(shard_file_name(index)),
             detail: format!("serializing procedure `{}`: {e}", p.name),
         })?;
-        table.push((blobs.len() as u64, blob.len() as u64));
+        table.push((blobs.len() as u64, blob.len() as u64, checksum(blob.as_bytes())));
         blobs.raw(blob.as_bytes());
     }
     let mut w = Writer::new();
@@ -391,20 +412,49 @@ fn encode_shard(
     w.u64(index as u64);
     w.u64(spec.class_start as u64);
     w.u64(procs.len() as u64);
-    for (off, len) in &table {
+    for (off, len, sum) in &table {
         w.u64(*off);
         w.u64(*len);
+        w.u64(*sum);
     }
+    let blobs = blobs.into_bytes();
     w.u64(blobs.len() as u64);
-    w.raw(&blobs.into_bytes());
+    let blob_start = w.len();
+    w.raw(&blobs);
+    let blob_end = w.len();
     w.u64(cache.len() as u64);
     for e in cache {
         encode_cache_entry(&mut w, e);
     }
-    Ok(w.into_bytes())
+    let bytes = w.into_bytes();
+    let meta = checksum_parts(&[&bytes[..blob_start], &bytes[blob_end..]]);
+    Ok((bytes, meta))
 }
 
-fn decode_shard(bytes: &[u8], expect_index: usize, expect_start: usize) -> Result<ShardPayload, String> {
+/// A shard file's structural parts: everything except the record blobs
+/// themselves, which stay raw until [`ShardRecords::decode_record`].
+struct ShardStructure {
+    class_start: usize,
+    /// Per record: `(offset into the blob region, length, checksum)`.
+    table: Vec<(usize, usize, u64)>,
+    /// Absolute file offset where the blob region starts.
+    blob_start: usize,
+    blob_len: usize,
+    cache: Vec<VcpCacheEntry>,
+}
+
+/// Parses a shard file's structural parts (header, offset table, cache
+/// segment), leaving the record blobs raw. When `expect_meta` carries
+/// the manifest's structural checksum it is verified as soon as the
+/// blob bounds are known — *before* the cache segment is parsed — so a
+/// corrupted cache region reports "checksum mismatch" rather than
+/// whatever decode error the garbage happens to produce.
+fn parse_shard_structure(
+    bytes: &[u8],
+    expect_index: usize,
+    expect_start: usize,
+    expect_meta: Option<u64>,
+) -> Result<ShardStructure, String> {
     let mut r = Reader::new(bytes);
     if r.raw(8)? != SHARD_MAGIC {
         return Err("bad shard magic".into());
@@ -418,32 +468,99 @@ fn decode_shard(bytes: &[u8], expect_index: usize, expect_start: usize) -> Resul
         ));
     }
     let nprocs = r.u64()? as usize;
-    let mut table = Vec::with_capacity(nprocs);
+    // Corrupted counts must surface as truncation errors from the
+    // reader, not as allocator panics: clamp pre-allocation to what the
+    // file could possibly hold (24 bytes per table row, 8 per cache
+    // field).
+    let mut table = Vec::with_capacity(nprocs.min(bytes.len() / 24 + 1));
     for _ in 0..nprocs {
-        table.push((r.u64()? as usize, r.u64()? as usize));
+        table.push((r.u64()? as usize, r.u64()? as usize, r.u64()?));
     }
     let blob_len = r.u64()? as usize;
-    let blobs = r.raw(blob_len)?;
-    let mut procs = Vec::with_capacity(nprocs);
-    for (i, &(off, len)) in table.iter().enumerate() {
-        let end = off.checked_add(len).filter(|&e| e <= blob_len).ok_or_else(|| {
+    let blob_start = r.pos();
+    let _ = r.raw(blob_len)?;
+    for (i, &(off, len, _)) in table.iter().enumerate() {
+        off.checked_add(len).filter(|&e| e <= blob_len).ok_or_else(|| {
             format!("blob table entry {i} out of range ({off}+{len} > {blob_len})")
         })?;
-        let text = std::str::from_utf8(&blobs[off..end])
-            .map_err(|e| format!("procedure blob {i} is not utf-8: {e}"))?;
-        let p: Proc = serde_json::from_str(text)
-            .map_err(|e| format!("parsing procedure blob {i}: {e}"))?;
-        procs.push(p);
+    }
+    if let Some(meta) = expect_meta {
+        let blob_end = blob_start + blob_len;
+        if checksum_parts(&[&bytes[..blob_start], &bytes[blob_end..]]) != meta {
+            return Err("checksum mismatch — the shard's structural bytes were \
+                        modified after the manifest was written"
+                .into());
+        }
     }
     let ncache = r.u64()? as usize;
-    let mut cache = Vec::with_capacity(ncache);
+    let mut cache = Vec::with_capacity(ncache.min(bytes.len() / 8 + 1));
     for _ in 0..ncache {
         cache.push(decode_cache_entry(&mut r).map_err(|e| format!("cache segment: {e}"))?);
     }
     if !r.at_end() {
         return Err(format!("{} trailing bytes after shard document", bytes.len() - r.pos()));
     }
-    Ok(ShardPayload { procs, cache, bytes: bytes.len() as u64 })
+    Ok(ShardStructure { class_start, table, blob_start, blob_len, cache })
+}
+
+/// An open shard: structural parts decoded and verified, record blobs
+/// raw. Holds the file's mapping (or owned buffer) for as long as the
+/// engine keeps the shard resident — every record the engine demands
+/// later is checksummed and decoded straight out of these bytes, with
+/// every neighbour record left untouched (kernel-managed pages that
+/// were never faulted in stay on disk).
+#[derive(Debug)]
+struct EshxShardRecords {
+    path: PathBuf,
+    bytes: FileBytes,
+    class_start: usize,
+    table: Vec<(usize, usize, u64)>,
+    blob_start: usize,
+    cache: Vec<VcpCacheEntry>,
+    /// Structural bytes (file minus blob region): decoded eagerly at
+    /// open, so accounted against the residency budget up front.
+    base: u64,
+}
+
+impl ShardRecords for EshxShardRecords {
+    fn class_count(&self) -> usize {
+        self.table.len()
+    }
+
+    fn cache_entries(&self) -> &[VcpCacheEntry] {
+        &self.cache
+    }
+
+    fn base_bytes(&self) -> u64 {
+        self.base
+    }
+
+    fn mapped_bytes(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    fn record_bytes(&self, i: usize) -> u64 {
+        self.table[i].1 as u64
+    }
+
+    fn decode_record(&self, i: usize) -> Result<Proc, String> {
+        let (off, len, sum) = self.table[i];
+        let ci = self.class_start + i;
+        let start = self.blob_start + off;
+        let blob = &self.bytes[start..start + len];
+        if checksum(blob) != sum {
+            return Err(format!(
+                "{}: class {ci}: checksum mismatch — the record's bytes were \
+                 modified after the manifest was written",
+                self.path.display()
+            ));
+        }
+        let text = std::str::from_utf8(blob).map_err(|e| {
+            format!("{}: class {ci}: record is not utf-8: {e}", self.path.display())
+        })?;
+        serde_json::from_str(text)
+            .map_err(|e| format!("{}: class {ci}: parsing record: {e}", self.path.display()))
+    }
 }
 
 fn encode_prune(summaries: &[ShardBandSummary]) -> Vec<u8> {
@@ -533,7 +650,7 @@ fn partition(export: &CorpusExport, targets_per_shard: usize) -> Vec<ShardSpec> 
 // Write
 // ---------------------------------------------------------------------
 
-/// Writes `engine`'s corpus as a sharded v5 index into directory `dir`
+/// Writes `engine`'s corpus as a sharded v6 index into directory `dir`
 /// (created if missing; existing index files are overwritten), with at
 /// most `targets_per_shard` targets per shard.
 pub fn write_sharded(
@@ -575,7 +692,7 @@ pub fn write_sharded(
             .iter()
             .map(|c| &c.proc_)
             .collect();
-        let bytes = encode_shard(i, spec, &procs, &segmented[i])?;
+        let (bytes, meta) = encode_shard(i, spec, &procs, &segmented[i])?;
         let file = shard_file_name(i);
         let path = dir.join(&file);
         std::fs::write(&path, &bytes).map_err(io_err(&path))?;
@@ -588,6 +705,7 @@ pub fn write_sharded(
             target_end: spec.target_end as u64,
             bytes: bytes.len() as u64,
             checksum: checksum(&bytes),
+            meta_checksum: Some(meta),
         });
     }
 
@@ -664,11 +782,17 @@ pub struct EshxOpenOptions {
     /// present) so queries can skip whole shards with zero sketch
     /// collisions before fan-out.
     pub prune: bool,
+    /// Decode shard records per procedure, on demand (the default): a
+    /// touched shard decodes only the classes a query actually needs.
+    /// When false every record of a touched shard decodes at shard open
+    /// — the v5 behavior, kept as the bench baseline and an escape
+    /// hatch. Both modes produce byte-identical rankings and counters.
+    pub demand: bool,
 }
 
 impl Default for EshxOpenOptions {
     fn default() -> EshxOpenOptions {
-        EshxOpenOptions { mmap: true, prune: true }
+        EshxOpenOptions { mmap: true, prune: true, demand: true }
     }
 }
 
@@ -736,11 +860,12 @@ pub fn read_manifest(dir: impl AsRef<Path>) -> Result<ManifestSummary, IndexErro
     })
 }
 
-/// Lazily loads shard files on demand, verifying each file's checksum
-/// against the manifest at its first load. With `mmap` set the file is
-/// mapped, checksummed and decoded straight out of the mapping, and the
-/// mapping is dropped before returning — the decoded payload is the
-/// only copy that stays resident.
+/// Opens shard files on demand, verifying each file's *structural*
+/// checksum (everything but the record-blob region) against the
+/// manifest at open. With `mmap` set the file is mapped and the handle
+/// keeps the mapping alive for the shard's whole residency — records
+/// decode straight out of it later, each against its own per-record
+/// checksum, so untouched records never leave the kernel page cache.
 #[derive(Debug)]
 struct FileShardSource {
     dir: PathBuf,
@@ -749,19 +874,33 @@ struct FileShardSource {
 }
 
 impl ShardSource for FileShardSource {
-    fn load_shard(&self, shard: usize) -> Result<ShardPayload, String> {
+    fn open_shard(&self, shard: usize) -> Result<Box<dyn ShardRecords>, String> {
         let m = &self.shards[shard];
         let path = self.dir.join(&m.file);
         let bytes = read_file(&path, self.mmap).map_err(|e| format!("{}: {e}", path.display()))?;
-        if bytes.len() as u64 != m.bytes || checksum(&bytes) != m.checksum {
+        if bytes.len() as u64 != m.bytes {
             return Err(format!(
-                "{}: checksum mismatch — the file was modified after the \
-                 manifest was written",
-                path.display()
+                "{}: checksum mismatch — file has {} bytes, manifest says {}",
+                path.display(),
+                bytes.len(),
+                m.bytes
             ));
         }
-        decode_shard(&bytes, shard, m.class_start as usize)
-            .map_err(|e| format!("{}: {e}", path.display()))
+        let meta = m.meta_checksum.ok_or_else(|| {
+            format!("{}: manifest records no structural checksum", path.display())
+        })?;
+        let s = parse_shard_structure(&bytes, shard, m.class_start as usize, Some(meta))
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let base = (bytes.len() - s.blob_len) as u64;
+        Ok(Box::new(EshxShardRecords {
+            path,
+            bytes,
+            class_start: s.class_start,
+            table: s.table,
+            blob_start: s.blob_start,
+            cache: s.cache,
+            base,
+        }))
     }
 
     fn shard_bytes(&self, shard: usize) -> Option<u64> {
@@ -769,7 +908,35 @@ impl ShardSource for FileShardSource {
     }
 }
 
-/// Opens a sharded v5 index directory as a lazily backed
+/// Absolute byte range of every procedure record in shard `shard` of
+/// the index at `dir`, as `(class_index, start, len)` triples — a
+/// tooling/test hook for inspecting (or deliberately corrupting) a
+/// single record's bytes without decoding any procedure.
+pub fn shard_record_ranges(
+    dir: impl AsRef<Path>,
+    shard: usize,
+) -> Result<Vec<(usize, u64, u64)>, IndexError> {
+    let dir = dir.as_ref();
+    let manifest = load_manifest(dir)?;
+    let m = manifest.shards.get(shard).ok_or_else(|| {
+        format_err(
+            &dir.join(MANIFEST_FILE),
+            format!("shard {shard} out of range ({} shards)", manifest.shards.len()),
+        )
+    })?;
+    let path = dir.join(&m.file);
+    let bytes = read_file(&path, false).map_err(io_err(&path))?;
+    let s = parse_shard_structure(&bytes, shard, m.class_start as usize, m.meta_checksum)
+        .map_err(|e| format_err(&path, e))?;
+    Ok(s
+        .table
+        .iter()
+        .enumerate()
+        .map(|(i, &(off, len, _))| (s.class_start + i, (s.blob_start + off) as u64, len as u64))
+        .collect())
+}
+
+/// Opens a sharded v6 index directory as a lazily backed
 /// [`SimilarityEngine`] with default options (mmap on, pruning on).
 /// Ranked responses are byte-identical to the same corpus loaded from a
 /// JSON snapshot.
@@ -777,7 +944,7 @@ pub fn open_sharded(dir: impl AsRef<Path>) -> Result<SimilarityEngine, IndexErro
     open_sharded_with(dir, EshxOpenOptions::default())
 }
 
-/// Opens a sharded v5 index directory as a lazily backed
+/// Opens a sharded v6 index directory as a lazily backed
 /// [`SimilarityEngine`]: the manifest and `core.bin` load now, shard
 /// files load on first use, each checksum-verified at that first touch.
 /// Pruning and mmap are both behaviour-preserving: rankings, H0 and VCP
@@ -858,10 +1025,11 @@ pub fn open_sharded_with(
             .set_shard_band_summaries(summaries)
             .map_err(|e| format_err(&manifest_path, e))?;
     }
+    engine.set_shard_demand_decode(options.demand);
     Ok(engine)
 }
 
-/// Migrates a JSON snapshot (any readable format, v2–v4) to a sharded v5
+/// Migrates a JSON snapshot (any readable format, v2–v4) to a sharded v6
 /// index directory. The JSON file is left untouched.
 pub fn migrate_json(
     json_path: impl AsRef<Path>,
@@ -963,7 +1131,7 @@ mod tests {
             shards: manifest.shards.clone(),
             mmap: true,
         };
-        let err = source.load_shard(manifest.shards.len() - 1).unwrap_err();
+        let err = source.open_shard(manifest.shards.len() - 1).unwrap_err();
         assert!(err.contains("checksum mismatch"), "{err}");
         drop(lazy);
         std::fs::remove_dir_all(&dir).ok();

@@ -1,8 +1,12 @@
 //! Shard corruption on the lazy path: a byte flipped in a
 //! *not-yet-loaded* shard file must surface as a typed `Corrupted`
 //! error — naming the shard file — on the first query that touches the
-//! shard, while every other shard keeps serving. Corruption is a
-//! per-item failure, never a poisoned engine.
+//! shard, while every other shard keeps serving. Under v6 sub-shard
+//! demand decoding the blast radius shrinks further, to a single
+//! record: a byte flipped in an *undecoded neighbour record* fails only
+//! queries that actually price that record, with an error naming the
+//! file and the class. Corruption is a per-item failure, never a
+//! poisoned engine.
 
 use esh_cc::{Compiler, Vendor, VendorVersion};
 use esh_core::{CancelToken, EngineConfig, PrefilterConfig, QueryError, SimilarityEngine};
@@ -98,6 +102,107 @@ fn byte_flip_in_unloaded_shard_fails_only_queries_touching_it() {
         lazy.query_cancellable(&poisoned_q, &CancelToken::new()),
         Err(QueryError::Corrupted(_))
     ));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Sub-shard demand decoding narrows the corruption blast radius from a
+/// shard file to a single record: with two targets sharing one shard,
+/// byte-flips in every record belonging to one target leave the *other*
+/// target's queries serving — same shard, same mapping, neighbouring
+/// records never checksummed because they are never decoded — while a
+/// query that actually prices a poisoned record fails with a typed
+/// error naming both the shard file and the class.
+#[test]
+fn byte_flip_in_undecoded_neighbour_record_fails_only_queries_touching_it() {
+    let gcc = Compiler::new(Vendor::Gcc, VendorVersion::new(4, 9));
+    let clang = Compiler::new(Vendor::Clang, VendorVersion::new(3, 5));
+    let funcs = demo::cve_functions();
+    // The same no-collision pair the shard-level test leans on — first
+    // and last CVE functions — but co-resident in ONE shard, so only
+    // record granularity can separate them.
+    let (healthy_name, healthy_f) = &funcs[0];
+    let (victim_name, victim_f) = funcs.last().unwrap();
+    let mut engine = SimilarityEngine::new(EngineConfig {
+        threads: 2,
+        sketch: Some(PrefilterConfig {
+            refine_top_k: None,
+            ..PrefilterConfig::lsh_only()
+        }),
+        ..EngineConfig::default()
+    });
+    engine.add_target(format!("t-{healthy_name}"), &clang.compile_function(healthy_f));
+    engine.add_target(format!("t-{victim_name}"), &clang.compile_function(victim_f));
+    let export = engine.export_corpus();
+    let dir = scratch("neighbour");
+    write_sharded(&engine, &dir, 2).unwrap();
+    drop(engine);
+
+    // Classes owned by the victim target and NOT by the healthy one —
+    // the records whose bytes the healthy query must never checksum.
+    let healthy_classes: std::collections::BTreeSet<usize> =
+        export.targets[0].strands.iter().map(|&(ci, _)| ci).collect();
+    let victim_classes: std::collections::BTreeSet<usize> = export.targets[1]
+        .strands
+        .iter()
+        .map(|&(ci, _)| ci)
+        .filter(|ci| !healthy_classes.contains(ci))
+        .collect();
+    assert!(!victim_classes.is_empty(), "victim target shares every class");
+
+    // Flip a byte in the middle of every victim record, straight through
+    // the published record ranges. The structural region (header, table,
+    // cache segment) is untouched, so the shard still *opens* fine.
+    let shard_file = dir.join("shard-0000.bin");
+    let mut bytes = std::fs::read(&shard_file).unwrap();
+    let mut flipped = 0usize;
+    for (ci, start, len) in esh_index::shard_record_ranges(&dir, 0).unwrap() {
+        if victim_classes.contains(&ci) {
+            bytes[(start + len / 2) as usize] ^= 0x40;
+            flipped += 1;
+        }
+    }
+    assert!(flipped > 0, "no record was flipped");
+    std::fs::write(&shard_file, &bytes).unwrap();
+
+    let lazy = open_sharded(&dir).unwrap();
+
+    // The healthy target's query prices only its own records: the shard
+    // opens (structural checksum intact), the poisoned neighbours stay
+    // raw, and the query succeeds.
+    let healthy_q = gcc.compile_function(healthy_f);
+    let ok = lazy
+        .query_cancellable(&healthy_q, &CancelToken::new())
+        .expect("records the query never decodes must not be able to fail it");
+    assert_eq!(ok.ranked()[0].name, format!("t-{healthy_name}"));
+
+    // The victim target's query must decode a poisoned record and fail,
+    // naming the shard file and the class.
+    let poisoned_q = gcc.compile_function(victim_f);
+    match lazy.query_cancellable(&poisoned_q, &CancelToken::new()) {
+        Err(QueryError::Corrupted(e)) => {
+            let msg = e.to_string();
+            assert!(msg.contains("shard-0000.bin"), "error must name the shard file: {msg}");
+            assert!(msg.contains("class "), "error must name the class: {msg}");
+            assert!(msg.contains("checksum mismatch"), "error must say why: {msg}");
+        }
+        Ok(_) => panic!("query over a poisoned record reported success"),
+        Err(e) => panic!("expected Corrupted, got {e}"),
+    }
+
+    // Not poisoned: the healthy query keeps serving identically from the
+    // very same (still-open, partially-decoded) shard.
+    let again = lazy
+        .query_cancellable(&healthy_q, &CancelToken::new())
+        .expect("engine must survive a poisoned-record error");
+    for (x, y) in ok.scores.iter().zip(&again.scores) {
+        assert_eq!(x.ges.to_bits(), y.ges.to_bits(), "{}", x.name);
+    }
+    let stats = lazy.shard_stats();
+    assert!(
+        stats.shards_partial >= 1,
+        "the surviving shard should be partially decoded: {stats:?}"
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }

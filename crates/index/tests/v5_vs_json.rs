@@ -1,16 +1,24 @@
 //! The scale tier's load-bearing pin: an engine opened from a sharded
-//! v5 index is **indistinguishable** from the same corpus loaded from a
+//! v6 index is **indistinguishable** from the same corpus loaded from a
 //! JSON snapshot — not just same ranked names, but byte-identical scores
 //! AND identical VCP-cache hit/miss counters, whatever the query
 //! sequence and whatever the shard granularity.
 //!
 //! The counter half is the subtle one. A lazily backed engine inserts
-//! each shard's persisted cache segment at shard-load time; if any
+//! each shard's persisted cache segment at shard-open time; if any
 //! counted lookup could run before the owning shard's segment was
 //! resident, a persisted entry would be re-counted as a miss and the
-//! counters would drift. The engine's load-before-lookup rule is exactly
+//! counters would drift. The engine's open-before-lookup rule is exactly
 //! what this property exercises, across shard sizes 1..4 and arbitrary
 //! query subsets with repetition.
+//!
+//! v6 adds a second axis: sub-shard *demand decoding*. `open_sharded`
+//! defaults to decoding individual class records only when a query
+//! actually prices them; `EshxOpenOptions { demand: false }` restores
+//! eager whole-shard decode. The two modes must be bitwise
+//! indistinguishable — rankings, H0-backed scores, and per-step VCP
+//! hit/miss counters — which the dedicated proptest below pins across
+//! shard sizes and query sequences.
 
 use esh_asm::Procedure;
 use esh_cc::{Compiler, Vendor, VendorVersion};
@@ -181,6 +189,56 @@ proptest! {
                 step, i, targets_per_shard
             );
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Demand decode vs whole-shard decode: for any shard granularity
+    /// and query sequence, per-procedure demand decoding answers
+    /// byte-identically to eager whole-shard decoding — same rankings,
+    /// same H0-backed score bits, same VCP hit/miss counters after every
+    /// step — while provably decoding less: once queries ran, at least
+    /// one open shard must still hold a raw (undecoded) neighbour record
+    /// whenever shards hold more than one class.
+    #[test]
+    fn demand_decode_is_bitwise_identical_to_whole_shard_decode(
+        targets_per_shard in 1usize..5,
+        picks in prop::collection::vec(0usize..4, 1..6),
+    ) {
+        let (corpus, queries) = corpus_and_queries();
+        let built = build_engine(&corpus);
+        let dir = scratch(&format!("demand-{targets_per_shard}-{}", picks.len()));
+        std::fs::remove_dir_all(&dir).ok();
+        esh_index::write_sharded(&built, &dir, targets_per_shard).unwrap();
+        drop(built);
+
+        let whole = esh_index::open_sharded_with(
+            &dir,
+            EshxOpenOptions { demand: false, ..Default::default() },
+        )
+        .unwrap();
+        let demand = esh_index::open_sharded(&dir).unwrap();
+
+        for (step, &i) in picks.iter().enumerate() {
+            let a = whole.query(&queries[i]);
+            let b = demand.query(&queries[i]);
+            assert_scores_identical(&a, &b, &format!("demand step {step} query {i}"));
+            let ca = whole.cache_stats();
+            let cb = demand.cache_stats();
+            prop_assert_eq!(
+                (ca.hits, ca.misses),
+                (cb.hits, cb.misses),
+                "cache counters diverged after step {} (query {}, shard size {})",
+                step, i, targets_per_shard
+            );
+        }
+        let sw = whole.shard_stats();
+        let sd = demand.shard_stats();
+        prop_assert_eq!(sw.shards_partial, 0, "eager decode left a partial shard: {:?}", sw);
+        prop_assert!(
+            sd.decoded_bytes <= sw.decoded_bytes,
+            "demand decoded more than eager ({} > {})",
+            sd.decoded_bytes, sw.decoded_bytes
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

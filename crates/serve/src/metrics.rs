@@ -19,11 +19,16 @@ use crate::protocol::Outcome;
 /// Upper bounds (milliseconds, inclusive) of the latency histogram
 /// buckets. The ladder extends well past one second — SAT-heavy queries
 /// against cold caches routinely take seconds, and a histogram whose top
-/// finite bucket sits at the p99 reports the cap, not the tail. An
+/// finite bucket sits at the p99 reports the cap, not the tail. The
+/// interior is dense (≤1.5–2× between adjacent bounds) because
+/// sub-shard demand decoding moved typical cold-query latencies into
+/// the tens-to-hundreds-of-milliseconds range, where the old sparse
+/// ladder quantized p50/p99 too coarsely to see a regression. An
 /// implicit `+Inf` bucket still catches everything slower than the last
 /// bound, and the Prometheus render reports it distinctly.
-pub const LATENCY_BUCKETS_MS: [u64; 16] = [
-    1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10_000, 20_000, 60_000, 120_000,
+pub const LATENCY_BUCKETS_MS: [u64; 25] = [
+    1, 2, 3, 5, 8, 10, 15, 20, 30, 50, 75, 100, 150, 200, 300, 500, 750, 1000, 1500, 2000, 5000,
+    10_000, 20_000, 60_000, 120_000,
 ];
 
 /// Value quantiles report when the ranked observation fell in the `+Inf`
@@ -293,6 +298,27 @@ impl ServerStats {
             "esh_shards_pruned_total {}\n",
             shards.pruned_total
         ));
+        // Sub-shard demand decoding: decoded-vs-mapped byte gauges show
+        // how much of the mapped corpus queries actually paid to decode,
+        // and `partial` counts shards serving with raw neighbours still
+        // undecoded. Under `--whole-decode` (or a JSON snapshot)
+        // decoded == resident and partial stays 0.
+        out.push_str(&format!(
+            "esh_shard_decoded_bytes {}\n",
+            shards.decoded_bytes
+        ));
+        out.push_str(&format!(
+            "esh_shard_mapped_bytes {}\n",
+            shards.mapped_bytes
+        ));
+        out.push_str(&format!(
+            "esh_classes_decoded_total {}\n",
+            shards.classes_decoded_total
+        ));
+        out.push_str(&format!(
+            "esh_shards_partial {}\n",
+            shards.shards_partial
+        ));
         out
     }
 }
@@ -374,7 +400,7 @@ mod tests {
     #[test]
     fn quantiles_resolve_to_bucket_bounds() {
         let stats = ServerStats::new();
-        // 98 fast requests, 2 slow ones: p50 in the ≤5ms bucket, p99 in
+        // 98 fast requests, 2 slow ones: p50 in the ≤3ms bucket, p99 in
         // the ≤500ms bucket.
         for _ in 0..98 {
             stats.record_latency_ms(3);
@@ -382,8 +408,24 @@ mod tests {
         stats.record_latency_ms(400);
         stats.record_latency_ms(450);
         let s = stats.snapshot();
-        assert_eq!(s.p50_ms, 5);
+        assert_eq!(s.p50_ms, 3);
         assert_eq!(s.p99_ms, 500);
+    }
+
+    #[test]
+    fn densified_ladder_separates_demand_decode_latencies() {
+        // The sparse pre-v6 ladder jumped 50 → 100 → 200: a 60ms and a
+        // 180ms query were two buckets apart at best. The dense interior
+        // keeps sub-shard decode improvements visible as distinct bounds.
+        let stats = ServerStats::new();
+        stats.record_latency_ms(60);
+        assert_eq!(stats.snapshot().p50_ms, 75);
+        let stats = ServerStats::new();
+        stats.record_latency_ms(130);
+        assert_eq!(stats.snapshot().p50_ms, 150);
+        let stats = ServerStats::new();
+        stats.record_latency_ms(250);
+        assert_eq!(stats.snapshot().p50_ms, 300);
     }
 
     #[test]
@@ -425,7 +467,9 @@ mod tests {
             0,
             0,
         );
+        assert!(text.contains("esh_request_latency_ms_bucket{le=\"3\"} 1\n"));
         assert!(text.contains("esh_request_latency_ms_bucket{le=\"5\"} 1\n"));
+        assert!(text.contains("esh_request_latency_ms_bucket{le=\"1500\"} 2\n"));
         assert!(text.contains("esh_request_latency_ms_bucket{le=\"2000\"} 2\n"));
         assert!(text.contains("esh_request_latency_ms_bucket{le=\"120000\"} 2\n"));
         assert!(text.contains("esh_request_latency_ms_bucket{le=\"+Inf\"} 3\n"));
@@ -472,6 +516,10 @@ mod tests {
             resident_bytes: 4096,
             resident_bytes_peak: 8192,
             pruned_total: 17,
+            decoded_bytes: 2048,
+            mapped_bytes: 65_536,
+            classes_decoded_total: 23,
+            shards_partial: 3,
         };
         let text = ServerStats::new().render(
             &CacheStats {
@@ -492,6 +540,10 @@ mod tests {
         assert!(text.contains("esh_shards_resident_bytes 4096\n"));
         assert!(text.contains("esh_shards_resident_bytes_peak 8192\n"));
         assert!(text.contains("esh_shards_pruned_total 17\n"));
+        assert!(text.contains("esh_shard_decoded_bytes 2048\n"));
+        assert!(text.contains("esh_shard_mapped_bytes 65536\n"));
+        assert!(text.contains("esh_classes_decoded_total 23\n"));
+        assert!(text.contains("esh_shards_partial 3\n"));
     }
 
     #[test]

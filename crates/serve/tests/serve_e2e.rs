@@ -501,6 +501,11 @@ fn shard_budget_mb_caps_residency_while_serving_identically() {
     // corpus, so the daemon must evict shards mid-query — and still
     // answer byte-identically to a fully resident engine, with peak
     // residency never crossing the cap.
+    // Eager (whole-shard) decode makes every loaded shard's full payload
+    // resident, so the budget binds after a handful of queries. Demand
+    // decode is exercised in a second phase below: the same budget, the
+    // same queries, and the decode-aware accounting keeps residency so
+    // far under the cap that nothing needs evicting.
     const BUDGET_MB: u64 = 1;
     let config = ScaleConfig::new(420, 0x5e7e);
     let mut resident = SimilarityEngine::new(EngineConfig {
@@ -523,7 +528,14 @@ fn shard_budget_mb_caps_residency_while_serving_identically() {
         "fixture too small to make a {BUDGET_MB}MB budget binding: {}B of shards",
         manifest.shard_bytes
     );
-    let mut lazy = esh_index::open_sharded(&dir).expect("open sharded");
+    let mut lazy = esh_index::open_sharded_with(
+        &dir,
+        esh_index::EshxOpenOptions {
+            demand: false,
+            ..Default::default()
+        },
+    )
+    .expect("open sharded");
     lazy.set_threads(1);
 
     // Two queries from distinct sources, baselines computed offline
@@ -585,6 +597,65 @@ fn shard_budget_mb_caps_residency_while_serving_identically() {
     assert!(
         peak <= budget_bytes,
         "peak residency {peak}B exceeds the {budget_bytes}B budget"
+    );
+    server.shutdown();
+
+    // Phase two: the same budget under sub-shard demand decoding. Only
+    // the records the queries actually price get decoded, so residency
+    // stays far enough below the cap that the budget never has to evict
+    // — and the answers are still byte-identical.
+    let mut demand = esh_index::open_sharded(&dir).expect("open sharded (demand)");
+    demand.set_threads(1);
+    let server = Server::start(
+        demand,
+        Corpus {
+            procs: {
+                let mut procs = Vec::new();
+                stream_scale_corpus(&config, |p| procs.push(p));
+                procs
+            },
+        },
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_capacity: 8,
+            read_timeout_ms: 2_000,
+            shard_budget_mb: Some(BUDGET_MB),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind loopback (demand)");
+    let addr = server.local_addr().to_string();
+    for (needle, expected) in &baselines {
+        let resp = remote_query(&addr, &QueryRequest::new(needle), TIMEOUT).unwrap();
+        assert_eq!(resp.outcome, Outcome::Ok, "{needle} (demand)");
+        for (got, want) in resp.matches.iter().zip(expected) {
+            assert_eq!(got.name, want.name, "{needle} (demand)");
+            assert_eq!(got.ges.to_bits(), want.ges.to_bits(), "{} (demand)", want.name);
+        }
+    }
+    let (status, body) = http_get(&addr, "/metrics", TIMEOUT).unwrap();
+    assert_eq!(status, 200);
+    let metric = |name: &str| -> u64 {
+        body.lines()
+            .find_map(|l| l.strip_prefix(name).and_then(|v| v.trim().parse().ok()))
+            .unwrap_or_else(|| panic!("metric {name} missing:\n{body}"))
+    };
+    let decoded = metric("esh_shard_decoded_bytes");
+    let mapped = metric("esh_shard_mapped_bytes");
+    let demand_peak = metric("esh_shards_resident_bytes_peak");
+    assert!(
+        metric("esh_shards_evicted_total") == 0,
+        "demand decode stayed under budget yet something was evicted"
+    );
+    assert!(
+        demand_peak <= budget_bytes,
+        "demand-decode peak {demand_peak}B exceeds the {budget_bytes}B budget"
+    );
+    assert!(demand_peak < peak, "demand peak {demand_peak}B not below eager peak {peak}B");
+    assert!(
+        decoded > 0 && decoded < mapped,
+        "demand decode should decode a strict subset of mapped bytes ({decoded}/{mapped})"
     );
     server.shutdown();
     std::fs::remove_dir_all(&dir).ok();

@@ -11,7 +11,12 @@
 //!    pool, so identical handles ⇒ equal. Sound.
 //! 2. **Random refutation**: any concrete assignment distinguishing the
 //!    terms proves inequality. Sound for `NotEqual`.
-//! 3. **Bit-blasting + CDCL**: exact for bitvector terms within the
+//! 3. **Directed boundary probing**: evaluation on assignments that pin
+//!    one input variable to a constant harvested from the pair (±1),
+//!    catching sparse-difference pairs — off-by-one comparisons against
+//!    immediates — that random sampling essentially never hits. Sound
+//!    for `NotEqual`.
+//! 4. **Bit-blasting + CDCL**: exact for bitvector terms within the
 //!    conflict budget; over budget (or structurally oversized) yields
 //!    [`Verdict::Unknown`], which VCP counts as "not matched" —
 //!    conservative in the direction the paper prefers (missing a match
@@ -27,7 +32,7 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 use crate::bitblast::BitBlaster;
-use crate::eval::{eval, Assignment, CVal};
+use crate::eval::{eval, Assignment, CVal, EvalPlan};
 use crate::incremental::{IncrementalBlaster, IncrementalLimits, SolverPerf};
 use crate::term::{TermId, TermPool};
 
@@ -124,6 +129,9 @@ pub struct EquivStats {
     pub by_normalization: u64,
     /// Refuted by a random assignment.
     pub by_random: u64,
+    /// Refuted by a directed boundary probe (one input variable pinned to
+    /// a constant harvested from the pair's own structure).
+    pub by_directed: u64,
     /// Proven equal by SAT.
     pub sat_equal: u64,
     /// Refuted by SAT.
@@ -221,6 +229,20 @@ impl EquivChecker {
                 .wrapping_mul(0x2545_f491_4f6c_dd1d)
                 .wrapping_add(0x9e37_79b9_7f4a_7c15);
         }
+        // Directed boundary probing: random rounds systematically miss
+        // pairs whose difference set is vanishingly sparse. The classic
+        // shape is a comparison against neighbouring immediates — `x < 5`
+        // vs `x < 6` differ only at `x = 5` — which binaries produce in
+        // bulk from loop bounds and field offsets; the distinguishing
+        // inputs sit *at* the constants appearing in the terms. Probing
+        // each input variable at every harvested constant (±1) finds the
+        // witness in microseconds of evaluation where refuting through
+        // the SAT layer costs a full solver model search. Sound for
+        // `NotEqual` only; never claims equality.
+        if self.directed_refute(a, b) {
+            self.stats.by_directed += 1;
+            return Verdict::NotEqual;
+        }
         // Memory sort: no bit-level decision; random agreement is not a
         // proof, so remain unknown.
         if self.pool.width(a) == 0 {
@@ -247,6 +269,73 @@ impl EquivChecker {
             return Verdict::Unknown;
         }
         self.sat_decide(a, b)
+    }
+
+    /// Probes assignments that pin one input variable to a boundary value
+    /// harvested from the pair's own term structure; returns `true` when
+    /// one distinguishes `a` from `b` (a sound `NotEqual` witness).
+    ///
+    /// Fully deterministic: variables and constants are collected
+    /// structurally and probed in sorted order under fixed caps, so
+    /// verdicts cannot vary run to run or between construction orders.
+    fn directed_refute(&mut self, a: TermId, b: TermId) -> bool {
+        use crate::term::TermOp;
+        // Bound the probe budget: caps are part of the decision procedure
+        // (changing them can flip Unknown/NotEqual verdicts), so they are
+        // fixed constants rather than tunable configuration.
+        const MAX_VARS: usize = 8;
+        const MAX_CONSTS: usize = 12;
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![a, b];
+        let mut vars: Vec<u32> = Vec::new();
+        let mut consts: Vec<u64> = Vec::new();
+        while let Some(x) = stack.pop() {
+            if !seen.insert(x) {
+                continue;
+            }
+            let data = self.pool.data(x);
+            match data.op {
+                TermOp::Var(id) => vars.push(id),
+                TermOp::Const(c) => consts.push(c),
+                _ => {}
+            }
+            stack.extend(data.args.iter().copied());
+        }
+        vars.sort_unstable();
+        vars.dedup();
+        vars.truncate(MAX_VARS);
+        consts.sort_unstable();
+        consts.dedup();
+        consts.truncate(MAX_CONSTS);
+        if vars.is_empty() || consts.is_empty() {
+            return false;
+        }
+        // Probe at each constant and its neighbours: the witness for an
+        // off-by-one comparison sits next to the immediate, not on it.
+        let mut cands: Vec<u64> = Vec::with_capacity(consts.len() * 3);
+        for &c in &consts {
+            cands.push(c.wrapping_sub(1));
+            cands.push(c);
+            cands.push(c.wrapping_add(1));
+        }
+        cands.sort_unstable();
+        cands.dedup();
+        let plan = EvalPlan::new(&self.pool, &[a, b]);
+        // Unpinned variables keep the fixed pseudo-random base, so each
+        // probe perturbs exactly one variable of an otherwise-shared
+        // assignment.
+        let mut asn = Assignment::random(0x0d1e);
+        for &v in &vars {
+            for &c in &cands {
+                asn.vars.insert(v, c);
+                let vals = plan.eval_round(&self.pool, &asn);
+                if vals[0] != vals[1] {
+                    return true;
+                }
+            }
+            asn.vars.remove(&v);
+        }
+        false
     }
 
     /// Estimated memory blast cost of `t`: per load, the number of bytes
@@ -379,6 +468,24 @@ mod tests {
         let diff = ec.pool.sub(or, and);
         assert_eq!(ec.check_eq(xor, diff), Verdict::Equal);
         assert_eq!(ec.stats.sat_equal, 1);
+    }
+
+    #[test]
+    fn directed_probe_refutes_sparse_difference_pairs() {
+        // `x < 5` vs `x < 6` differ only at x = 5: a 1-in-2^64 difference
+        // set that random rounds essentially never hit, but whose witness
+        // sits on a constant harvested from the pair itself. The directed
+        // layer must refute it before the SAT layer pays a model search.
+        let mut ec = EquivChecker::new();
+        let x = ec.pool.var(0, 64);
+        let five = ec.pool.constant(5, 64);
+        let six = ec.pool.constant(6, 64);
+        let lt5 = ec.pool.ult(x, five);
+        let lt6 = ec.pool.ult(x, six);
+        assert_eq!(ec.check_eq(lt5, lt6), Verdict::NotEqual);
+        assert_eq!(ec.stats.by_directed, 1);
+        assert_eq!(ec.stats.by_random, 0);
+        assert_eq!(ec.stats.solver.sat_queries, 0);
     }
 
     #[test]

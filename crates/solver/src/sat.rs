@@ -277,7 +277,11 @@ impl Solver {
                 self.unchecked_enqueue(first, ci);
                 i += 1;
             }
-            self.watches[p.code()].extend(ws);
+            // Put the buffer back by move: `take` left an empty zero-capacity
+            // vec here and nothing pushes to `watches[p]` while processing it
+            // (a new watch for ¬p would mean ¬p is unassigned, but p is true),
+            // so a move keeps the allocation instead of reallocating.
+            self.watches[p.code()] = ws;
         }
         None
     }

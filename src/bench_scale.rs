@@ -1,11 +1,12 @@
 //! `esh bench-scale`: the scale tier measured end to end.
 //!
 //! For each corpus size (1k/5k/10k/100k procedures; `--smoke` keeps 1k
-//! only) the bench streams the seeded synthetic corpus
+//! only, `--max-procs N` drops every rung above `N`) the bench streams
+//! the seeded synthetic corpus
 //! ([`esh_corpus::scale::stream_scale_corpus_with_threads`]) straight
 //! into an engine running the pure-LSH scale profile
 //! ([`esh_core::PrefilterConfig::lsh_only`]), persists it as a sharded
-//! binary index (format v5) — plus a JSON snapshot (format v4) at sizes
+//! binary index (format v6) — plus a JSON snapshot (format v4) at sizes
 //! where parsing one is still tolerable — then measures what the scale
 //! tier exists to improve:
 //!
@@ -16,8 +17,13 @@
 //!   disk until a query needs them), vs `SimilarityEngine::load`
 //!   (parse the whole JSON document) where the baseline is measured,
 //! * **query latency and shard fan-out** — ranked queries against the
-//!   lazily loaded engine, with shard residency, whole-shard prunes
-//!   (the sketch-band sidecar) and peak resident bytes reported,
+//!   lazily loaded engine under per-record demand decoding, with shard
+//!   residency, whole-shard prunes (the sketch-band sidecar), peak
+//!   resident bytes, and decoded-vs-mapped bytes reported,
+//! * **whole-decode baseline** — the same queries with demand decoding
+//!   off (`EshxOpenOptions { demand: false }`, the v5 behavior where a
+//!   touched shard decodes every record at open), for the latency and
+//!   residency comparison the demand-decode tier is gated on,
 //! * **memory-bounded serving** — the same queries repeated under a
 //!   one-shard [`set_shard_budget`](esh_core::SimilarityEngine::set_shard_budget),
 //!   gated on evictions happening, settled residency staying under the
@@ -27,11 +33,15 @@
 //! The bench *gates* on: the sharded cold-load beating the JSON load at
 //! every size it is measured; the mmap cold-load never losing to the
 //! read-into-buffer fallback; at least one whole shard pruned per query;
-//! the budgeted invariants above; and a byte-identity check — the
-//! ranked output of a sharded engine must equal the JSON-loaded
-//! engine's bit for bit on the cross-compiler paper corpus (371
-//! procedures; `--smoke` uses the small 28-procedure matrix). Results
-//! land in `BENCH_scale.json`.
+//! demand decoding decoding strictly fewer bytes than it maps, with at
+//! least one partially-decoded shard after every query and rankings
+//! bit-identical to the whole-decode baseline; at the 100k rung, the
+//! cold demand-decode query at least 2× faster than whole-decode with
+//! strictly lower peak residency; the budgeted invariants above; and a
+//! byte-identity check — the ranked output of a sharded engine must
+//! equal the JSON-loaded engine's bit for bit on the cross-compiler
+//! paper corpus (371 procedures; `--smoke` uses the small 28-procedure
+//! matrix). Results land in `BENCH_scale.json`.
 
 use std::time::Instant;
 
@@ -44,7 +54,7 @@ use esh_index::EshxOpenOptions;
 /// regression harness, not a fuzzer).
 const SEED: u64 = 0x5CA1E;
 
-/// Targets per shard for the persisted v5 indexes. Finer than the CLI
+/// Targets per shard for the persisted v6 indexes. Finer than the CLI
 /// default (64): whole-shard pruning is a per-shard all-or-nothing
 /// test, and on the digest-heavy synthetic corpus a 64-target shard
 /// almost always has at least one band collision with some query
@@ -72,11 +82,15 @@ pub struct BenchScaleOptions {
     /// fallback). Both cold loads are measured either way; this picks
     /// which backing the query phases run on.
     pub mmap: bool,
+    /// Skip corpus rungs above this size (`0` = run them all). The full
+    /// ladder's 100k rung dominates wall time; `--max-procs 10000`
+    /// keeps a local full run fast.
+    pub max_procs: usize,
 }
 
 impl Default for BenchScaleOptions {
     fn default() -> BenchScaleOptions {
-        BenchScaleOptions { smoke: false, threads: 0, mmap: true }
+        BenchScaleOptions { smoke: false, threads: 0, mmap: true, max_procs: 0 }
     }
 }
 
@@ -90,10 +104,16 @@ struct SizeRun {
     mmap_load_ms: u128,
     buffered_load_ms: u128,
     query_ms: Vec<u128>,
+    query_ms_whole: Vec<u128>,
     shards_total: u64,
     shards_loaded: u64,
     shards_pruned: u64,
     resident_bytes_peak: u64,
+    resident_bytes_peak_whole: u64,
+    decoded_bytes: u64,
+    mapped_bytes: u64,
+    classes_decoded: u64,
+    shards_partial_min: u64,
     budget_bytes: u64,
     budget_resident_bytes: u64,
     budget_resident_peak: u64,
@@ -136,9 +156,11 @@ fn cold_load_ms(eshx: &std::path::Path) -> Result<(u128, u128), String> {
     for _ in 0..5 {
         for (i, mmap) in [(0usize, true), (1, false)] {
             let t = Instant::now();
-            let engine =
-                esh_index::open_sharded_with(eshx, EshxOpenOptions { mmap, prune: true })
-                    .map_err(|e| e.to_string())?;
+            let engine = esh_index::open_sharded_with(
+                eshx,
+                EshxOpenOptions { mmap, prune: true, demand: true },
+            )
+            .map_err(|e| e.to_string())?;
             best[i] = best[i].min(t.elapsed().as_millis());
             drop(engine);
         }
@@ -222,35 +244,64 @@ fn measure_size(procs: usize, opts: &BenchScaleOptions) -> Result<SizeRun, Strin
     );
 
     let queries = query_battery();
-    let open = || {
+    let open = |demand: bool| {
         esh_index::open_sharded_with(
             &eshx_path,
-            EshxOpenOptions { mmap: opts.mmap, prune: true },
+            EshxOpenOptions { mmap: opts.mmap, prune: true, demand },
         )
         .map_err(|e| e.to_string())
     };
 
-    // Unbudgeted pass: latency, whole-shard prunes, peak residency.
-    let lazy = open()?;
+    // Unbudgeted demand-decode pass: latency, whole-shard prunes, peak
+    // residency, decoded-vs-mapped bytes. `shards_partial_min` is the
+    // smallest count of partially-decoded resident shards observed
+    // after any query — the gate that demand decoding actually leaves
+    // neighbour records raw on every query, not just in aggregate.
+    let lazy = open(true)?;
     let mut query_ms = Vec::with_capacity(queries.len());
     let mut baselines = Vec::with_capacity(queries.len());
+    let mut shards_partial_min = u64::MAX;
     for q in &queries {
         let tq = Instant::now();
         let scores = lazy.query(q);
         query_ms.push(tq.elapsed().as_millis());
         assert_eq!(scores.scores.len(), procs);
         baselines.push(scores);
+        shards_partial_min = shards_partial_min.min(lazy.shard_stats().shards_partial);
     }
     let stats = lazy.shard_stats();
     drop(lazy);
     eprintln!(
         "bench-scale: [{procs}] queries {query_ms:?}ms; shards loaded {}/{} (fanout {}, pruned \
-         {}), peak resident {}B",
+         {}), peak resident {}B; decoded {}B of {}B mapped ({} classes, ≥{} shards partial)",
         stats.shards_loaded,
         stats.shards_total,
         stats.fanout_total,
         stats.pruned_total,
         stats.resident_bytes_peak,
+        stats.decoded_bytes,
+        stats.mapped_bytes,
+        stats.classes_decoded_total,
+        shards_partial_min,
+    );
+
+    // Whole-decode baseline: the same queries with demand decoding off
+    // (every touched shard decodes all records at open — the v5
+    // behavior). Rankings must not move by a bit; the latency and
+    // residency deltas are what the demand-decode tier is gated on.
+    let whole = open(false)?;
+    let mut query_ms_whole = Vec::with_capacity(queries.len());
+    for (i, q) in queries.iter().enumerate() {
+        let tq = Instant::now();
+        let scores = whole.query(q);
+        query_ms_whole.push(tq.elapsed().as_millis());
+        assert_identical(&baselines[i], &scores, &format!("[{procs}] whole-decode query {i}"))?;
+    }
+    let wstats = whole.shard_stats();
+    drop(whole);
+    eprintln!(
+        "bench-scale: [{procs}] whole-decode baseline {query_ms_whole:?}ms, peak resident {}B",
+        wstats.resident_bytes_peak,
     );
 
     // Budgeted pass: one-shard budget, same queries. Evictions must
@@ -259,7 +310,7 @@ fn measure_size(procs: usize, opts: &BenchScaleOptions) -> Result<SizeRun, Strin
     let budget_bytes = esh_index::read_manifest(&eshx_path)
         .map_err(|e| e.to_string())?
         .largest_shard_bytes;
-    let budgeted = open()?;
+    let budgeted = open(true)?;
     budgeted.set_shard_budget(budget_bytes);
     for (i, q) in queries.iter().enumerate() {
         let scores = budgeted.query(q);
@@ -284,10 +335,16 @@ fn measure_size(procs: usize, opts: &BenchScaleOptions) -> Result<SizeRun, Strin
         mmap_load_ms,
         buffered_load_ms,
         query_ms,
+        query_ms_whole,
         shards_total: stats.shards_total,
         shards_loaded: stats.shards_loaded,
         shards_pruned: stats.pruned_total,
         resident_bytes_peak: stats.resident_bytes_peak,
+        resident_bytes_peak_whole: wstats.resident_bytes_peak,
+        decoded_bytes: stats.decoded_bytes,
+        mapped_bytes: stats.mapped_bytes,
+        classes_decoded: stats.classes_decoded_total,
+        shards_partial_min,
         budget_bytes,
         budget_resident_bytes: bstats.resident_bytes,
         budget_resident_peak: bstats.resident_bytes_peak,
@@ -392,6 +449,41 @@ fn apply_gates(runs: &[SizeRun], mmap: bool) -> Result<(), String> {
                 r.procs, r.shards_pruned, QUERIES_PER_SIZE
             ));
         }
+        if r.decoded_bytes >= r.mapped_bytes {
+            return Err(format!(
+                "demand-decode gate failed at {} procs: decoded {}B is not below mapped {}B \
+                 (queries decoded every record they mapped)",
+                r.procs, r.decoded_bytes, r.mapped_bytes
+            ));
+        }
+        if r.shards_partial_min < 1 {
+            return Err(format!(
+                "partial-decode gate failed at {} procs: some query left no resident shard \
+                 partially decoded",
+                r.procs
+            ));
+        }
+        // The headline demand-decode gates bind where whole-shard decode
+        // actually hurts: at 100k-scale, shard decode dominates a cold
+        // query. Below that, SAT work dominates and the ratio is noise.
+        if r.procs >= 100_000 {
+            let cold = r.query_ms[0].max(1);
+            let cold_whole = r.query_ms_whole[0];
+            if cold_whole < cold.saturating_mul(2) {
+                return Err(format!(
+                    "demand-decode speedup gate failed at {} procs: cold query {}ms vs \
+                     whole-decode {}ms (need ≥2×)",
+                    r.procs, r.query_ms[0], cold_whole
+                ));
+            }
+            if r.resident_bytes_peak >= r.resident_bytes_peak_whole {
+                return Err(format!(
+                    "residency gate failed at {} procs: demand-decode peak {}B is not below \
+                     whole-decode peak {}B",
+                    r.procs, r.resident_bytes_peak, r.resident_bytes_peak_whole
+                ));
+            }
+        }
         if r.budget_evicted == 0 {
             return Err(format!(
                 "eviction gate failed at {} procs: a one-shard budget ({}B) never evicted",
@@ -414,9 +506,18 @@ fn apply_gates(runs: &[SizeRun], mmap: bool) -> Result<(), String> {
 /// pruning, eviction under budget, or ranked-output identity.
 pub fn run(opts: &BenchScaleOptions) -> Result<(), String> {
     let t0 = Instant::now();
-    let sizes: &[usize] = if opts.smoke { &[1000] } else { &[1000, 5000, 10_000, 100_000] };
+    let ladder: &[usize] = if opts.smoke { &[1000] } else { &[1000, 5000, 10_000, 100_000] };
+    let sizes: Vec<usize> = match opts.max_procs {
+        0 => ladder.to_vec(),
+        cap => {
+            let kept: Vec<usize> = ladder.iter().copied().filter(|&n| n <= cap).collect();
+            // A cap below the smallest rung still runs that rung — an
+            // empty bench would trivially "pass" every gate.
+            if kept.is_empty() { vec![ladder[0]] } else { kept }
+        }
+    };
     let mut runs = Vec::with_capacity(sizes.len());
-    for &n in sizes {
+    for &n in &sizes {
         runs.push(measure_size(n, opts)?);
     }
     let (identity_procs, identity_queries) = check_identity(opts.smoke)?;
@@ -428,6 +529,9 @@ pub fn run(opts: &BenchScaleOptions) -> Result<(), String> {
         .iter()
         .map(|r| {
             let q: Vec<String> = r.query_ms.iter().map(|m| m.to_string()).collect();
+            let qw: Vec<String> = r.query_ms_whole.iter().map(|m| m.to_string()).collect();
+            let cold_speedup = r.query_ms_whole.first().copied().unwrap_or(0) as f64
+                / (*r.query_ms.first().unwrap_or(&1)).max(1) as f64;
             let json_side = match r.json_load_ms {
                 Some(ms) => format!(
                     "\"json_bytes\": {}, \"json_load_ms\": {}, \"cold_load_speedup\": {:.2}",
@@ -443,8 +547,12 @@ pub fn run(opts: &BenchScaleOptions) -> Result<(), String> {
                 "    {{ \"procs\": {}, \"build_ms\": {}, \
                  \"build_throughput_procs_per_s\": {:.1}, {json_side}, \
                  \"sharded_bytes\": {}, \"mmap_load_ms\": {}, \"buffered_load_ms\": {}, \
-                 \"query_ms\": [{}], \"shards_total\": {}, \"shards_loaded_after_queries\": {}, \
+                 \"query_ms\": [{}], \"query_ms_whole_decode\": [{}], \
+                 \"cold_query_speedup\": {:.2}, \"shards_total\": {}, \
+                 \"shards_loaded_after_queries\": {}, \
                  \"shards_pruned\": {}, \"resident_bytes_peak\": {}, \
+                 \"resident_bytes_peak_whole_decode\": {}, \"decoded_bytes\": {}, \
+                 \"mapped_bytes\": {}, \"classes_decoded\": {}, \"shards_partial_min\": {}, \
                  \"shard_budget_bytes\": {}, \"budget_resident_bytes\": {}, \
                  \"budget_resident_bytes_peak\": {}, \"shards_evicted\": {} }}",
                 r.procs,
@@ -454,10 +562,17 @@ pub fn run(opts: &BenchScaleOptions) -> Result<(), String> {
                 r.mmap_load_ms,
                 r.buffered_load_ms,
                 q.join(", "),
+                qw.join(", "),
+                cold_speedup,
                 r.shards_total,
                 r.shards_loaded,
                 r.shards_pruned,
                 r.resident_bytes_peak,
+                r.resident_bytes_peak_whole,
+                r.decoded_bytes,
+                r.mapped_bytes,
+                r.classes_decoded,
+                r.shards_partial_min,
                 r.budget_bytes,
                 r.budget_resident_bytes,
                 r.budget_resident_peak,
